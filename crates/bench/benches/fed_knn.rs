@@ -1,0 +1,79 @@
+//! Benchmarks of the federated KNN oracle: the logical engine (base vs
+//! Fagin) and the full thread-per-node protocol with real encryption.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use vfps_data::{prepared_sized, DatasetSpec, VerticalPartition};
+use vfps_he::scheme::{PaillierHe, PlainHe};
+use vfps_net::cost::OpLedger;
+use vfps_vfl::fed_knn::{FedKnn, FedKnnConfig, KnnMode};
+use vfps_vfl::protocol::run_threaded_knn;
+
+fn bench_logical_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fed_knn_logical");
+    let spec = DatasetSpec::by_name("IJCNN").expect("catalog");
+    for n in [500usize, 2_000] {
+        let (ds, split) = prepared_sized(&spec, n, 1);
+        let partition = VerticalPartition::random(ds.n_features(), 4, 1);
+        let parties = [0usize, 1, 2, 3];
+        for (label, mode) in [("base", KnnMode::Base), ("fagin", KnnMode::Fagin)] {
+            let cfg = FedKnnConfig { k: 10, mode, batch: 100, cost_scale: 1.0 };
+            let engine = FedKnn::new(&ds.x, &partition, &parties, &split.train, cfg);
+            let q = split.train[0];
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                b.iter(|| {
+                    let mut ledger = OpLedger::default();
+                    black_box(engine.query(q, &mut ledger))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_threaded_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fed_knn_threaded");
+    group.sample_size(10);
+    let spec = DatasetSpec::by_name("Rice").expect("catalog");
+    let (ds, split) = prepared_sized(&spec, 150, 2);
+    let partition = VerticalPartition::random(ds.n_features(), 4, 2);
+    let queries = vec![split.train[0]];
+    let cfg = FedKnnConfig { k: 5, mode: KnnMode::Fagin, batch: 16, cost_scale: 1.0 };
+
+    let plain = Arc::new(PlainHe::new(64));
+    group.bench_function("plain_cluster_query", |b| {
+        b.iter(|| {
+            black_box(run_threaded_knn(
+                &plain,
+                &ds.x,
+                &partition,
+                &[0, 1, 2, 3],
+                &split.train,
+                &queries,
+                cfg,
+                7,
+            ))
+        });
+    });
+
+    let paillier = Arc::new(PaillierHe::generate(256, 64, 3).expect("keygen"));
+    group.bench_function("paillier256_cluster_query", |b| {
+        b.iter(|| {
+            black_box(run_threaded_knn(
+                &paillier,
+                &ds.x,
+                &partition,
+                &[0, 1, 2, 3],
+                &split.train,
+                &queries,
+                cfg,
+                7,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_logical_engine, bench_threaded_protocol);
+criterion_main!(benches);

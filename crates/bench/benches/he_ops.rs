@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the homomorphic-encryption substrate: the per-op
+//! costs that dominate the paper's selection times (and calibrate the
+//! cost model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vfps_he::bigint::BigUint;
+use vfps_he::ckks::CkksParams;
+use vfps_he::scheme::{AdditiveHe, CkksHe, PaillierHe};
+
+fn bench_paillier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier");
+    for bits in [256usize, 512, 1024] {
+        let he = PaillierHe::generate(bits, 8, 1).expect("keygen");
+        let values = [1.5f64, -2.0, 3.25, 0.0, 7.5, -8.25, 9.0, 0.125];
+        let ct = he.encrypt(&values).unwrap();
+        group.bench_with_input(BenchmarkId::new("encrypt8", bits), &bits, |b, _| {
+            b.iter(|| he.encrypt(black_box(&values)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("decrypt8", bits), &bits, |b, _| {
+            b.iter(|| he.decrypt(black_box(&ct), 8));
+        });
+        group.bench_with_input(BenchmarkId::new("add8", bits), &bits, |b, _| {
+            b.iter(|| he.add(black_box(&ct), black_box(&ct)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ckks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ckks");
+    for (label, params) in [
+        ("n256", CkksParams::insecure_test()),
+        ("n2048", CkksParams::default_vfl()),
+    ] {
+        let he = CkksHe::generate(&params, 2).expect("context");
+        let values: Vec<f64> = (0..he.max_batch()).map(|i| i as f64 * 0.01).collect();
+        let ct = he.encrypt(&values).unwrap();
+        group.bench_function(BenchmarkId::new("encrypt_batch", label), |b| {
+            b.iter(|| he.encrypt(black_box(&values)).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("decrypt_batch", label), |b| {
+            b.iter(|| he.decrypt(black_box(&ct), values.len()));
+        });
+        group.bench_function(BenchmarkId::new("add_batch", label), |b| {
+            b.iter(|| he.add(black_box(&ct), black_box(&ct)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bigint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bigint");
+    for bits in [256usize, 1024] {
+        let mut rng = vfps_he::scheme::seeded_rng(7);
+        let base = BigUint::random_bits(&mut rng, bits);
+        let exp = BigUint::random_bits(&mut rng, bits);
+        let modulus = BigUint::random_bits(&mut rng, bits);
+        group.bench_with_input(BenchmarkId::new("mod_pow", bits), &bits, |b, _| {
+            b.iter(|| black_box(&base).mod_pow(black_box(&exp), black_box(&modulus)));
+        });
+        // The division-based fallback, to quantify the Montgomery speedup.
+        let odd_modulus = if modulus.is_even() { modulus.add_u64(1) } else { modulus.clone() };
+        group.bench_with_input(BenchmarkId::new("mod_pow_plain", bits), &bits, |b, _| {
+            b.iter(|| {
+                black_box(&base).mod_pow_plain(black_box(&exp), black_box(&odd_modulus))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |b, _| {
+            b.iter(|| black_box(&base).mul(black_box(&exp)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paillier, bench_ckks, bench_bigint);
+criterion_main!(benches);

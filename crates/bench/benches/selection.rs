@@ -1,0 +1,64 @@
+//! Benchmarks of the selection machinery: greedy vs lazy-greedy submodular
+//! maximization and full selector runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vfps_bench::selection_only;
+use vfps_core::pipeline::{Method, PipelineConfig};
+use vfps_core::submodular::KnnSubmodular;
+use vfps_data::DatasetSpec;
+
+fn random_similarity(p: usize, seed: u64) -> KnnSubmodular {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = vec![vec![0.0f64; p]; p];
+    for i in 0..p {
+        w[i][i] = 1.0;
+        for j in 0..i {
+            let v = rng.gen_range(0.0..1.0);
+            w[i][j] = v;
+            w[j][i] = v;
+        }
+    }
+    KnnSubmodular::new(w)
+}
+
+fn bench_maximizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("submodular");
+    for p in [20usize, 100, 400] {
+        let f = random_similarity(p, 3);
+        let size = p / 2;
+        group.bench_with_input(BenchmarkId::new("greedy", p), &p, |b, _| {
+            b.iter(|| black_box(f.greedy(size)));
+        });
+        group.bench_with_input(BenchmarkId::new("lazy_greedy", p), &p, |b, _| {
+            b.iter(|| black_box(f.lazy_greedy(size)));
+        });
+        group.bench_with_input(BenchmarkId::new("stochastic_greedy", p), &p, |b, _| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| black_box(f.stochastic_greedy(size, 0.1, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selector");
+    group.sample_size(10);
+    let spec = DatasetSpec::by_name("Rice").expect("catalog");
+    let cfg = PipelineConfig {
+        sim_instances: Some(400),
+        query_count: 16,
+        ..Default::default()
+    };
+    for method in [Method::Random, Method::VfMine, Method::VfpsSm, Method::Shapley] {
+        group.bench_function(BenchmarkId::new("select", method.name()), |b| {
+            b.iter(|| black_box(selection_only(&spec, method, &cfg, 5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maximizers, bench_selectors);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Benchmarks of the multi-party top-k algorithms under correlated,
+//! independent, and adversarial (anti-correlated) rankings — the access
+//! pattern that decides how many instances VFPS-SM must encrypt.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vfps_topk::fagin::fagin_topk;
+use vfps_topk::list::{Direction, RankedList};
+use vfps_topk::naive::naive_topk;
+use vfps_topk::threshold::threshold_topk;
+
+/// Builds P score lists over n items with a controllable correlation:
+/// each party's score = mix * shared + (1 - mix) * private noise.
+fn make_lists(n: usize, parties: usize, mix: f64, seed: u64) -> Vec<RankedList> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shared: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (0..parties)
+        .map(|_| {
+            let scores: Vec<f64> = shared
+                .iter()
+                .map(|&s| mix * s + (1.0 - mix) * rng.gen_range(0.0..1.0))
+                .collect();
+            RankedList::from_scores(scores, Direction::Ascending)
+        })
+        .collect()
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    let n = 10_000;
+    let k = 10;
+    for (label, mix) in [("correlated", 0.9), ("independent", 0.0)] {
+        let lists = make_lists(n, 4, mix, 42);
+        group.bench_function(BenchmarkId::new("naive", label), |b| {
+            b.iter(|| {
+                let mut l = lists.clone();
+                black_box(naive_topk(&mut l, k))
+            });
+        });
+        group.bench_function(BenchmarkId::new("fagin", label), |b| {
+            b.iter(|| {
+                let mut l = lists.clone();
+                black_box(fagin_topk(&mut l, k))
+            });
+        });
+        group.bench_function(BenchmarkId::new("threshold", label), |b| {
+            b.iter(|| {
+                let mut l = lists.clone();
+                black_box(threshold_topk(&mut l, k))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_access_counts(c: &mut Criterion) {
+    // Not a timing bench: report candidate counts through the throughput
+    // counter so `cargo bench` output shows the work reduction directly.
+    let mut group = c.benchmark_group("topk_candidates");
+    let n = 10_000;
+    for (label, mix) in [("correlated", 0.9), ("independent", 0.0)] {
+        let lists = make_lists(n, 4, mix, 7);
+        let mut l = lists.clone();
+        let fa = fagin_topk(&mut l, 10);
+        eprintln!(
+            "[topk_candidates/{label}] fagin examined {} of {} candidates (depth {})",
+            fa.candidates_examined, n, fa.depth
+        );
+        group.bench_function(BenchmarkId::new("fagin_run", label), |b| {
+            b.iter(|| {
+                let mut l = lists.clone();
+                black_box(fagin_topk(&mut l, 10).candidates_examined)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_access_counts);
+criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! `vfps` — command-line participant selection for vertical federated
+//! learning.
+//!
+//! Point it at a CSV or LIBSVM file, describe the consortium, and get the
+//! selected sub-consortium plus a cost/accuracy report:
+//!
+//! ```text
+//! vfps --data credit.csv --parties 4 --select 2 --method vfps-sm --model knn
+//! vfps --data a9a.libsvm --format libsvm --parties 8 --select 4 --method vfmine
+//! vfps --synthetic SUSY --parties 4 --select 2 --method all-methods
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vfps_core::pipeline::{Method, PipelineConfig};
+use vfps_core::selectors::SelectionContext;
+use vfps_core::make_selector;
+use vfps_data::{
+    load_csv, load_libsvm, prepared_sized, CsvOptions, Dataset, DatasetSpec, Split,
+    VerticalPartition, ZScore,
+};
+use vfps_ml::mlp::TrainConfig;
+use vfps_net::cost::CostModel;
+use vfps_vfl::split_train::{train_downstream, Downstream};
+
+#[derive(Debug)]
+struct Args {
+    data: Option<PathBuf>,
+    format: String,
+    synthetic: Option<String>,
+    parties: usize,
+    select: usize,
+    method: String,
+    model: String,
+    knn_k: usize,
+    queries: usize,
+    seed: u64,
+    label_column: i64,
+    no_header: bool,
+    verbose: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            data: None,
+            format: "csv".into(),
+            synthetic: None,
+            parties: 4,
+            select: 2,
+            method: "vfps-sm".into(),
+            model: "knn".into(),
+            knn_k: 10,
+            queries: 32,
+            seed: 42,
+            label_column: -1,
+            no_header: false,
+            verbose: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--data" => args.data = Some(PathBuf::from(value("--data")?)),
+            "--format" => args.format = value("--format")?,
+            "--synthetic" => args.synthetic = Some(value("--synthetic")?),
+            "--parties" => {
+                args.parties = value("--parties")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--select" => {
+                args.select = value("--select")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--method" => args.method = value("--method")?.to_lowercase(),
+            "--model" => args.model = value("--model")?.to_lowercase(),
+            "--k" => args.knn_k = value("--k")?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => {
+                args.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--label-column" => {
+                args.label_column =
+                    value("--label-column")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--no-header" => args.no_header = true,
+            "--verbose" | "-v" => args.verbose = true,
+            "--help" | "-h" => {
+                print_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.data.is_none() && args.synthetic.is_none() {
+        return Err("one of --data or --synthetic is required".into());
+    }
+    Ok(args)
+}
+
+fn print_help() {
+    println!(
+        "vfps — participant selection for vertical federated learning\n\n\
+         USAGE:\n  vfps --data <file> [options]\n  vfps --synthetic <name> [options]\n\n\
+         INPUT:\n\
+         \x20 --data <file>          CSV or LIBSVM dataset\n\
+         \x20 --format csv|libsvm    input format (default csv)\n\
+         \x20 --label-column <i>     CSV label column, negatives from end (default -1)\n\
+         \x20 --no-header            CSV has no header row\n\
+         \x20 --synthetic <name>     use a synthetic twin (Bank, Credit, Phishing, Web,\n\
+         \x20                        Rice, Adult, IJCNN, SUSY, HDI, SD)\n\n\
+         SELECTION:\n\
+         \x20 --parties <P>          consortium size (default 4)\n\
+         \x20 --select <S>           participants to keep (default 2)\n\
+         \x20 --method <m>           vfps-sm | vfps-sm-base | random | shapley |\n\
+         \x20                        vfmine | all | all-methods (default vfps-sm)\n\
+         \x20 --model <m>            downstream task: knn | lr | mlp (default knn)\n\
+         \x20 --k <k>                proxy-KNN neighbor count (default 10)\n\
+         \x20 --queries <q>          similarity query sample (default 32)\n\
+         \x20 --seed <s>             run seed (default 42)\n\
+         \x20 --verbose, -v          print the per-party score report"
+    );
+}
+
+fn method_from(name: &str) -> Result<Method, String> {
+    Ok(match name {
+        "loo" | "leave-one-out" => return Err("use --method loo via the library API: the CLI exposes the paper's methods; see vfps_core::LeaveOneOutSelector".into()),
+        "vfps-sm" => Method::VfpsSm,
+        "vfps-sm-base" => Method::VfpsSmBase,
+        "random" => Method::Random,
+        "shapley" => Method::Shapley,
+        "vfmine" | "vf-mine" => Method::VfMine,
+        "all" => Method::All,
+        other => return Err(format!("unknown method {other}")),
+    })
+}
+
+fn load(args: &Args) -> Result<(Dataset, Split), String> {
+    if let Some(name) = &args.synthetic {
+        let spec = DatasetSpec::by_name(name)
+            .ok_or_else(|| format!("unknown synthetic dataset {name}"))?;
+        return Ok(prepared_sized(&spec, spec.sim_instances, args.seed));
+    }
+    let path = args.data.as_ref().expect("validated");
+    let mut ds = match args.format.as_str() {
+        "csv" => {
+            let opts = CsvOptions {
+                label_column: args.label_column,
+                has_header: !args.no_header,
+                ..Default::default()
+            };
+            load_csv(path, &opts).map_err(|e| format!("{e}"))?
+        }
+        "libsvm" => load_libsvm(path).map_err(|e| format!("{e}"))?,
+        other => return Err(format!("unknown format {other}")),
+    };
+    if ds.len() < 10 {
+        return Err(format!("{} rows is too few (need >= 10)", ds.len()));
+    }
+    let split = Split::paper_split(ds.len(), args.seed);
+    let z = ZScore::fit(&ds.x, &split.train);
+    z.apply(&mut ds.x);
+    Ok((ds, split))
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let (ds, split) = load(&args)?;
+    if args.parties > ds.n_features() {
+        return Err(format!(
+            "{} parties but only {} features",
+            args.parties,
+            ds.n_features()
+        ));
+    }
+    if args.select == 0 || args.select > args.parties {
+        return Err(format!(
+            "--select {} out of range for {} parties",
+            args.select, args.parties
+        ));
+    }
+    let model = match args.model.as_str() {
+        "knn" => Downstream::Knn { k: args.knn_k },
+        "lr" => Downstream::Lr,
+        "mlp" => Downstream::Mlp,
+        other => return Err(format!("unknown model {other}")),
+    };
+    let partition = VerticalPartition::random(ds.n_features(), args.parties, args.seed);
+    println!(
+        "dataset {} — {} rows, {} features, {} classes; {} parties, selecting {}",
+        ds.name,
+        ds.len(),
+        ds.n_features(),
+        ds.n_classes,
+        args.parties,
+        args.select
+    );
+    for p in 0..args.parties {
+        println!("  party {p}: {} features", partition.columns(p).len());
+    }
+
+    let methods: Vec<Method> = if args.method == "all-methods" {
+        Method::TABLE_ORDER.to_vec()
+    } else {
+        vec![method_from(&args.method)?]
+    };
+
+    let cfg = PipelineConfig {
+        parties: args.parties,
+        select: args.select,
+        knn_k: args.knn_k,
+        query_count: args.queries,
+        ..Default::default()
+    };
+    let cost_model = CostModel::default();
+    println!(
+        "\n{:<14} {:>9} {:>14} {:>14}   chosen",
+        "method", "accuracy", "selection (s)", "training (s)"
+    );
+    for method in methods {
+        let ctx = SelectionContext {
+            ds: &ds,
+            split: &split,
+            partition: &partition,
+            cost_scale: 1.0,
+            seed: args.seed,
+        };
+        let selector = make_selector(method, &cfg);
+        let selection = selector.select(&ctx, args.select);
+        if args.verbose {
+            let names: Vec<String> =
+                (0..args.parties).map(|p| format!("party-{p}")).collect();
+            println!(
+                "\n{}",
+                vfps_core::report::selection_report(
+                    &selection,
+                    method.name(),
+                    &names,
+                    &cost_model
+                )
+            );
+        }
+        let chosen = if method == Method::All {
+            (0..args.parties).collect()
+        } else {
+            selection.chosen.clone()
+        };
+        let report = train_downstream(
+            &ds,
+            &split,
+            &partition,
+            &chosen,
+            model,
+            &TrainConfig::fast(),
+            1.0,
+            args.seed,
+        );
+        println!(
+            "{:<14} {:>9.4} {:>14.2} {:>14.2}   {:?}",
+            method.name(),
+            report.accuracy,
+            selection.ledger.simulated_seconds(&cost_model),
+            report.ledger.simulated_seconds(&cost_model),
+            chosen
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `vfps --help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}

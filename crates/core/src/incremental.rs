@@ -1,0 +1,292 @@
+//! Incremental consortium maintenance — an extension beyond the paper.
+//!
+//! Real consortia churn: a new data holder asks to join, an existing one
+//! leaves. Rerunning the full similarity phase costs a complete federated
+//! KNN pass; this module maintains the selection state incrementally:
+//!
+//! * **join** — the cached per-query neighbor sets `T` are reused: the new
+//!   participant only computes its own `d_T^p` sums over the cached `T`
+//!   (one local pass, `|Q|·k` distance evaluations, zero new federated
+//!   KNN runs). This is an approximation — adding a party shifts the true
+//!   joint-space neighbor sets — and the tests quantify it against a full
+//!   recompute.
+//! * **leave** — exact: the similarity matrix simply drops a row/column
+//!   (cached `T` keeps reflecting the original consortium, consistent
+//!   with the paper's similarity which always measures against the full
+//!   ground set).
+//!
+//! The submodular structure makes re-selection after either event a
+//! single greedy pass over the updated matrix.
+
+use crate::submodular::KnnSubmodular;
+use vfps_data::VerticalPartition;
+use vfps_ml::linalg::{squared_distance, Matrix};
+use vfps_vfl::fed_knn::QueryOutcome;
+
+/// Selection state that can absorb consortium changes.
+#[derive(Clone, Debug)]
+pub struct IncrementalConsortium {
+    /// Active party ids (indices into the partition).
+    parties: Vec<usize>,
+    /// Per-query cached neighbor sets (absolute row ids).
+    topk: Vec<Vec<usize>>,
+    /// Query rows, aligned with `topk`.
+    queries: Vec<usize>,
+    /// Per-query, per-active-party `d_T^p` (normalized per feature).
+    profiles: Vec<Vec<f64>>,
+}
+
+impl IncrementalConsortium {
+    /// Builds the state from the outcomes of an initial similarity phase.
+    ///
+    /// `outcomes[i]` must correspond to `queries[i]`, with `d_t` entries
+    /// aligned to `parties` and feature counts supplied for normalization.
+    ///
+    /// # Panics
+    /// Panics on inconsistent lengths.
+    #[must_use]
+    pub fn from_outcomes(
+        parties: &[usize],
+        partition: &VerticalPartition,
+        queries: &[usize],
+        outcomes: &[QueryOutcome],
+    ) -> Self {
+        assert_eq!(queries.len(), outcomes.len(), "one outcome per query");
+        assert!(!parties.is_empty(), "empty consortium");
+        let counts: Vec<f64> = parties
+            .iter()
+            .map(|&p| partition.columns(p).len() as f64)
+            .collect();
+        let profiles = outcomes
+            .iter()
+            .map(|o| {
+                assert_eq!(o.d_t.len(), parties.len(), "outcome arity");
+                o.d_t.iter().zip(&counts).map(|(&d, &c)| d / c).collect()
+            })
+            .collect();
+        IncrementalConsortium {
+            parties: parties.to_vec(),
+            topk: outcomes.iter().map(|o| o.topk_rows.clone()).collect(),
+            queries: queries.to_vec(),
+            profiles,
+        }
+    }
+
+    /// Active parties, in matrix order.
+    #[must_use]
+    pub fn parties(&self) -> &[usize] {
+        &self.parties
+    }
+
+    /// A new participant joins: computes its per-query profile over the
+    /// cached neighbor sets from its local features only.
+    ///
+    /// # Panics
+    /// Panics if the party is already active or out of the partition's
+    /// range.
+    pub fn join(&mut self, party: usize, x: &Matrix, partition: &VerticalPartition) {
+        assert!(!self.parties.contains(&party), "party {party} already active");
+        let cols = partition.columns(party);
+        let per_feature = cols.len() as f64;
+        for ((q, topk), profile) in self
+            .queries
+            .iter()
+            .zip(&self.topk)
+            .zip(self.profiles.iter_mut())
+        {
+            let qf: Vec<f64> = cols.iter().map(|&c| x.get(*q, c)).collect();
+            let d_t: f64 = topk
+                .iter()
+                .map(|&row| {
+                    let tf: Vec<f64> = cols.iter().map(|&c| x.get(row, c)).collect();
+                    squared_distance(&qf, &tf)
+                })
+                .sum();
+            profile.push(d_t / per_feature);
+        }
+        self.parties.push(party);
+    }
+
+    /// A participant leaves: drops its profile column (exact).
+    ///
+    /// # Panics
+    /// Panics if the party is not active or the consortium would become
+    /// empty.
+    pub fn leave(&mut self, party: usize) {
+        let idx = self
+            .parties
+            .iter()
+            .position(|&p| p == party)
+            .unwrap_or_else(|| panic!("party {party} not active"));
+        assert!(self.parties.len() > 1, "cannot empty the consortium");
+        self.parties.remove(idx);
+        for profile in &mut self.profiles {
+            profile.remove(idx);
+        }
+    }
+
+    /// The current similarity matrix over active parties.
+    #[must_use]
+    pub fn similarity_matrix(&self) -> Vec<Vec<f64>> {
+        let p = self.parties.len();
+        let mut sums = vec![vec![0.0f64; p]; p];
+        for profile in &self.profiles {
+            let total: f64 = profile.iter().sum();
+            for a in 0..p {
+                for b in 0..p {
+                    let w = if total > 0.0 {
+                        ((total - (profile[a] - profile[b]).abs()) / total).max(0.0)
+                    } else {
+                        1.0
+                    };
+                    sums[a][b] += w;
+                }
+            }
+        }
+        let q = self.profiles.len().max(1) as f64;
+        sums.iter()
+            .map(|row| row.iter().map(|v| v / q).collect())
+            .collect()
+    }
+
+    /// Greedy re-selection over the current matrix; returns party ids (not
+    /// matrix indices).
+    ///
+    /// # Panics
+    /// Panics if `count` exceeds the active consortium.
+    #[must_use]
+    pub fn select(&self, count: usize) -> Vec<usize> {
+        let f = KnnSubmodular::new(self.similarity_matrix());
+        f.greedy(count).into_iter().map(|i| self.parties[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfps_data::{prepared_sized, DatasetSpec};
+    use vfps_net::cost::OpLedger;
+    use vfps_vfl::fed_knn::{FedKnn, FedKnnConfig};
+
+    /// Shared setup: run the real similarity phase on a base consortium.
+    fn setup(
+        parties: &[usize],
+        seed: u64,
+    ) -> (
+        vfps_data::Dataset,
+        VerticalPartition,
+        Vec<usize>,
+        Vec<QueryOutcome>,
+    ) {
+        let spec = DatasetSpec::by_name("Rice").unwrap();
+        let (ds, split) = prepared_sized(&spec, 250, seed);
+        let partition = VerticalPartition::random(ds.n_features(), 4, seed);
+        let engine =
+            FedKnn::new(&ds.x, &partition, parties, &split.train, FedKnnConfig::default());
+        let mut ledger = OpLedger::default();
+        let queries: Vec<usize> = split.train.iter().copied().take(10).collect();
+        let outcomes: Vec<QueryOutcome> =
+            queries.iter().map(|&q| engine.query(q, &mut ledger)).collect();
+        (ds, partition, queries, outcomes)
+    }
+
+    #[test]
+    fn join_extends_the_matrix() {
+        let base = [0usize, 1, 2];
+        let (ds, partition, queries, outcomes) = setup(&base, 1);
+        let mut inc =
+            IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
+        assert_eq!(inc.similarity_matrix().len(), 3);
+        inc.join(3, &ds.x, &partition);
+        let w = inc.similarity_matrix();
+        assert_eq!(w.len(), 4);
+        for row in &w {
+            assert!(row.iter().all(|v| (0.0..=1.0 + 1e-9).contains(v)));
+        }
+        assert_eq!(inc.parties(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn join_approximates_full_recompute() {
+        // The incrementally-extended matrix should be close to the one a
+        // full 4-party similarity phase produces over the same queries.
+        let full = [0usize, 1, 2, 3];
+        let base = [0usize, 1, 2];
+        let (ds, partition, queries, base_outcomes) = setup(&base, 2);
+        let mut inc = IncrementalConsortium::from_outcomes(
+            &base,
+            &partition,
+            &queries,
+            &base_outcomes,
+        );
+        inc.join(3, &ds.x, &partition);
+
+        let (_, _, _, full_outcomes) = setup(&full, 2);
+        let oracle = IncrementalConsortium::from_outcomes(
+            &full,
+            &partition,
+            &queries,
+            &full_outcomes,
+        );
+        let wi = inc.similarity_matrix();
+        let wf = oracle.similarity_matrix();
+        let mut max_diff = 0.0f64;
+        for a in 0..4 {
+            for b in 0..4 {
+                max_diff = max_diff.max((wi[a][b] - wf[a][b]).abs());
+            }
+        }
+        assert!(max_diff < 0.15, "stale-T approximation error {max_diff}");
+    }
+
+    #[test]
+    fn leave_is_exact() {
+        let full = [0usize, 1, 2, 3];
+        let (_, partition, queries, outcomes) = setup(&full, 3);
+        let mut inc =
+            IncrementalConsortium::from_outcomes(&full, &partition, &queries, &outcomes);
+        inc.leave(1);
+        assert_eq!(inc.parties(), &[0, 2, 3]);
+        let w3 = inc.similarity_matrix();
+        // Compare with the matrix built from the same outcomes restricted
+        // to the surviving parties' profile columns.
+        let survivors = [0usize, 2, 3];
+        let mut restricted = IncrementalConsortium::from_outcomes(
+            &full,
+            &partition,
+            &queries,
+            &outcomes,
+        );
+        restricted.leave(1);
+        let w_oracle = restricted.similarity_matrix();
+        for a in 0..survivors.len() {
+            for b in 0..survivors.len() {
+                assert!((w3[a][b] - w_oracle[a][b]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn select_returns_party_ids_after_churn() {
+        let base = [0usize, 1, 2];
+        let (ds, partition, queries, outcomes) = setup(&base, 4);
+        let mut inc =
+            IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
+        inc.join(3, &ds.x, &partition);
+        inc.leave(0);
+        let chosen = inc.select(2);
+        assert_eq!(chosen.len(), 2);
+        assert!(chosen.iter().all(|p| [1, 2, 3].contains(p)));
+        assert!(!chosen.contains(&0), "departed party must not be selected");
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn double_join_rejected() {
+        let base = [0usize, 1, 2];
+        let (ds, partition, queries, outcomes) = setup(&base, 5);
+        let mut inc =
+            IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
+        inc.join(1, &ds.x, &partition);
+    }
+}

@@ -1,0 +1,186 @@
+//! The participant similarity measure (paper §III-A).
+//!
+//! For each query `q` with federated top-k set `T`, participant `p`'s
+//! aggregated partial distance is `d_T^p`; the per-query similarity is
+//!
+//! ```text
+//! w_q(p, s) = (d_T − |d_T^p − d_T^s|) / d_T        (≥ 0)
+//! ```
+//!
+//! and `w(p, s)` averages over the query set. Participants whose local
+//! geometry agrees (similar contributions to the same neighbor set) score
+//! close to 1; divergent feature spaces score lower.
+
+use vfps_vfl::fed_knn::QueryOutcome;
+
+/// Accumulates per-query `d_T^p` vectors into the `P × P` similarity
+/// matrix.
+///
+/// **Implementation note.** `d_T^p` is a sum over participant `p`'s local
+/// features, so it scales with the party's feature count. The paper's
+/// datasets have `F ≫ P`, where random near-equal splits make this
+/// immaterial; for small-`F` datasets (Rice: 10 features over 4 parties)
+/// the raw scalar would mostly measure partition *size*. The accumulator
+/// therefore compares per-feature-normalized profiles when feature counts
+/// are supplied via [`SimilarityAccumulator::with_feature_counts`] —
+/// identical structure to the paper's measure, invariant to the count
+/// artifact (see DESIGN.md §3).
+#[derive(Clone, Debug)]
+pub struct SimilarityAccumulator {
+    parties: usize,
+    sums: Vec<Vec<f64>>,
+    queries: usize,
+    feature_counts: Option<Vec<usize>>,
+}
+
+impl SimilarityAccumulator {
+    /// Creates an accumulator for `parties` participants.
+    ///
+    /// # Panics
+    /// Panics for an empty consortium.
+    #[must_use]
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "need at least one participant");
+        SimilarityAccumulator {
+            parties,
+            sums: vec![vec![0.0; parties]; parties],
+            queries: 0,
+            feature_counts: None,
+        }
+    }
+
+    /// Enables per-feature normalization of the `d_T^p` profiles.
+    ///
+    /// # Panics
+    /// Panics when the count vector has the wrong length or zero entries.
+    #[must_use]
+    pub fn with_feature_counts(mut self, counts: Vec<usize>) -> Self {
+        assert_eq!(counts.len(), self.parties, "one count per participant");
+        assert!(counts.iter().all(|&c| c > 0), "zero-width participant");
+        self.feature_counts = Some(counts);
+        self
+    }
+
+    /// Adds one query's outcome.
+    ///
+    /// Queries with `d_T = 0` (all selected neighbors identical to the
+    /// query in every feature) contribute full similarity for every pair —
+    /// no distance signal means no evidence of divergence.
+    ///
+    /// # Panics
+    /// Panics if the outcome's party count disagrees.
+    pub fn add_query(&mut self, outcome: &QueryOutcome) {
+        assert_eq!(outcome.d_t.len(), self.parties, "party count mismatch");
+        self.queries += 1;
+        let profile: Vec<f64> = match &self.feature_counts {
+            None => outcome.d_t.clone(),
+            Some(counts) => outcome
+                .d_t
+                .iter()
+                .zip(counts)
+                .map(|(&d, &c)| d / c as f64)
+                .collect(),
+        };
+        let total: f64 = profile.iter().sum();
+        for p in 0..self.parties {
+            for s in 0..self.parties {
+                let w = if total > 0.0 {
+                    ((total - (profile[p] - profile[s]).abs()) / total).max(0.0)
+                } else {
+                    1.0
+                };
+                self.sums[p][s] += w;
+            }
+        }
+    }
+
+    /// Number of queries accumulated.
+    #[must_use]
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// The averaged similarity matrix `w(p, s)`.
+    ///
+    /// # Panics
+    /// Panics when no queries were accumulated.
+    #[must_use]
+    pub fn finish(&self) -> Vec<Vec<f64>> {
+        assert!(self.queries > 0, "no queries accumulated");
+        self.sums
+            .iter()
+            .map(|row| row.iter().map(|v| v / self.queries as f64).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(d_t: Vec<f64>) -> QueryOutcome {
+        let d_t_total = d_t.iter().sum();
+        QueryOutcome { topk_rows: vec![], d_t, d_t_total, candidates: 0 }
+    }
+
+    #[test]
+    fn identical_contributions_score_one() {
+        let mut acc = SimilarityAccumulator::new(3);
+        acc.add_query(&outcome(vec![2.0, 2.0, 2.0]));
+        let w = acc.finish();
+        for p in 0..3 {
+            for s in 0..3 {
+                assert!((w[p][s] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn divergent_contributions_score_lower() {
+        let mut acc = SimilarityAccumulator::new(2);
+        acc.add_query(&outcome(vec![9.0, 1.0]));
+        let w = acc.finish();
+        // |9-1| = 8, total 10 → w = 0.2 off-diagonal, 1.0 on-diagonal.
+        assert!((w[0][1] - 0.2).abs() < 1e-12);
+        assert!((w[0][0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let mut acc = SimilarityAccumulator::new(4);
+        acc.add_query(&outcome(vec![1.0, 3.0, 0.5, 2.5]));
+        acc.add_query(&outcome(vec![0.1, 0.2, 0.3, 0.4]));
+        let w = acc.finish();
+        for p in 0..4 {
+            assert!((w[p][p] - 1.0).abs() < 1e-12, "diagonal");
+            for s in 0..4 {
+                assert!((w[p][s] - w[s][p]).abs() < 1e-12, "symmetry");
+                assert!((0.0..=1.0 + 1e-12).contains(&w[p][s]), "range");
+            }
+        }
+    }
+
+    #[test]
+    fn averaging_over_queries() {
+        let mut acc = SimilarityAccumulator::new(2);
+        acc.add_query(&outcome(vec![1.0, 1.0])); // w01 = 1.0
+        acc.add_query(&outcome(vec![3.0, 1.0])); // w01 = (4-2)/4 = 0.5
+        let w = acc.finish();
+        assert!((w[0][1] - 0.75).abs() < 1e-12);
+        assert_eq!(acc.queries(), 2);
+    }
+
+    #[test]
+    fn zero_total_distance_counts_as_full_similarity() {
+        let mut acc = SimilarityAccumulator::new(2);
+        acc.add_query(&outcome(vec![0.0, 0.0]));
+        let w = acc.finish();
+        assert_eq!(w[0][1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no queries")]
+    fn finish_requires_queries() {
+        let _ = SimilarityAccumulator::new(2).finish();
+    }
+}

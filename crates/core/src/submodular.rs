@@ -1,0 +1,542 @@
+//! The KNN submodular function and its maximizers.
+//!
+//! `f(S) = Σ_{p∈P} max_{s∈S} w(p, s)` over a non-negative similarity matrix
+//! `w` is a facility-location function: normalized (`f(∅) = 0`), monotone,
+//! and submodular (paper Theorem 1). The greedy maximizer therefore enjoys
+//! the classic `1 − 1/e` guarantee (Nemhauser et al., 1978); the lazy
+//! variant exploits that marginal gains only shrink.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The facility-location objective over a participant-similarity matrix.
+#[derive(Clone, Debug)]
+pub struct KnnSubmodular {
+    w: Vec<Vec<f64>>,
+}
+
+impl KnnSubmodular {
+    /// Wraps a square, non-negative similarity matrix `w[p][s]`.
+    ///
+    /// # Panics
+    /// Panics on a non-square or negative matrix.
+    #[must_use]
+    pub fn new(w: Vec<Vec<f64>>) -> Self {
+        let n = w.len();
+        assert!(w.iter().all(|row| row.len() == n), "similarity matrix must be square");
+        assert!(
+            w.iter().flatten().all(|&v| v >= 0.0 && v.is_finite()),
+            "similarities must be finite and non-negative"
+        );
+        KnnSubmodular { w }
+    }
+
+    /// Ground-set size.
+    #[must_use]
+    pub fn ground_size(&self) -> usize {
+        self.w.len()
+    }
+
+    /// The raw similarity `w(p, s)`.
+    #[must_use]
+    pub fn similarity(&self, p: usize, s: usize) -> f64 {
+        self.w[p][s]
+    }
+
+    /// Evaluates `f(S)`.
+    #[must_use]
+    pub fn eval(&self, subset: &[usize]) -> f64 {
+        if subset.is_empty() {
+            return 0.0;
+        }
+        self.w
+            .iter()
+            .map(|row| {
+                subset
+                    .iter()
+                    .map(|&s| row[s])
+                    .fold(f64::NEG_INFINITY, f64::max)
+            })
+            .sum()
+    }
+
+    /// Marginal gain `f(S ∪ {v}) − f(S)` given the running per-`p` maxima
+    /// `best[p] = max_{s∈S} w(p, s)` (use `0.0` for the empty set).
+    #[must_use]
+    pub fn gain(&self, best: &[f64], v: usize) -> f64 {
+        self.w
+            .iter()
+            .zip(best)
+            .map(|(row, &b)| (row[v] - b).max(0.0))
+            .sum()
+    }
+
+    /// Greedy maximization: repeatedly add the element with the largest
+    /// marginal gain until `size` elements are chosen. Ties break toward
+    /// the smaller index. Returns the chosen set in selection order.
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set.
+    #[must_use]
+    pub fn greedy(&self, size: usize) -> Vec<usize> {
+        let n = self.ground_size();
+        assert!(size <= n, "cannot select {size} of {n}");
+        let mut chosen = Vec::with_capacity(size);
+        let mut in_set = vec![false; n];
+        let mut best = vec![0.0f64; n];
+        for _ in 0..size {
+            let mut top: Option<(usize, f64)> = None;
+            for v in 0..n {
+                if in_set[v] {
+                    continue;
+                }
+                let g = self.gain(&best, v);
+                let better = match top {
+                    None => true,
+                    Some((_, tg)) => g > tg + 1e-15,
+                };
+                if better {
+                    top = Some((v, g));
+                }
+            }
+            let (v, _) = top.expect("ground set not exhausted");
+            in_set[v] = true;
+            chosen.push(v);
+            for p in 0..n {
+                best[p] = best[p].max(self.w[p][v]);
+            }
+        }
+        chosen
+    }
+
+    /// Lazy greedy ("accelerated greedy", Minoux 1978): keeps stale gains
+    /// in a max-heap and only re-evaluates the top — valid because
+    /// submodularity guarantees gains never grow. Returns the same set as
+    /// [`KnnSubmodular::greedy`] up to ties.
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set.
+    #[must_use]
+    pub fn lazy_greedy(&self, size: usize) -> (Vec<usize>, usize) {
+        #[derive(PartialEq)]
+        struct Entry {
+            gain: f64,
+            v: usize,
+            round: usize,
+        }
+        impl Eq for Entry {}
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.gain
+                    .total_cmp(&other.gain)
+                    .then(other.v.cmp(&self.v))
+            }
+        }
+
+        let n = self.ground_size();
+        assert!(size <= n, "cannot select {size} of {n}");
+        let mut best = vec![0.0f64; n];
+        let mut chosen = Vec::with_capacity(size);
+        let mut evaluations = 0usize;
+        let mut heap: BinaryHeap<Entry> = (0..n)
+            .map(|v| {
+                evaluations += 1;
+                Entry { gain: self.gain(&best, v), v, round: 0 }
+            })
+            .collect();
+        let mut round = 0usize;
+        while chosen.len() < size {
+            let top = heap.pop().expect("heap never empties before size reached");
+            if top.round == round {
+                chosen.push(top.v);
+                round += 1;
+                for p in 0..n {
+                    best[p] = best[p].max(self.w[p][top.v]);
+                }
+            } else {
+                evaluations += 1;
+                let fresh = self.gain(&best, top.v);
+                heap.push(Entry { gain: fresh, v: top.v, round });
+            }
+        }
+        (chosen, evaluations)
+    }
+
+    /// Stochastic greedy (Mirzasoleiman et al., AAAI 2015 — "Lazier than
+    /// lazy greedy", cited by the paper): each step evaluates only a
+    /// random sample of `⌈(n/size)·ln(1/ε)⌉` candidates, achieving a
+    /// `1 − 1/e − ε` guarantee in expectation with `O(n·ln(1/ε))` total
+    /// evaluations. Returns the chosen set and the evaluation count.
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set or `epsilon` is not in
+    /// `(0, 1)`.
+    pub fn stochastic_greedy<R: rand::Rng + ?Sized>(
+        &self,
+        size: usize,
+        epsilon: f64,
+        rng: &mut R,
+    ) -> (Vec<usize>, usize) {
+        let n = self.ground_size();
+        assert!(size <= n, "cannot select {size} of {n}");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        let sample_size = if size == 0 {
+            0
+        } else {
+            (((n as f64 / size as f64) * (1.0 / epsilon).ln()).ceil() as usize).clamp(1, n)
+        };
+        let mut chosen = Vec::with_capacity(size);
+        let mut in_set = vec![false; n];
+        let mut best = vec![0.0f64; n];
+        let mut evaluations = 0usize;
+        for _ in 0..size {
+            // Sample candidates without replacement from the remainder.
+            let remaining: Vec<usize> = (0..n).filter(|&v| !in_set[v]).collect();
+            let mut pool = remaining.clone();
+            let take = sample_size.min(pool.len());
+            // Partial Fisher–Yates for the sample.
+            for i in 0..take {
+                let j = i + rng.gen_range(0..pool.len() - i);
+                pool.swap(i, j);
+            }
+            let mut top: Option<(usize, f64)> = None;
+            for &v in &pool[..take] {
+                evaluations += 1;
+                let g = self.gain(&best, v);
+                let better = match top {
+                    None => true,
+                    Some((tv, tg)) => g > tg + 1e-15 || (g >= tg - 1e-15 && v < tv),
+                };
+                if better {
+                    top = Some((v, g));
+                }
+            }
+            let (v, _) = top.expect("sample is non-empty");
+            in_set[v] = true;
+            chosen.push(v);
+            for p in 0..n {
+                best[p] = best[p].max(self.w[p][v]);
+            }
+        }
+        (chosen, evaluations)
+    }
+
+    /// Budgeted (knapsack-constrained) greedy: maximize `f(S)` subject to
+    /// `Σ cost(s) ≤ budget` — the natural generalization of the paper's
+    /// cardinality constraint when participants charge different prices
+    /// for joining (paper §I motivation ②, the reward system).
+    ///
+    /// Runs the classic cost-benefit greedy (pick the element with the
+    /// best gain/cost ratio that still fits) and also considers the best
+    /// single affordable element, which restores a constant-factor
+    /// guarantee (Leskovec et al. 2007: `(1−1/e)/2` with the max of the
+    /// two).
+    ///
+    /// # Panics
+    /// Panics on negative costs or a cost vector of the wrong length.
+    #[must_use]
+    pub fn budgeted_greedy(&self, costs: &[f64], budget: f64) -> Vec<usize> {
+        let n = self.ground_size();
+        assert_eq!(costs.len(), n, "one cost per element");
+        assert!(costs.iter().all(|&c| c >= 0.0), "costs must be non-negative");
+
+        // Cost-benefit greedy.
+        let mut chosen = Vec::new();
+        let mut in_set = vec![false; n];
+        let mut best = vec![0.0f64; n];
+        let mut spent = 0.0;
+        loop {
+            let mut top: Option<(usize, f64)> = None;
+            for v in 0..n {
+                if in_set[v] || spent + costs[v] > budget {
+                    continue;
+                }
+                let ratio = if costs[v] > 0.0 {
+                    self.gain(&best, v) / costs[v]
+                } else {
+                    f64::INFINITY
+                };
+                let better = match top {
+                    None => true,
+                    Some((tv, tr)) => {
+                        ratio > tr + 1e-15 || (ratio >= tr - 1e-15 && v < tv)
+                    }
+                };
+                if better {
+                    top = Some((v, ratio));
+                }
+            }
+            let Some((v, _)) = top else { break };
+            in_set[v] = true;
+            chosen.push(v);
+            spent += costs[v];
+            for p in 0..n {
+                best[p] = best[p].max(self.w[p][v]);
+            }
+        }
+
+        // Guard: the single best affordable element can beat the ratio
+        // greedy on adversarial costs.
+        let single = (0..n)
+            .filter(|&v| costs[v] <= budget)
+            .max_by(|&a, &b| {
+                self.eval(&[a]).total_cmp(&self.eval(&[b])).then(b.cmp(&a))
+            });
+        match single {
+            Some(s) if self.eval(&[s]) > self.eval(&chosen) => vec![s],
+            _ => chosen,
+        }
+    }
+
+    /// Exhaustive maximization (test oracle; exponential).
+    ///
+    /// # Panics
+    /// Panics if the ground set exceeds 20 elements.
+    #[must_use]
+    pub fn brute_force(&self, size: usize) -> (Vec<usize>, f64) {
+        let n = self.ground_size();
+        assert!(n <= 20, "brute force limited to 20 elements");
+        let mut best: Option<(Vec<usize>, f64)> = None;
+        for mask in 0u32..(1 << n) {
+            if mask.count_ones() as usize != size {
+                continue;
+            }
+            let subset: Vec<usize> = (0..n).filter(|&i| mask >> i & 1 == 1).collect();
+            let v = self.eval(&subset);
+            if best.as_ref().map(|(_, bv)| v > *bv).unwrap_or(true) {
+                best = Some((subset, v));
+            }
+        }
+        best.expect("at least one subset of the requested size")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KnnSubmodular {
+        // 4 participants; 0 and 1 are near-duplicates, 2 is diverse,
+        // 3 is mediocre.
+        KnnSubmodular::new(vec![
+            vec![1.00, 0.95, 0.20, 0.40],
+            vec![0.95, 1.00, 0.25, 0.45],
+            vec![0.20, 0.25, 1.00, 0.30],
+            vec![0.40, 0.45, 0.30, 1.00],
+        ])
+    }
+
+    #[test]
+    fn normalized_and_monotone() {
+        let f = toy();
+        assert_eq!(f.eval(&[]), 0.0);
+        let mut prev = 0.0;
+        let mut set = Vec::new();
+        for v in 0..4 {
+            set.push(v);
+            let cur = f.eval(&set);
+            assert!(cur >= prev - 1e-12, "monotone violated at {v}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn submodularity_on_all_chains() {
+        // f(A ∪ v) - f(A) >= f(B ∪ v) - f(B) for all A ⊆ B, v ∉ B.
+        let f = toy();
+        let n = 4;
+        for a_mask in 0u32..(1 << n) {
+            for b_mask in 0u32..(1 << n) {
+                if a_mask & b_mask != a_mask {
+                    continue; // A not subset of B
+                }
+                for v in 0..n {
+                    if b_mask >> v & 1 == 1 {
+                        continue;
+                    }
+                    let set = |m: u32| -> Vec<usize> {
+                        (0..n).filter(|&i| m >> i & 1 == 1).collect()
+                    };
+                    let (a, b) = (set(a_mask), set(b_mask));
+                    let mut av = a.clone();
+                    av.push(v);
+                    let mut bv = b.clone();
+                    bv.push(v);
+                    let ga = f.eval(&av) - f.eval(&a);
+                    let gb = f.eval(&bv) - f.eval(&b);
+                    assert!(ga >= gb - 1e-12, "A={a:?} B={b:?} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_prefers_diversity_over_duplicates() {
+        let f = toy();
+        let chosen = f.greedy(2);
+        // Best pair must include the diverse participant 2, not the
+        // duplicate pair {0, 1}.
+        assert!(chosen.contains(&2), "chosen={chosen:?}");
+        assert!(!(chosen.contains(&0) && chosen.contains(&1)));
+    }
+
+    #[test]
+    fn greedy_matches_lazy_greedy() {
+        let f = toy();
+        for size in 1..=4 {
+            let g = f.greedy(size);
+            let (lz, evals) = f.lazy_greedy(size);
+            assert_eq!(g, lz, "size {size}");
+            assert!(evals >= f.ground_size());
+        }
+    }
+
+    #[test]
+    fn greedy_achieves_approximation_bound() {
+        let f = toy();
+        for size in 1..=3 {
+            let greedy_val = f.eval(&f.greedy(size));
+            let (_, opt) = f.brute_force(size);
+            assert!(
+                greedy_val >= (1.0 - 1.0 / std::f64::consts::E) * opt - 1e-12,
+                "size {size}: {greedy_val} vs opt {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_greedy_respects_the_budget() {
+        let f = toy();
+        let costs = [1.0, 1.0, 2.0, 1.5];
+        for budget in [0.5f64, 1.0, 2.5, 10.0] {
+            let chosen = f.budgeted_greedy(&costs, budget);
+            let spent: f64 = chosen.iter().map(|&c| costs[c]).sum();
+            assert!(spent <= budget + 1e-12, "budget {budget}: spent {spent}");
+        }
+        // Unlimited budget: everything gets selected.
+        assert_eq!(f.budgeted_greedy(&costs, 100.0).len(), 4);
+        // Unaffordable: nothing.
+        assert!(f.budgeted_greedy(&costs, 0.1).is_empty());
+    }
+
+    #[test]
+    fn budgeted_greedy_prefers_cheap_diverse_elements() {
+        let f = toy();
+        // The diverse participant 2 is cheap; the duplicate pair is pricey.
+        let costs = [3.0, 3.0, 1.0, 1.0];
+        let chosen = f.budgeted_greedy(&costs, 2.0);
+        assert!(chosen.contains(&2), "chosen={chosen:?}");
+        assert!(!chosen.contains(&0) && !chosen.contains(&1));
+    }
+
+    #[test]
+    fn budgeted_greedy_single_element_guard() {
+        // One expensive element dominates; ratio greedy alone would burn
+        // the budget on cheap weak ones.
+        let f = KnnSubmodular::new(vec![
+            vec![1.00, 0.05, 0.05],
+            vec![0.05, 0.10, 0.05],
+            vec![0.05, 0.05, 0.10],
+        ]);
+        let costs = [10.0, 1.0, 1.0];
+        let chosen = f.budgeted_greedy(&costs, 10.0);
+        assert_eq!(chosen, vec![0], "the single strong element wins: {chosen:?}");
+    }
+
+    #[test]
+    fn budgeted_matches_greedy_with_unit_costs() {
+        let f = toy();
+        let unit = [1.0; 4];
+        for k in 1..=4usize {
+            let a = {
+                let mut v = f.budgeted_greedy(&unit, k as f64);
+                v.sort_unstable();
+                v
+            };
+            let mut b = f.greedy(k);
+            b.sort_unstable();
+            assert_eq!(a, b, "k={k}");
+        }
+    }
+
+    #[test]
+    fn stochastic_greedy_is_near_optimal() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let f = toy();
+        let mut rng = StdRng::seed_from_u64(1);
+        for size in 1..=3 {
+            let (_, opt) = f.brute_force(size);
+            // Average over repeated runs: the guarantee is in expectation.
+            let mut total = 0.0;
+            let reps = 20;
+            for _ in 0..reps {
+                let (set, _) = f.stochastic_greedy(size, 0.1, &mut rng);
+                total += f.eval(&set);
+            }
+            let avg = total / f64::from(reps);
+            let bound = (1.0 - 1.0 / std::f64::consts::E - 0.1) * opt;
+            assert!(avg >= bound, "size {size}: avg {avg} < bound {bound}");
+        }
+    }
+
+    #[test]
+    fn stochastic_greedy_saves_evaluations_at_scale() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Bigger random instance: stochastic greedy must evaluate fewer
+        // candidates than plain greedy's size * n.
+        let n = 60;
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut w = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            w[i][i] = 1.0;
+            for j in 0..i {
+                let v: f64 = rng.gen_range(0.0..1.0);
+                w[i][j] = v;
+                w[j][i] = v;
+            }
+        }
+        let f = KnnSubmodular::new(w);
+        let size = 20;
+        let (set, evals) = f.stochastic_greedy(size, 0.2, &mut rng);
+        assert_eq!(set.len(), size);
+        assert!(evals < size * n, "evals {evals} vs greedy's {}", size * n);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn stochastic_greedy_rejects_bad_epsilon() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let f = toy();
+        let _ = f.stochastic_greedy(2, 1.5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn gain_is_consistent_with_eval() {
+        let f = toy();
+        let best: Vec<f64> = (0..4).map(|p| f.similarity(p, 1)).collect();
+        for v in [0usize, 2, 3] {
+            let direct = f.eval(&[1, v]) - f.eval(&[1]);
+            assert!((f.gain(&best, v) - direct).abs() < 1e-12, "v={v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_ragged_matrix() {
+        let _ = KnnSubmodular::new(vec![vec![1.0, 2.0], vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_similarity() {
+        let _ = KnnSubmodular::new(vec![vec![1.0, -0.1], vec![0.1, 1.0]]);
+    }
+}

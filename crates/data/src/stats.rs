@@ -1,0 +1,222 @@
+//! Dataset diagnostics: the summary a consortium operator inspects before
+//! running selection — per-feature moments, class balance, and per-party
+//! profile summaries.
+
+use crate::dataset::Dataset;
+use crate::partition::VerticalPartition;
+
+/// Per-feature summary statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureStats {
+    /// Column index.
+    pub index: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (population).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Whole-dataset summary.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Instance count.
+    pub instances: usize,
+    /// Feature count.
+    pub features: usize,
+    /// Per-class instance counts.
+    pub class_counts: Vec<usize>,
+    /// Per-feature summaries.
+    pub feature_stats: Vec<FeatureStats>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over the whole dataset.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset.
+    #[must_use]
+    pub fn compute(ds: &Dataset) -> DatasetStats {
+        assert!(!ds.is_empty(), "empty dataset");
+        let n = ds.len();
+        let f = ds.n_features();
+        let mut class_counts = vec![0usize; ds.n_classes];
+        for &y in &ds.y {
+            class_counts[y] += 1;
+        }
+        let mut feature_stats = Vec::with_capacity(f);
+        for c in 0..f {
+            let mut sum = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for r in 0..n {
+                let v = ds.x.get(r, c);
+                sum += v;
+                min = min.min(v);
+                max = max.max(v);
+            }
+            let mean = sum / n as f64;
+            let var = (0..n).map(|r| (ds.x.get(r, c) - mean).powi(2)).sum::<f64>()
+                / n as f64;
+            feature_stats.push(FeatureStats { index: c, mean, std: var.sqrt(), min, max });
+        }
+        DatasetStats { instances: n, features: f, class_counts, feature_stats }
+    }
+
+    /// Majority-class fraction — the accuracy a constant classifier gets,
+    /// i.e. the floor every reported accuracy should clear.
+    #[must_use]
+    pub fn majority_fraction(&self) -> f64 {
+        let max = self.class_counts.iter().copied().max().unwrap_or(0);
+        max as f64 / self.instances.max(1) as f64
+    }
+
+    /// Fisher-style per-feature class separation: `|μ₀ − μ₁| / (σ₀ + σ₁)`
+    /// for binary datasets (empty for multi-class).
+    #[must_use]
+    pub fn class_separation(ds: &Dataset) -> Vec<f64> {
+        if ds.n_classes != 2 || ds.is_empty() {
+            return Vec::new();
+        }
+        let idx0: Vec<usize> =
+            (0..ds.len()).filter(|&r| ds.y[r] == 0).collect();
+        let idx1: Vec<usize> =
+            (0..ds.len()).filter(|&r| ds.y[r] == 1).collect();
+        if idx0.is_empty() || idx1.is_empty() {
+            return vec![0.0; ds.n_features()];
+        }
+        let moments = |rows: &[usize], c: usize| -> (f64, f64) {
+            let mean =
+                rows.iter().map(|&r| ds.x.get(r, c)).sum::<f64>() / rows.len() as f64;
+            let var = rows
+                .iter()
+                .map(|&r| (ds.x.get(r, c) - mean).powi(2))
+                .sum::<f64>()
+                / rows.len() as f64;
+            (mean, var.sqrt())
+        };
+        (0..ds.n_features())
+            .map(|c| {
+                let (m0, s0) = moments(&idx0, c);
+                let (m1, s1) = moments(&idx1, c);
+                (m0 - m1).abs() / (s0 + s1).max(1e-12)
+            })
+            .collect()
+    }
+}
+
+/// Per-party profile: how much of the dataset's class signal a vertical
+/// partition holds.
+#[derive(Clone, Debug)]
+pub struct PartyProfile {
+    /// Participant id.
+    pub party: usize,
+    /// Feature count held.
+    pub features: usize,
+    /// Mean per-feature Fisher separation (0 for multi-class datasets).
+    pub mean_separation: f64,
+    /// Best single-feature separation.
+    pub max_separation: f64,
+}
+
+/// Profiles every participant of a partition.
+#[must_use]
+pub fn party_profiles(ds: &Dataset, partition: &VerticalPartition) -> Vec<PartyProfile> {
+    let sep = DatasetStats::class_separation(ds);
+    (0..partition.parties())
+        .map(|p| {
+            let cols = partition.columns(p);
+            let seps: Vec<f64> = cols
+                .iter()
+                .filter_map(|&c| sep.get(c).copied())
+                .collect();
+            let mean_separation = if seps.is_empty() {
+                0.0
+            } else {
+                seps.iter().sum::<f64>() / seps.len() as f64
+            };
+            let max_separation = seps.iter().copied().fold(0.0, f64::max);
+            PartyProfile { party: p, features: cols.len(), mean_separation, max_separation }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::FeatureKind;
+    use vfps_ml::linalg::Matrix;
+
+    fn toy() -> Dataset {
+        // Feature 0 separates classes; feature 1 does not.
+        let x = Matrix::from_rows(&[
+            vec![-2.0, 0.5],
+            vec![-2.2, -0.5],
+            vec![-1.8, 0.0],
+            vec![2.0, 0.4],
+            vec![2.1, -0.4],
+            vec![1.9, 0.1],
+        ]);
+        Dataset {
+            x,
+            y: vec![0, 0, 0, 1, 1, 1],
+            n_classes: 2,
+            feature_kinds: vec![FeatureKind::Informative, FeatureKind::Noise],
+            name: "toy".into(),
+        }
+    }
+
+    #[test]
+    fn stats_basics() {
+        let ds = toy();
+        let stats = DatasetStats::compute(&ds);
+        assert_eq!(stats.instances, 6);
+        assert_eq!(stats.features, 2);
+        assert_eq!(stats.class_counts, vec![3, 3]);
+        assert!((stats.majority_fraction() - 0.5).abs() < 1e-12);
+        let f0 = &stats.feature_stats[0];
+        assert!((f0.mean - 0.0).abs() < 1e-9);
+        assert_eq!(f0.min, -2.2);
+        assert_eq!(f0.max, 2.1);
+        assert!(f0.std > 1.5);
+    }
+
+    #[test]
+    fn separation_identifies_the_informative_feature() {
+        let ds = toy();
+        let sep = DatasetStats::class_separation(&ds);
+        assert!(sep[0] > 5.0, "informative separation {}", sep[0]);
+        assert!(sep[1] < 1.0, "noise separation {}", sep[1]);
+    }
+
+    #[test]
+    fn party_profiles_rank_partitions() {
+        let ds = toy();
+        let partition =
+            VerticalPartition::from_groups(2, vec![vec![0], vec![1]]);
+        let profiles = party_profiles(&ds, &partition);
+        assert_eq!(profiles.len(), 2);
+        assert!(profiles[0].mean_separation > profiles[1].mean_separation);
+        assert_eq!(profiles[0].features, 1);
+    }
+
+    #[test]
+    fn multiclass_separation_is_empty() {
+        let mut ds = toy();
+        ds.n_classes = 3;
+        assert!(DatasetStats::class_separation(&ds).is_empty());
+    }
+
+    #[test]
+    fn single_class_is_safe() {
+        let mut ds = toy();
+        ds.y = vec![0; 6];
+        let sep = DatasetStats::class_separation(&ds);
+        assert_eq!(sep, vec![0.0, 0.0]);
+        let stats = DatasetStats::compute(&ds);
+        assert_eq!(stats.majority_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! CKKS canonical-embedding codec.
+//!
+//! A real-coefficient polynomial `m(X)` of degree `< n` is identified with
+//! its evaluations at the odd powers of the primitive 2n-th complex root of
+//! unity `ζ = e^{iπ/n}`. Because the coefficients are real, the evaluations
+//! come in conjugate pairs, so `n/2` independent complex *slots* remain.
+//!
+//! Writing `ζ^{2j+1} = ζ · ω^j` with `ω = e^{2iπ/n}`, evaluation at all slot
+//! points is an FFT of the ζ-twisted coefficient sequence — so both encode
+//! and decode run in `O(n log n)`.
+
+use super::fft::{fft_in_place, Complex};
+use crate::error::{Error, Result};
+use std::f64::consts::PI;
+
+/// Encoder/decoder between real vectors and scaled integer coefficient
+/// vectors for ring degree `n`.
+#[derive(Clone, Debug)]
+pub struct CkksEncoder {
+    n: usize,
+    scale: f64,
+    /// `ζ^k` for `k in 0..n`.
+    twist: Vec<Complex>,
+    /// `ζ^{-k}` for `k in 0..n`.
+    untwist: Vec<Complex>,
+}
+
+impl CkksEncoder {
+    /// Creates an encoder for ring degree `n` (power of two ≥ 4) and the
+    /// given scale `Δ`.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidParameters`] for a bad degree or scale.
+    pub fn new(n: usize, scale: f64) -> Result<Self> {
+        if !n.is_power_of_two() || n < 4 {
+            return Err(Error::InvalidParameters(format!(
+                "ring degree {n} must be a power of two >= 4"
+            )));
+        }
+        if !(scale.is_finite() && scale >= 1.0) {
+            return Err(Error::InvalidParameters(format!("scale {scale} must be >= 1")));
+        }
+        let twist: Vec<Complex> =
+            (0..n).map(|k| Complex::from_angle(PI * k as f64 / n as f64)).collect();
+        let untwist: Vec<Complex> =
+            (0..n).map(|k| Complex::from_angle(-PI * k as f64 / n as f64)).collect();
+        Ok(CkksEncoder { n, scale, twist, untwist })
+    }
+
+    /// Number of complex slots (`n/2`); real workloads use one real per slot.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.n / 2
+    }
+
+    /// The scale `Δ`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Encodes up to `slots()` reals into scaled integer coefficients
+    /// (length `n`, centered representation).
+    ///
+    /// # Errors
+    /// Returns [`Error::TooManySlots`] if `values` exceeds the slot count.
+    pub fn encode(&self, values: &[f64]) -> Result<Vec<i64>> {
+        if values.len() > self.slots() {
+            return Err(Error::TooManySlots { got: values.len(), max: self.slots() });
+        }
+        let n = self.n;
+        let mut v = vec![Complex::default(); n];
+        for (j, &x) in values.iter().enumerate() {
+            let z = Complex::new(x, 0.0);
+            v[j] = z;
+            v[n - 1 - j] = z.conj();
+        }
+        // Unused slots stay zero (and their conjugate mirrors too).
+        //
+        // Slot j is the evaluation at ζ^{2j+1}; with the conjugate symmetry
+        // v[n-1-j] = conj(v[j]) the inverse transform below yields *real*
+        // coefficients (imaginary parts vanish up to rounding).
+        fft_in_place(&mut v, false);
+        let inv_n = 1.0 / n as f64;
+        let mut out = Vec::with_capacity(n);
+        for (k, c) in v.into_iter().enumerate() {
+            let coeff = c.scale(inv_n).mul(self.untwist[k]);
+            out.push((coeff.re * self.scale).round() as i64);
+        }
+        Ok(out)
+    }
+
+    /// Decodes `count` reals from scaled integer coefficients.
+    #[must_use]
+    pub fn decode(&self, coeffs: &[i64], count: usize) -> Vec<f64> {
+        debug_assert_eq!(coeffs.len(), self.n);
+        let mut v: Vec<Complex> = coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| self.twist[k].scale(c as f64))
+            .collect();
+        // Inverse of the encode transform: sign +1; `fft_in_place` also
+        // divides by n, so undo that to get plain evaluations.
+        fft_in_place(&mut v, true);
+        let n = self.n as f64;
+        v.iter()
+            .take(count.min(self.slots()))
+            .map(|c| c.re * n / self.scale)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let enc = CkksEncoder::new(64, (1u64 << 30) as f64).unwrap();
+        let vals: Vec<f64> = (0..32).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let coeffs = enc.encode(&vals).unwrap();
+        let back = enc.decode(&coeffs, vals.len());
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn partial_slot_usage() {
+        let enc = CkksEncoder::new(32, (1u64 << 20) as f64).unwrap();
+        let vals = [1.5, -2.25, 3.0];
+        let coeffs = enc.encode(&vals).unwrap();
+        let back = enc.decode(&coeffs, 3);
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn encoding_is_additive() {
+        // encode(a) + encode(b) decodes to a + b: the property VFL sums rely on.
+        let enc = CkksEncoder::new(64, (1u64 << 30) as f64).unwrap();
+        let a: Vec<f64> = (0..32).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..32).map(|i| (i as f64).cos() * 2.0).collect();
+        let ca = enc.encode(&a).unwrap();
+        let cb = enc.encode(&b).unwrap();
+        let sum: Vec<i64> = ca.iter().zip(&cb).map(|(x, y)| x + y).collect();
+        let back = enc.decode(&sum, 32);
+        for i in 0..32 {
+            assert!((back[i] - (a[i] + b[i])).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn too_many_slots_rejected() {
+        let enc = CkksEncoder::new(16, 1024.0).unwrap();
+        let vals = vec![1.0; 9];
+        assert!(matches!(enc.encode(&vals), Err(Error::TooManySlots { got: 9, max: 8 })));
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(CkksEncoder::new(12, 1024.0).is_err());
+        assert!(CkksEncoder::new(2, 1024.0).is_err());
+        assert!(CkksEncoder::new(16, 0.5).is_err());
+        assert!(CkksEncoder::new(16, f64::NAN).is_err());
+    }
+}

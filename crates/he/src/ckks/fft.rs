@@ -1,0 +1,169 @@
+//! Complex FFT used by the CKKS canonical-embedding codec.
+
+use std::f64::consts::PI;
+
+/// A complex number over `f64`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs from parts.
+    #[must_use]
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^{iθ}`.
+    #[must_use]
+    pub fn from_angle(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Addition.
+    #[must_use]
+    pub fn add(self, o: Self) -> Self {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    /// Subtraction.
+    #[must_use]
+    pub fn sub(self, o: Self) -> Self {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    /// Multiplication.
+    #[must_use]
+    pub fn mul(self, o: Self) -> Self {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    /// Scaling by a real.
+    #[must_use]
+    pub fn scale(self, s: f64) -> Self {
+        Complex { re: self.re * s, im: self.im * s }
+    }
+
+    /// Magnitude.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// In-place iterative radix-2 FFT. `inverse = true` applies the conjugate
+/// transform *and* the `1/n` scaling.
+pub fn fft_in_place(a: &mut [Complex], inverse: bool) {
+    let n = a.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            a.swap(i, j);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::from_angle(ang);
+        for chunk in a.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half].mul(w);
+                chunk[i] = u.add(v);
+                chunk[i + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in a.iter_mut() {
+            *x = x.scale(inv_n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn fft_roundtrip() {
+        let mut a: Vec<Complex> =
+            (0..64).map(|i| Complex::new(i as f64, (i * i % 13) as f64)).collect();
+        let orig = a.clone();
+        fft_in_place(&mut a, false);
+        fft_in_place(&mut a, true);
+        for (x, y) in a.iter().zip(&orig) {
+            assert!(close(x.re, y.re) && close(x.im, y.im));
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut a = vec![Complex::default(); 8];
+        a[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut a, false);
+        for x in &a {
+            assert!(close(x.re, 1.0) && close(x.im, 0.0));
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_definition() {
+        let vals: Vec<Complex> =
+            (0..8).map(|i| Complex::new((i as f64).sin(), (i as f64).cos())).collect();
+        let mut fast = vals.clone();
+        fft_in_place(&mut fast, false);
+        for (k, f) in fast.iter().enumerate() {
+            let mut acc = Complex::default();
+            for (t, v) in vals.iter().enumerate() {
+                let ang = -2.0 * PI * (k * t) as f64 / 8.0;
+                acc = acc.add(v.mul(Complex::from_angle(ang)));
+            }
+            assert!(close(f.re, acc.re) && close(f.im, acc.im), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn complex_ops() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a.mul(b);
+        assert!(close(p.re, 5.0) && close(p.im, 5.0));
+        assert!(close(a.conj().im, -2.0));
+        assert!(close(Complex::new(3.0, 4.0).abs(), 5.0));
+    }
+}

@@ -1,0 +1,275 @@
+//! Number-theoretic transform over `Z_q` for negacyclic polynomial
+//! multiplication in `Z_q[X]/(X^n + 1)`.
+//!
+//! `q` is an NTT-friendly prime (`q ≡ 1 mod 2n`); `psi` is a 2n-th root of
+//! unity with `psi^n ≡ -1`, which is exactly what the negacyclic transform
+//! requires.
+
+/// Modular multiplication for `u64` operands under a modulus below `2^63`.
+#[inline]
+#[must_use]
+pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
+    ((u128::from(a) * u128::from(b)) % u128::from(q)) as u64
+}
+
+/// Modular addition.
+#[inline]
+#[must_use]
+pub fn add_mod(a: u64, b: u64, q: u64) -> u64 {
+    let s = a + b;
+    if s >= q {
+        s - q
+    } else {
+        s
+    }
+}
+
+/// Modular subtraction.
+#[inline]
+#[must_use]
+pub fn sub_mod(a: u64, b: u64, q: u64) -> u64 {
+    if a >= b {
+        a - b
+    } else {
+        a + q - b
+    }
+}
+
+/// Modular exponentiation.
+#[must_use]
+pub fn pow_mod(mut base: u64, mut exp: u64, q: u64) -> u64 {
+    let mut acc = 1u64;
+    base %= q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, q);
+        }
+        base = mul_mod(base, base, q);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat (q prime).
+#[must_use]
+pub fn inv_mod(a: u64, q: u64) -> u64 {
+    pow_mod(a, q - 2, q)
+}
+
+/// Deterministic Miller–Rabin for `u64` (full coverage witness set).
+#[must_use]
+pub fn is_prime_u64(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n % p == 0 {
+            return n == p;
+        }
+    }
+    let s = (n - 1).trailing_zeros();
+    let d = (n - 1) >> s;
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds the largest prime `q < 2^bits` with `q ≡ 1 (mod 2n)`.
+#[must_use]
+pub fn find_ntt_prime(bits: u32, n: usize) -> u64 {
+    assert!(bits < 63, "modulus must fit signed arithmetic");
+    let two_n = 2 * n as u64;
+    let mut k = ((1u64 << bits) - 1) / two_n;
+    while k > 0 {
+        let q = k * two_n + 1;
+        if is_prime_u64(q) {
+            return q;
+        }
+        k -= 1;
+    }
+    panic!("no NTT prime below 2^{bits} for ring degree {n}");
+}
+
+/// Finds `psi`, a 2n-th root of unity mod `q` with `psi^n = -1`.
+#[must_use]
+pub fn find_psi(q: u64, n: usize) -> u64 {
+    let exponent = (q - 1) / (2 * n as u64);
+    // Deterministic scan: x^((q-1)/2n) has order dividing 2n; accept when
+    // psi^n = -1, which forces the full negacyclic order.
+    for x in 2u64.. {
+        let psi = pow_mod(x, exponent, q);
+        if pow_mod(psi, n as u64, q) == q - 1 {
+            return psi;
+        }
+    }
+    unreachable!("a generator always exists for prime q");
+}
+
+/// Precomputed tables for forward/inverse negacyclic NTT of size `n`.
+#[derive(Clone, Debug)]
+pub struct NttTables {
+    /// Ring degree (power of two).
+    pub n: usize,
+    /// Prime modulus.
+    pub q: u64,
+    /// Powers of `psi` in bit-reversed order (forward butterflies).
+    fwd: Vec<u64>,
+    /// Powers of `psi^{-1}` in bit-reversed order (inverse butterflies).
+    inv: Vec<u64>,
+    /// `n^{-1} mod q` for the final inverse scaling.
+    n_inv: u64,
+}
+
+impl NttTables {
+    /// Builds tables for degree `n` (power of two ≥ 2) and modulus `q`.
+    #[must_use]
+    pub fn new(n: usize, q: u64) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "ring degree must be a power of two");
+        assert!((q - 1) % (2 * n as u64) == 0, "q must be 1 mod 2n");
+        let psi = find_psi(q, n);
+        let psi_inv = inv_mod(psi, q);
+        let log_n = n.trailing_zeros();
+        let mut fwd = vec![0u64; n];
+        let mut inv = vec![0u64; n];
+        for i in 0..n {
+            let r = (i as u64).reverse_bits() >> (64 - log_n);
+            fwd[i] = pow_mod(psi, r, q);
+            inv[i] = pow_mod(psi_inv, r, q);
+        }
+        NttTables { n, q, fwd, inv, n_inv: inv_mod(n as u64, q) }
+    }
+
+    /// In-place forward negacyclic NTT (Cooley–Tukey, decimation in time on
+    /// the psi-twisted sequence).
+    pub fn forward(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let w = self.fwd[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_mod(a[j + t], w, q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (Gentleman–Sande).
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let w = self.inv[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = mul_mod(sub_mod(u, v, q), w, q);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod(*x, self.n_inv, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_finding() {
+        let q = find_ntt_prime(55, 1024);
+        assert!(is_prime_u64(q));
+        assert_eq!((q - 1) % 2048, 0);
+        assert!(q < 1 << 55);
+    }
+
+    #[test]
+    fn psi_has_negacyclic_order() {
+        let n = 256;
+        let q = find_ntt_prime(50, n);
+        let psi = find_psi(q, n);
+        assert_eq!(pow_mod(psi, n as u64, q), q - 1);
+        assert_eq!(pow_mod(psi, 2 * n as u64, q), 1);
+    }
+
+    #[test]
+    fn primality_spot_checks() {
+        assert!(is_prime_u64(2));
+        assert!(is_prime_u64((1 << 61) - 1));
+        assert!(!is_prime_u64(1));
+        assert!(!is_prime_u64((1 << 61) - 3));
+        assert!(!is_prime_u64(3_215_031_751)); // strong pseudoprime to bases 2,3,5,7
+    }
+
+    #[test]
+    fn ntt_roundtrip() {
+        let n = 64;
+        let q = find_ntt_prime(40, n);
+        let tables = NttTables::new(n, q);
+        let orig: Vec<u64> = (0..n as u64).map(|i| (i * i + 7) % q).collect();
+        let mut a = orig.clone();
+        tables.forward(&mut a);
+        assert_ne!(a, orig);
+        tables.inverse(&mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn ntt_multiplication_is_negacyclic() {
+        // (X^(n-1)) * X = X^n = -1 in the negacyclic ring.
+        let n = 16;
+        let q = find_ntt_prime(30, n);
+        let tables = NttTables::new(n, q);
+        let mut a = vec![0u64; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u64; n];
+        b[1] = 1;
+        tables.forward(&mut a);
+        tables.forward(&mut b);
+        let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| mul_mod(x, y, q)).collect();
+        tables.inverse(&mut c);
+        let mut expect = vec![0u64; n];
+        expect[0] = q - 1; // -1
+        assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn mod_helpers() {
+        let q = 97;
+        assert_eq!(add_mod(90, 10, q), 3);
+        assert_eq!(sub_mod(3, 10, q), 90);
+        assert_eq!(mul_mod(96, 96, q), 1);
+        assert_eq!(pow_mod(5, 96, q), 1);
+        assert_eq!(mul_mod(inv_mod(31, q), 31, q), 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for the HE crate.
+
+use std::fmt;
+
+/// Errors produced by key generation, encryption, and encoding.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Requested key width is below the supported minimum.
+    KeyTooSmall {
+        /// Requested bits.
+        bits: usize,
+        /// Minimum accepted bits.
+        min: usize,
+    },
+    /// Plaintext does not fit the scheme's message space.
+    PlaintextOutOfRange,
+    /// A value could not be represented in the fixed-point encoding.
+    FixedPointOverflow {
+        /// The offending value.
+        value: f64,
+    },
+    /// CKKS parameters are invalid (e.g. ring degree not a power of two).
+    InvalidParameters(String),
+    /// Too many values for the scheme's slot count.
+    TooManySlots {
+        /// Values supplied.
+        got: usize,
+        /// Slots available.
+        max: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::KeyTooSmall { bits, min } => {
+                write!(f, "key width {bits} bits is below the minimum of {min}")
+            }
+            Error::PlaintextOutOfRange => write!(f, "plaintext outside the message space"),
+            Error::FixedPointOverflow { value } => {
+                write!(f, "value {value} overflows the fixed-point encoding")
+            }
+            Error::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
+            Error::TooManySlots { got, max } => {
+                write!(f, "{got} values exceed the {max} available slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,434 @@
+//! The Paillier cryptosystem: an exact, additively homomorphic public-key
+//! scheme.
+//!
+//! VFPS-SM only needs to *sum* encrypted partial distances, which Paillier
+//! supports natively: `Enc(a)·Enc(b) mod n² = Enc(a+b)`. Plaintexts live in
+//! `Z_n`; signed values are wrapped modularly and decoded by the `n/2`
+//! threshold.
+//!
+//! Implementation notes: `g = n + 1`, so encryption avoids a full
+//! exponentiation (`g^m = 1 + m·n mod n²`) and decryption uses
+//! `μ = λ⁻¹ mod n`.
+
+use crate::bigint::BigUint;
+use crate::error::{Error, Result};
+use rand::Rng;
+
+/// Minimum accepted modulus width. Far below any secure size — permitted so
+/// tests stay fast — but production callers should use ≥ 2048.
+pub const MIN_KEY_BITS: usize = 64;
+
+/// Paillier public key: the modulus `n` and cached `n²`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PaillierPublicKey {
+    n: BigUint,
+    n_squared: BigUint,
+    half_n: BigUint,
+}
+
+/// Paillier private key: Carmichael `λ` and `μ = λ⁻¹ mod n`, plus the
+/// prime factorization enabling CRT-accelerated decryption.
+#[derive(Clone, Debug)]
+pub struct PaillierPrivateKey {
+    lambda: BigUint,
+    mu: BigUint,
+    pk: PaillierPublicKey,
+    crt: Option<CrtParams>,
+}
+
+/// Precomputed Chinese-Remainder-Theorem parameters: decrypting modulo
+/// `p²` and `q²` separately and recombining replaces one `n²`-sized
+/// exponentiation with two quarter-cost ones — the standard ~4× Paillier
+/// decryption speedup.
+#[derive(Clone, Debug)]
+struct CrtParams {
+    p: BigUint,
+    q: BigUint,
+    p_squared: BigUint,
+    q_squared: BigUint,
+    /// `λ mod (p−1)` — exponent for the `p²` branch.
+    lambda_p: BigUint,
+    /// `λ mod (q−1)` — exponent for the `q²` branch.
+    lambda_q: BigUint,
+    /// `L_p(g^{λ_p} mod p²)^{-1} mod p` (with `g = n+1`).
+    h_p: BigUint,
+    /// `L_q(g^{λ_q} mod q²)^{-1} mod q`.
+    h_q: BigUint,
+    /// `p^{-1} mod q` for the final recombination.
+    p_inv_q: BigUint,
+}
+
+impl CrtParams {
+    fn new(p: &BigUint, q: &BigUint, n: &BigUint, lambda: &BigUint) -> Option<CrtParams> {
+        let one = BigUint::one();
+        let p_squared = p.square();
+        let q_squared = q.square();
+        let lambda_p = lambda.rem(&p.sub(&one));
+        let lambda_q = lambda.rem(&q.sub(&one));
+        // g = n + 1; g^λp mod p² = 1 + (n mod p²)·λp· ... — compute directly.
+        let g = n.add(&one);
+        let l_p = |x: &BigUint| x.sub(&one).divrem(p).0;
+        let l_q = |x: &BigUint| x.sub(&one).divrem(q).0;
+        let hp_raw = l_p(&g.mod_pow(&lambda_p, &p_squared)).rem(p);
+        let hq_raw = l_q(&g.mod_pow(&lambda_q, &q_squared)).rem(q);
+        Some(CrtParams {
+            h_p: hp_raw.mod_inverse(p)?,
+            h_q: hq_raw.mod_inverse(q)?,
+            p_inv_q: p.mod_inverse(q)?,
+            p: p.clone(),
+            q: q.clone(),
+            p_squared,
+            q_squared,
+            lambda_p,
+            lambda_q,
+        })
+    }
+
+    /// CRT decryption of ciphertext `c`.
+    fn decrypt(&self, c: &BigUint) -> BigUint {
+        let one = BigUint::one();
+        // m_p = L_p(c^{λp} mod p²) · h_p mod p
+        let mp = c
+            .rem(&self.p_squared)
+            .mod_pow(&self.lambda_p, &self.p_squared)
+            .sub(&one)
+            .divrem(&self.p)
+            .0
+            .mul_mod(&self.h_p, &self.p);
+        let mq = c
+            .rem(&self.q_squared)
+            .mod_pow(&self.lambda_q, &self.q_squared)
+            .sub(&one)
+            .divrem(&self.q)
+            .0
+            .mul_mod(&self.h_q, &self.q);
+        // Garner recombination: m = m_p + p·((m_q − m_p)·p⁻¹ mod q).
+        let diff = mq.sub_mod(&mp, &self.q);
+        mp.add(&self.p.mul(&diff.mul_mod(&self.p_inv_q, &self.q)))
+    }
+}
+
+/// A public/private key pair.
+#[derive(Clone, Debug)]
+pub struct PaillierKeypair {
+    /// Public half, distributed to every party and the aggregation server.
+    pub public: PaillierPublicKey,
+    /// Private half, held only by the leader participant.
+    pub private: PaillierPrivateKey,
+}
+
+/// A Paillier ciphertext (an element of `Z_{n²}`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PaillierCiphertext(BigUint);
+
+impl PaillierCiphertext {
+    /// Serialized size in bytes (used for byte-accurate communication
+    /// accounting).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.0.byte_len()
+    }
+
+    /// Raw ciphertext value (exposed for serialization).
+    #[must_use]
+    pub fn as_biguint(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Rebuilds a ciphertext from its raw value. The value is *not*
+    /// validated against a key; use only with trusted serialized data.
+    #[must_use]
+    pub fn from_biguint(v: BigUint) -> Self {
+        PaillierCiphertext(v)
+    }
+}
+
+/// Generates a fresh keypair with an `n` of exactly `bits` bits.
+///
+/// # Errors
+/// Returns [`Error::KeyTooSmall`] when `bits < MIN_KEY_BITS`.
+pub fn generate_keypair<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> Result<PaillierKeypair> {
+    if bits < MIN_KEY_BITS {
+        return Err(Error::KeyTooSmall { bits, min: MIN_KEY_BITS });
+    }
+    loop {
+        let p = BigUint::random_prime(rng, bits / 2);
+        let q = BigUint::random_prime(rng, bits - bits / 2);
+        if p == q {
+            continue;
+        }
+        let n = p.mul(&q);
+        if n.bits() != bits {
+            continue;
+        }
+        let one = BigUint::one();
+        let lambda = p.sub(&one).lcm(&q.sub(&one));
+        let Some(mu) = lambda.mod_inverse(&n) else {
+            continue;
+        };
+        let n_squared = n.square();
+        let half_n = n.shr(1);
+        let crt = CrtParams::new(&p, &q, &n, &lambda);
+        let pk = PaillierPublicKey { n, n_squared, half_n };
+        return Ok(PaillierKeypair {
+            private: PaillierPrivateKey { lambda, mu, pk: pk.clone(), crt },
+            public: pk,
+        });
+    }
+}
+
+impl PaillierPublicKey {
+    /// The modulus `n`.
+    #[must_use]
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Bit width of the modulus.
+    #[must_use]
+    pub fn key_bits(&self) -> usize {
+        self.n.bits()
+    }
+
+    /// Encrypts a non-negative plaintext `m < n`.
+    ///
+    /// # Errors
+    /// Returns [`Error::PlaintextOutOfRange`] if `m >= n`.
+    pub fn encrypt<R: Rng + ?Sized>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<PaillierCiphertext> {
+        if m >= &self.n {
+            return Err(Error::PlaintextOutOfRange);
+        }
+        let r = BigUint::random_coprime(rng, &self.n);
+        // g^m = (1 + n)^m = 1 + m·n (mod n²)
+        let gm = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
+        let rn = r.mod_pow(&self.n, &self.n_squared);
+        Ok(PaillierCiphertext(gm.mul_mod(&rn, &self.n_squared)))
+    }
+
+    /// Encrypts a signed 64-bit value (wrapped into `Z_n`).
+    pub fn encrypt_i64<R: Rng + ?Sized>(&self, v: i64, rng: &mut R) -> Result<PaillierCiphertext> {
+        self.encrypt(&self.encode_i64(v), rng)
+    }
+
+    /// Wraps a signed value into `Z_n` (negatives map to `n - |v|`).
+    #[must_use]
+    pub fn encode_i64(&self, v: i64) -> BigUint {
+        if v >= 0 {
+            BigUint::from_u64(v as u64)
+        } else {
+            self.n.sub(&BigUint::from_u64(v.unsigned_abs()))
+        }
+    }
+
+    /// Homomorphic addition: `Enc(a) ⊕ Enc(b) = Enc(a + b mod n)`.
+    #[must_use]
+    pub fn add(&self, a: &PaillierCiphertext, b: &PaillierCiphertext) -> PaillierCiphertext {
+        PaillierCiphertext(a.0.mul_mod(&b.0, &self.n_squared))
+    }
+
+    /// Adds a plaintext to a ciphertext without re-encryption.
+    #[must_use]
+    pub fn add_plain(&self, a: &PaillierCiphertext, m: &BigUint) -> PaillierCiphertext {
+        let gm = BigUint::one().add(&m.rem(&self.n).mul(&self.n)).rem(&self.n_squared);
+        PaillierCiphertext(a.0.mul_mod(&gm, &self.n_squared))
+    }
+
+    /// Multiplies the underlying plaintext by a constant: `Enc(a)^k = Enc(k·a)`.
+    #[must_use]
+    pub fn mul_plain(&self, a: &PaillierCiphertext, k: &BigUint) -> PaillierCiphertext {
+        PaillierCiphertext(a.0.mod_pow(k, &self.n_squared))
+    }
+
+    /// Re-randomizes a ciphertext (multiplies by a fresh encryption of zero),
+    /// breaking ciphertext linkability.
+    pub fn rerandomize<R: Rng + ?Sized>(
+        &self,
+        a: &PaillierCiphertext,
+        rng: &mut R,
+    ) -> PaillierCiphertext {
+        let r = BigUint::random_coprime(rng, &self.n);
+        let rn = r.mod_pow(&self.n, &self.n_squared);
+        PaillierCiphertext(a.0.mul_mod(&rn, &self.n_squared))
+    }
+
+    /// Decodes a `Z_n` element into a signed value via the `n/2` threshold.
+    #[must_use]
+    pub fn decode_i128(&self, m: &BigUint) -> i128 {
+        if m > &self.half_n {
+            let mag = self.n.sub(m);
+            -(mag.to_u128().expect("decoded magnitude exceeds i128") as i128)
+        } else {
+            m.to_u128().expect("decoded value exceeds i128") as i128
+        }
+    }
+}
+
+impl PaillierPrivateKey {
+    /// The associated public key.
+    #[must_use]
+    pub fn public(&self) -> &PaillierPublicKey {
+        &self.pk
+    }
+
+    /// Decrypts to the plaintext residue in `[0, n)` (CRT fast path when
+    /// the factorization is available).
+    #[must_use]
+    pub fn decrypt(&self, c: &PaillierCiphertext) -> BigUint {
+        match &self.crt {
+            Some(crt) => crt.decrypt(&c.0),
+            None => self.decrypt_plain(c),
+        }
+    }
+
+    /// Division-based decryption via the full `n²` exponentiation — the
+    /// oracle the CRT path is tested against.
+    #[must_use]
+    pub fn decrypt_plain(&self, c: &PaillierCiphertext) -> BigUint {
+        let pk = &self.pk;
+        let x = c.0.mod_pow(&self.lambda, &pk.n_squared);
+        // L(x) = (x - 1) / n
+        let l = x.sub(&BigUint::one()).divrem(&pk.n).0;
+        l.mul_mod(&self.mu, &pk.n)
+    }
+
+    /// Decrypts to a signed value via the `n/2` threshold.
+    #[must_use]
+    pub fn decrypt_i128(&self, c: &PaillierCiphertext) -> i128 {
+        let m = self.decrypt(c);
+        self.pk.decode_i128(&m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn keypair(bits: usize) -> PaillierKeypair {
+        let mut rng = StdRng::seed_from_u64(42);
+        generate_keypair(&mut rng, bits).unwrap()
+    }
+
+    #[test]
+    fn rejects_tiny_keys() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            generate_keypair(&mut rng, 32),
+            Err(Error::KeyTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(1);
+        for v in [0u64, 1, 42, 1_000_000, u64::MAX] {
+            let m = BigUint::from_u64(v);
+            let c = kp.public.encrypt(&m, &mut rng).unwrap();
+            assert_eq!(kp.private.decrypt(&c), m, "v={v}");
+        }
+    }
+
+    #[test]
+    fn ciphertexts_are_randomized() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = BigUint::from_u64(7);
+        let c1 = kp.public.encrypt(&m, &mut rng).unwrap();
+        let c2 = kp.public.encrypt(&m, &mut rng).unwrap();
+        assert_ne!(c1, c2, "semantic security: same plaintext, fresh randomness");
+        assert_eq!(kp.private.decrypt(&c1), kp.private.decrypt(&c2));
+    }
+
+    #[test]
+    fn additive_homomorphism() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = kp.public.encrypt(&BigUint::from_u64(1234), &mut rng).unwrap();
+        let b = kp.public.encrypt(&BigUint::from_u64(8766), &mut rng).unwrap();
+        let sum = kp.public.add(&a, &b);
+        assert_eq!(kp.private.decrypt(&sum).to_u64(), Some(10_000));
+    }
+
+    #[test]
+    fn add_plain_and_mul_plain() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = kp.public.encrypt(&BigUint::from_u64(100), &mut rng).unwrap();
+        let c2 = kp.public.add_plain(&c, &BigUint::from_u64(23));
+        assert_eq!(kp.private.decrypt(&c2).to_u64(), Some(123));
+        let c3 = kp.public.mul_plain(&c, &BigUint::from_u64(5));
+        assert_eq!(kp.private.decrypt(&c3).to_u64(), Some(500));
+    }
+
+    #[test]
+    fn signed_values_roundtrip() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(5);
+        for v in [-1_000_000i64, -1, 0, 1, 999_999_999] {
+            let c = kp.public.encrypt_i64(v, &mut rng).unwrap();
+            assert_eq!(kp.private.decrypt_i128(&c), i128::from(v), "v={v}");
+        }
+    }
+
+    #[test]
+    fn signed_sums_cross_zero() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = kp.public.encrypt_i64(-500, &mut rng).unwrap();
+        let b = kp.public.encrypt_i64(200, &mut rng).unwrap();
+        assert_eq!(kp.private.decrypt_i128(&kp.public.add(&a, &b)), -300);
+    }
+
+    #[test]
+    fn rerandomize_preserves_plaintext() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = kp.public.encrypt(&BigUint::from_u64(77), &mut rng).unwrap();
+        let c2 = kp.public.rerandomize(&c, &mut rng);
+        assert_ne!(c, c2);
+        assert_eq!(kp.private.decrypt(&c2).to_u64(), Some(77));
+    }
+
+    #[test]
+    fn plaintext_out_of_range_rejected() {
+        let kp = keypair(128);
+        let mut rng = StdRng::seed_from_u64(8);
+        let too_big = kp.public.modulus().clone();
+        assert!(matches!(
+            kp.public.encrypt(&too_big, &mut rng),
+            Err(Error::PlaintextOutOfRange)
+        ));
+    }
+
+    #[test]
+    fn crt_decrypt_matches_plain_decrypt() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..20 {
+            let m = BigUint::random_below(&mut rng, kp.public.modulus());
+            let c = kp.public.encrypt(&m, &mut rng).unwrap();
+            assert_eq!(kp.private.decrypt(&c), kp.private.decrypt_plain(&c));
+            assert_eq!(kp.private.decrypt(&c), m);
+        }
+    }
+
+    #[test]
+    fn long_sum_chain() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut acc = kp.public.encrypt(&BigUint::zero(), &mut rng).unwrap();
+        let mut expect = 0u64;
+        for i in 1..=50u64 {
+            let c = kp.public.encrypt(&BigUint::from_u64(i * i), &mut rng).unwrap();
+            acc = kp.public.add(&acc, &c);
+            expect += i * i;
+        }
+        assert_eq!(kp.private.decrypt(&acc).to_u64(), Some(expect));
+    }
+}

@@ -1,0 +1,449 @@
+//! A uniform interface over the additively homomorphic schemes.
+//!
+//! The VFL protocols only require: encrypt a batch of reals, add two
+//! ciphertexts, decrypt, and report serialized size. [`AdditiveHe`] captures
+//! exactly that, with three implementations:
+//!
+//! * [`PaillierHe`] — exact integer HE (fixed-point encoded reals),
+//! * [`CkksHe`] — approximate RLWE HE with SIMD slots (the paper's choice),
+//! * [`PlainHe`] — a no-op scheme for ablations and large-scale simulation
+//!   where HE costs are accounted analytically instead of paid for real.
+
+use crate::bigint::BigUint;
+use crate::ckks::{CkksCiphertext, CkksContext, CkksParams, CkksPublicKey, CkksSecretKey};
+use crate::error::Result;
+use crate::fixed::FixedPoint;
+use crate::paillier::{self, PaillierCiphertext, PaillierKeypair};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
+
+/// Operations the VFL protocols need from an additively homomorphic scheme.
+pub trait AdditiveHe: Send + Sync {
+    /// Opaque ciphertext carrying a batch of real values.
+    type Ciphertext: Clone + Send + Sync;
+
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Maximum number of values a single ciphertext can carry.
+    fn max_batch(&self) -> usize;
+
+    /// Encrypts a batch of at most [`AdditiveHe::max_batch`] values.
+    ///
+    /// # Errors
+    /// Fails when the batch exceeds the slot count or a value cannot be
+    /// represented.
+    fn encrypt(&self, values: &[f64]) -> Result<Self::Ciphertext>;
+
+    /// Decrypts the first `count` values.
+    fn decrypt(&self, ct: &Self::Ciphertext, count: usize) -> Vec<f64>;
+
+    /// Homomorphic addition.
+    fn add(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext;
+
+    /// Serialized ciphertext size in bytes (for communication accounting).
+    fn ct_bytes(&self, ct: &Self::Ciphertext) -> usize;
+
+    /// Serializes a ciphertext for transmission.
+    fn ct_to_bytes(&self, ct: &Self::Ciphertext) -> Vec<u8>;
+
+    /// Deserializes a transmitted ciphertext.
+    ///
+    /// # Errors
+    /// Fails on malformed input.
+    fn ct_from_bytes(&self, bytes: &[u8]) -> Result<Self::Ciphertext>;
+
+    /// Worst-case absolute error of decrypting a sum of `terms` fresh
+    /// ciphertexts (0 for exact schemes).
+    fn error_bound(&self, terms: usize) -> f64;
+}
+
+// ---------------------------------------------------------------------------
+// Plain (identity) scheme
+// ---------------------------------------------------------------------------
+
+/// A pass-through "scheme" that performs no cryptography. Used to run
+/// large-scale protocol simulations where HE costs are attributed by the
+/// cost model rather than paid in real time.
+#[derive(Debug, Clone)]
+pub struct PlainHe {
+    batch: usize,
+    /// Bytes charged per carried value, mirroring the expansion a real
+    /// ciphertext would have (default: CKKS-like 16x expansion over f64).
+    pub bytes_per_value: usize,
+}
+
+impl PlainHe {
+    /// Creates a plain scheme carrying up to `batch` values per "ciphertext".
+    #[must_use]
+    pub fn new(batch: usize) -> Self {
+        PlainHe { batch, bytes_per_value: 128 }
+    }
+}
+
+impl AdditiveHe for PlainHe {
+    type Ciphertext = Vec<f64>;
+
+    fn name(&self) -> &'static str {
+        "plain"
+    }
+
+    fn max_batch(&self) -> usize {
+        self.batch
+    }
+
+    fn encrypt(&self, values: &[f64]) -> Result<Vec<f64>> {
+        if values.len() > self.batch {
+            return Err(crate::error::Error::TooManySlots {
+                got: values.len(),
+                max: self.batch,
+            });
+        }
+        Ok(values.to_vec())
+    }
+
+    fn decrypt(&self, ct: &Vec<f64>, count: usize) -> Vec<f64> {
+        ct.iter().copied().take(count).collect()
+    }
+
+    fn add(&self, a: &Vec<f64>, b: &Vec<f64>) -> Vec<f64> {
+        let n = a.len().max(b.len());
+        (0..n)
+            .map(|i| a.get(i).copied().unwrap_or(0.0) + b.get(i).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    fn ct_bytes(&self, ct: &Vec<f64>) -> usize {
+        ct.len() * self.bytes_per_value
+    }
+
+    fn ct_to_bytes(&self, ct: &Vec<f64>) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + ct.len() * 8);
+        out.extend_from_slice(&(ct.len() as u32).to_le_bytes());
+        for v in ct {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn ct_from_bytes(&self, bytes: &[u8]) -> Result<Vec<f64>> {
+        let err = || crate::error::Error::InvalidParameters("malformed plain ciphertext".into());
+        if bytes.len() < 4 {
+            return Err(err());
+        }
+        let n = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+        if bytes.len() != 4 + n * 8 {
+            return Err(err());
+        }
+        Ok((0..n)
+            .map(|i| {
+                f64::from_le_bytes(bytes[4 + i * 8..12 + i * 8].try_into().expect("8 bytes"))
+            })
+            .collect())
+    }
+
+    fn error_bound(&self, _terms: usize) -> f64 {
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paillier
+// ---------------------------------------------------------------------------
+
+/// Paillier-backed scheme: one integer ciphertext per value, fixed-point
+/// encoded. Exact up to quantization.
+pub struct PaillierHe {
+    keypair: PaillierKeypair,
+    codec: FixedPoint,
+    rng: Mutex<StdRng>,
+    batch: usize,
+}
+
+impl PaillierHe {
+    /// Generates a fresh scheme instance with the given key width.
+    ///
+    /// # Errors
+    /// Propagates key-generation failures for undersized keys.
+    pub fn generate(key_bits: usize, batch: usize, seed: u64) -> Result<Self> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keypair = paillier::generate_keypair(&mut rng, key_bits)?;
+        Ok(PaillierHe {
+            keypair,
+            codec: FixedPoint::default_codec(),
+            rng: Mutex::new(rng),
+            batch,
+        })
+    }
+
+    /// The underlying keypair (tests and calibration benches).
+    #[must_use]
+    pub fn keypair(&self) -> &PaillierKeypair {
+        &self.keypair
+    }
+}
+
+impl AdditiveHe for PaillierHe {
+    type Ciphertext = Vec<PaillierCiphertext>;
+
+    fn name(&self) -> &'static str {
+        "paillier"
+    }
+
+    fn max_batch(&self) -> usize {
+        self.batch
+    }
+
+    fn encrypt(&self, values: &[f64]) -> Result<Self::Ciphertext> {
+        if values.len() > self.batch {
+            return Err(crate::error::Error::TooManySlots {
+                got: values.len(),
+                max: self.batch,
+            });
+        }
+        let mut rng = self.rng.lock().expect("rng mutex poisoned");
+        values
+            .iter()
+            .map(|&v| {
+                let enc = self.codec.encode(v)?;
+                self.keypair.public.encrypt_i64(enc, &mut *rng)
+            })
+            .collect()
+    }
+
+    fn decrypt(&self, ct: &Self::Ciphertext, count: usize) -> Vec<f64> {
+        ct.iter()
+            .take(count)
+            .map(|c| self.codec.decode_i128(self.keypair.private.decrypt_i128(c)))
+            .collect()
+    }
+
+    fn add(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
+        a.iter().zip(b.iter()).map(|(x, y)| self.keypair.public.add(x, y)).collect()
+    }
+
+    fn ct_bytes(&self, ct: &Self::Ciphertext) -> usize {
+        ct.iter().map(PaillierCiphertext::byte_len).sum()
+    }
+
+    fn ct_to_bytes(&self, ct: &Self::Ciphertext) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(ct.len() as u32).to_le_bytes());
+        for c in ct {
+            let b = c.as_biguint().to_bytes_be();
+            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            out.extend_from_slice(&b);
+        }
+        out
+    }
+
+    fn ct_from_bytes(&self, bytes: &[u8]) -> Result<Self::Ciphertext> {
+        let err =
+            || crate::error::Error::InvalidParameters("malformed paillier ciphertext".into());
+        let mut cur = bytes;
+        let take = |cur: &mut &[u8], n: usize| -> Result<Vec<u8>> {
+            if cur.len() < n {
+                return Err(err());
+            }
+            let (head, rest) = cur.split_at(n);
+            *cur = rest;
+            Ok(head.to_vec())
+        };
+        let count =
+            u32::from_le_bytes(take(&mut cur, 4)?.as_slice().try_into().expect("4 bytes"))
+                as usize;
+        let mut out = Vec::with_capacity(count.min(1 << 20));
+        for _ in 0..count {
+            let len = u32::from_le_bytes(
+                take(&mut cur, 4)?.as_slice().try_into().expect("4 bytes"),
+            ) as usize;
+            let raw = take(&mut cur, len)?;
+            out.push(PaillierCiphertext::from_biguint(BigUint::from_bytes_be(&raw)));
+        }
+        if cur.is_empty() {
+            Ok(out)
+        } else {
+            Err(err())
+        }
+    }
+
+    fn error_bound(&self, terms: usize) -> f64 {
+        terms as f64 * self.codec.quantization_error()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CKKS
+// ---------------------------------------------------------------------------
+
+/// CKKS-backed scheme: SIMD batches of reals per ciphertext, approximate.
+pub struct CkksHe {
+    ctx: CkksContext,
+    pk: CkksPublicKey,
+    sk: CkksSecretKey,
+    rng: Mutex<StdRng>,
+}
+
+impl CkksHe {
+    /// Generates a fresh scheme instance from CKKS parameters.
+    ///
+    /// # Errors
+    /// Propagates parameter validation failures.
+    pub fn generate(params: &CkksParams, seed: u64) -> Result<Self> {
+        let ctx = CkksContext::new(params)?;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, sk) = ctx.keygen(&mut rng);
+        Ok(CkksHe { ctx, pk, sk, rng: Mutex::new(rng) })
+    }
+
+    /// The underlying context (tests and calibration benches).
+    #[must_use]
+    pub fn context(&self) -> &CkksContext {
+        &self.ctx
+    }
+}
+
+impl AdditiveHe for CkksHe {
+    type Ciphertext = CkksCiphertext;
+
+    fn name(&self) -> &'static str {
+        "ckks"
+    }
+
+    fn max_batch(&self) -> usize {
+        self.ctx.slots()
+    }
+
+    fn encrypt(&self, values: &[f64]) -> Result<CkksCiphertext> {
+        let mut rng = self.rng.lock().expect("rng mutex poisoned");
+        self.ctx.encrypt(&self.pk, values, &mut *rng)
+    }
+
+    fn decrypt(&self, ct: &CkksCiphertext, count: usize) -> Vec<f64> {
+        self.ctx.decrypt(&self.sk, ct, count)
+    }
+
+    fn add(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> CkksCiphertext {
+        self.ctx.add(a, b)
+    }
+
+    fn ct_bytes(&self, ct: &CkksCiphertext) -> usize {
+        ct.byte_len()
+    }
+
+    fn ct_to_bytes(&self, ct: &CkksCiphertext) -> Vec<u8> {
+        ct.to_bytes()
+    }
+
+    fn ct_from_bytes(&self, bytes: &[u8]) -> Result<CkksCiphertext> {
+        self.ctx.ct_from_bytes(bytes)
+    }
+
+    fn error_bound(&self, terms: usize) -> f64 {
+        self.ctx.error_bound(terms)
+    }
+}
+
+/// Returns a random `BigUint` below `bound` using a seeded RNG — helper for
+/// deterministic cross-crate tests.
+#[must_use]
+pub fn seeded_random_below(seed: u64, bound: &BigUint) -> BigUint {
+    let mut rng = StdRng::seed_from_u64(seed);
+    BigUint::random_below(&mut rng, bound)
+}
+
+/// Deterministic helper: a seeded RNG for callers that only need one.
+#[must_use]
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws `n` uniform reals in `[lo, hi)` from a seeded RNG (test helper).
+#[must_use]
+pub fn seeded_uniform(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_serialization<H: AdditiveHe>(scheme: &H)
+    where
+        H::Ciphertext: PartialEq + std::fmt::Debug,
+    {
+        let ct = scheme.encrypt(&[1.0, -2.0, 3.5]).unwrap();
+        let bytes = scheme.ct_to_bytes(&ct);
+        let back = scheme.ct_from_bytes(&bytes).unwrap();
+        assert_eq!(back, ct, "{} ciphertext serialization roundtrip", scheme.name());
+        assert!(scheme.ct_from_bytes(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn ciphertext_serialization_roundtrips() {
+        exercise_serialization(&PlainHe::new(8));
+        exercise_serialization(&PaillierHe::generate(256, 8, 21).unwrap());
+        exercise_serialization(&CkksHe::generate(&CkksParams::insecure_test(), 22).unwrap());
+    }
+
+    fn exercise<H: AdditiveHe>(scheme: &H, tol_scale: f64) {
+        let a = [1.5, -2.25, 3.0, 0.0];
+        let b = [0.5, 2.25, -1.0, 7.5];
+        let ca = scheme.encrypt(&a).unwrap();
+        let cb = scheme.encrypt(&b).unwrap();
+        let sum = scheme.add(&ca, &cb);
+        let out = scheme.decrypt(&sum, 4);
+        let bound = scheme.error_bound(2).max(1e-12) * tol_scale;
+        for i in 0..4 {
+            assert!(
+                (out[i] - (a[i] + b[i])).abs() <= bound,
+                "{} slot {i}: {} vs {}",
+                scheme.name(),
+                out[i],
+                a[i] + b[i]
+            );
+        }
+        assert!(scheme.ct_bytes(&ca) > 0);
+    }
+
+    #[test]
+    fn plain_scheme_behaves() {
+        exercise(&PlainHe::new(16), 1.0);
+    }
+
+    #[test]
+    fn paillier_scheme_behaves() {
+        let scheme = PaillierHe::generate(256, 16, 11).unwrap();
+        exercise(&scheme, 1.0);
+    }
+
+    #[test]
+    fn ckks_scheme_behaves() {
+        let scheme = CkksHe::generate(&CkksParams::insecure_test(), 12).unwrap();
+        exercise(&scheme, 1.0);
+    }
+
+    #[test]
+    fn plain_batch_limit_enforced() {
+        let scheme = PlainHe::new(2);
+        assert!(scheme.encrypt(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn paillier_exactness_vs_ckks_approximation() {
+        let p = PaillierHe::generate(256, 4, 1).unwrap();
+        let c = CkksHe::generate(&CkksParams::insecure_test(), 1).unwrap();
+        assert!(p.error_bound(100) < 1e-4, "paillier is exact up to quantization");
+        assert!(c.error_bound(100) > 0.0, "ckks error grows with terms");
+    }
+
+    #[test]
+    fn schemes_report_distinct_names() {
+        let p = PaillierHe::generate(128, 4, 1).unwrap();
+        let c = CkksHe::generate(&CkksParams::insecure_test(), 1).unwrap();
+        let names = [PlainHe::new(1).name(), p.name(), c.name()];
+        assert_eq!(names, ["plain", "paillier", "ckks"]);
+    }
+}

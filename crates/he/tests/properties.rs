@@ -1,0 +1,132 @@
+//! Property-based tests of the HE substrate's core invariants.
+
+use proptest::prelude::*;
+use vfps_he::bigint::{BigInt, BigUint, MontgomeryCtx};
+use vfps_he::ckks::CkksParams;
+use vfps_he::scheme::{AdditiveHe, CkksHe, PaillierHe};
+use vfps_he::FixedPoint;
+
+fn biguint_strategy(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ring laws: commutativity, associativity, distributivity.
+    #[test]
+    fn bigint_ring_laws(
+        a in biguint_strategy(4),
+        b in biguint_strategy(4),
+        c in biguint_strategy(3),
+    ) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        prop_assert_eq!(a.add(&b).mul(&c), a.mul(&c).add(&b.mul(&c)));
+    }
+
+    /// Division identity: a = q·d + r with r < d.
+    #[test]
+    fn bigint_divrem_identity(a in biguint_strategy(6), d in biguint_strategy(3)) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.divrem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    /// Byte/hex serialization round-trips.
+    #[test]
+    fn bigint_serialization_roundtrip(a in biguint_strategy(5)) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a.clone());
+        prop_assert_eq!(BigUint::from_decimal(&a.to_decimal()).unwrap(), a);
+    }
+
+    /// Montgomery modpow agrees with the division-based oracle.
+    #[test]
+    fn montgomery_matches_plain(
+        base in biguint_strategy(3),
+        exp in biguint_strategy(2),
+        m in biguint_strategy(3),
+    ) {
+        let modulus = if m.is_even() { m.add_u64(1) } else { m };
+        prop_assume!(!modulus.is_zero() && !modulus.is_one());
+        if let Some(ctx) = MontgomeryCtx::new(&modulus) {
+            prop_assert_eq!(
+                ctx.mod_pow(&base, &exp),
+                base.mod_pow_plain(&exp, &modulus)
+            );
+        }
+    }
+
+    /// Extended gcd produces a valid Bézout identity.
+    #[test]
+    fn bezout_identity(a in any::<i64>(), b in any::<i64>()) {
+        let ba = BigInt::from_i64(a);
+        let bb = BigInt::from_i64(b);
+        let (g, x, y) = ba.extended_gcd(&bb);
+        prop_assert_eq!(ba.mul(&x).add(&bb.mul(&y)), g);
+    }
+
+    /// Fixed-point codec: round-trip error within the quantization bound.
+    #[test]
+    fn fixed_point_roundtrip(x in -1e9f64..1e9) {
+        let fp = FixedPoint::default_codec();
+        let v = fp.encode(x).unwrap();
+        prop_assert!((fp.decode(v) - x).abs() <= fp.quantization_error());
+    }
+}
+
+proptest! {
+    // Key generation is expensive; keep the case count low and the keys
+    // fixed per test body.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Paillier: Dec(Enc(a) ⊕ Enc(b)) = a + b for random real batches.
+    #[test]
+    fn paillier_homomorphism(
+        a in proptest::collection::vec(-1e6f64..1e6, 4),
+        b in proptest::collection::vec(-1e6f64..1e6, 4),
+    ) {
+        let he = PaillierHe::generate(256, 8, 0xbeef).unwrap();
+        let ca = he.encrypt(&a).unwrap();
+        let cb = he.encrypt(&b).unwrap();
+        let out = he.decrypt(&he.add(&ca, &cb), 4);
+        for i in 0..4 {
+            prop_assert!((out[i] - (a[i] + b[i])).abs() < 1e-6, "slot {}", i);
+        }
+    }
+
+    /// CKKS: same property within the scheme's error bound.
+    #[test]
+    fn ckks_homomorphism(
+        a in proptest::collection::vec(-1e3f64..1e3, 8),
+        b in proptest::collection::vec(-1e3f64..1e3, 8),
+    ) {
+        let he = CkksHe::generate(&CkksParams::insecure_test(), 0xcafe).unwrap();
+        let ca = he.encrypt(&a).unwrap();
+        let cb = he.encrypt(&b).unwrap();
+        let out = he.decrypt(&he.add(&ca, &cb), 8);
+        let bound = he.error_bound(2);
+        for i in 0..8 {
+            prop_assert!(
+                (out[i] - (a[i] + b[i])).abs() < bound,
+                "slot {}: {} vs {}", i, out[i], a[i] + b[i]
+            );
+        }
+    }
+
+    /// Ciphertext serialization round-trips for both real schemes.
+    #[test]
+    fn ciphertext_wire_roundtrip(values in proptest::collection::vec(-1e4f64..1e4, 3)) {
+        let p = PaillierHe::generate(128, 4, 7).unwrap();
+        let cp = p.encrypt(&values).unwrap();
+        prop_assert_eq!(p.ct_from_bytes(&p.ct_to_bytes(&cp)).unwrap(), cp);
+
+        let c = CkksHe::generate(&CkksParams::insecure_test(), 7).unwrap();
+        let cc = c.encrypt(&values).unwrap();
+        prop_assert_eq!(c.ct_from_bytes(&c.ct_to_bytes(&cc)).unwrap(), cc);
+    }
+}

@@ -1,0 +1,179 @@
+//! k-fold cross-validation — used to pick hyper-parameters (e.g. the
+//! paper's learning-rate grid) without touching the test split.
+
+use crate::linalg::Matrix;
+
+/// Deterministic k-fold split of `n` rows.
+///
+/// Folds differ in size by at most one row; every row appears in exactly
+/// one validation fold.
+#[derive(Clone, Debug)]
+pub struct KFold {
+    folds: Vec<Vec<usize>>,
+}
+
+impl KFold {
+    /// Creates `k` folds over `n` rows with a seeded shuffle.
+    ///
+    /// # Panics
+    /// Panics when `k < 2` or `k > n`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, seed: u64) -> KFold {
+        assert!(k >= 2, "need at least two folds");
+        assert!(k <= n, "more folds than rows");
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            idx.swap(i, j);
+        }
+        let mut folds = vec![Vec::new(); k];
+        for (i, row) in idx.into_iter().enumerate() {
+            folds[i % k].push(row);
+        }
+        KFold { folds }
+    }
+
+    /// Number of folds.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Iterates `(train_rows, val_rows)` per fold.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, Vec<usize>)> + '_ {
+        (0..self.folds.len()).map(move |f| {
+            let val = self.folds[f].clone();
+            let train: Vec<usize> = self
+                .folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != f)
+                .flat_map(|(_, fold)| fold.iter().copied())
+                .collect();
+            (train, val)
+        })
+    }
+
+    /// Mean validation score of `fit_score(train_x, train_y, val_x, val_y)`
+    /// across folds.
+    pub fn cross_validate(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        mut fit_score: impl FnMut(&Matrix, &[usize], &Matrix, &[usize]) -> f64,
+    ) -> f64 {
+        let mut total = 0.0;
+        for (train, val) in self.splits() {
+            let tx = x.select_rows(&train);
+            let ty: Vec<usize> = train.iter().map(|&r| y[r]).collect();
+            let vx = x.select_rows(&val);
+            let vy: Vec<usize> = val.iter().map(|&r| y[r]).collect();
+            total += fit_score(&tx, &ty, &vx, &vy);
+        }
+        total / self.k() as f64
+    }
+}
+
+/// Grid-searches `candidates` by k-fold CV score (higher is better),
+/// returning the winning candidate (ties favour the earlier entry).
+///
+/// # Panics
+/// Panics on an empty candidate list.
+pub fn select_by_cv<T: Copy>(
+    x: &Matrix,
+    y: &[usize],
+    folds: &KFold,
+    candidates: &[T],
+    mut fit_score: impl FnMut(T, &Matrix, &[usize], &Matrix, &[usize]) -> f64,
+) -> (T, f64) {
+    assert!(!candidates.is_empty(), "empty candidate grid");
+    let mut best: Option<(T, f64)> = None;
+    for &c in candidates {
+        let score = folds.cross_validate(x, y, |tx, ty, vx, vy| {
+            fit_score(c, tx, ty, vx, vy)
+        });
+        if best.map(|(_, s)| score > s).unwrap_or(true) {
+            best = Some((c, score));
+        }
+    }
+    best.expect("non-empty grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::KnnClassifier;
+
+    fn blobs(n: usize) -> (Matrix, Vec<usize>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let c = if i % 2 == 0 { -2.0 } else { 2.0 };
+                vec![c + (i as f64 * 0.618).fract(), (i as f64 * 0.414).fract()]
+            })
+            .collect();
+        (Matrix::from_rows(&rows), (0..n).map(|i| i % 2).collect())
+    }
+
+    #[test]
+    fn folds_partition_the_rows() {
+        let kf = KFold::new(53, 5, 1);
+        let mut all: Vec<usize> = kf
+            .splits()
+            .flat_map(|(_, val)| val)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..53).collect::<Vec<_>>());
+        for (train, val) in kf.splits() {
+            assert_eq!(train.len() + val.len(), 53);
+            assert!(val.len() == 10 || val.len() == 11);
+        }
+    }
+
+    #[test]
+    fn folds_are_seeded() {
+        let a = KFold::new(40, 4, 7);
+        let b = KFold::new(40, 4, 7);
+        let c = KFold::new(40, 4, 8);
+        let first = |kf: &KFold| kf.splits().next().unwrap().1;
+        assert_eq!(first(&a), first(&b));
+        assert_ne!(first(&a), first(&c));
+    }
+
+    #[test]
+    fn cv_scores_a_separable_problem_highly() {
+        let (x, y) = blobs(60);
+        let kf = KFold::new(60, 5, 2);
+        let score = kf.cross_validate(&x, &y, |tx, ty, vx, vy| {
+            let knn = KnnClassifier::fit(3, tx.clone(), ty.to_vec(), 2);
+            knn.accuracy(vx, vy)
+        });
+        assert!(score > 0.9, "cv accuracy {score}");
+    }
+
+    #[test]
+    fn select_by_cv_picks_the_better_k() {
+        let (x, y) = blobs(60);
+        let kf = KFold::new(60, 4, 3);
+        // k = n-ish forces the classifier toward the prior; small k wins.
+        let (best_k, score) =
+            select_by_cv(&x, &y, &kf, &[3usize, 45], |k, tx, ty, vx, vy| {
+                let knn = KnnClassifier::fit(k, tx.clone(), ty.to_vec(), 2);
+                knn.accuracy(vx, vy)
+            });
+        assert_eq!(best_k, 3);
+        assert!(score > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than rows")]
+    fn too_many_folds_rejected() {
+        let _ = KFold::new(3, 5, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! k-nearest-neighbors classification — the paper's proxy model and one of
+//! its three downstream tasks.
+
+use crate::linalg::{squared_distance, Matrix};
+use std::collections::BinaryHeap;
+
+/// Ordered (distance, id) pair for the max-heap used in top-k selection.
+#[derive(PartialEq)]
+struct HeapEntry(f64, usize);
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap by distance, ties pushed toward larger ids so the kept
+        // set prefers smaller ids deterministically.
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+/// Brute-force KNN classifier over a stored training set.
+#[derive(Clone, Debug)]
+pub struct KnnClassifier {
+    k: usize,
+    train_x: Matrix,
+    train_y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// Stores the training data.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, the training set is empty, rows/labels disagree,
+    /// or a label is out of range.
+    #[must_use]
+    pub fn fit(k: usize, train_x: Matrix, train_y: Vec<usize>, n_classes: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        assert!(train_x.rows() > 0, "empty training set");
+        assert_eq!(train_x.rows(), train_y.len(), "rows/labels mismatch");
+        assert!(train_y.iter().all(|&y| y < n_classes), "label out of range");
+        KnnClassifier { k: k.min(train_x.rows()), train_x, train_y, n_classes }
+    }
+
+    /// The effective `k` (clamped to the training-set size).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Indices and distances of the `k` nearest training rows to `x`,
+    /// nearest first. Ties broken by smaller row id.
+    #[must_use]
+    pub fn nearest(&self, x: &[f64]) -> Vec<(usize, f64)> {
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(self.k + 1);
+        for i in 0..self.train_x.rows() {
+            let d = squared_distance(x, self.train_x.row(i));
+            if heap.len() < self.k {
+                heap.push(HeapEntry(d, i));
+            } else if let Some(top) = heap.peek() {
+                if HeapEntry(d, i) < *top {
+                    heap.pop();
+                    heap.push(HeapEntry(d, i));
+                }
+            }
+        }
+        let mut out: Vec<(usize, f64)> = heap.into_iter().map(|e| (e.1, e.0)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Predicts the label of a single point by majority vote among the `k`
+    /// nearest (ties broken by smaller class id).
+    #[must_use]
+    pub fn predict_one(&self, x: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for (idx, _) in self.nearest(x) {
+            votes[self.train_y[idx]] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Predicts a batch.
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|r| self.predict_one(x.row(r))).collect()
+    }
+
+    /// Accuracy over a labelled set.
+    #[must_use]
+    pub fn accuracy(&self, x: &Matrix, y: &[usize]) -> f64 {
+        crate::metrics::accuracy(&self.predict(x), y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> KnnClassifier {
+        // Two well-separated clusters on the x-axis.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.1],
+            vec![0.2, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 4.9],
+            vec![4.9, 5.1],
+        ]);
+        KnnClassifier::fit(3, x, vec![0, 0, 0, 1, 1, 1], 2)
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let knn = toy();
+        assert_eq!(knn.predict_one(&[0.05, 0.05]), 0);
+        assert_eq!(knn.predict_one(&[5.0, 5.05]), 1);
+    }
+
+    #[test]
+    fn nearest_is_sorted_and_correct() {
+        let knn = toy();
+        let nn = knn.nearest(&[0.0, 0.0]);
+        assert_eq!(nn.len(), 3);
+        assert_eq!(nn[0].0, 0);
+        assert!(nn[0].1 <= nn[1].1 && nn[1].1 <= nn[2].1);
+    }
+
+    #[test]
+    fn k_clamped_to_train_size() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let knn = KnnClassifier::fit(10, x, vec![0, 1], 2);
+        assert_eq!(knn.k(), 2);
+        assert_eq!(knn.nearest(&[0.4]).len(), 2);
+    }
+
+    #[test]
+    fn tie_votes_prefer_smaller_class() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let knn = KnnClassifier::fit(2, x, vec![1, 0], 2);
+        // One vote each: class 0 wins the tie.
+        assert_eq!(knn.predict_one(&[0.5]), 0);
+    }
+
+    #[test]
+    fn batch_accuracy() {
+        let knn = toy();
+        let test = Matrix::from_rows(&[vec![0.0, 0.1], vec![5.0, 5.0], vec![0.1, 0.0]]);
+        assert_eq!(knn.accuracy(&test, &[0, 1, 0]), 1.0);
+        assert_eq!(knn.accuracy(&test, &[1, 1, 0]), 2.0 / 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn rejects_bad_labels() {
+        let x = Matrix::from_rows(&[vec![0.0]]);
+        let _ = KnnClassifier::fit(1, x, vec![5], 2);
+    }
+
+    #[test]
+    fn distance_ties_prefer_smaller_row_id() {
+        // Rows 0 and 1 are equidistant from the query; k=1 must pick row 0.
+        let x = Matrix::from_rows(&[vec![1.0], vec![-1.0], vec![10.0]]);
+        let knn = KnnClassifier::fit(1, x, vec![0, 1, 1], 2);
+        let nn = knn.nearest(&[0.0]);
+        assert_eq!(nn[0].0, 0);
+    }
+}

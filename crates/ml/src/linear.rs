@@ -1,0 +1,106 @@
+//! Multinomial logistic regression — a softmax head with no hidden layers,
+//! sharing the MLP's training loop (Adam, early stopping, lr grid).
+
+use crate::linalg::Matrix;
+use crate::mlp::{FitReport, Mlp, TrainConfig};
+
+/// Logistic-regression classifier (`softmax(xW + b)`).
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    inner: Mlp,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model for `n_features` inputs and `n_classes`
+    /// outputs.
+    #[must_use]
+    pub fn new(n_features: usize, n_classes: usize, lr: f64, seed: u64) -> Self {
+        LogisticRegression { inner: Mlp::new(&[n_features, n_classes], lr, seed) }
+    }
+
+    /// Trains with the paper's protocol; see [`Mlp::fit`].
+    pub fn fit(
+        &mut self,
+        train_x: &Matrix,
+        train_y: &[usize],
+        val_x: &Matrix,
+        val_y: &[usize],
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        self.inner.fit(train_x, train_y, val_x, val_y, cfg)
+    }
+
+    /// Hard predictions.
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.inner.predict(x)
+    }
+
+    /// Class probabilities.
+    #[must_use]
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        self.inner.predict_proba(x)
+    }
+
+    /// Mean cross-entropy.
+    #[must_use]
+    pub fn loss(&self, x: &Matrix, y: &[usize]) -> f64 {
+        self.inner.loss(x, y)
+    }
+
+    /// Accuracy.
+    #[must_use]
+    pub fn accuracy(&self, x: &Matrix, y: &[usize]) -> f64 {
+        self.inner.accuracy(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            let (cx, cy) = [(0.0, 3.0), (-3.0, -2.0), (3.0, -2.0)][c];
+            rows.push(vec![cx + rng.gen_range(-1.0..1.0), cy + rng.gen_range(-1.0..1.0)]);
+            ys.push(c);
+        }
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    #[test]
+    fn learns_three_classes() {
+        let (x, y) = blobs(300, 1);
+        let (vx, vy) = blobs(90, 2);
+        let mut lr = LogisticRegression::new(2, 3, 0.1, 3);
+        lr.fit(&x, &y, &vx, &vy, &TrainConfig::fast());
+        assert!(lr.accuracy(&vx, &vy) > 0.95, "acc={}", lr.accuracy(&vx, &vy));
+    }
+
+    #[test]
+    fn probabilities_are_calibratedish() {
+        let (x, y) = blobs(300, 4);
+        let mut lr = LogisticRegression::new(2, 3, 0.1, 5);
+        lr.fit(&x, &y, &x, &y, &TrainConfig::fast());
+        let p = lr.predict_proba(&x);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let (x, y) = blobs(200, 6);
+        let mut lr = LogisticRegression::new(2, 3, 0.1, 7);
+        let before = lr.loss(&x, &y);
+        lr.fit(&x, &y, &x, &y, &TrainConfig::fast());
+        assert!(lr.loss(&x, &y) < before);
+    }
+}

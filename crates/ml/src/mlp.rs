@@ -1,0 +1,352 @@
+//! Multi-layer perceptron with the paper's training protocol: Adam,
+//! batch size 100, at most 200 epochs, early stopping when validation loss
+//! stops improving for 5 consecutive epochs, learning rate grid-searched
+//! over {0.001, 0.01, 0.1}.
+//!
+//! A logistic-regression model is the degenerate case with no hidden layer
+//! (see [`crate::linear::LogisticRegression`]).
+
+use crate::linalg::Matrix;
+use crate::metrics::accuracy;
+use crate::nn::{cross_entropy, relu, relu_backward, softmax, softmax_ce_grad, Dense};
+
+/// Training hyper-parameters (defaults mirror the paper's §V-A).
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Epoch cap.
+    pub max_epochs: usize,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+    /// Learning rate.
+    pub lr: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { batch_size: 100, max_epochs: 200, patience: 5, lr: 0.01 }
+    }
+}
+
+impl TrainConfig {
+    /// The paper's learning-rate grid.
+    pub const LR_GRID: [f64; 3] = [0.001, 0.01, 0.1];
+
+    /// A faster configuration for tests and simulations.
+    #[must_use]
+    pub fn fast() -> Self {
+        TrainConfig { batch_size: 32, max_epochs: 40, patience: 5, lr: 0.01 }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Copy, Debug)]
+pub struct FitReport {
+    /// Epochs actually executed.
+    pub epochs_run: usize,
+    /// Best validation loss observed.
+    pub best_val_loss: f64,
+    /// Whether early stopping fired before the epoch cap.
+    pub early_stopped: bool,
+}
+
+/// A feed-forward network: dense layers with ReLU between them and a
+/// softmax head.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[F, H, C]` for one
+    /// hidden layer. `sizes.len() >= 2`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two sizes are given or any size is zero.
+    #[must_use]
+    pub fn new(sizes: &[usize], lr: f64, seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert!(sizes.iter().all(|&s| s > 0), "zero-width layer");
+        let layers = sizes
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(w[0], w[1], lr, seed.wrapping_add(i as u64 * 7919)))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// The paper's 3-layer architecture for feature dimension `f` and `c`
+    /// classes: hidden widths equal to the input dimension, ReLU.
+    #[must_use]
+    pub fn paper_architecture(f: usize, c: usize, lr: f64, seed: u64) -> Self {
+        Mlp::new(&[f, f, f, c], lr, seed)
+    }
+
+    /// Number of dense layers.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass returning per-layer pre-activations and the final
+    /// probabilities.
+    fn forward_full(&self, x: &Matrix) -> (Vec<Matrix>, Vec<Matrix>, Matrix) {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre_acts = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(cur.clone());
+            let z = layer.forward(&cur);
+            pre_acts.push(z.clone());
+            cur = if i + 1 < self.layers.len() { relu(&z) } else { z };
+        }
+        let probs = softmax(&cur);
+        (inputs, pre_acts, probs)
+    }
+
+    /// Class probabilities for a batch.
+    #[must_use]
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        self.forward_full(x).2
+    }
+
+    /// Hard predictions for a batch.
+    #[must_use]
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let p = self.predict_proba(x);
+        (0..p.rows())
+            .map(|r| {
+                p.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Mean cross-entropy over a labelled set.
+    #[must_use]
+    pub fn loss(&self, x: &Matrix, y: &[usize]) -> f64 {
+        cross_entropy(&self.predict_proba(x), y)
+    }
+
+    /// Accuracy over a labelled set.
+    #[must_use]
+    pub fn accuracy(&self, x: &Matrix, y: &[usize]) -> f64 {
+        accuracy(&self.predict(x), y)
+    }
+
+    /// One optimizer step on a mini-batch; returns the batch loss.
+    pub fn train_batch(&mut self, x: &Matrix, y: &[usize]) -> f64 {
+        let (inputs, pre_acts, probs) = self.forward_full(x);
+        let loss = cross_entropy(&probs, y);
+        let mut grad = softmax_ce_grad(&probs, y);
+        for i in (0..self.layers.len()).rev() {
+            if i + 1 < self.layers.len() {
+                grad = relu_backward(&pre_acts[i], &grad);
+            }
+            grad = self.layers[i].backward_update(&inputs[i], &grad);
+        }
+        loss
+    }
+
+    /// Sets the learning rate on every layer.
+    pub fn set_learning_rate(&mut self, lr: f64) {
+        for l in &mut self.layers {
+            l.set_learning_rate(lr);
+        }
+    }
+
+    /// Full training loop with early stopping on validation loss; the best
+    /// weights (by validation loss) are restored at the end.
+    ///
+    /// # Panics
+    /// Panics on empty training data or row/label mismatches.
+    pub fn fit(
+        &mut self,
+        train_x: &Matrix,
+        train_y: &[usize],
+        val_x: &Matrix,
+        val_y: &[usize],
+        cfg: &TrainConfig,
+    ) -> FitReport {
+        assert!(train_x.rows() > 0, "empty training set");
+        assert_eq!(train_x.rows(), train_y.len(), "train rows/labels mismatch");
+        assert_eq!(val_x.rows(), val_y.len(), "val rows/labels mismatch");
+
+        let n = train_x.rows();
+        let mut best_val = f64::INFINITY;
+        let mut best_weights: Option<Vec<Dense>> = None;
+        let mut stale = 0usize;
+        let mut epochs_run = 0usize;
+        let mut early_stopped = false;
+
+        for _epoch in 0..cfg.max_epochs {
+            epochs_run += 1;
+            let mut start = 0;
+            while start < n {
+                let end = (start + cfg.batch_size).min(n);
+                let idx: Vec<usize> = (start..end).collect();
+                let bx = train_x.select_rows(&idx);
+                let by: Vec<usize> = idx.iter().map(|&i| train_y[i]).collect();
+                let _ = self.train_batch(&bx, &by);
+                start = end;
+            }
+            let val_loss = if val_y.is_empty() {
+                self.loss(train_x, train_y)
+            } else {
+                self.loss(val_x, val_y)
+            };
+            if val_loss + 1e-9 < best_val {
+                best_val = val_loss;
+                best_weights = Some(self.layers.clone());
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= cfg.patience {
+                    early_stopped = true;
+                    break;
+                }
+            }
+        }
+        if let Some(w) = best_weights {
+            self.layers = w;
+        }
+        FitReport { epochs_run, best_val_loss: best_val, early_stopped }
+    }
+}
+
+/// Trains one model per learning rate in the paper's grid and keeps the one
+/// with the best validation loss. `make` builds a fresh model for an `lr`.
+pub fn grid_search_lr<M>(
+    make: impl Fn(f64) -> (M, FitReport),
+    val_loss: impl Fn(&M) -> f64,
+) -> (M, f64) {
+    let mut best: Option<(M, f64, f64)> = None;
+    for &lr in &TrainConfig::LR_GRID {
+        let (model, _) = make(lr);
+        let loss = val_loss(&model);
+        let replace = best.as_ref().map(|(_, l, _)| loss < *l).unwrap_or(true);
+        if replace {
+            best = Some((model, loss, lr));
+        }
+    }
+    let (model, _, lr) = best.expect("grid is non-empty");
+    (model, lr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two gaussian blobs, linearly separable.
+    fn blobs(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let cx = if c == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![cx + rng.gen_range(-0.8..0.8), rng.gen_range(-1.0..1.0)]);
+            ys.push(c);
+        }
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    /// XOR-ish pattern: not linearly separable, needs the hidden layer.
+    fn xor(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let x = rng.gen_range(-1.0..1.0f64);
+            let y = rng.gen_range(-1.0..1.0f64);
+            rows.push(vec![x, y]);
+            ys.push(usize::from((x > 0.0) != (y > 0.0)));
+        }
+        (Matrix::from_rows(&rows), ys)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, y) = blobs(200, 1);
+        let (vx, vy) = blobs(60, 2);
+        let mut mlp = Mlp::new(&[2, 8, 2], 0.01, 3);
+        let report = mlp.fit(&x, &y, &vx, &vy, &TrainConfig::fast());
+        assert!(report.epochs_run >= 1);
+        assert!(mlp.accuracy(&vx, &vy) > 0.95, "acc={}", mlp.accuracy(&vx, &vy));
+    }
+
+    #[test]
+    fn hidden_layer_solves_xor() {
+        let (x, y) = xor(400, 4);
+        let (vx, vy) = xor(100, 5);
+        let mut mlp = Mlp::new(&[2, 16, 2], 0.05, 6);
+        let cfg = TrainConfig { batch_size: 50, max_epochs: 150, patience: 20, lr: 0.05 };
+        mlp.fit(&x, &y, &vx, &vy, &cfg);
+        assert!(mlp.accuracy(&vx, &vy) > 0.9, "acc={}", mlp.accuracy(&vx, &vy));
+    }
+
+    #[test]
+    fn early_stopping_fires_on_diverging_validation() {
+        // Validation labels contradict training labels, so validation loss
+        // only gets worse as the model fits the training set.
+        let x = Matrix::from_rows(&vec![vec![1.0, 1.0]; 40]);
+        let y = vec![0usize; 40];
+        let vy = vec![1usize; 40];
+        let mut mlp = Mlp::new(&[2, 2], 0.1, 7);
+        let cfg = TrainConfig { batch_size: 10, max_epochs: 200, patience: 3, lr: 0.1 };
+        let report = mlp.fit(&x, &y, &x, &vy, &cfg);
+        assert!(report.early_stopped, "ran {} epochs", report.epochs_run);
+        assert!(report.epochs_run <= 10);
+    }
+
+    #[test]
+    fn paper_architecture_has_three_layers() {
+        let mlp = Mlp::paper_architecture(10, 2, 0.01, 1);
+        assert_eq!(mlp.depth(), 3);
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (x, y) = blobs(100, 8);
+        let mut mlp = Mlp::new(&[2, 4, 2], 0.01, 9);
+        let before = mlp.loss(&x, &y);
+        for _ in 0..30 {
+            let _ = mlp.train_batch(&x, &y);
+        }
+        assert!(mlp.loss(&x, &y) < before);
+    }
+
+    #[test]
+    fn grid_search_picks_a_grid_rate() {
+        let (x, y) = blobs(120, 10);
+        let (vx, vy) = blobs(40, 11);
+        let (model, lr) = grid_search_lr(
+            |lr| {
+                let mut m = Mlp::new(&[2, 4, 2], lr, 12);
+                let r = m.fit(&x, &y, &vx, &vy, &TrainConfig::fast());
+                (m, r)
+            },
+            |m| m.loss(&vx, &vy),
+        );
+        assert!(TrainConfig::LR_GRID.contains(&lr));
+        assert!(model.accuracy(&vx, &vy) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(50, 13);
+        let mut a = Mlp::new(&[2, 4, 2], 0.01, 99);
+        let mut b = Mlp::new(&[2, 4, 2], 0.01, 99);
+        let la = a.train_batch(&x, &y);
+        let lb = b.train_batch(&x, &y);
+        assert_eq!(la, lb);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+}

@@ -1,0 +1,329 @@
+//! A simulated cluster: one thread per node, crossbeam channels as links,
+//! and a shared traffic ledger recording byte-accurate per-link volume.
+//!
+//! The VFL protocols deploy five logical roles (key server, aggregation
+//! server, leader, participants) onto these nodes, mirroring the paper's
+//! five-machine deployment.
+
+use crate::wire::Wire;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Node identifier within a cluster.
+pub type NodeId = usize;
+
+/// A routed message envelope.
+#[derive(Clone, Debug)]
+pub struct Envelope<M> {
+    /// Sender node.
+    pub from: NodeId,
+    /// The payload.
+    pub msg: M,
+}
+
+/// Per-link traffic totals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkTraffic {
+    /// Bytes moved over the link.
+    pub bytes: u64,
+    /// Messages moved over the link.
+    pub messages: u64,
+}
+
+/// A single send, in global order — the protocol transcript entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Global sequence number (order of sends across all nodes).
+    pub seq: u64,
+    /// Sender.
+    pub from: NodeId,
+    /// Receiver.
+    pub to: NodeId,
+    /// Wire size of the message.
+    pub bytes: u64,
+}
+
+/// Shared, thread-safe traffic ledger, optionally recording the full
+/// message transcript (enable with [`TrafficLedger::with_trace`] — the
+/// transcript is the tool for diagnosing protocol races and deadlocks).
+#[derive(Clone, Debug, Default)]
+pub struct TrafficLedger {
+    links: Arc<Mutex<HashMap<(NodeId, NodeId), LinkTraffic>>>,
+    trace: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+}
+
+impl TrafficLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a ledger that also records the message transcript.
+    #[must_use]
+    pub fn with_trace() -> Self {
+        TrafficLedger {
+            links: Arc::default(),
+            trace: Some(Arc::new(Mutex::new(Vec::new()))),
+        }
+    }
+
+    fn record(&self, from: NodeId, to: NodeId, bytes: u64) {
+        let mut links = self.links.lock();
+        let entry = links.entry((from, to)).or_default();
+        entry.bytes += bytes;
+        entry.messages += 1;
+        if let Some(trace) = &self.trace {
+            let mut t = trace.lock();
+            let seq = t.len() as u64;
+            t.push(TraceEvent { seq, from, to, bytes });
+        }
+    }
+
+    /// The recorded transcript (empty unless built with `with_trace`).
+    #[must_use]
+    pub fn transcript(&self) -> Vec<TraceEvent> {
+        self.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default()
+    }
+
+    /// Snapshot of all links.
+    #[must_use]
+    pub fn snapshot(&self) -> HashMap<(NodeId, NodeId), LinkTraffic> {
+        self.links.lock().clone()
+    }
+
+    /// Total bytes over all links.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.links.lock().values().map(|l| l.bytes).sum()
+    }
+
+    /// Total messages over all links.
+    #[must_use]
+    pub fn total_messages(&self) -> u64 {
+        self.links.lock().values().map(|l| l.messages).sum()
+    }
+}
+
+/// A node's handle to the cluster: send to any node, receive from anyone.
+pub struct NodeCtx<M> {
+    /// This node's id.
+    pub id: NodeId,
+    senders: Vec<Sender<Envelope<M>>>,
+    receiver: Receiver<Envelope<M>>,
+    ledger: TrafficLedger,
+}
+
+impl<M: Wire + Send + 'static> NodeCtx<M> {
+    /// Sends `msg` to node `to`, recording its wire size on the ledger.
+    ///
+    /// # Panics
+    /// Panics if the destination is out of range or has hung up.
+    pub fn send(&self, to: NodeId, msg: M) {
+        let bytes = msg.encoded_len() as u64;
+        self.ledger.record(self.id, to, bytes);
+        self.senders[to]
+            .send(Envelope { from: self.id, msg })
+            .expect("destination node hung up");
+    }
+
+    /// Blocking receive of the next message.
+    ///
+    /// # Panics
+    /// Panics when all senders have hung up.
+    #[must_use]
+    pub fn recv(&self) -> Envelope<M> {
+        self.receiver.recv().expect("all peers hung up")
+    }
+
+    /// Receives until a message from `from` arrives, asserting the cluster
+    /// protocol is well-ordered (used by the strictly phased VFL flows).
+    ///
+    /// # Panics
+    /// Panics if a message from a different node arrives first.
+    #[must_use]
+    pub fn recv_from(&self, from: NodeId) -> M {
+        let env = self.recv();
+        assert_eq!(env.from, from, "protocol violation: expected node {from}, got {}", env.from);
+        env.msg
+    }
+
+    /// Number of nodes in the cluster.
+    #[must_use]
+    pub fn cluster_size(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+/// Spawns `node_fns.len()` nodes, runs them to completion, and returns their
+/// results plus the traffic ledger.
+///
+/// # Panics
+/// Propagates panics from node threads.
+pub fn run_cluster<M, R>(
+    node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
+) -> (Vec<R>, TrafficLedger)
+where
+    M: Wire + Send + 'static,
+    R: Send + 'static,
+{
+    run_cluster_with(node_fns, TrafficLedger::new())
+}
+
+/// As [`run_cluster`] but records the full message transcript
+/// ([`TrafficLedger::transcript`]) for protocol debugging.
+///
+/// # Panics
+/// Propagates panics from node threads.
+pub fn run_cluster_traced<M, R>(
+    node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
+) -> (Vec<R>, TrafficLedger)
+where
+    M: Wire + Send + 'static,
+    R: Send + 'static,
+{
+    run_cluster_with(node_fns, TrafficLedger::with_trace())
+}
+
+fn run_cluster_with<M, R>(
+    node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
+    ledger: TrafficLedger,
+) -> (Vec<R>, TrafficLedger)
+where
+    M: Wire + Send + 'static,
+    R: Send + 'static,
+{
+    let n = node_fns.len();
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let mut handles = Vec::with_capacity(n);
+    for (id, (f, receiver)) in node_fns.into_iter().zip(receivers).enumerate() {
+        let ctx = NodeCtx {
+            id,
+            senders: senders.clone(),
+            receiver,
+            ledger: ledger.clone(),
+        };
+        handles.push(std::thread::spawn(move || f(ctx)));
+    }
+    drop(senders);
+    let results = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread panicked"))
+        .collect();
+    (results, ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pass_accumulates_traffic() {
+        // Node 0 sends a token around a 4-node ring; each hop adds one.
+        let n = 4;
+        let fns: Vec<Box<dyn FnOnce(NodeCtx<u64>) -> u64 + Send>> = (0..n)
+            .map(|i| {
+                Box::new(move |ctx: NodeCtx<u64>| {
+                    if i == 0 {
+                        ctx.send(1, 1u64);
+                        ctx.recv().msg
+                    } else {
+                        let v = ctx.recv().msg;
+                        ctx.send((i + 1) % n, v + 1);
+                        v
+                    }
+                }) as Box<dyn FnOnce(NodeCtx<u64>) -> u64 + Send>
+            })
+            .collect();
+        let (results, ledger) = run_cluster(fns);
+        assert_eq!(results[0], 4, "token incremented by three intermediate hops + 1");
+        assert_eq!(ledger.total_messages(), 4);
+        assert_eq!(ledger.total_bytes(), 4 * 8, "four u64 hops");
+    }
+
+    #[test]
+    fn star_aggregation() {
+        // Nodes 1..4 send a vector to node 0, which sums them.
+        let fns: Vec<Box<dyn FnOnce(NodeCtx<Vec<f64>>) -> f64 + Send>> = (0..4)
+            .map(|i| {
+                Box::new(move |ctx: NodeCtx<Vec<f64>>| {
+                    if i == 0 {
+                        let mut total = 0.0;
+                        for _ in 0..3 {
+                            total += ctx.recv().msg.iter().sum::<f64>();
+                        }
+                        total
+                    } else {
+                        ctx.send(0, vec![i as f64; 2]);
+                        0.0
+                    }
+                }) as Box<dyn FnOnce(NodeCtx<Vec<f64>>) -> f64 + Send>
+            })
+            .collect();
+        let (results, ledger) = run_cluster(fns);
+        assert_eq!(results[0], 12.0, "2*(1+2+3)");
+        // Each message: 4-byte length + 2 f64 = 20 bytes.
+        let snap = ledger.snapshot();
+        assert_eq!(snap[&(1, 0)].bytes, 20);
+        assert_eq!(snap[&(2, 0)].messages, 1);
+    }
+
+    #[test]
+    fn transcript_records_sends_in_order() {
+        let fns: Vec<Box<dyn FnOnce(NodeCtx<u8>) -> u8 + Send>> = vec![
+            Box::new(|ctx: NodeCtx<u8>| {
+                ctx.send(1, 1);
+                let v = ctx.recv_from(1);
+                ctx.send(1, v + 1);
+                0
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                let v = ctx.recv_from(0);
+                ctx.send(0, v + 1);
+                ctx.recv_from(0)
+            }),
+        ];
+        let (results, ledger) = run_cluster_traced(fns);
+        assert_eq!(results[1], 3);
+        let t = ledger.transcript();
+        assert_eq!(t.len(), 3);
+        // Strict alternation 0→1, 1→0, 0→1 with increasing seq.
+        assert_eq!((t[0].from, t[0].to), (0, 1));
+        assert_eq!((t[1].from, t[1].to), (1, 0));
+        assert_eq!((t[2].from, t[2].to), (0, 1));
+        assert!(t.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(t.iter().all(|e| e.bytes == 1));
+    }
+
+    #[test]
+    fn untraced_ledger_has_empty_transcript() {
+        let fns: Vec<Box<dyn FnOnce(NodeCtx<u8>) -> u8 + Send>> =
+            vec![Box::new(|_ctx: NodeCtx<u8>| 0)];
+        let (_, ledger) = run_cluster(fns);
+        assert!(ledger.transcript().is_empty());
+    }
+
+    #[test]
+    fn recv_from_enforces_order() {
+        let fns: Vec<Box<dyn FnOnce(NodeCtx<u8>) -> u8 + Send>> = vec![
+            Box::new(|ctx: NodeCtx<u8>| {
+                let v = ctx.recv_from(1);
+                v + 1
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                ctx.send(0, 41);
+                0
+            }),
+        ];
+        let (results, _) = run_cluster(fns);
+        assert_eq!(results[0], 42);
+    }
+}

@@ -1,0 +1,63 @@
+//! # vfps-net — simulated distributed substrate for VFPS-SM
+//!
+//! The paper deploys five roles on five AWS machines talking gRPC; this
+//! crate reproduces that topology in-process:
+//!
+//! * [`wire`] — a hand-rolled binary codec, so every message has an exact,
+//!   deterministic byte size;
+//! * [`cluster`] — one thread per node with crossbeam-channel links and a
+//!   shared per-link traffic ledger;
+//! * [`cost`] — operation ledgers (encrypt/decrypt/add/distance counts,
+//!   bytes, rounds) and the [`cost::CostModel`] that prices them into
+//!   simulated seconds at the paper's data scales.
+//!
+//! ```
+//! use vfps_net::cost::{CostModel, OpLedger};
+//!
+//! let mut ledger = OpLedger::default();
+//! ledger.record_enc(1_000, 4); // each of 4 parties encrypts 1000 values
+//! ledger.record_round();
+//! let secs = ledger.simulated_seconds(&CostModel::default());
+//! assert!(secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod cost;
+pub mod wire;
+
+pub use cluster::{run_cluster, run_cluster_traced, Envelope, NodeCtx, NodeId, TraceEvent, TrafficLedger};
+pub use cost::{CostModel, OpLedger};
+pub use wire::{Wire, WireError};
+
+#[cfg(test)]
+mod proptests {
+    use super::wire::Wire;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every encoded value round-trips and reports its exact size.
+        #[test]
+        fn wire_roundtrip_vec_f64(v in proptest::collection::vec(-1e12f64..1e12, 0..64)) {
+            let bytes = v.to_bytes();
+            prop_assert_eq!(bytes.len(), v.encoded_len());
+            prop_assert_eq!(Vec::<f64>::from_bytes(&bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn wire_roundtrip_pairs(v in proptest::collection::vec((0usize..1_000_000, -1e9f64..1e9), 0..32)) {
+            let bytes = v.to_bytes();
+            prop_assert_eq!(bytes.len(), v.encoded_len());
+            prop_assert_eq!(Vec::<(usize, f64)>::from_bytes(&bytes).unwrap(), v);
+        }
+
+        /// Decoding arbitrary garbage never panics.
+        #[test]
+        fn decode_garbage_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Vec::<u64>::from_bytes(&bytes);
+            let _ = String::from_bytes(&bytes);
+            let _ = <(u32, f64)>::from_bytes(&bytes);
+        }
+    }
+}

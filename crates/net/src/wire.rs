@@ -1,0 +1,258 @@
+//! Hand-rolled binary wire codec.
+//!
+//! Byte counts drive the communication cost model, so the encoding is kept
+//! explicit and deterministic: little-endian fixed-width integers, `f64` as
+//! IEEE-754 bits, and length-prefixed sequences. No external serialization
+//! crate is used (DESIGN.md §5).
+
+use std::fmt;
+
+/// Decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// An enum tag byte was not recognized.
+    BadTag(u8),
+    /// A declared length exceeds the remaining input.
+    BadLength(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            WireError::BadTag(t) => write!(f, "unrecognized tag byte {t}"),
+            WireError::BadLength(l) => write!(f, "declared length {l} exceeds input"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Types with a canonical wire encoding.
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `input`, advancing it.
+    ///
+    /// # Errors
+    /// Returns a [`WireError`] on truncated or malformed input.
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Exact encoded size in bytes.
+    fn encoded_len(&self) -> usize;
+
+    /// Encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decodes a value that must consume the entire input.
+    ///
+    /// # Errors
+    /// Returns [`WireError::BadLength`] when trailing bytes remain.
+    fn from_bytes(mut input: &[u8]) -> Result<Self, WireError> {
+        let v = Self::decode(&mut input)?;
+        if input.is_empty() {
+            Ok(v)
+        } else {
+            Err(WireError::BadLength(input.len()))
+        }
+    }
+}
+
+/// Splits `n` bytes off the front of `input`, erroring when short — the
+/// primitive decoder building block (exposed for downstream message enums).
+///
+/// # Errors
+/// Returns [`WireError::UnexpectedEnd`] when fewer than `n` bytes remain.
+pub fn take<'a>(input: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if input.len() < n {
+        return Err(WireError::UnexpectedEnd);
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Ok(head)
+}
+
+macro_rules! impl_wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+                let bytes = take(input, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact length")))
+            }
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_wire_int!(u8, u16, u32, u64, i64);
+
+impl Wire for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let bytes = take(input, 8)?;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("exact length")))
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(u64::decode(input)? as usize)
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode(input)? as usize;
+        // Guard against absurd lengths from corrupt input.
+        if len > input.len().saturating_mul(8).saturating_add(16) {
+            return Err(WireError::BadLength(len));
+        }
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(T::decode(input)?);
+        }
+        Ok(out)
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Wire::encoded_len).sum::<usize>()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u32).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let len = u32::decode(input)? as usize;
+        let bytes = take(input, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadTag(0xff))
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(input)?, B::decode(input)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len must be exact");
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(u8::MAX);
+        roundtrip(12_345u32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(3.141_592_653_589_793f64);
+        roundtrip(f64::NEG_INFINITY);
+        roundtrip(true);
+        roundtrip(987_654usize);
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<f64>::new());
+        roundtrip("hello wire".to_owned());
+        roundtrip((7u32, vec![1.5f64, -2.5]));
+        roundtrip(vec![vec![1u8, 2], vec![], vec![3]]);
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let bytes = 123_456u64.to_bytes();
+        assert_eq!(u64::from_bytes(&bytes[..4]), Err(WireError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 1u8.to_bytes();
+        bytes.push(0);
+        assert!(matches!(u8::from_bytes(&bytes), Err(WireError::BadLength(1))));
+    }
+
+    #[test]
+    fn bad_bool_tag_rejected() {
+        assert_eq!(bool::from_bytes(&[2]), Err(WireError::BadTag(2)));
+    }
+
+    #[test]
+    fn absurd_vec_length_rejected() {
+        // Claim 2^31 elements with 0 bytes of payload.
+        let mut buf = Vec::new();
+        (u32::MAX / 2).encode(&mut buf);
+        assert!(Vec::<u64>::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn vec_len_matches_distance_batches() {
+        // A batch of 100 f64 partial distances costs 4 + 800 bytes.
+        let batch = vec![0.5f64; 100];
+        assert_eq!(batch.encoded_len(), 804);
+    }
+}

@@ -1,0 +1,148 @@
+//! Side-by-side comparison of the top-k algorithms on identical inputs —
+//! the experiment harness and benches use this to report the
+//! sequential/random access mix each algorithm pays.
+
+use crate::fagin::fagin_topk;
+use crate::list::{total_stats, AccessStats, Direction, RankedList};
+use crate::naive::naive_topk;
+use crate::nra::nra_topk;
+use crate::threshold::threshold_topk;
+use crate::TopkOutcome;
+
+/// The algorithms under comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Full scan (the `VFPS-SM-BASE` cost profile).
+    Naive,
+    /// Fagin's algorithm (the paper's choice).
+    Fagin,
+    /// The Threshold Algorithm.
+    Threshold,
+    /// No-Random-Access.
+    Nra,
+}
+
+impl Algorithm {
+    /// All algorithms, naive first.
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::Naive, Algorithm::Fagin, Algorithm::Threshold, Algorithm::Nra];
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Naive => "naive",
+            Algorithm::Fagin => "fagin",
+            Algorithm::Threshold => "threshold",
+            Algorithm::Nra => "nra",
+        }
+    }
+
+    /// Runs the algorithm on fresh copies of `lists`.
+    #[must_use]
+    pub fn run(&self, lists: &[RankedList], k: usize) -> ComparisonRow {
+        let mut copies = lists.to_vec();
+        for l in &mut copies {
+            l.reset_stats();
+        }
+        let outcome = match self {
+            Algorithm::Naive => naive_topk(&mut copies, k),
+            Algorithm::Fagin => fagin_topk(&mut copies, k),
+            Algorithm::Threshold => threshold_topk(&mut copies, k),
+            Algorithm::Nra => nra_topk(&mut copies, k),
+        };
+        ComparisonRow { algorithm: *self, stats: total_stats(&copies), outcome }
+    }
+}
+
+/// One algorithm's result and cost on a shared input.
+#[derive(Clone, Debug)]
+pub struct ComparisonRow {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Accesses it performed across all lists.
+    pub stats: AccessStats,
+    /// What it returned.
+    pub outcome: TopkOutcome,
+}
+
+/// Runs every algorithm on the same lists and returns the rows
+/// (naive first — its ids are the correctness oracle).
+///
+/// # Panics
+/// Panics if the algorithms disagree on the returned id set — this is a
+/// correctness tripwire, not a recoverable condition.
+#[must_use]
+pub fn compare_all(lists: &[RankedList], k: usize) -> Vec<ComparisonRow> {
+    let rows: Vec<ComparisonRow> =
+        Algorithm::ALL.iter().map(|a| a.run(lists, k)).collect();
+    let mut oracle = rows[0].outcome.ids();
+    oracle.sort_unstable();
+    for row in &rows[1..] {
+        let mut ids = row.outcome.ids();
+        ids.sort_unstable();
+        assert_eq!(
+            ids,
+            oracle,
+            "{} disagreed with the exhaustive oracle",
+            row.algorithm.name()
+        );
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn correlated_lists(n: usize, parties: usize) -> Vec<RankedList> {
+        (0..parties)
+            .map(|p| {
+                let scores: Vec<f64> = (0..n)
+                    .map(|i| i as f64 + ((i * 7 + p * 13) % 10) as f64 * 0.3)
+                    .collect();
+                RankedList::from_scores(scores, Direction::Ascending)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_algorithms_agree() {
+        let lists = correlated_lists(200, 3);
+        let rows = compare_all(&lists, 5);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].algorithm, Algorithm::Naive);
+    }
+
+    #[test]
+    fn naive_pays_the_most_random_accesses() {
+        let lists = correlated_lists(200, 3);
+        let rows = compare_all(&lists, 5);
+        let naive = &rows[0];
+        assert_eq!(naive.stats.random, 600, "3 lists x 200 items");
+        for row in &rows[1..] {
+            assert!(
+                row.stats.total() < naive.stats.total(),
+                "{} paid {} vs naive {}",
+                row.algorithm.name(),
+                row.stats.total(),
+                naive.stats.total()
+            );
+        }
+    }
+
+    #[test]
+    fn nra_never_random_accesses() {
+        let lists = correlated_lists(100, 2);
+        let row = Algorithm::Nra.run(&lists, 3);
+        assert_eq!(row.stats.random, 0);
+    }
+
+    #[test]
+    fn rerunning_resets_counters() {
+        let lists = correlated_lists(50, 2);
+        let a = Algorithm::Fagin.run(&lists, 3);
+        let b = Algorithm::Fagin.run(&lists, 3);
+        assert_eq!(a.stats, b.stats, "stats must not accumulate across runs");
+    }
+}

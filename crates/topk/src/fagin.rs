@@ -1,0 +1,183 @@
+//! Fagin's algorithm (FA) for monotone multi-party top-k queries.
+//!
+//! Three phases, exactly as the paper describes (§IV-B, Fig. 2):
+//!
+//! 1. **Sequential phase** — walk all sorted lists in lockstep until `k`
+//!    items have been *fully seen* (appeared in every list).
+//! 2. **Random-access phase** — fetch the missing scores of every item that
+//!    was seen at least once.
+//! 3. **Aggregate** — sum, sort, return the best `k`.
+//!
+//! Correctness for monotone aggregates: any unseen item ranks at or below
+//! the fully-seen depth in *every* list, so its aggregate cannot beat a
+//! fully-seen candidate.
+
+use crate::list::{ItemId, RankedList};
+use crate::naive::sort_for;
+use crate::TopkOutcome;
+
+/// Runs Fagin's algorithm over `lists`, returning the best `k` items.
+///
+/// # Panics
+/// Panics if `lists` is empty or lists disagree on length/direction.
+#[must_use]
+pub fn fagin_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
+    assert!(!lists.is_empty(), "need at least one list");
+    let n = lists[0].len();
+    let direction = lists[0].direction();
+    assert!(
+        lists.iter().all(|l| l.len() == n && l.direction() == direction),
+        "lists must agree on length and direction"
+    );
+    let k = k.min(n);
+    let parties = lists.len();
+
+    // Phase 1: lockstep sequential scan.
+    let mut seen_count = vec![0u32; n];
+    let mut seen_partial: Vec<Vec<f64>> = vec![Vec::new(); n];
+    let mut fully_seen = 0usize;
+    let mut depth = 0usize;
+    while fully_seen < k && depth < n {
+        for list in lists.iter_mut() {
+            let (id, score) = list.sequential_access(depth).expect("depth < n");
+            seen_count[id] += 1;
+            seen_partial[id].push(score);
+            if seen_count[id] as usize == parties {
+                fully_seen += 1;
+            }
+        }
+        depth += 1;
+    }
+
+    // Phase 2: random accesses for partially-seen candidates.
+    //
+    // An engineering refinement over re-fetching everything: items already
+    // fully seen need no random access, and partially-seen items only fetch
+    // from lists where they have not surfaced. To know *which* lists those
+    // are we track per-id which parties contributed — recomputed here from
+    // scratch by probing, which still counts each fetched score once.
+    let mut candidates: Vec<(ItemId, f64)> = Vec::new();
+    for id in 0..n {
+        if seen_count[id] == 0 {
+            continue;
+        }
+        let total: f64 = if seen_count[id] as usize == parties {
+            seen_partial[id].iter().sum()
+        } else {
+            // Random-access the full score vector: simpler bookkeeping at the
+            // cost of |P| random accesses per partial candidate, matching the
+            // classic FA description ("obtain the scores of all seen items").
+            lists
+                .iter_mut()
+                .map(|l| l.random_access(id).expect("dense ids"))
+                .sum()
+        };
+        candidates.push((id, total));
+    }
+
+    // Phase 3: aggregate + sort.
+    let candidates_examined = candidates.len();
+    sort_for(direction, &mut candidates);
+    candidates.truncate(k);
+    TopkOutcome { topk: candidates, candidates_examined, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::{total_stats, Direction};
+    use crate::naive::naive_topk;
+
+    /// The walkthrough of the paper's Fig. 2: three ascending lists, k = 2.
+    /// X1 and X3 are the first to appear in all lists, every touched item
+    /// (X1..X4) becomes a candidate, but the final minimal-2 is {X1, X2}.
+    #[test]
+    fn fagin_paper_fig2() {
+        // ids: X1=0, X2=1, X3=2, X4=3
+        let p1 = RankedList::from_scores(vec![1.0, 2.0, 6.0, 9.0], Direction::Ascending);
+        let p2 = RankedList::from_scores(vec![3.0, 3.5, 1.0, 2.0], Direction::Ascending);
+        let p3 = RankedList::from_scores(vec![1.0, 1.5, 2.0, 9.0], Direction::Ascending);
+        let mut lists = vec![p1, p2, p3];
+        let out = fagin_topk(&mut lists, 2);
+        assert_eq!(out.depth, 3, "scan stops once X1 and X3 are fully seen");
+        assert_eq!(out.candidates_examined, 4, "X1..X4 all surfaced");
+        let ids: Vec<_> = out.topk.iter().map(|e| e.0).collect();
+        assert_eq!(ids, vec![0, 1], "minimal-2 is X1, X2 — not the fully-seen X3");
+    }
+
+    #[test]
+    fn matches_naive_on_dense_example() {
+        let scores = [
+            vec![0.5, 2.0, 1.0, 4.0, 3.0, 0.1],
+            vec![1.5, 0.2, 2.0, 0.4, 3.0, 2.2],
+            vec![0.3, 1.0, 0.7, 2.0, 0.1, 0.9],
+        ];
+        for k in 1..=6 {
+            let mut a: Vec<RankedList> = scores
+                .iter()
+                .map(|s| RankedList::from_scores(s.clone(), Direction::Ascending))
+                .collect();
+            let mut b = a.clone();
+            assert_eq!(fagin_topk(&mut a, k).topk, naive_topk(&mut b, k).topk, "k={k}");
+        }
+    }
+
+    #[test]
+    fn stops_early_on_aligned_lists() {
+        // Identical rankings: the first k rows complete immediately.
+        let s = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let mut lists = vec![
+            RankedList::from_scores(s.clone(), Direction::Ascending),
+            RankedList::from_scores(s, Direction::Ascending),
+        ];
+        let out = fagin_topk(&mut lists, 3);
+        assert_eq!(out.depth, 3);
+        assert_eq!(out.candidates_examined, 3);
+        let stats = total_stats(&lists);
+        assert_eq!(stats.random, 0, "no partial candidates on aligned lists");
+        assert_eq!(stats.sequential, 6);
+    }
+
+    #[test]
+    fn anti_correlated_lists_degrade_gracefully() {
+        // Reversed rankings force a deep scan — FA's worst case.
+        let asc: Vec<f64> = (0..10).map(f64::from).collect();
+        let desc: Vec<f64> = (0..10).rev().map(f64::from).collect();
+        let mut lists = vec![
+            RankedList::from_scores(asc, Direction::Ascending),
+            RankedList::from_scores(desc, Direction::Ascending),
+        ];
+        let out = fagin_topk(&mut lists, 1);
+        assert!(out.depth >= 5, "must scan past the middle, got {}", out.depth);
+        let mut oracle = lists.clone();
+        assert_eq!(out.topk, naive_topk(&mut oracle, 1).topk);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let mut lists =
+            vec![RankedList::from_scores(vec![2.0, 1.0], Direction::Ascending)];
+        let out = fagin_topk(&mut lists, 50);
+        assert_eq!(out.topk.len(), 2);
+        assert_eq!(out.topk[0].0, 1);
+    }
+
+    #[test]
+    fn single_party_is_just_its_ranking() {
+        let mut lists =
+            vec![RankedList::from_scores(vec![3.0, 1.0, 2.0], Direction::Ascending)];
+        let out = fagin_topk(&mut lists, 2);
+        assert_eq!(out.topk, vec![(1, 1.0), (2, 2.0)]);
+        assert_eq!(out.depth, 2);
+    }
+
+    #[test]
+    fn descending_direction_supported() {
+        let mut lists = vec![
+            RankedList::from_scores(vec![1.0, 5.0, 2.0], Direction::Descending),
+            RankedList::from_scores(vec![2.0, 4.0, 3.0], Direction::Descending),
+        ];
+        let out = fagin_topk(&mut lists, 1);
+        assert_eq!(out.topk, vec![(1, 9.0)]);
+    }
+}

@@ -1,0 +1,216 @@
+//! Access-counted sorted lists — the access model of the classic top-k
+//! query literature (Fagin 1996; Fagin, Lotem & Naor 2001).
+//!
+//! Each party exposes its scores through two primitives whose costs differ
+//! in a middleware/federated setting:
+//!
+//! * **sequential access** — read the next `(id, score)` pair in rank order;
+//! * **random access** — look up the score of a given id directly.
+//!
+//! [`RankedList`] counts both so algorithms can be compared on the exact
+//! currency the paper's Fagin optimization saves.
+
+/// Identifier of a data instance (a pseudo ID after shuffling).
+pub type ItemId = usize;
+
+/// Running tally of list accesses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AccessStats {
+    /// Number of sequential (sorted) accesses performed.
+    pub sequential: usize,
+    /// Number of random (by-id) accesses performed.
+    pub random: usize,
+}
+
+impl AccessStats {
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(self, other: AccessStats) -> AccessStats {
+        AccessStats {
+            sequential: self.sequential + other.sequential,
+            random: self.random + other.random,
+        }
+    }
+
+    /// Total accesses of either kind.
+    #[must_use]
+    pub fn total(self) -> usize {
+        self.sequential + self.random
+    }
+}
+
+/// Sort direction of a ranked list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Smallest score first (distances — the VFPS-SM case).
+    #[default]
+    Ascending,
+    /// Largest score first (relevance scores).
+    Descending,
+}
+
+impl Direction {
+    /// True when `a` ranks before `b` under this direction.
+    #[must_use]
+    pub fn ranks_before(self, a: f64, b: f64) -> bool {
+        match self {
+            Direction::Ascending => a < b,
+            Direction::Descending => a > b,
+        }
+    }
+}
+
+/// One party's scored list with counted access primitives.
+#[derive(Clone, Debug)]
+pub struct RankedList {
+    /// `(id, score)` pairs in rank order.
+    sorted: Vec<(ItemId, f64)>,
+    /// Score lookup by id (dense: ids must be `0..n`).
+    by_id: Vec<f64>,
+    direction: Direction,
+    stats: AccessStats,
+}
+
+impl RankedList {
+    /// Builds a list from per-id scores (`scores[id]`), sorting internally.
+    ///
+    /// Ties are broken by id so runs are deterministic.
+    #[must_use]
+    pub fn from_scores(scores: Vec<f64>, direction: Direction) -> Self {
+        let mut sorted: Vec<(ItemId, f64)> =
+            scores.iter().copied().enumerate().collect();
+        sorted.sort_by(|a, b| {
+            let ord = match direction {
+                Direction::Ascending => a.1.total_cmp(&b.1),
+                Direction::Descending => b.1.total_cmp(&a.1),
+            };
+            ord.then(a.0.cmp(&b.0))
+        });
+        RankedList { sorted, by_id: scores, direction, stats: AccessStats::default() }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// True when the list holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+
+    /// The sort direction.
+    #[must_use]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Sequential access: the `pos`-th best `(id, score)`. Counted.
+    ///
+    /// Returns `None` past the end.
+    pub fn sequential_access(&mut self, pos: usize) -> Option<(ItemId, f64)> {
+        let entry = self.sorted.get(pos).copied();
+        if entry.is_some() {
+            self.stats.sequential += 1;
+        }
+        entry
+    }
+
+    /// Random access: the score of `id`. Counted.
+    ///
+    /// Returns `None` for unknown ids.
+    pub fn random_access(&mut self, id: ItemId) -> Option<f64> {
+        let score = self.by_id.get(id).copied();
+        if score.is_some() {
+            self.stats.random += 1;
+        }
+        score
+    }
+
+    /// Uncounted peek used by tests and oracles.
+    #[must_use]
+    pub fn peek_score(&self, id: ItemId) -> Option<f64> {
+        self.by_id.get(id).copied()
+    }
+
+    /// Uncounted view of the full ranking (test oracle only).
+    #[must_use]
+    pub fn ranking(&self) -> &[(ItemId, f64)] {
+        &self.sorted
+    }
+
+    /// Accesses performed so far.
+    #[must_use]
+    pub fn stats(&self) -> AccessStats {
+        self.stats
+    }
+
+    /// Resets the access counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = AccessStats::default();
+    }
+}
+
+/// Sums the access stats of many lists.
+#[must_use]
+pub fn total_stats(lists: &[RankedList]) -> AccessStats {
+    lists.iter().fold(AccessStats::default(), |acc, l| acc.merged(l.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_ascending_with_id_tiebreak() {
+        let mut l = RankedList::from_scores(vec![3.0, 1.0, 2.0, 1.0], Direction::Ascending);
+        assert_eq!(l.sequential_access(0), Some((1, 1.0)));
+        assert_eq!(l.sequential_access(1), Some((3, 1.0)), "tie broken by id");
+        assert_eq!(l.sequential_access(2), Some((2, 2.0)));
+        assert_eq!(l.sequential_access(3), Some((0, 3.0)));
+        assert_eq!(l.sequential_access(4), None);
+    }
+
+    #[test]
+    fn sorts_descending() {
+        let mut l = RankedList::from_scores(vec![3.0, 1.0, 2.0], Direction::Descending);
+        assert_eq!(l.sequential_access(0), Some((0, 3.0)));
+        assert_eq!(l.sequential_access(2), Some((1, 1.0)));
+    }
+
+    #[test]
+    fn access_counting() {
+        let mut l = RankedList::from_scores(vec![1.0, 2.0], Direction::Ascending);
+        let _ = l.sequential_access(0);
+        let _ = l.random_access(1);
+        let _ = l.random_access(99); // miss: not counted
+        let _ = l.sequential_access(9); // miss: not counted
+        assert_eq!(l.stats(), AccessStats { sequential: 1, random: 1 });
+        l.reset_stats();
+        assert_eq!(l.stats().total(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let l = RankedList::from_scores(vec![1.0, 2.0], Direction::Ascending);
+        assert_eq!(l.peek_score(1), Some(2.0));
+        assert_eq!(l.stats().total(), 0);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let a = AccessStats { sequential: 2, random: 3 };
+        let b = AccessStats { sequential: 1, random: 1 };
+        assert_eq!(a.merged(b), AccessStats { sequential: 3, random: 4 });
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    fn direction_ranks_before() {
+        assert!(Direction::Ascending.ranks_before(1.0, 2.0));
+        assert!(!Direction::Ascending.ranks_before(2.0, 1.0));
+        assert!(Direction::Descending.ranks_before(2.0, 1.0));
+    }
+}

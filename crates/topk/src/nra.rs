@@ -1,0 +1,190 @@
+//! The No-Random-Access algorithm (NRA) of Fagin, Lotem & Naor (PODS
+//! 2001).
+//!
+//! NRA only ever reads the sorted lists sequentially — the access pattern
+//! of a federated setting where participants are unwilling (or unable) to
+//! answer point lookups. Every seen item carries a *best-case* and
+//! *worst-case* aggregate bound; the scan stops once `k` items' worst
+//! cases beat everything else's best case.
+//!
+//! For ascending (distance) lists:
+//!
+//! * best case  = seen scores + the current frontier of each unseen list
+//!   (an unseen entry can score no less than the frontier);
+//! * worst case = seen scores + each unseen list's maximum score (list
+//!   score ranges are cheap public metadata a party can share once).
+//!
+//! NRA guarantees the correct top-k *set*; early-stopped scores may be
+//! partial, so [`nra_topk`] finishes by reporting best-case bounds and
+//! tests compare ids against the exhaustive oracle.
+
+use crate::list::{Direction, ItemId, RankedList};
+use crate::TopkOutcome;
+
+/// Runs NRA over ascending lists, returning the best `k` items.
+///
+/// # Panics
+/// Panics if `lists` is empty, lists disagree on length, or any list is
+/// sorted descending (NRA is implemented for the distance orientation the
+/// VFL protocols use).
+#[must_use]
+pub fn nra_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
+    assert!(!lists.is_empty(), "need at least one list");
+    let n = lists[0].len();
+    assert!(
+        lists.iter().all(|l| l.len() == n && l.direction() == Direction::Ascending),
+        "NRA expects ascending lists of equal length"
+    );
+    let k = k.min(n);
+    let parties = lists.len();
+
+    // Public per-list score maxima (metadata, not a counted access).
+    let maxima: Vec<f64> = lists
+        .iter()
+        .map(|l| l.ranking().last().map(|e| e.1).unwrap_or(0.0))
+        .collect();
+
+    // seen[id][party] = Some(score)
+    let mut seen: Vec<Vec<Option<f64>>> = vec![vec![None; parties]; n];
+    let mut surfaced = vec![false; n];
+    let mut depth = 0usize;
+
+    while depth < n {
+        let mut frontier = vec![0.0f64; parties];
+        for (pi, list) in lists.iter_mut().enumerate() {
+            let (id, score) = list.sequential_access(depth).expect("depth < n");
+            frontier[pi] = score;
+            seen[id][pi] = Some(score);
+            surfaced[id] = true;
+        }
+        depth += 1;
+
+        // Bounds for every surfaced item.
+        let mut bounds: Vec<(ItemId, f64, f64)> = Vec::new(); // (id, best, worst)
+        for id in 0..n {
+            if !surfaced[id] {
+                continue;
+            }
+            let mut best = 0.0;
+            let mut worst = 0.0;
+            for pi in 0..parties {
+                match seen[id][pi] {
+                    Some(s) => {
+                        best += s;
+                        worst += s;
+                    }
+                    None => {
+                        best += frontier[pi];
+                        worst += maxima[pi];
+                    }
+                }
+            }
+            bounds.push((id, best, worst));
+        }
+        if bounds.len() < k {
+            continue;
+        }
+
+        // Candidate top-k by worst case (ties by id).
+        bounds.sort_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)));
+        let kth_worst = bounds[k - 1].2;
+
+        // Everything else's best case, including completely unseen items
+        // (their best case is the frontier sum).
+        let frontier_sum: f64 = frontier.iter().sum();
+        let rest_best = bounds[k..]
+            .iter()
+            .map(|e| e.1)
+            .fold(f64::INFINITY, f64::min)
+            .min(if depth < n { frontier_sum } else { f64::INFINITY });
+
+        if kth_worst < rest_best {
+            let topk: Vec<(ItemId, f64)> =
+                bounds[..k].iter().map(|e| (e.0, e.1)).collect();
+            let candidates_examined = bounds.len();
+            return TopkOutcome { topk, candidates_examined, depth };
+        }
+    }
+
+    // Full scan: every score is known exactly.
+    let mut exact: Vec<(ItemId, f64)> = (0..n)
+        .map(|id| (id, seen[id].iter().map(|s| s.expect("fully scanned")).sum()))
+        .collect();
+    exact.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    exact.truncate(k);
+    TopkOutcome { topk: exact, candidates_examined: n, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::total_stats;
+    use crate::naive::naive_topk;
+
+    fn mk(scores: &[Vec<f64>]) -> Vec<RankedList> {
+        scores
+            .iter()
+            .map(|s| RankedList::from_scores(s.clone(), Direction::Ascending))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_ids_as_set() {
+        // NRA guarantees the top-k *set*; ordering inside the set follows
+        // worst-case bounds, which may differ from true-score order when
+        // it stops early — so compare sets.
+        let scores = [
+            vec![0.5, 2.0, 1.0, 4.0, 3.0, 0.1, 7.0, 0.9],
+            vec![1.5, 0.2, 2.0, 0.4, 3.0, 2.2, 0.1, 1.1],
+            vec![0.3, 1.9, 0.8, 1.4, 0.2, 3.1, 2.4, 0.6],
+        ];
+        for k in 1..=8 {
+            let mut a = mk(&scores);
+            let mut b = mk(&scores);
+            let mut nra = nra_topk(&mut a, k).ids();
+            let mut oracle = naive_topk(&mut b, k).ids();
+            nra.sort_unstable();
+            oracle.sort_unstable();
+            assert_eq!(nra, oracle, "k={k}");
+        }
+    }
+
+    #[test]
+    fn never_performs_random_access() {
+        let scores = [
+            vec![0.5, 2.0, 1.0, 4.0, 3.0],
+            vec![1.5, 0.2, 2.0, 0.4, 3.0],
+        ];
+        let mut lists = mk(&scores);
+        let _ = nra_topk(&mut lists, 2);
+        let stats = total_stats(&lists);
+        assert_eq!(stats.random, 0, "NRA must not random-access");
+        assert!(stats.sequential > 0);
+    }
+
+    #[test]
+    fn early_stop_on_aligned_lists() {
+        let s: Vec<f64> = (0..200).map(f64::from).collect();
+        let mut lists = mk(&[s.clone(), s]);
+        let out = nra_topk(&mut lists, 1);
+        assert_eq!(out.topk[0].0, 0);
+        assert!(out.depth < 200, "aligned lists must stop early, depth {}", out.depth);
+    }
+
+    #[test]
+    fn full_scan_fallback_is_exact() {
+        // All ties: bounds never strictly separate, so NRA scans to the end
+        // and returns the exact id-tiebroken answer.
+        let mut lists = mk(&[vec![1.0; 6], vec![1.0; 6]]);
+        let out = nra_topk(&mut lists, 3);
+        assert_eq!(out.ids(), vec![0, 1, 2]);
+        assert_eq!(out.depth, 6);
+    }
+
+    #[test]
+    fn single_list() {
+        let mut lists = mk(&[vec![3.0, 1.0, 2.0]]);
+        let out = nra_topk(&mut lists, 2);
+        assert_eq!(out.ids(), vec![1, 2]);
+    }
+}

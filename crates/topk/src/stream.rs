@@ -1,0 +1,219 @@
+//! Server-side streaming Fagin, matching VFPS-SM's optimized workflow
+//! (paper §IV-B, Fig. 3, steps ①–③).
+//!
+//! In the federated setting the aggregation server never sees scores during
+//! the sequential phase — participants stream mini-batches of **pseudo IDs
+//! only**, in their local rank order. [`StreamingFagin`] consumes those
+//! batches, tracks how many parties each id has surfaced in, and reports
+//! completion once `k` ids are fully seen. Every surfaced id becomes a
+//! *candidate* whose (encrypted) partial distances are then fetched — the
+//! set the paper's Fig. 9 counts.
+
+use crate::list::ItemId;
+use std::collections::HashSet;
+
+/// Incremental Fagin state fed by per-party pseudo-ID batches.
+#[derive(Clone, Debug)]
+pub struct StreamingFagin {
+    parties: usize,
+    k: usize,
+    seen_count: Vec<u32>,
+    surfaced: Vec<ItemId>,
+    fully_seen: usize,
+    rows_consumed: Vec<usize>,
+    ids_received: usize,
+}
+
+impl StreamingFagin {
+    /// Creates the state machine for `parties` lists over ids `0..n`,
+    /// stopping once `k` ids are seen in all lists.
+    ///
+    /// # Panics
+    /// Panics if `parties == 0` or `k == 0`.
+    #[must_use]
+    pub fn new(parties: usize, n: usize, k: usize) -> Self {
+        assert!(parties > 0, "need at least one party");
+        assert!(k > 0, "k must be positive");
+        StreamingFagin {
+            parties,
+            k: k.min(n),
+            seen_count: vec![0; n],
+            surfaced: Vec::new(),
+            fully_seen: 0,
+            rows_consumed: vec![0; parties],
+            ids_received: 0,
+        }
+    }
+
+    /// Feeds the next mini-batch of ids from `party` (in its rank order).
+    ///
+    /// Ids past the completion point are still absorbed (they were already
+    /// in flight); the caller should consult [`StreamingFagin::is_complete`]
+    /// before requesting more batches.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range party or id.
+    pub fn feed(&mut self, party: usize, ids: &[ItemId]) {
+        assert!(party < self.parties, "party {party} out of range");
+        for &id in ids {
+            assert!(id < self.seen_count.len(), "id {id} out of range");
+            self.rows_consumed[party] += 1;
+            self.ids_received += 1;
+            let c = &mut self.seen_count[id];
+            if *c == 0 {
+                self.surfaced.push(id);
+            }
+            *c += 1;
+            if *c as usize == self.parties {
+                self.fully_seen += 1;
+            }
+            if self.is_complete() {
+                // Absorb nothing further from this batch: the sequential
+                // phase ends the moment the k-th id completes.
+                break;
+            }
+        }
+    }
+
+    /// True once `k` ids have appeared in all lists.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.fully_seen >= self.k
+    }
+
+    /// All ids surfaced so far, in first-seen order — the candidate set for
+    /// the encrypted random-access phase.
+    #[must_use]
+    pub fn candidates(&self) -> &[ItemId] {
+        &self.surfaced
+    }
+
+    /// Candidate count (the paper's Fig. 9 metric, per query).
+    #[must_use]
+    pub fn candidate_count(&self) -> usize {
+        self.surfaced.len()
+    }
+
+    /// Unique candidate set as a hash set (convenience).
+    #[must_use]
+    pub fn candidate_set(&self) -> HashSet<ItemId> {
+        self.surfaced.iter().copied().collect()
+    }
+
+    /// Rows consumed from each party's ranking so far.
+    #[must_use]
+    pub fn rows_consumed(&self) -> &[usize] {
+        &self.rows_consumed
+    }
+
+    /// Total ids received across all parties (communication volume of the
+    /// sequential phase, in ids).
+    #[must_use]
+    pub fn ids_received(&self) -> usize {
+        self.ids_received
+    }
+
+    /// Number of ids fully seen so far.
+    #[must_use]
+    pub fn fully_seen(&self) -> usize {
+        self.fully_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-robin feeding with batch size `b` until completion; returns the
+    /// final state.
+    fn run_round_robin(rankings: &[Vec<ItemId>], k: usize, b: usize) -> StreamingFagin {
+        let n = rankings[0].len();
+        let mut sf = StreamingFagin::new(rankings.len(), n, k);
+        let mut pos = vec![0usize; rankings.len()];
+        while !sf.is_complete() {
+            for (p, ranking) in rankings.iter().enumerate() {
+                let end = (pos[p] + b).min(ranking.len());
+                sf.feed(p, &ranking[pos[p]..end]);
+                pos[p] = end;
+                if sf.is_complete() {
+                    break;
+                }
+            }
+        }
+        sf
+    }
+
+    #[test]
+    fn completes_when_k_ids_fully_seen() {
+        // Matches the fagin_paper_fig2 example (rank orders only).
+        let rankings = vec![vec![0, 1, 2, 3], vec![2, 3, 0, 1], vec![0, 1, 2, 3]];
+        let sf = run_round_robin(&rankings, 2, 1);
+        assert!(sf.is_complete());
+        assert_eq!(sf.fully_seen(), 2);
+        assert_eq!(sf.candidate_count(), 4, "X1..X4 all surfaced");
+    }
+
+    #[test]
+    fn aligned_rankings_need_k_rows() {
+        let rankings = vec![vec![5, 4, 3, 2, 1, 0], vec![5, 4, 3, 2, 1, 0]];
+        let sf = run_round_robin(&rankings, 3, 1);
+        assert_eq!(sf.candidate_count(), 3);
+        assert!(sf.rows_consumed().iter().all(|&r| r == 3));
+    }
+
+    #[test]
+    fn batch_size_does_not_change_candidates_much() {
+        let rankings = vec![
+            vec![0, 1, 2, 3, 4, 5, 6, 7],
+            vec![7, 6, 5, 4, 3, 2, 1, 0],
+            vec![3, 1, 4, 0, 5, 2, 7, 6],
+        ];
+        let s1 = run_round_robin(&rankings, 2, 1);
+        let s4 = run_round_robin(&rankings, 2, 4);
+        assert!(s1.is_complete() && s4.is_complete());
+        // Bigger batches may overshoot, never undershoot.
+        assert!(s4.candidate_count() >= s1.candidate_count());
+    }
+
+    #[test]
+    fn stops_absorbing_mid_batch_after_completion() {
+        let mut sf = StreamingFagin::new(1, 10, 2);
+        sf.feed(0, &[9, 8, 7, 6, 5]);
+        assert!(sf.is_complete());
+        // Single party: every id completes instantly; the k-th completes at
+        // the second element, so the rest of the batch is dropped.
+        assert_eq!(sf.candidate_count(), 2);
+        assert_eq!(sf.ids_received(), 2);
+    }
+
+    #[test]
+    fn candidate_set_matches_surfaced() {
+        let mut sf = StreamingFagin::new(2, 5, 5);
+        sf.feed(0, &[0, 1]);
+        sf.feed(1, &[1, 2]);
+        assert_eq!(sf.candidate_set(), [0, 1, 2].into_iter().collect());
+        assert_eq!(sf.fully_seen(), 1);
+        assert!(!sf.is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_party() {
+        let mut sf = StreamingFagin::new(2, 5, 1);
+        sf.feed(2, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_id() {
+        let mut sf = StreamingFagin::new(2, 5, 1);
+        sf.feed(0, &[5]);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let mut sf = StreamingFagin::new(1, 3, 10);
+        sf.feed(0, &[0, 1, 2]);
+        assert!(sf.is_complete());
+    }
+}

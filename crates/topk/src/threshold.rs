@@ -1,0 +1,148 @@
+//! The Threshold Algorithm (TA) of Fagin, Lotem & Naor (PODS 2001).
+//!
+//! TA interleaves sequential and random access: each newly surfaced item is
+//! immediately scored in full, and the scan stops as soon as `k` items beat
+//! the *threshold* — the aggregate of the scores at the current scan depth,
+//! which lower-bounds (for ascending distances) everything still unseen.
+//! TA is instance-optimal and typically stops much earlier than FA.
+
+use crate::list::{Direction, ItemId, RankedList};
+use crate::naive::sort_for;
+use crate::TopkOutcome;
+
+/// Runs the Threshold Algorithm over `lists`, returning the best `k` items.
+///
+/// # Panics
+/// Panics if `lists` is empty or lists disagree on length/direction.
+#[must_use]
+pub fn threshold_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
+    assert!(!lists.is_empty(), "need at least one list");
+    let n = lists[0].len();
+    let direction = lists[0].direction();
+    assert!(
+        lists.iter().all(|l| l.len() == n && l.direction() == direction),
+        "lists must agree on length and direction"
+    );
+    let k = k.min(n);
+
+    let mut scored = vec![false; n];
+    let mut best: Vec<(ItemId, f64)> = Vec::new();
+    let mut depth = 0usize;
+    let mut candidates_examined = 0usize;
+
+    while depth < n {
+        let mut frontier = Vec::with_capacity(lists.len());
+        let mut surfaced = Vec::new();
+        for list in lists.iter_mut() {
+            let (id, score) = list.sequential_access(depth).expect("depth < n");
+            frontier.push(score);
+            if !scored[id] {
+                scored[id] = true;
+                surfaced.push(id);
+            }
+        }
+        for id in surfaced {
+            let total: f64 = lists
+                .iter_mut()
+                .map(|l| l.random_access(id).expect("dense ids"))
+                .sum();
+            candidates_examined += 1;
+            best.push((id, total));
+            sort_for(direction, &mut best);
+            best.truncate(k);
+        }
+        depth += 1;
+
+        // Threshold: the aggregate at the scan frontier. For ascending
+        // distances this lower-bounds every unseen item's aggregate. The
+        // comparison is strict so exact ties never cut off an unseen item
+        // that deterministic id-tiebreaking would have ranked first; ties
+        // cost extra depth but keep results identical to the exhaustive
+        // oracle.
+        let tau: f64 = frontier.iter().sum();
+        let kth_is_final = best.len() == k
+            && match direction {
+                Direction::Ascending => best[k - 1].1 < tau,
+                Direction::Descending => best[k - 1].1 > tau,
+            };
+        if kth_is_final {
+            break;
+        }
+    }
+
+    TopkOutcome { topk: best, candidates_examined, depth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fagin::fagin_topk;
+    use crate::naive::naive_topk;
+
+    fn mk(scores: &[Vec<f64>]) -> Vec<RankedList> {
+        scores
+            .iter()
+            .map(|s| RankedList::from_scores(s.clone(), Direction::Ascending))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive() {
+        let scores = [
+            vec![0.5, 2.0, 1.0, 4.0, 3.0, 0.1, 7.0, 0.9],
+            vec![1.5, 0.2, 2.0, 0.4, 3.0, 2.2, 0.1, 1.1],
+        ];
+        for k in 1..=8 {
+            let mut a = mk(&scores);
+            let mut b = mk(&scores);
+            assert_eq!(
+                threshold_topk(&mut a, k).topk,
+                naive_topk(&mut b, k).topk,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn stops_no_later_than_fagin() {
+        let scores = [
+            vec![1.0, 2.0, 6.0, 9.0, 0.5, 4.0],
+            vec![3.0, 3.5, 1.0, 2.0, 5.0, 0.2],
+            vec![1.0, 1.5, 2.0, 9.0, 0.1, 3.3],
+        ];
+        let mut a = mk(&scores);
+        let mut b = mk(&scores);
+        let ta = threshold_topk(&mut a, 2);
+        let fa = fagin_topk(&mut b, 2);
+        assert!(ta.depth <= fa.depth, "TA depth {} vs FA depth {}", ta.depth, fa.depth);
+        assert_eq!(ta.topk, fa.topk);
+    }
+
+    #[test]
+    fn early_stop_on_aligned_lists() {
+        let s: Vec<f64> = (0..100).map(f64::from).collect();
+        let mut lists = mk(&[s.clone(), s]);
+        let out = threshold_topk(&mut lists, 1);
+        assert_eq!(out.topk[0].0, 0);
+        assert!(out.depth <= 2, "aligned lists stop almost immediately");
+    }
+
+    #[test]
+    fn descending_threshold_logic() {
+        let mut lists = vec![
+            RankedList::from_scores(vec![0.9, 0.1, 0.5], Direction::Descending),
+            RankedList::from_scores(vec![0.8, 0.2, 0.6], Direction::Descending),
+        ];
+        let out = threshold_topk(&mut lists, 1);
+        assert_eq!(out.topk[0].0, 0);
+        assert!((out.topk[0].1 - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_n() {
+        let scores = [vec![2.0, 1.0, 3.0], vec![1.0, 2.0, 0.5]];
+        let mut a = mk(&scores);
+        let mut b = mk(&scores);
+        assert_eq!(threshold_topk(&mut a, 3).topk, naive_topk(&mut b, 3).topk);
+    }
+}

@@ -1,0 +1,568 @@
+//! The thread-per-node federated KNN protocol with real homomorphic
+//! encryption.
+//!
+//! Node layout mirrors the paper's deployment: node 0 is the aggregation
+//! server, nodes `1..=P` are participants, node 1 doubles as the leader
+//! (label and secret-key holder). The key server is modeled as the setup
+//! step that hands every node the scheme handle before the protocol runs;
+//! role separation is structural — participants only ever call `encrypt`,
+//! the server only `add`s serialized ciphertexts, and only the leader
+//! decrypts.
+//!
+//! Identity security: participants apply a shared seeded permutation to
+//! instance ids before streaming them, so the server only ever sees pseudo
+//! IDs (paper §IV-B step ①).
+
+use crate::fed_knn::{FedKnnConfig, KnnMode, QueryOutcome};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+use vfps_data::VerticalPartition;
+use vfps_he::scheme::AdditiveHe;
+use vfps_ml::linalg::{squared_distance, Matrix};
+use vfps_net::cluster::{run_cluster, NodeCtx};
+use vfps_net::wire::{take, Wire, WireError};
+
+/// Stand-in distance for a query's own database entry: large enough never
+/// to win a top-k, small enough to stay representable in every scheme's
+/// fixed-point plaintext space.
+const SELF_EXCLUDE_SENTINEL: f64 = 1e9;
+
+/// Protocol messages. Ciphertexts travel as opaque scheme-serialized blobs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtoMsg {
+    /// Server → participant: request the next rank mini-batch.
+    NeedBatch,
+    /// Participant → server: the next mini-batch of pseudo IDs.
+    RankBatch(Vec<usize>),
+    /// Server → participants: Fagin finished; encrypt these pseudo IDs.
+    Candidates(Vec<usize>),
+    /// Participant → server: encrypted partial distances, chunked.
+    EncPartials(Vec<Vec<u8>>),
+    /// Server → leader: homomorphically aggregated chunks.
+    Aggregated(Vec<Vec<u8>>),
+    /// Leader → participants: the selected top-k pseudo IDs.
+    TopkIds(Vec<usize>),
+    /// Participant → leader: its `d_T^p` sum.
+    DtSum(f64),
+    /// Leader → server: the query is fully processed; start the next one.
+    /// This barrier prevents a fast participant's next-query messages from
+    /// interleaving with the current query's aggregation.
+    QueryDone,
+}
+
+impl Wire for ProtoMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProtoMsg::NeedBatch => buf.push(0),
+            ProtoMsg::RankBatch(ids) => {
+                buf.push(1);
+                ids.encode(buf);
+            }
+            ProtoMsg::Candidates(ids) => {
+                buf.push(2);
+                ids.encode(buf);
+            }
+            ProtoMsg::EncPartials(blobs) => {
+                buf.push(3);
+                blobs.encode(buf);
+            }
+            ProtoMsg::Aggregated(blobs) => {
+                buf.push(4);
+                blobs.encode(buf);
+            }
+            ProtoMsg::TopkIds(ids) => {
+                buf.push(5);
+                ids.encode(buf);
+            }
+            ProtoMsg::DtSum(v) => {
+                buf.push(6);
+                v.encode(buf);
+            }
+            ProtoMsg::QueryDone => buf.push(7),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let tag = take(input, 1)?[0];
+        Ok(match tag {
+            0 => ProtoMsg::NeedBatch,
+            1 => ProtoMsg::RankBatch(Vec::decode(input)?),
+            2 => ProtoMsg::Candidates(Vec::decode(input)?),
+            3 => ProtoMsg::EncPartials(Vec::decode(input)?),
+            4 => ProtoMsg::Aggregated(Vec::decode(input)?),
+            5 => ProtoMsg::TopkIds(Vec::decode(input)?),
+            6 => ProtoMsg::DtSum(f64::decode(input)?),
+            7 => ProtoMsg::QueryDone,
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ProtoMsg::NeedBatch | ProtoMsg::QueryDone => 0,
+            ProtoMsg::RankBatch(ids) | ProtoMsg::Candidates(ids) | ProtoMsg::TopkIds(ids) => {
+                ids.encoded_len()
+            }
+            ProtoMsg::EncPartials(blobs) | ProtoMsg::Aggregated(blobs) => blobs.encoded_len(),
+            ProtoMsg::DtSum(v) => v.encoded_len(),
+        }
+    }
+}
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadedKnnRun {
+    /// Per-query outcomes (as observed by the leader).
+    pub outcomes: Vec<QueryOutcome>,
+    /// Total bytes moved between nodes.
+    pub total_bytes: u64,
+    /// Total messages between nodes.
+    pub total_messages: u64,
+}
+
+/// Shared, read-only inputs handed to every node.
+struct Shared {
+    parties: Vec<usize>,
+    db_rows: Vec<usize>,
+    queries: Vec<usize>,
+    cfg: FedKnnConfig,
+    /// Shared pseudo-ID permutation: `perm[pos]` is the pseudo ID of
+    /// database position `pos`; `inv[pseudo]` maps back.
+    perm: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+/// Runs the full federated KNN protocol over `queries` with real HE.
+///
+/// # Panics
+/// Panics on inconsistent inputs or if a node thread fails.
+#[must_use]
+pub fn run_threaded_knn<H>(
+    he: &Arc<H>,
+    x: &Matrix,
+    partition: &VerticalPartition,
+    parties: &[usize],
+    db_rows: &[usize],
+    queries: &[usize],
+    cfg: FedKnnConfig,
+    shuffle_seed: u64,
+) -> ThreadedKnnRun
+where
+    H: AdditiveHe + 'static,
+{
+    assert!(!parties.is_empty(), "empty consortium");
+    assert!(!db_rows.is_empty(), "empty database");
+    assert!(
+        cfg.mode != KnnMode::Threshold,
+        "the threaded protocol implements Base and Fagin; the Threshold \
+         oracle is available in the logical engine (fed_knn)"
+    );
+    let p = parties.len();
+    let n = db_rows.len();
+
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+    let mut inv = vec![0usize; n];
+    for (pos, &pseudo) in perm.iter().enumerate() {
+        inv[pseudo] = pos;
+    }
+
+    let shared = Arc::new(Shared {
+        parties: parties.to_vec(),
+        db_rows: db_rows.to_vec(),
+        queries: queries.to_vec(),
+        cfg,
+        perm,
+        inv,
+    });
+
+    // Node-local feature views (party slot s holds X^{parties[s]}).
+    let db = x.select_rows(db_rows);
+    let views: Vec<Matrix> =
+        parties.iter().map(|&party| partition.local_view(&db, party)).collect();
+    let query_feats: Vec<Vec<Vec<f64>>> = parties
+        .iter()
+        .map(|&party| {
+            let cols = partition.columns(party);
+            queries
+                .iter()
+                .map(|&q| cols.iter().map(|&c| x.get(q, c)).collect())
+                .collect()
+        })
+        .collect();
+
+    let mut fns: Vec<Box<dyn FnOnce(NodeCtx<ProtoMsg>) -> Vec<QueryOutcome> + Send>> =
+        Vec::with_capacity(p + 1);
+
+    // Node 0: aggregation server.
+    {
+        let he = Arc::clone(he);
+        let shared = Arc::clone(&shared);
+        fns.push(Box::new(move |ctx| {
+            server_node(&ctx, &he, &shared);
+            Vec::new()
+        }));
+    }
+
+    // Nodes 1..=P: participants (node 1 is the leader).
+    for slot in 0..p {
+        let he = Arc::clone(he);
+        let shared = Arc::clone(&shared);
+        let view = views[slot].clone();
+        let qfeats = query_feats[slot].clone();
+        fns.push(Box::new(move |ctx| participant_node(&ctx, &he, &shared, slot, &view, &qfeats)));
+    }
+
+    let (mut results, ledger) = run_cluster(fns);
+    let outcomes = results.remove(1); // the leader's view
+    ThreadedKnnRun {
+        outcomes,
+        total_bytes: ledger.total_bytes(),
+        total_messages: ledger.total_messages(),
+    }
+}
+
+/// The aggregation server: per query, gathers (or Fagin-selects) encrypted
+/// partials, sums them homomorphically, and forwards to the leader.
+fn server_node<H: AdditiveHe>(ctx: &NodeCtx<ProtoMsg>, he: &Arc<H>, shared: &Shared) {
+    let p = shared.parties.len();
+    let n = shared.db_rows.len();
+    for _q in 0..shared.queries.len() {
+        let candidate_count = match shared.cfg.mode {
+            // Threshold is rejected at entry; grouped with Base to keep the
+            // match exhaustive.
+            KnnMode::Base | KnnMode::Threshold => {
+                // Announce the (full) candidate list so participants only
+                // ever encrypt when the server is ready to aggregate —
+                // without this, a fast participant's next-query ciphertexts
+                // could interleave with this query's.
+                let all: Vec<usize> = (0..n).collect();
+                for slot in 0..p {
+                    ctx.send(1 + slot, ProtoMsg::Candidates(all.clone()));
+                }
+                n
+            }
+            KnnMode::Fagin => {
+                // Drive the streaming phase round-robin.
+                let mut sf = vfps_topk::stream::StreamingFagin::new(
+                    p,
+                    n,
+                    shared.cfg.k.min(n),
+                );
+                let mut exhausted = vec![false; p];
+                while !sf.is_complete() && !exhausted.iter().all(|&e| e) {
+                    for slot in 0..p {
+                        if sf.is_complete() || exhausted[slot] {
+                            continue;
+                        }
+                        ctx.send(1 + slot, ProtoMsg::NeedBatch);
+                        match ctx.recv_from(1 + slot) {
+                            ProtoMsg::RankBatch(ids) => {
+                                if ids.is_empty() {
+                                    exhausted[slot] = true;
+                                } else {
+                                    sf.feed(slot, &ids);
+                                }
+                            }
+                            other => panic!("expected RankBatch, got {other:?}"),
+                        }
+                    }
+                }
+                let cands = sf.candidates().to_vec();
+                for slot in 0..p {
+                    ctx.send(1 + slot, ProtoMsg::Candidates(cands.clone()));
+                }
+                cands.len()
+            }
+        };
+
+        // Gather encrypted chunks from every participant and sum.
+        let mut agg: Option<Vec<H::Ciphertext>> = None;
+        for _ in 0..p {
+            let env = ctx.recv();
+            let ProtoMsg::EncPartials(blobs) = env.msg else {
+                panic!("expected EncPartials");
+            };
+            let cts: Vec<H::Ciphertext> = blobs
+                .iter()
+                .map(|b| he.ct_from_bytes(b).expect("well-formed ciphertext"))
+                .collect();
+            agg = Some(match agg {
+                None => cts,
+                Some(prev) => {
+                    prev.iter().zip(&cts).map(|(a, b)| he.add(a, b)).collect()
+                }
+            });
+        }
+        let agg = agg.expect("at least one participant");
+        debug_assert!(candidate_count > 0);
+        let blobs: Vec<Vec<u8>> = agg.iter().map(|c| he.ct_to_bytes(c)).collect();
+        ctx.send(1, ProtoMsg::Aggregated(blobs));
+        // Barrier: wait for the leader to finish the whole query before
+        // starting the next one.
+        match ctx.recv_from(1) {
+            ProtoMsg::QueryDone => {}
+            other => panic!("expected QueryDone, got {other:?}"),
+        }
+    }
+}
+
+/// A participant: computes partial distances, streams rankings (Fagin),
+/// encrypts what the server asks for, and reports `d_T^p` to the leader.
+/// Slot 0 (node 1) additionally acts as the leader.
+fn participant_node<H: AdditiveHe>(
+    ctx: &NodeCtx<ProtoMsg>,
+    he: &Arc<H>,
+    shared: &Shared,
+    slot: usize,
+    view: &Matrix,
+    query_feats: &[Vec<f64>],
+) -> Vec<QueryOutcome> {
+    let p = shared.parties.len();
+    let n = shared.db_rows.len();
+    let is_leader = slot == 0;
+    let mut outcomes = Vec::new();
+
+    for (qi, qfeat) in query_feats.iter().enumerate() {
+        let query_row = shared.queries[qi];
+        // Partial distances by database position; self excluded via +inf.
+        let self_pos = shared.db_rows.iter().position(|&r| r == query_row);
+        let partials: Vec<f64> = (0..n)
+            .map(|i| {
+                if Some(i) == self_pos {
+                    f64::INFINITY
+                } else {
+                    squared_distance(qfeat, view.row(i))
+                }
+            })
+            .collect();
+
+        // Which pseudo IDs to encrypt.
+        let candidate_pseudos: Vec<usize> = match shared.cfg.mode {
+            KnnMode::Base | KnnMode::Threshold => match ctx.recv_from(0) {
+                ProtoMsg::Candidates(_) => (0..n).map(|pos| shared.perm[pos]).collect(),
+                other => panic!("expected Candidates, got {other:?}"),
+            },
+            KnnMode::Fagin => {
+                // Sorted pseudo-ID ranking, streamed on demand.
+                let mut ranking: Vec<usize> = (0..n).collect();
+                ranking.sort_by(|&a, &b| {
+                    partials[a].total_cmp(&partials[b]).then(a.cmp(&b))
+                });
+                let pseudo_ranking: Vec<usize> =
+                    ranking.iter().map(|&pos| shared.perm[pos]).collect();
+                let mut cursor = 0usize;
+                loop {
+                    match ctx.recv_from(0) {
+                        ProtoMsg::NeedBatch => {
+                            let end = (cursor + shared.cfg.batch).min(n);
+                            ctx.send(
+                                0,
+                                ProtoMsg::RankBatch(pseudo_ranking[cursor..end].to_vec()),
+                            );
+                            cursor = end;
+                        }
+                        ProtoMsg::Candidates(c) => break c,
+                        other => panic!("expected NeedBatch/Candidates, got {other:?}"),
+                    }
+                }
+            }
+        };
+
+        // Encrypt candidate partial distances in candidate order, chunked.
+        // Infinite self-distance is clamped to a large sentinel the codec
+        // can represent; it can never win the top-k.
+        let values: Vec<f64> = candidate_pseudos
+            .iter()
+            .map(|&pseudo| {
+                let v = partials[shared.inv[pseudo]];
+                if v.is_finite() {
+                    v
+                } else {
+                    SELF_EXCLUDE_SENTINEL
+                }
+            })
+            .collect();
+        let chunk = he.max_batch().max(1);
+        let blobs: Vec<Vec<u8>> = values
+            .chunks(chunk)
+            .map(|c| he.ct_to_bytes(&he.encrypt(c).expect("encryptable batch")))
+            .collect();
+        ctx.send(0, ProtoMsg::EncPartials(blobs));
+
+        // Leader: decrypt aggregate, pick top-k, broadcast.
+        let topk_pseudos: Vec<usize> = if is_leader {
+            let ProtoMsg::Aggregated(blobs) = ctx.recv_from(0) else {
+                panic!("expected Aggregated");
+            };
+            let mut complete = Vec::with_capacity(candidate_pseudos.len());
+            let mut remaining = candidate_pseudos.len();
+            for blob in &blobs {
+                let ct = he.ct_from_bytes(blob).expect("well-formed ciphertext");
+                let count = remaining.min(chunk);
+                complete.extend(he.decrypt(&ct, count));
+                remaining -= count;
+            }
+            let mut scored: Vec<(usize, f64)> = candidate_pseudos
+                .iter()
+                .copied()
+                .zip(complete)
+                .collect();
+            scored.sort_by(|a, b| {
+                a.1.total_cmp(&b.1).then(shared.inv[a.0].cmp(&shared.inv[b.0]))
+            });
+            let k = shared.cfg.k.min(scored.len());
+            let top: Vec<usize> = scored[..k].iter().map(|e| e.0).collect();
+            for peer in 0..p {
+                if peer != slot {
+                    ctx.send(1 + peer, ProtoMsg::TopkIds(top.clone()));
+                }
+            }
+            top
+        } else {
+            let env = ctx.recv();
+            let ProtoMsg::TopkIds(ids) = env.msg else {
+                panic!("expected TopkIds");
+            };
+            ids
+        };
+
+        // Everyone computes d_T^p and reports to the leader.
+        let d_t_own: f64 =
+            topk_pseudos.iter().map(|&pseudo| partials[shared.inv[pseudo]]).sum();
+        if is_leader {
+            let mut d_t = vec![0.0f64; p];
+            d_t[0] = d_t_own;
+            for _ in 1..p {
+                let env = ctx.recv();
+                let ProtoMsg::DtSum(v) = env.msg else {
+                    panic!("expected DtSum");
+                };
+                d_t[env.from - 1] = v;
+            }
+            let d_t_total = d_t.iter().sum();
+            ctx.send(0, ProtoMsg::QueryDone);
+            outcomes.push(QueryOutcome {
+                topk_rows: topk_pseudos
+                    .iter()
+                    .map(|&pseudo| shared.db_rows[shared.inv[pseudo]])
+                    .collect(),
+                d_t,
+                d_t_total,
+                candidates: candidate_pseudos.len(),
+            });
+        } else {
+            ctx.send(1, ProtoMsg::DtSum(d_t_own));
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fed_knn::FedKnn;
+    use vfps_he::scheme::{PaillierHe, PlainHe};
+
+    fn toy() -> (Matrix, VerticalPartition) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.1, 0.0, 0.1, 0.0],
+            vec![0.0, 0.2, 0.0, 0.1],
+            vec![5.0, 5.0, 5.0, 5.0],
+            vec![5.1, 5.0, 4.9, 5.0],
+            vec![5.0, 5.2, 5.0, 5.1],
+            vec![2.5, 2.5, 2.5, 2.5],
+            vec![9.0, 9.0, 9.0, 9.0],
+        ]);
+        (x, VerticalPartition::even(4, 2))
+    }
+
+    #[test]
+    fn threaded_plain_matches_logical_engine() {
+        let (x, part) = toy();
+        let db: Vec<usize> = (0..8).collect();
+        let queries = vec![0usize, 3, 6];
+        for mode in [KnnMode::Base, KnnMode::Fagin] {
+            let cfg = FedKnnConfig { k: 3, mode, batch: 2, cost_scale: 1.0 };
+            let he = Arc::new(PlainHe::new(4));
+            let run =
+                run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, cfg, 77);
+            let engine = FedKnn::new(&x, &part, &[0, 1], &db, cfg);
+            let mut ledger = vfps_net::cost::OpLedger::default();
+            for (qi, &q) in queries.iter().enumerate() {
+                let expect = engine.query(q, &mut ledger);
+                let got = &run.outcomes[qi];
+                let mut a = expect.topk_rows.clone();
+                let mut b = got.topk_rows.clone();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{mode:?} query {q}");
+                for (x1, x2) in expect.d_t.iter().zip(&got.d_t) {
+                    assert!((x1 - x2).abs() < 1e-6, "{mode:?} d_t mismatch");
+                }
+            }
+            assert!(run.total_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn threaded_paillier_end_to_end() {
+        let (x, part) = toy();
+        let db: Vec<usize> = (0..8).collect();
+        let queries = vec![0usize, 4];
+        let cfg =
+            FedKnnConfig { k: 2, mode: KnnMode::Fagin, batch: 3, cost_scale: 1.0 };
+        let he = Arc::new(PaillierHe::generate(128, 8, 5).unwrap());
+        let run = run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, cfg, 3);
+        // Query 0's nearest two are rows 1 and 2; query 4's are 3 and 5.
+        let mut q0 = run.outcomes[0].topk_rows.clone();
+        q0.sort_unstable();
+        assert_eq!(q0, vec![1, 2]);
+        let mut q4 = run.outcomes[1].topk_rows.clone();
+        q4.sort_unstable();
+        assert_eq!(q4, vec![3, 5]);
+    }
+
+    #[test]
+    fn fagin_moves_fewer_bytes_than_base_with_real_ciphertexts() {
+        let (x, part) = toy();
+        let db: Vec<usize> = (0..8).collect();
+        let queries = vec![0usize];
+        let he = Arc::new(PaillierHe::generate(128, 8, 6).unwrap());
+        let base_cfg =
+            FedKnnConfig { k: 2, mode: KnnMode::Base, batch: 2, cost_scale: 1.0 };
+        let fagin_cfg =
+            FedKnnConfig { k: 2, mode: KnnMode::Fagin, batch: 2, cost_scale: 1.0 };
+        let base = run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, base_cfg, 9);
+        let fagin =
+            run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, fagin_cfg, 9);
+        assert!(
+            fagin.outcomes[0].candidates < base.outcomes[0].candidates,
+            "fagin candidates {} vs base {}",
+            fagin.outcomes[0].candidates,
+            base.outcomes[0].candidates
+        );
+    }
+
+    #[test]
+    fn proto_messages_roundtrip() {
+        let msgs = vec![
+            ProtoMsg::NeedBatch,
+            ProtoMsg::RankBatch(vec![1, 2, 3]),
+            ProtoMsg::Candidates(vec![]),
+            ProtoMsg::EncPartials(vec![vec![1, 2], vec![]]),
+            ProtoMsg::Aggregated(vec![vec![0xff; 10]]),
+            ProtoMsg::TopkIds(vec![7]),
+            ProtoMsg::DtSum(-1.25),
+            ProtoMsg::QueryDone,
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(bytes.len(), m.encoded_len());
+            assert_eq!(ProtoMsg::from_bytes(&bytes).unwrap(), m);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the federated KNN protocols: the optimized
+//! variants must agree with the exhaustive baseline on arbitrary data.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use vfps_data::VerticalPartition;
+use vfps_he::scheme::PlainHe;
+use vfps_ml::knn::KnnClassifier;
+use vfps_ml::linalg::Matrix;
+use vfps_net::cost::OpLedger;
+use vfps_vfl::fed_knn::{FedKnn, FedKnnConfig, KnnMode};
+use vfps_vfl::protocol::run_threaded_knn;
+
+/// Random dense dataset: `rows × cols` values in a bounded range.
+fn data_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (6usize..20, 4usize..8).prop_flat_map(|(rows, cols)| {
+        (
+            proptest::collection::vec(
+                proptest::collection::vec(-50.0f64..50.0, cols),
+                rows,
+            ),
+            Just(cols),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Fagin and Base return identical neighbor sets, both matching the
+    /// centralized KNN oracle on the joint feature space.
+    #[test]
+    fn fagin_equals_base_equals_oracle(
+        (rows, cols) in data_strategy(),
+        parties in 2usize..4,
+        k in 1usize..5,
+        batch in 1usize..4,
+    ) {
+        prop_assume!(parties <= cols);
+        let x = Matrix::from_rows(&rows);
+        let n = x.rows();
+        let partition = VerticalPartition::random(cols, parties, 99);
+        let party_ids: Vec<usize> = (0..parties).collect();
+        let db: Vec<usize> = (0..n).collect();
+        let query = 0usize;
+
+        let run = |mode: KnnMode| -> Vec<usize> {
+            let engine = FedKnn::new(
+                &x,
+                &partition,
+                &party_ids,
+                &db,
+                FedKnnConfig { k, mode, batch, cost_scale: 1.0 },
+            );
+            let mut ledger = OpLedger::default();
+            let mut t = engine.query(query, &mut ledger).topk_rows;
+            t.sort_unstable();
+            t
+        };
+        let base = run(KnnMode::Base);
+        let fagin = run(KnnMode::Fagin);
+        let ta = run(KnnMode::Threshold);
+        prop_assert_eq!(&base, &fagin);
+        prop_assert_eq!(&base, &ta);
+
+        // Centralized oracle over the joint space, excluding the query row.
+        let rest: Vec<usize> = (1..n).collect();
+        let oracle = KnnClassifier::fit(
+            k.min(n - 1),
+            x.select_rows(&rest),
+            vec![0; n - 1],
+            1,
+        );
+        let mut expect: Vec<usize> =
+            oracle.nearest(x.row(query)).iter().map(|&(i, _)| i + 1).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(base, expect);
+    }
+
+    /// The threaded protocol with a plain scheme matches the logical
+    /// engine for every mode/batch combination.
+    #[test]
+    fn threaded_matches_logical(
+        (rows, cols) in data_strategy(),
+        k in 1usize..4,
+        batch in 1usize..5,
+        fagin in any::<bool>(),
+    ) {
+        let x = Matrix::from_rows(&rows);
+        let n = x.rows();
+        let partition = VerticalPartition::random(cols, 2, 5);
+        let db: Vec<usize> = (0..n).collect();
+        let queries = vec![0usize, n / 2];
+        let mode = if fagin { KnnMode::Fagin } else { KnnMode::Base };
+        let cfg = FedKnnConfig { k, mode, batch, cost_scale: 1.0 };
+
+        let he = Arc::new(PlainHe::new(16));
+        let run = run_threaded_knn(&he, &x, &partition, &[0, 1], &db, &queries, cfg, 31);
+
+        let engine = FedKnn::new(&x, &partition, &[0, 1], &db, cfg);
+        let mut ledger = OpLedger::default();
+        for (qi, &q) in queries.iter().enumerate() {
+            let mut expect = engine.query(q, &mut ledger).topk_rows;
+            let mut got = run.outcomes[qi].topk_rows.clone();
+            expect.sort_unstable();
+            got.sort_unstable();
+            prop_assert_eq!(got, expect, "query {}", qi);
+        }
+    }
+}

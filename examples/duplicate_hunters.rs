@@ -1,0 +1,48 @@
+//! The diversity study (paper Fig. 6): inject duplicate participants into
+//! the consortium and watch which selectors get fooled.
+//!
+//! VFPS-SM's submodular objective gives a second copy of an
+//! already-selected participant zero marginal gain, so it never wastes a
+//! selection slot on a duplicate. Score-based baselines (Shapley, VF-MINE)
+//! rank each copy identically high and happily pick two of them.
+//!
+//! ```text
+//! cargo run --release -p vfps-core --example duplicate_hunters
+//! ```
+
+use vfps_core::pipeline::{run_pipeline, Method, PipelineConfig};
+use vfps_data::DatasetSpec;
+use vfps_vfl::split_train::Downstream;
+
+fn main() {
+    let spec = DatasetSpec::by_name("Phishing").expect("catalog dataset");
+    println!("Diversity study on {} — base consortium of 4, selecting 2.", spec.name);
+    println!("Injecting 0..=4 duplicate participants (copies of party 0):\n");
+    println!(
+        "{:>11} {:>10} {:>10} {:>10}   VFPS-SM picked",
+        "#duplicates", "SHAPLEY", "VFMINE", "VFPS-SM"
+    );
+
+    for dups in 0..=4usize {
+        let cfg = PipelineConfig {
+            sim_instances: Some(400),
+            duplicates: dups,
+            query_count: 24,
+            ..PipelineConfig::default()
+        };
+        let shapley =
+            run_pipeline(&spec, Method::Shapley, Downstream::Knn { k: 10 }, &cfg, 11);
+        let vfmine =
+            run_pipeline(&spec, Method::VfMine, Downstream::Knn { k: 10 }, &cfg, 11);
+        let vfps =
+            run_pipeline(&spec, Method::VfpsSm, Downstream::Knn { k: 10 }, &cfg, 11);
+        println!(
+            "{:>11} {:>10.4} {:>10.4} {:>10.4}   {:?}",
+            dups, shapley.accuracy, vfmine.accuracy, vfps.accuracy, vfps.chosen
+        );
+    }
+
+    println!("\nParties 4+ are byte-identical copies of party 0. A selection that");
+    println!("contains two copies (or party 0 plus a copy) wasted a slot; VFPS-SM's");
+    println!("diminishing returns make that gain exactly zero, so it never happens.");
+}

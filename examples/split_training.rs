@@ -1,0 +1,51 @@
+//! Real encrypted split-learning: train the paper's split logistic
+//! regression across a thread-per-node cluster where every transmitted
+//! logit and gradient block is a genuine Paillier ciphertext.
+//!
+//! ```text
+//! cargo run --release -p vfps-core --example split_training
+//! ```
+
+use std::sync::Arc;
+
+use vfps_data::{prepared_sized, DatasetSpec, VerticalPartition};
+use vfps_he::scheme::PaillierHe;
+use vfps_ml::metrics::accuracy;
+use vfps_vfl::split_protocol::{run_split_training, SplitTrainConfig};
+
+fn main() {
+    let spec = DatasetSpec::by_name("Credit").expect("catalog dataset");
+    let (ds, split) = prepared_sized(&spec, 300, 21);
+    let partition = VerticalPartition::random(ds.n_features(), 2, 21);
+
+    println!(
+        "split LR on {}: {} train rows, {} features over 2 participants",
+        ds.name,
+        split.train.len(),
+        ds.n_features()
+    );
+    println!("generating a 512-bit Paillier keypair and training 6 epochs...");
+    let he = Arc::new(PaillierHe::generate(512, 64, 21).expect("keygen"));
+    let cfg = SplitTrainConfig { batch_size: 32, epochs: 6, lr: 0.1, seed: 21 };
+    let run = run_split_training(
+        &he,
+        &ds.x,
+        &ds.y,
+        ds.n_classes,
+        &partition,
+        &[0, 1],
+        &split.train,
+        &split.test,
+        &cfg,
+    );
+
+    println!("\nepoch losses (leader's view):");
+    for (e, loss) in run.epoch_losses.iter().enumerate() {
+        println!("  epoch {e}: {loss:.4}");
+    }
+    let test_y: Vec<usize> = split.test.iter().map(|&r| ds.y[r]).collect();
+    println!("\ntest accuracy: {:.4}", accuracy(&run.test_predictions, &test_y));
+    println!("bytes moved over the cluster: {}", run.total_bytes);
+    println!("\nEvery logits/gradient block crossed the wire as a Paillier");
+    println!("ciphertext; the aggregation server summed blocks it cannot read.");
+}

@@ -1,0 +1,98 @@
+//! End-user CLI tests: drive the `vfps` binary the way a downstream user
+//! would.
+
+use std::process::Command;
+
+fn vfps() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vfps"))
+}
+
+#[test]
+fn synthetic_run_prints_selection() {
+    let out = vfps()
+        .args([
+            "--synthetic", "Rice", "--parties", "4", "--select", "2", "--method",
+            "vfps-sm", "--model", "knn", "--queries", "8",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("VFPS-SM"), "{stdout}");
+    assert!(stdout.contains("accuracy"), "{stdout}");
+    assert!(stdout.contains("4 parties, selecting 2"), "{stdout}");
+}
+
+#[test]
+fn csv_input_round_trips() {
+    let dir = std::env::temp_dir().join("vfps_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("toy.csv");
+    let mut csv = String::from("a,b,c,d,y\n");
+    for i in 0..80 {
+        let y = i % 2;
+        let mu = if y == 0 { -2.0 } else { 2.0 };
+        let wobble = (i as f64 * 0.618).fract();
+        csv.push_str(&format!(
+            "{},{},{},{},{y}\n",
+            mu + wobble,
+            mu - wobble,
+            wobble,
+            mu * 0.5 + wobble,
+        ));
+    }
+    std::fs::write(&path, csv).unwrap();
+    let out = vfps()
+        .args([
+            "--data",
+            path.to_str().unwrap(),
+            "--parties",
+            "2",
+            "--select",
+            "1",
+            "--method",
+            "random",
+            "--queries",
+            "4",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("80 rows, 4 features"), "{stdout}");
+    assert!(stdout.contains("RANDOM"), "{stdout}");
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    // Unknown method.
+    let out = vfps()
+        .args(["--synthetic", "Rice", "--method", "magic"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown method"));
+
+    // Missing input entirely.
+    let out = vfps().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--data or --synthetic"));
+
+    // Selecting more than the consortium holds.
+    let out = vfps()
+        .args(["--synthetic", "Rice", "--parties", "2", "--select", "5"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
+}
+
+#[test]
+fn help_lists_every_method() {
+    let out = vfps().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["vfps-sm", "shapley", "vfmine", "random", "libsvm"] {
+        assert!(stdout.contains(needle), "help missing {needle}");
+    }
+}

@@ -1,0 +1,148 @@
+//! End-to-end pipeline tests: the full select → train → evaluate flow for
+//! every method and downstream model, checking the paper's qualitative
+//! claims at simulation scale.
+
+use vfps_core::pipeline::{run_pipeline, Method, PipelineConfig};
+use vfps_data::DatasetSpec;
+use vfps_vfl::split_train::Downstream;
+
+fn cfg(sim: usize) -> PipelineConfig {
+    PipelineConfig { sim_instances: Some(sim), query_count: 16, ..Default::default() }
+}
+
+#[test]
+fn every_method_runs_on_knn_downstream() {
+    let spec = DatasetSpec::by_name("Rice").unwrap();
+    for method in Method::TABLE_ORDER {
+        let report =
+            run_pipeline(&spec, method, Downstream::Knn { k: 5 }, &cfg(300), 1);
+        // RANDOM may legitimately draw a poor pair at this tiny scale; the
+        // bar checks the pipeline runs and is not totally broken.
+        let floor = if method == Method::Random { 0.5 } else { 0.65 };
+        assert!(
+            report.accuracy >= floor,
+            "{}: accuracy {}",
+            method.name(),
+            report.accuracy
+        );
+        let expected = if method == Method::All { 4 } else { 2 };
+        assert_eq!(report.chosen.len(), expected, "{}", method.name());
+    }
+}
+
+#[test]
+fn every_downstream_model_runs_with_vfps_sm() {
+    let spec = DatasetSpec::by_name("Rice").unwrap();
+    for model in [Downstream::Knn { k: 5 }, Downstream::Lr, Downstream::Mlp] {
+        let report = run_pipeline(&spec, Method::VfpsSm, model, &cfg(220), 2);
+        assert!(
+            report.accuracy > 0.6,
+            "{}: accuracy {}",
+            model.name(),
+            report.accuracy
+        );
+        assert!(report.training_seconds > 0.0);
+    }
+}
+
+/// Table I's qualitative shape: selection ordering
+/// SHAPLEY ≫ VFPS-SM-BASE ≫ VFMINE > VFPS-SM ≥ RANDOM(=0), and VFPS-SM's
+/// end-to-end time beats ALL.
+#[test]
+fn selection_time_ordering_matches_table1() {
+    let spec = DatasetSpec::by_name("SUSY").unwrap();
+    let c = cfg(400);
+    let reports: Vec<_> = [
+        Method::Shapley,
+        Method::VfpsSmBase,
+        Method::VfMine,
+        Method::VfpsSm,
+        Method::Random,
+        Method::All,
+    ]
+    .iter()
+    .map(|&m| (m, run_pipeline(&spec, m, Downstream::Lr, &c, 3)))
+    .collect();
+    let by = |m: Method| {
+        reports
+            .iter()
+            .find(|(mm, _)| *mm == m)
+            .map(|(_, r)| r)
+            .expect("method present")
+    };
+    assert!(by(Method::Shapley).selection_seconds > by(Method::VfpsSmBase).selection_seconds);
+    assert!(by(Method::VfpsSmBase).selection_seconds > by(Method::VfMine).selection_seconds);
+    assert!(by(Method::VfMine).selection_seconds > by(Method::VfpsSm).selection_seconds);
+    assert_eq!(by(Method::Random).selection_seconds, 0.0);
+    assert!(
+        by(Method::VfpsSm).total_seconds() < by(Method::All).total_seconds(),
+        "selection should pay for itself: {} vs {}",
+        by(Method::VfpsSm).total_seconds(),
+        by(Method::All).total_seconds()
+    );
+}
+
+/// Fig. 6's claim: with duplicate participants injected, VFPS-SM holds its
+/// accuracy while at least one score-based baseline degrades below it.
+#[test]
+fn duplicates_hurt_baselines_not_vfps_sm() {
+    let spec = DatasetSpec::by_name("Phishing").unwrap();
+    let mut c = cfg(300);
+    c.duplicates = 3;
+    let vfps = run_pipeline(&spec, Method::VfpsSm, Downstream::Knn { k: 5 }, &c, 4);
+    let shapley = run_pipeline(&spec, Method::Shapley, Downstream::Knn { k: 5 }, &c, 4);
+    let vfmine = run_pipeline(&spec, Method::VfMine, Downstream::Knn { k: 5 }, &c, 4);
+    // VFPS-SM never picks two copies of the same partition. Parties 4..7
+    // are clones of the strongest base party.
+    let src = vfps.duplicated_party.expect("duplicates were injected");
+    let dup_ids: Vec<usize> = (4..7).collect();
+    let picks_copy = |chosen: &[usize]| {
+        chosen.contains(&src) && chosen.iter().any(|c| dup_ids.contains(c))
+            || chosen.iter().filter(|c| dup_ids.contains(c)).count() >= 2
+    };
+    assert!(!picks_copy(&vfps.chosen), "VFPS-SM picked duplicates: {:?}", vfps.chosen);
+    assert!(
+        vfps.accuracy + 1e-9 >= shapley.accuracy.min(vfmine.accuracy),
+        "vfps {} vs shapley {} / vfmine {}",
+        vfps.accuracy,
+        shapley.accuracy,
+        vfmine.accuracy
+    );
+}
+
+/// Cost billing at paper scale: SUSY (5M rows) must dwarf Bank (10k rows)
+/// in simulated selection time for the same method.
+#[test]
+fn paper_scale_billing_tracks_dataset_size() {
+    let susy = run_pipeline(
+        &DatasetSpec::by_name("SUSY").unwrap(),
+        Method::VfpsSmBase,
+        Downstream::Knn { k: 5 },
+        &cfg(250),
+        5,
+    );
+    let bank = run_pipeline(
+        &DatasetSpec::by_name("Bank").unwrap(),
+        Method::VfpsSmBase,
+        Downstream::Knn { k: 5 },
+        &cfg(250),
+        5,
+    );
+    assert!(
+        susy.selection_seconds > 20.0 * bank.selection_seconds,
+        "susy {} vs bank {}",
+        susy.selection_seconds,
+        bank.selection_seconds
+    );
+}
+
+/// Determinism: same seed, same report.
+#[test]
+fn pipeline_is_deterministic() {
+    let spec = DatasetSpec::by_name("Rice").unwrap();
+    let a = run_pipeline(&spec, Method::VfpsSm, Downstream::Knn { k: 5 }, &cfg(200), 9);
+    let b = run_pipeline(&spec, Method::VfpsSm, Downstream::Knn { k: 5 }, &cfg(200), 9);
+    assert_eq!(a.chosen, b.chosen);
+    assert_eq!(a.accuracy, b.accuracy);
+    assert_eq!(a.selection_seconds, b.selection_seconds);
+}
