@@ -29,10 +29,9 @@ fn bench_paillier(c: &mut Criterion) {
 
 fn bench_ckks(c: &mut Criterion) {
     let mut group = c.benchmark_group("ckks");
-    for (label, params) in [
-        ("n256", CkksParams::insecure_test()),
-        ("n2048", CkksParams::default_vfl()),
-    ] {
+    for (label, params) in
+        [("n256", CkksParams::insecure_test()), ("n2048", CkksParams::default_vfl())]
+    {
         let he = CkksHe::generate(&params, 2).expect("context");
         let values: Vec<f64> = (0..he.max_batch()).map(|i| i as f64 * 0.01).collect();
         let ct = he.encrypt(&values).unwrap();
@@ -62,9 +61,7 @@ fn bench_bigint(c: &mut Criterion) {
         // The division-based fallback, to quantify the Montgomery speedup.
         let odd_modulus = if modulus.is_even() { modulus.add_u64(1) } else { modulus.clone() };
         group.bench_with_input(BenchmarkId::new("mod_pow_plain", bits), &bits, |b, _| {
-            b.iter(|| {
-                black_box(&base).mod_pow_plain(black_box(&exp), black_box(&odd_modulus))
-            });
+            b.iter(|| black_box(&base).mod_pow_plain(black_box(&exp), black_box(&odd_modulus)));
         });
         group.bench_with_input(BenchmarkId::new("mul", bits), &bits, |b, _| {
             b.iter(|| black_box(&base).mul(black_box(&exp)));

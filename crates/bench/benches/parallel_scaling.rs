@@ -1,0 +1,60 @@
+//! Thread-scaling benchmarks for the `vfps-par` work-stealing pool under
+//! the two dominant hot paths: fed-KNN query batches (the selection
+//! engine's similarity estimation) and Paillier batch encryption (the
+//! protocol's per-candidate modpow work).
+//!
+//! Each group sweeps 1/2/4/8 worker threads over a fixed workload, so the
+//! reported medians read directly as a scaling curve. On machines with
+//! fewer cores than threads the curve flattens — the pool never slows
+//! down below the sequential path because a 1-thread pool runs inline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vfps_data::{prepared_sized, DatasetSpec, VerticalPartition};
+use vfps_he::scheme::PaillierHe;
+use vfps_net::cost::OpLedger;
+use vfps_par::Pool;
+use vfps_vfl::fed_knn::{FedKnn, FedKnnConfig, KnnMode};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_fed_knn_query_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_fed_knn");
+    group.sample_size(10);
+    let spec = DatasetSpec::by_name("IJCNN").expect("catalog");
+    let (ds, split) = prepared_sized(&spec, 1_000, 1);
+    let partition = VerticalPartition::random(ds.n_features(), 4, 1);
+    let parties = [0usize, 1, 2, 3];
+    let cfg = FedKnnConfig { k: 10, mode: KnnMode::Fagin, batch: 100, cost_scale: 1.0 };
+    let engine = FedKnn::new(&ds.x, &partition, &parties, &split.train, cfg);
+    let queries: Vec<usize> = split.train.iter().copied().take(64).collect();
+
+    for threads in THREAD_COUNTS {
+        let pool = Pool::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("query_batch_64", threads), &threads, |b, _| {
+            b.iter(|| {
+                let mut ledger = OpLedger::default();
+                black_box(engine.query_batch(&queries, &pool, &mut ledger))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_paillier_batch_encrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_paillier");
+    group.sample_size(10);
+    let scheme = PaillierHe::generate(512, 256, 9).expect("keygen");
+    let values: Vec<f64> = (0..128).map(|i| f64::from(i) * 0.25 - 16.0).collect();
+
+    for threads in THREAD_COUNTS {
+        let pool = Pool::with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("encrypt_128", threads), &threads, |b, _| {
+            b.iter(|| black_box(scheme.encrypt_on(&values, &pool).expect("encrypt")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fed_knn_query_batch, bench_paillier_batch_encrypt);
+criterion_main!(benches);

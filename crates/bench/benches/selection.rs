@@ -47,11 +47,7 @@ fn bench_selectors(c: &mut Criterion) {
     let mut group = c.benchmark_group("selector");
     group.sample_size(10);
     let spec = DatasetSpec::by_name("Rice").expect("catalog");
-    let cfg = PipelineConfig {
-        sim_instances: Some(400),
-        query_count: 16,
-        ..Default::default()
-    };
+    let cfg = PipelineConfig { sim_instances: Some(400), query_count: 16, ..Default::default() };
     for method in [Method::Random, Method::VfMine, Method::VfpsSm, Method::Shapley] {
         group.bench_function(BenchmarkId::new("select", method.name()), |b| {
             b.iter(|| black_box(selection_only(&spec, method, &cfg, 5)));

@@ -18,10 +18,8 @@ fn make_lists(n: usize, parties: usize, mix: f64, seed: u64) -> Vec<RankedList> 
     let shared: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
     (0..parties)
         .map(|_| {
-            let scores: Vec<f64> = shared
-                .iter()
-                .map(|&s| mix * s + (1.0 - mix) * rng.gen_range(0.0..1.0))
-                .collect();
+            let scores: Vec<f64> =
+                shared.iter().map(|&s| mix * s + (1.0 - mix) * rng.gen_range(0.0..1.0)).collect();
             RankedList::from_scores(scores, Direction::Ascending)
         })
         .collect()

@@ -9,9 +9,9 @@
 //! ```
 
 use vfps_bench::experiments::{
-    ablation_batch, ablation_dp, ablation_maximizer, ablation_noise, ablation_scheme, ablation_topk, breakdown,
-    calibrate, fig4, fig5, fig6, fig7, fig8, fig9, table1,
-    tables_4_and_5, ExpConfig,
+    ablation_batch, ablation_dp, ablation_maximizer, ablation_noise, ablation_scheme,
+    ablation_topk, bench_selection, breakdown, calibrate, fig4, fig5, fig6, fig7, fig8, fig9,
+    table1, tables_4_and_5, ExpConfig,
 };
 
 fn main() {
@@ -96,6 +96,10 @@ fn main() {
         println!("{}", ablation_topk(&cfg));
         ran = true;
     }
+    if run("bench-selection") {
+        println!("{}", bench_selection(&cfg));
+        ran = true;
+    }
     if run("calibrate") {
         println!("{}", calibrate());
         ran = true;
@@ -110,7 +114,7 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: experiments <id> [--runs N] [--quick]\n\
          ids: table1 tables45 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         \x20    ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown calibrate all"
+         \x20    ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown bench-selection calibrate all"
     );
     std::process::exit(2)
 }

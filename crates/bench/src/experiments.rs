@@ -95,11 +95,8 @@ pub fn table1(cfg: &ExpConfig) -> String {
 /// {KNN, LR, MLP} × {ALL, RANDOM, SHAPLEY, VFMINE, VFPS-SM}.
 pub fn tables_4_and_5(cfg: &ExpConfig) -> String {
     let pc = cfg.pipeline();
-    let models: [(Downstream, &str); 3] = [
-        (Downstream::Knn { k: 10 }, "KNN"),
-        (Downstream::Lr, "LR"),
-        (Downstream::Mlp, "MLP"),
-    ];
+    let models: [(Downstream, &str); 3] =
+        [(Downstream::Knn { k: 10 }, "KNN"), (Downstream::Lr, "LR"), (Downstream::Mlp, "MLP")];
     let catalog = paper_catalog();
     let headers: Vec<&str> = std::iter::once("Task")
         .chain(std::iter::once("Method"))
@@ -130,10 +127,7 @@ pub fn tables_4_and_5(cfg: &ExpConfig) -> String {
             time_rows.push(time_row);
         }
     }
-    let t4 = format!(
-        "# Table IV — test accuracy\n\n{}",
-        markdown_table(&headers, &acc_rows)
-    );
+    let t4 = format!("# Table IV — test accuracy\n\n{}", markdown_table(&headers, &acc_rows));
     let t5 = format!(
         "# Table V — end-to-end running time (simulated seconds, paper scale)\n\n{}",
         markdown_table(&headers, &time_rows)
@@ -147,8 +141,7 @@ pub fn tables_4_and_5(cfg: &ExpConfig) -> String {
 /// VFPS-SM-BASE / VFPS-SM.
 pub fn fig4(cfg: &ExpConfig) -> String {
     let pc = cfg.pipeline();
-    let methods =
-        [Method::Shapley, Method::VfMine, Method::VfpsSmBase, Method::VfpsSm];
+    let methods = [Method::Shapley, Method::VfMine, Method::VfpsSmBase, Method::VfpsSm];
     let catalog = paper_catalog();
     let headers: Vec<&str> =
         std::iter::once("Method").chain(catalog.iter().map(|s| s.name)).collect();
@@ -199,7 +192,8 @@ pub fn fig5(cfg: &ExpConfig) -> String {
 /// duplicate pair — the structural failure the figure is about.
 pub fn fig6(cfg: &ExpConfig) -> String {
     use vfps_core::pipeline::run_pipeline;
-    let mut out = String::from("# Fig. 6 — diversity study (KNN accuracy vs injected duplicates)\n");
+    let mut out =
+        String::from("# Fig. 6 — diversity study (KNN accuracy vs injected duplicates)\n");
     out.push_str(
         "\nCells are `accuracy (copy-pairs)`: the parenthesized count is how many\n\
          of the seeded runs selected two copies of the same partition — the\n\
@@ -226,20 +220,15 @@ pub fn fig6(cfg: &ExpConfig) -> String {
                     acc += rep.accuracy;
                     if dups > 0 {
                         let src = rep.duplicated_party.expect("dups injected");
-                        let copies: Vec<usize> =
-                            (pc.parties..pc.parties + dups).collect();
-                        let in_copies =
-                            rep.chosen.iter().filter(|c| copies.contains(c)).count();
+                        let copies: Vec<usize> = (pc.parties..pc.parties + dups).collect();
+                        let in_copies = rep.chosen.iter().filter(|c| copies.contains(c)).count();
                         let has_src = rep.chosen.contains(&src);
                         if in_copies >= 2 || (has_src && in_copies >= 1) {
                             copy_pairs += 1;
                         }
                     }
                 }
-                row.push(format!(
-                    "{:.4} ({copy_pairs})",
-                    acc / cfg.seeds() as f64
-                ));
+                row.push(format!("{:.4} ({copy_pairs})", acc / cfg.seeds() as f64));
             }
             rows.push(row);
         }
@@ -322,8 +311,8 @@ pub fn fig9(cfg: &ExpConfig) -> String {
         // Base encrypts all N (linear scaling); Fagin's candidate set
         // grows only as N^{(P-1)/P} (see fed_knn::fagin_cost_scale).
         let base_n = base.candidates_per_query * scale;
-        let fagin_n = fagin.candidates_per_query
-            * vfps_vfl::fed_knn::fagin_cost_scale(scale, pc.parties);
+        let fagin_n =
+            fagin.candidates_per_query * vfps_vfl::fed_knn::fagin_cost_scale(scale, pc.parties);
         rows.push(vec![
             spec.name.to_owned(),
             format!("{base_n:.0}"),
@@ -348,11 +337,7 @@ pub fn ablation_batch(cfg: &ExpConfig) -> String {
         let mut pc = cfg.pipeline();
         pc.batch = batch;
         let (sel, secs) = selection_only(&spec, Method::VfpsSm, &pc, 900);
-        rows.push(vec![
-            batch.to_string(),
-            format!("{:.0}", sel.candidates_per_query),
-            fmt_s(secs),
-        ]);
+        rows.push(vec![batch.to_string(), format!("{:.0}", sel.candidates_per_query), fmt_s(secs)]);
     }
     let out = format!(
         "# Ablation — Fagin mini-batch size b (IJCNN)\n\n{}",
@@ -422,7 +407,10 @@ pub fn breakdown(cfg: &ExpConfig) -> String {
     let out = format!(
         "# Time breakdown — selection cost per component (seconds, paper scale)\n\n{}",
         markdown_table(
-            &["Dataset", "Method", "Enc", "Dec", "HE-add", "Plain", "Transfer", "Latency", "Crypto %"],
+            &[
+                "Dataset", "Method", "Enc", "Dec", "HE-add", "Plain", "Transfer", "Latency",
+                "Crypto %"
+            ],
             &rows
         )
     );
@@ -632,25 +620,16 @@ pub fn ablation_topk(cfg: &ExpConfig) -> String {
             seed: 1400,
         };
         let mut per_mode = Vec::new();
-        for (label, mode) in [
-            ("base", KnnMode::Base),
-            ("fagin", KnnMode::Fagin),
-            ("threshold", KnnMode::Threshold),
-        ] {
-            let sel = VfpsSmSelector {
-                mode,
-                query_count: pc.query_count,
-                ..Default::default()
-            }
-            .select(&ctx, pc.select);
+        for (label, mode) in
+            [("base", KnnMode::Base), ("fagin", KnnMode::Fagin), ("threshold", KnnMode::Threshold)]
+        {
+            let sel = VfpsSmSelector { mode, query_count: pc.query_count, ..Default::default() }
+                .select(&ctx, pc.select);
             per_mode.push((label, sel));
         }
         let chosen0 = per_mode[0].1.chosen.clone();
         for (label, sel) in &per_mode {
-            assert_eq!(
-                sel.chosen, chosen0,
-                "{label} oracle changed the selection on {ds_name}"
-            );
+            assert_eq!(sel.chosen, chosen0, "{label} oracle changed the selection on {ds_name}");
             rows.push(vec![
                 ds_name.to_owned(),
                 (*label).to_owned(),
@@ -661,12 +640,223 @@ pub fn ablation_topk(cfg: &ExpConfig) -> String {
     }
     let out = format!(
         "# Ablation — top-k oracle choice (same selection, different cost)\n\n{}",
-        markdown_table(
-            &["Dataset", "Oracle", "candidates/query (sim)", "selection (s)"],
-            &rows
-        )
+        markdown_table(&["Dataset", "Oracle", "candidates/query (sim)", "selection (s)"], &rows)
     );
     write_result("ablation_topk", &out);
+    out
+}
+
+/// Thread-scaling report for the parallelized selection stages, written to
+/// `BENCH_selection.json`: wall-clock seconds per stage at 1/2/4/8 worker
+/// threads on this machine, with the outputs of every multi-threaded run
+/// asserted identical to the 1-thread reference. The four stages are the
+/// hot paths `vfps-par` sits under: fed-KNN query batches, Paillier batch
+/// encryption, CKKS batch encryption, and the greedy maximizer.
+pub fn bench_selection(cfg: &ExpConfig) -> String {
+    use std::time::Instant;
+    use vfps_core::KnnSubmodular;
+    use vfps_data::{prepared_sized, VerticalPartition};
+    use vfps_he::ckks::CkksParams;
+    use vfps_he::scheme::{AdditiveHe, CkksHe, PaillierHe};
+    use vfps_net::cost::OpLedger;
+    use vfps_par::Pool;
+    use vfps_vfl::fed_knn::{FedKnn, FedKnnConfig, KnnMode};
+
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+    let reps = if cfg.quick { 2 } else { cfg.runs.max(3) };
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    // rows: (stage, threads, median seconds, deterministic)
+    let mut rows: Vec<(&'static str, usize, f64, bool)> = Vec::new();
+
+    // Stage 1 — fed-KNN query batch (similarity estimation).
+    {
+        let spec = DatasetSpec::by_name("IJCNN").expect("catalog");
+        let sim_n = if cfg.quick { 260 } else { 800 };
+        let (ds, split) = prepared_sized(&spec, sim_n, 1500);
+        let partition = VerticalPartition::random(ds.n_features(), 4, 1500);
+        let parties = [0usize, 1, 2, 3];
+        let knn_cfg = FedKnnConfig { k: 10, mode: KnnMode::Fagin, batch: 100, cost_scale: 1.0 };
+        let engine = FedKnn::new(&ds.x, &partition, &parties, &split.train, knn_cfg);
+        let q_count = if cfg.quick { 12 } else { 48 };
+        let queries: Vec<usize> = split.train.iter().copied().take(q_count).collect();
+        let mut reference: Option<(Vec<Vec<u64>>, OpLedger)> = None;
+        for threads in THREADS {
+            let pool = Pool::with_threads(threads);
+            let mut samples = Vec::with_capacity(reps);
+            let mut last = None;
+            for _ in 0..reps {
+                let mut ledger = OpLedger::default();
+                let t = Instant::now();
+                let outcomes = engine.query_batch(&queries, &pool, &mut ledger);
+                samples.push(t.elapsed().as_secs_f64());
+                last = Some((outcomes, ledger));
+            }
+            let (outcomes, ledger) = last.expect("at least one rep");
+            let bits: Vec<Vec<u64>> =
+                outcomes.iter().map(|o| o.d_t.iter().map(|d| d.to_bits()).collect()).collect();
+            let deterministic = match &reference {
+                None => {
+                    reference = Some((bits, ledger));
+                    true
+                }
+                Some((ref_bits, ref_ledger)) => bits == *ref_bits && ledger == *ref_ledger,
+            };
+            rows.push(("fed_knn_query_batch", threads, median(samples.clone()), deterministic));
+        }
+    }
+
+    // Stage 2 — Paillier batch encryption. A fresh same-seed scheme per
+    // thread count keeps the master RNG stream aligned for the
+    // determinism check; timing then repeats the same-size workload.
+    {
+        let key_bits = if cfg.quick { 256 } else { 512 };
+        let n_values = if cfg.quick { 32 } else { 96 };
+        let values: Vec<f64> = (0..n_values).map(|i| f64::from(i as u32) * 0.25 - 4.0).collect();
+        let mut reference: Option<Vec<vfps_he::paillier::PaillierCiphertext>> = None;
+        for threads in THREADS {
+            let pool = Pool::with_threads(threads);
+            let scheme = PaillierHe::generate(key_bits, n_values, 1501).expect("keygen");
+            let first = scheme.encrypt_on(&values, &pool).expect("encrypt");
+            let deterministic = match &reference {
+                None => {
+                    reference = Some(first);
+                    true
+                }
+                Some(r) => first == *r,
+            };
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t = Instant::now();
+                let _ = scheme.encrypt_on(&values, &pool).expect("encrypt");
+                samples.push(t.elapsed().as_secs_f64());
+            }
+            rows.push(("paillier_batch_encrypt", threads, median(samples), deterministic));
+        }
+    }
+
+    // Stage 3 — CKKS batch encryption (one ciphertext per batch).
+    {
+        let params =
+            if cfg.quick { CkksParams::insecure_test() } else { CkksParams::default_vfl() };
+        let batches_n = if cfg.quick { 4 } else { 16 };
+        let mut reference: Option<Vec<vfps_he::ckks::CkksCiphertext>> = None;
+        let probe = CkksHe::generate(&params, 1502).expect("context");
+        let slots = probe.max_batch();
+        let flat: Vec<f64> = (0..batches_n * slots).map(|i| (i as f64).sin() * 0.5).collect();
+        let batches: Vec<&[f64]> = flat.chunks(slots).collect();
+        for threads in THREADS {
+            let pool = Pool::with_threads(threads);
+            let scheme = CkksHe::generate(&params, 1502).expect("context");
+            let first = scheme.encrypt_many_on(&batches, &pool).expect("encrypt");
+            let deterministic = match &reference {
+                None => {
+                    reference = Some(first);
+                    true
+                }
+                Some(r) => first == *r,
+            };
+            let mut samples = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                let t = Instant::now();
+                let _ = scheme.encrypt_many_on(&batches, &pool).expect("encrypt");
+                samples.push(t.elapsed().as_secs_f64());
+            }
+            rows.push(("ckks_batch_encrypt", threads, median(samples), deterministic));
+        }
+    }
+
+    // Stage 4 — greedy submodular maximization over a dense matrix.
+    {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = if cfg.quick { 60 } else { 140 };
+        let mut rng = StdRng::seed_from_u64(1503);
+        let mut w = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            w[i][i] = 1.0;
+            for j in 0..i {
+                let v: f64 = rng.gen_range(0.0..1.0);
+                w[i][j] = v;
+                w[j][i] = v;
+            }
+        }
+        let f = KnnSubmodular::new(w);
+        let select = n / 4;
+        let mut reference: Option<Vec<usize>> = None;
+        for threads in THREADS {
+            let pool = Pool::with_threads(threads);
+            let mut samples = Vec::with_capacity(reps);
+            let mut chosen = Vec::new();
+            for _ in 0..reps {
+                let t = Instant::now();
+                chosen = f.greedy_on(select, &pool);
+                samples.push(t.elapsed().as_secs_f64());
+            }
+            let deterministic = match &reference {
+                None => {
+                    reference = Some(chosen);
+                    true
+                }
+                Some(r) => chosen == *r,
+            };
+            rows.push(("greedy_maximizer", threads, median(samples), deterministic));
+        }
+    }
+
+    // Emit BENCH_selection.json (hand-rolled; no serde in the tree).
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::from("{\n");
+    json.push_str("  \"benchmark\": \"selection thread scaling\",\n");
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"reps_per_point\": {reps},\n"));
+    json.push_str("  \"stages\": [\n");
+    for (i, (stage, threads, secs, det)) in rows.iter().enumerate() {
+        let base =
+            rows.iter().find(|(s, t, _, _)| s == stage && *t == 1).map_or(*secs, |(_, _, b, _)| *b);
+        let speedup = if *secs > 0.0 { base / secs } else { 1.0 };
+        json.push_str(&format!(
+            "    {{\"stage\": \"{stage}\", \"threads\": {threads}, \"wall_seconds\": {secs:.6}, \
+             \"speedup_vs_1_thread\": {speedup:.3}, \"bit_identical_to_1_thread\": {det}}}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write("BENCH_selection.json", &json) {
+        eprintln!("warning: could not write BENCH_selection.json: {e}");
+    } else {
+        eprintln!("[saved BENCH_selection.json]");
+    }
+
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(stage, threads, secs, det)| {
+            let base = rows
+                .iter()
+                .find(|(s, t, _, _)| s == stage && *t == 1)
+                .map_or(*secs, |(_, _, b, _)| *b);
+            vec![
+                (*stage).to_owned(),
+                threads.to_string(),
+                format!("{:.4}", secs),
+                format!("{:.2}x", if *secs > 0.0 { base / secs } else { 1.0 }),
+                if *det { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    for (stage, threads, _, det) in &rows {
+        assert!(det, "{stage} at {threads} threads diverged from the 1-thread reference");
+    }
+    let out = format!(
+        "# Thread scaling — parallelized selection stages (wall-clock on this machine)\n\n{}",
+        markdown_table(
+            &["Stage", "Threads", "median (s)", "speedup", "bit-identical"],
+            &table_rows
+        )
+    );
+    write_result("bench_selection", &out);
     out
 }
 
@@ -690,10 +880,7 @@ pub fn calibrate() -> String {
     }
     let out = format!(
         "# Cost-model calibration (measured on this machine)\n\n{}",
-        markdown_table(
-            &["Scheme", "enc µs/val", "dec µs/val", "add µs/val", "bytes/val"],
-            &rows
-        )
+        markdown_table(&["Scheme", "enc µs/val", "dec µs/val", "add µs/val", "bytes/val"], &rows)
     );
     write_result("calibration", &out);
     out

@@ -27,17 +27,11 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let body: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let body: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         format!("| {} |\n", body.join(" | "))
     };
-    out.push_str(&fmt_row(
-        &headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(),
-        &widths,
-    ));
+    out.push_str(&fmt_row(&headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>(), &widths));
     let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
     out.push_str(&fmt_row(&sep, &widths));
     for row in rows {
@@ -75,13 +69,7 @@ pub fn selection_only(
     if cfg.duplicates > 0 {
         partition = partition.with_duplicates(0, cfg.duplicates);
     }
-    let ctx = SelectionContext {
-        ds: &ds,
-        split: &split,
-        partition: &partition,
-        cost_scale,
-        seed,
-    };
+    let ctx = SelectionContext { ds: &ds, split: &split, partition: &partition, cost_scale, seed };
     let selector = make_selector(method, cfg);
     let selection = selector.select(&ctx, cfg.select);
     let secs = selection.ledger.simulated_seconds(&cfg.cost_model);
@@ -181,11 +169,7 @@ mod tests {
     #[test]
     fn selection_only_runs() {
         let spec = DatasetSpec::by_name("Rice").unwrap();
-        let cfg = PipelineConfig {
-            sim_instances: Some(200),
-            query_count: 8,
-            ..Default::default()
-        };
+        let cfg = PipelineConfig { sim_instances: Some(200), query_count: 8, ..Default::default() };
         let (sel, secs) = selection_only(&spec, Method::VfpsSm, &cfg, 1);
         assert_eq!(sel.chosen.len(), 2);
         assert!(secs > 0.0);

@@ -13,9 +13,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use vfps_core::make_selector;
 use vfps_core::pipeline::{Method, PipelineConfig};
 use vfps_core::selectors::SelectionContext;
-use vfps_core::make_selector;
 use vfps_data::{
     load_csv, load_libsvm, prepared_sized, CsvOptions, Dataset, DatasetSpec, Split,
     VerticalPartition, ZScore,
@@ -86,8 +86,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--label-column" => {
-                args.label_column =
-                    value("--label-column")?.parse().map_err(|e| format!("{e}"))?;
+                args.label_column = value("--label-column")?.parse().map_err(|e| format!("{e}"))?;
             }
             "--no-header" => args.no_header = true,
             "--verbose" | "-v" => args.verbose = true,
@@ -173,17 +172,10 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let (ds, split) = load(&args)?;
     if args.parties > ds.n_features() {
-        return Err(format!(
-            "{} parties but only {} features",
-            args.parties,
-            ds.n_features()
-        ));
+        return Err(format!("{} parties but only {} features", args.parties, ds.n_features()));
     }
     if args.select == 0 || args.select > args.parties {
-        return Err(format!(
-            "--select {} out of range for {} parties",
-            args.select, args.parties
-        ));
+        return Err(format!("--select {} out of range for {} parties", args.select, args.parties));
     }
     let model = match args.model.as_str() {
         "knn" => Downstream::Knn { k: args.knn_k },
@@ -234,16 +226,10 @@ fn run() -> Result<(), String> {
         let selector = make_selector(method, &cfg);
         let selection = selector.select(&ctx, args.select);
         if args.verbose {
-            let names: Vec<String> =
-                (0..args.parties).map(|p| format!("party-{p}")).collect();
+            let names: Vec<String> = (0..args.parties).map(|p| format!("party-{p}")).collect();
             println!(
                 "\n{}",
-                vfps_core::report::selection_report(
-                    &selection,
-                    method.name(),
-                    &names,
-                    &cost_model
-                )
+                vfps_core::report::selection_report(&selection, method.name(), &names, &cost_model)
             );
         }
         let chosen = if method == Method::All {

@@ -53,10 +53,7 @@ impl IncrementalConsortium {
     ) -> Self {
         assert_eq!(queries.len(), outcomes.len(), "one outcome per query");
         assert!(!parties.is_empty(), "empty consortium");
-        let counts: Vec<f64> = parties
-            .iter()
-            .map(|&p| partition.columns(p).len() as f64)
-            .collect();
+        let counts: Vec<f64> = parties.iter().map(|&p| partition.columns(p).len() as f64).collect();
         let profiles = outcomes
             .iter()
             .map(|o| {
@@ -88,11 +85,8 @@ impl IncrementalConsortium {
         assert!(!self.parties.contains(&party), "party {party} already active");
         let cols = partition.columns(party);
         let per_feature = cols.len() as f64;
-        for ((q, topk), profile) in self
-            .queries
-            .iter()
-            .zip(&self.topk)
-            .zip(self.profiles.iter_mut())
+        for ((q, topk), profile) in
+            self.queries.iter().zip(&self.topk).zip(self.profiles.iter_mut())
         {
             let qf: Vec<f64> = cols.iter().map(|&c| x.get(*q, c)).collect();
             let d_t: f64 = topk
@@ -144,9 +138,7 @@ impl IncrementalConsortium {
             }
         }
         let q = self.profiles.len().max(1) as f64;
-        sums.iter()
-            .map(|row| row.iter().map(|v| v / q).collect())
-            .collect()
+        sums.iter().map(|row| row.iter().map(|v| v / q).collect()).collect()
     }
 
     /// Greedy re-selection over the current matrix; returns party ids (not
@@ -172,17 +164,11 @@ mod tests {
     fn setup(
         parties: &[usize],
         seed: u64,
-    ) -> (
-        vfps_data::Dataset,
-        VerticalPartition,
-        Vec<usize>,
-        Vec<QueryOutcome>,
-    ) {
+    ) -> (vfps_data::Dataset, VerticalPartition, Vec<usize>, Vec<QueryOutcome>) {
         let spec = DatasetSpec::by_name("Rice").unwrap();
         let (ds, split) = prepared_sized(&spec, 250, seed);
         let partition = VerticalPartition::random(ds.n_features(), 4, seed);
-        let engine =
-            FedKnn::new(&ds.x, &partition, parties, &split.train, FedKnnConfig::default());
+        let engine = FedKnn::new(&ds.x, &partition, parties, &split.train, FedKnnConfig::default());
         let mut ledger = OpLedger::default();
         let queries: Vec<usize> = split.train.iter().copied().take(10).collect();
         let outcomes: Vec<QueryOutcome> =
@@ -194,8 +180,7 @@ mod tests {
     fn join_extends_the_matrix() {
         let base = [0usize, 1, 2];
         let (ds, partition, queries, outcomes) = setup(&base, 1);
-        let mut inc =
-            IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
+        let mut inc = IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
         assert_eq!(inc.similarity_matrix().len(), 3);
         inc.join(3, &ds.x, &partition);
         let w = inc.similarity_matrix();
@@ -213,21 +198,13 @@ mod tests {
         let full = [0usize, 1, 2, 3];
         let base = [0usize, 1, 2];
         let (ds, partition, queries, base_outcomes) = setup(&base, 2);
-        let mut inc = IncrementalConsortium::from_outcomes(
-            &base,
-            &partition,
-            &queries,
-            &base_outcomes,
-        );
+        let mut inc =
+            IncrementalConsortium::from_outcomes(&base, &partition, &queries, &base_outcomes);
         inc.join(3, &ds.x, &partition);
 
         let (_, _, _, full_outcomes) = setup(&full, 2);
-        let oracle = IncrementalConsortium::from_outcomes(
-            &full,
-            &partition,
-            &queries,
-            &full_outcomes,
-        );
+        let oracle =
+            IncrementalConsortium::from_outcomes(&full, &partition, &queries, &full_outcomes);
         let wi = inc.similarity_matrix();
         let wf = oracle.similarity_matrix();
         let mut max_diff = 0.0f64;
@@ -243,20 +220,15 @@ mod tests {
     fn leave_is_exact() {
         let full = [0usize, 1, 2, 3];
         let (_, partition, queries, outcomes) = setup(&full, 3);
-        let mut inc =
-            IncrementalConsortium::from_outcomes(&full, &partition, &queries, &outcomes);
+        let mut inc = IncrementalConsortium::from_outcomes(&full, &partition, &queries, &outcomes);
         inc.leave(1);
         assert_eq!(inc.parties(), &[0, 2, 3]);
         let w3 = inc.similarity_matrix();
         // Compare with the matrix built from the same outcomes restricted
         // to the surviving parties' profile columns.
         let survivors = [0usize, 2, 3];
-        let mut restricted = IncrementalConsortium::from_outcomes(
-            &full,
-            &partition,
-            &queries,
-            &outcomes,
-        );
+        let mut restricted =
+            IncrementalConsortium::from_outcomes(&full, &partition, &queries, &outcomes);
         restricted.leave(1);
         let w_oracle = restricted.similarity_matrix();
         for a in 0..survivors.len() {
@@ -270,8 +242,7 @@ mod tests {
     fn select_returns_party_ids_after_churn() {
         let base = [0usize, 1, 2];
         let (ds, partition, queries, outcomes) = setup(&base, 4);
-        let mut inc =
-            IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
+        let mut inc = IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
         inc.join(3, &ds.x, &partition);
         inc.leave(0);
         let chosen = inc.select(2);
@@ -285,8 +256,7 @@ mod tests {
     fn double_join_rejected() {
         let base = [0usize, 1, 2];
         let (ds, partition, queries, outcomes) = setup(&base, 5);
-        let mut inc =
-            IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
+        let mut inc = IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
         inc.join(1, &ds.x, &partition);
     }
 }

@@ -43,10 +43,10 @@ pub mod submodular;
 
 pub use incremental::IncrementalConsortium;
 pub use pipeline::{make_selector, run_averaged, run_pipeline, Method, PipelineConfig, RunReport};
+pub use report::selection_report;
 pub use selectors::{
     AllSelector, LeaveOneOutSelector, RandomSelector, Selection, SelectionContext, Selector,
     ShapleySelector, VfMineSelector, VfpsSmSelector,
 };
-pub use report::selection_report;
 pub use similarity::SimilarityAccumulator;
 pub use submodular::KnnSubmodular;

@@ -244,8 +244,7 @@ pub fn run_averaged(
     avg.accuracy = reports.iter().map(|r| r.accuracy).sum::<f64>() / n;
     avg.selection_seconds = reports.iter().map(|r| r.selection_seconds).sum::<f64>() / n;
     avg.training_seconds = reports.iter().map(|r| r.training_seconds).sum::<f64>() / n;
-    avg.candidates_per_query =
-        reports.iter().map(|r| r.candidates_per_query).sum::<f64>() / n;
+    avg.candidates_per_query = reports.iter().map(|r| r.candidates_per_query).sum::<f64>() / n;
     avg.real_ms = reports.iter().map(|r| r.real_ms).sum::<f64>();
     avg
 }
@@ -274,11 +273,7 @@ mod tests {
     #[test]
     fn run_averaged_averages() {
         let spec = DatasetSpec::by_name("Rice").unwrap();
-        let cfg = PipelineConfig {
-            sim_instances: Some(200),
-            query_count: 8,
-            ..Default::default()
-        };
+        let cfg = PipelineConfig { sim_instances: Some(200), query_count: 8, ..Default::default() };
         let avg = run_averaged(&spec, Method::Random, Downstream::Knn { k: 3 }, &cfg, 2, 5);
         let a = run_pipeline(&spec, Method::Random, Downstream::Knn { k: 3 }, &cfg, 5);
         let b = run_pipeline(&spec, Method::Random, Downstream::Knn { k: 3 }, &cfg, 106);

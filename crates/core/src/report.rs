@@ -25,21 +25,12 @@ pub fn selection_report(
     out.push_str(&format!(
         "chosen ({}): {}\n",
         selection.chosen.len(),
-        selection
-            .chosen
-            .iter()
-            .map(|&p| name(p))
-            .collect::<Vec<_>>()
-            .join(", ")
+        selection.chosen.iter().map(|&p| name(p)).collect::<Vec<_>>().join(", ")
     ));
 
     if !selection.scores.is_empty() {
         out.push_str("scores:\n");
-        let max_score = selection
-            .scores
-            .iter()
-            .copied()
-            .fold(f64::MIN_POSITIVE, f64::max);
+        let max_score = selection.scores.iter().copied().fold(f64::MIN_POSITIVE, f64::max);
         for (p, &score) in selection.scores.iter().enumerate() {
             let bar_len = ((score / max_score).clamp(0.0, 1.0) * 24.0).round() as usize;
             let marker = if selection.chosen.contains(&p) { "*" } else { " " };
@@ -108,23 +99,13 @@ mod tests {
 
     #[test]
     fn report_marks_chosen_rows_and_scales_bars() {
-        let r = selection_report(
-            &selection(),
-            "X",
-            &[],
-            &CostModel::default(),
-        );
+        let r = selection_report(&selection(), "X", &[], &CostModel::default());
         // Fallback names, stars on chosen parties, longest bar on the top
         // score.
         assert!(r.contains("* party-2"), "{r}");
         assert!(r.contains("* party-0"), "{r}");
         assert!(r.contains("  party-1"), "{r}");
-        let top_bar = r
-            .lines()
-            .find(|l| l.contains("* party-2"))
-            .unwrap()
-            .matches('#')
-            .count();
+        let top_bar = r.lines().find(|l| l.contains("* party-2")).unwrap().matches('#').count();
         assert_eq!(top_bar, 24, "{r}");
     }
 

@@ -157,22 +157,28 @@ impl Selector for VfpsSmSelector {
         queries.shuffle(&mut StdRng::seed_from_u64(ctx.seed ^ 0x9e_a4));
         queries.truncate(self.query_count.min(queries.len()));
 
-        let counts: Vec<usize> =
-            parties.iter().map(|&p| ctx.partition.columns(p).len()).collect();
+        let counts: Vec<usize> = parties.iter().map(|&p| ctx.partition.columns(p).len()).collect();
         let mut acc = SimilarityAccumulator::new(parties.len()).with_feature_counts(counts);
         let mut candidates = 0usize;
-        let mut dp_rng = StdRng::seed_from_u64(ctx.seed ^ 0xd9);
-        for &q in &queries {
-            let mut outcome = engine.query(q, &mut ledger);
+        // Queries are independent: run the batch on the global pool. The
+        // per-query ledgers merge back in query order and the accumulator
+        // consumes outcomes in query order, so the similarity matrix and
+        // billing are bit-identical to the sequential loop at any thread
+        // count.
+        let outcomes = engine.query_batch(&queries, vfps_par::global(), &mut ledger);
+        for (qi, mut outcome) in outcomes.into_iter().enumerate() {
             candidates += outcome.candidates;
             if let Some(eps) = self.dp_epsilon {
                 // DP alternative: Laplace noise on each party's d_T^p
                 // before it leaves the participant. Sensitivity heuristic:
                 // one neighbor's partial distance, approximated by the
-                // mean per-neighbor contribution of this query.
-                let sens = (outcome.d_t_total
-                    / (self.k.max(1) * parties.len().max(1)) as f64)
-                    .max(1e-9);
+                // mean per-neighbor contribution of this query. The noise
+                // stream is derived per query (not from one sequential
+                // RNG), so it is independent of execution order.
+                let mut dp_rng =
+                    StdRng::seed_from_u64(vfps_par::split_seed(ctx.seed ^ 0xd9, qi as u64));
+                let sens =
+                    (outcome.d_t_total / (self.k.max(1) * parties.len().max(1)) as f64).max(1e-9);
                 let mech = vfps_he::dp::LaplaceMechanism::new(sens, eps)
                     .expect("positive sensitivity and epsilon");
                 for d in &mut outcome.d_t {
@@ -304,8 +310,7 @@ impl Selector for ShapleySelector {
             // Exact: evaluate every coalition once, then assemble SVs.
             let mut utilities = vec![0.0f64; 1 << p];
             for mask in 1usize..(1 << p) {
-                let coalition: Vec<usize> =
-                    (0..p).filter(|&i| mask >> i & 1 == 1).collect();
+                let coalition: Vec<usize> = (0..p).filter(|&i| mask >> i & 1 == 1).collect();
                 utilities[mask] = self.utility(ctx, &db_rows, &query_rows, &coalition);
                 self.bill_eval(&mut ledger, ctx, coalition.len(), q_bill);
             }
@@ -363,12 +368,7 @@ impl Selector for ShapleySelector {
         order.sort_by(|&a, &b| sv[b].total_cmp(&sv[a]).then(a.cmp(&b)));
         order.truncate(count.min(p));
 
-        Selection {
-            chosen: order,
-            ledger,
-            scores: sv,
-            candidates_per_query: 0.0,
-        }
+        Selection { chosen: order, ledger, scores: sv, candidates_per_query: 0.0 }
     }
 }
 
@@ -475,12 +475,7 @@ impl Default for VfMineSelector {
         // Calibrated so VF-MINE sits between VFPS-SM and VFPS-SM-BASE with
         // the ~2-3× gap over VFPS-SM the paper's Table I reports on SUSY,
         // while staying well above VFPS-SM on small datasets (Fig. 4).
-        VfMineSelector {
-            bins: 10,
-            projections: 4,
-            sample_frac: 0.3,
-            mine_values_per_group: 60_000,
-        }
+        VfMineSelector { bins: 10, projections: 4, sample_frac: 0.3, mine_values_per_group: 60_000 }
     }
 }
 
@@ -528,10 +523,7 @@ impl Selector for VfMineSelector {
             let members = group.len() as u64;
             let per_member = self.mine_values_per_group + sample;
             ledger.record_enc(per_member, members);
-            ledger.record_traffic(
-                members * per_member * model.cipher_bytes as u64,
-                members,
-            );
+            ledger.record_traffic(members * per_member * model.cipher_bytes as u64, members);
             ledger.record_he_add(per_member * members.saturating_sub(1));
             ledger.record_dec(per_member);
             ledger.record_round();
@@ -625,8 +617,7 @@ mod tests {
     #[test]
     fn vfps_sm_scores_are_marginal_gains() {
         let f = fixture(3);
-        let sel = VfpsSmSelector { query_count: 12, ..Default::default() }
-            .select(&ctx(&f, 3), 3);
+        let sel = VfpsSmSelector { query_count: 12, ..Default::default() }.select(&ctx(&f, 3), 3);
         assert_eq!(sel.chosen.len(), 3);
         // Gains are recorded for chosen parties and non-increasing in
         // selection order (submodularity).
@@ -639,8 +630,7 @@ mod tests {
     #[test]
     fn vfps_sm_with_dp_still_selects() {
         let f = fixture(4);
-        let clean = VfpsSmSelector { query_count: 12, ..Default::default() }
-            .select(&ctx(&f, 4), 2);
+        let clean = VfpsSmSelector { query_count: 12, ..Default::default() }.select(&ctx(&f, 4), 2);
         let noisy = VfpsSmSelector {
             query_count: 12,
             dp_epsilon: Some(10.0), // loose budget: should rarely flip
@@ -669,10 +659,7 @@ mod tests {
         q.shuffle(&mut rng);
         q.truncate(sel.eval_query_cap);
         let grand = sel.utility(&c, &db, &q, &[0, 1, 2, 3]);
-        assert!(
-            (total - grand).abs() < 1e-9,
-            "efficiency axiom: Σ SV = {total} vs U(P) = {grand}"
-        );
+        assert!((total - grand).abs() < 1e-9, "efficiency axiom: Σ SV = {total} vs U(P) = {grand}");
     }
 
     #[test]

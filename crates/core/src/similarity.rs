@@ -74,12 +74,7 @@ impl SimilarityAccumulator {
         self.queries += 1;
         let profile: Vec<f64> = match &self.feature_counts {
             None => outcome.d_t.clone(),
-            Some(counts) => outcome
-                .d_t
-                .iter()
-                .zip(counts)
-                .map(|(&d, &c)| d / c as f64)
-                .collect(),
+            Some(counts) => outcome.d_t.iter().zip(counts).map(|(&d, &c)| d / c as f64).collect(),
         };
         let total: f64 = profile.iter().sum();
         for p in 0..self.parties {
@@ -107,10 +102,7 @@ impl SimilarityAccumulator {
     #[must_use]
     pub fn finish(&self) -> Vec<Vec<f64>> {
         assert!(self.queries > 0, "no queries accumulated");
-        self.sums
-            .iter()
-            .map(|row| row.iter().map(|v| v / self.queries as f64).collect())
-            .collect()
+        self.sums.iter().map(|row| row.iter().map(|v| v / self.queries as f64).collect()).collect()
     }
 }
 

@@ -51,12 +51,7 @@ impl KnnSubmodular {
         }
         self.w
             .iter()
-            .map(|row| {
-                subset
-                    .iter()
-                    .map(|&s| row[s])
-                    .fold(f64::NEG_INFINITY, f64::max)
-            })
+            .map(|row| subset.iter().map(|&s| row[s]).fold(f64::NEG_INFINITY, f64::max))
             .sum()
     }
 
@@ -64,33 +59,54 @@ impl KnnSubmodular {
     /// `best[p] = max_{s∈S} w(p, s)` (use `0.0` for the empty set).
     #[must_use]
     pub fn gain(&self, best: &[f64], v: usize) -> f64 {
-        self.w
-            .iter()
-            .zip(best)
-            .map(|(row, &b)| (row[v] - b).max(0.0))
-            .sum()
+        self.w.iter().zip(best).map(|(row, &b)| (row[v] - b).max(0.0)).sum()
+    }
+
+    /// Marginal gains of every candidate not yet in the set, evaluated on
+    /// `pool` in index order. Each gain is an independent pass over `w`,
+    /// and [`vfps_par::Pool::par_map_indexed`] returns results in input
+    /// order, so the vector is bit-identical at any thread count.
+    fn candidate_gains(
+        &self,
+        best: &[f64],
+        candidates: &[usize],
+        pool: &vfps_par::Pool,
+    ) -> Vec<f64> {
+        pool.par_map_indexed(candidates, |_, &v| self.gain(best, v))
     }
 
     /// Greedy maximization: repeatedly add the element with the largest
     /// marginal gain until `size` elements are chosen. Ties break toward
     /// the smaller index. Returns the chosen set in selection order.
     ///
+    /// Gains are evaluated on the global [`vfps_par`] pool; the argmax
+    /// scan stays sequential over the ordered gain vector, so the chosen
+    /// set matches a single-threaded run exactly.
+    ///
     /// # Panics
     /// Panics if `size` exceeds the ground set.
     #[must_use]
     pub fn greedy(&self, size: usize) -> Vec<usize> {
+        self.greedy_on(size, vfps_par::global())
+    }
+
+    /// [`KnnSubmodular::greedy`] on an explicit pool (useful for pinning
+    /// the thread count in tests and benchmarks).
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set.
+    #[must_use]
+    pub fn greedy_on(&self, size: usize, pool: &vfps_par::Pool) -> Vec<usize> {
         let n = self.ground_size();
         assert!(size <= n, "cannot select {size} of {n}");
         let mut chosen = Vec::with_capacity(size);
         let mut in_set = vec![false; n];
         let mut best = vec![0.0f64; n];
         for _ in 0..size {
+            let candidates: Vec<usize> = (0..n).filter(|&v| !in_set[v]).collect();
+            let gains = self.candidate_gains(&best, &candidates, pool);
             let mut top: Option<(usize, f64)> = None;
-            for v in 0..n {
-                if in_set[v] {
-                    continue;
-                }
-                let g = self.gain(&best, v);
+            for (&v, &g) in candidates.iter().zip(&gains) {
                 let better = match top {
                     None => true,
                     Some((_, tg)) => g > tg + 1e-15,
@@ -114,10 +130,23 @@ impl KnnSubmodular {
     /// submodularity guarantees gains never grow. Returns the same set as
     /// [`KnnSubmodular::greedy`] up to ties.
     ///
+    /// The initial round-0 gain sweep (the `n` evaluations that dominate
+    /// when laziness works) runs on the global [`vfps_par`] pool; the
+    /// heap refresh loop is inherently sequential and stays so.
+    ///
     /// # Panics
     /// Panics if `size` exceeds the ground set.
     #[must_use]
     pub fn lazy_greedy(&self, size: usize) -> (Vec<usize>, usize) {
+        self.lazy_greedy_on(size, vfps_par::global())
+    }
+
+    /// [`KnnSubmodular::lazy_greedy`] on an explicit pool.
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set.
+    #[must_use]
+    pub fn lazy_greedy_on(&self, size: usize, pool: &vfps_par::Pool) -> (Vec<usize>, usize) {
         #[derive(PartialEq)]
         struct Entry {
             gain: f64,
@@ -132,9 +161,7 @@ impl KnnSubmodular {
         }
         impl Ord for Entry {
             fn cmp(&self, other: &Self) -> Ordering {
-                self.gain
-                    .total_cmp(&other.gain)
-                    .then(other.v.cmp(&self.v))
+                self.gain.total_cmp(&other.gain).then(other.v.cmp(&self.v))
             }
         }
 
@@ -142,13 +169,11 @@ impl KnnSubmodular {
         assert!(size <= n, "cannot select {size} of {n}");
         let mut best = vec![0.0f64; n];
         let mut chosen = Vec::with_capacity(size);
-        let mut evaluations = 0usize;
-        let mut heap: BinaryHeap<Entry> = (0..n)
-            .map(|v| {
-                evaluations += 1;
-                Entry { gain: self.gain(&best, v), v, round: 0 }
-            })
-            .collect();
+        let mut evaluations = n;
+        let all: Vec<usize> = (0..n).collect();
+        let initial = self.candidate_gains(&best, &all, pool);
+        let mut heap: BinaryHeap<Entry> =
+            initial.into_iter().enumerate().map(|(v, gain)| Entry { gain, v, round: 0 }).collect();
         let mut round = 0usize;
         while chosen.len() < size {
             let top = heap.pop().expect("heap never empties before size reached");
@@ -256,16 +281,11 @@ impl KnnSubmodular {
                 if in_set[v] || spent + costs[v] > budget {
                     continue;
                 }
-                let ratio = if costs[v] > 0.0 {
-                    self.gain(&best, v) / costs[v]
-                } else {
-                    f64::INFINITY
-                };
+                let ratio =
+                    if costs[v] > 0.0 { self.gain(&best, v) / costs[v] } else { f64::INFINITY };
                 let better = match top {
                     None => true,
-                    Some((tv, tr)) => {
-                        ratio > tr + 1e-15 || (ratio >= tr - 1e-15 && v < tv)
-                    }
+                    Some((tv, tr)) => ratio > tr + 1e-15 || (ratio >= tr - 1e-15 && v < tv),
                 };
                 if better {
                     top = Some((v, ratio));
@@ -284,9 +304,7 @@ impl KnnSubmodular {
         // greedy on adversarial costs.
         let single = (0..n)
             .filter(|&v| costs[v] <= budget)
-            .max_by(|&a, &b| {
-                self.eval(&[a]).total_cmp(&self.eval(&[b])).then(b.cmp(&a))
-            });
+            .max_by(|&a, &b| self.eval(&[a]).total_cmp(&self.eval(&[b])).then(b.cmp(&a)));
         match single {
             Some(s) if self.eval(&[s]) > self.eval(&chosen) => vec![s],
             _ => chosen,
@@ -359,9 +377,8 @@ mod tests {
                     if b_mask >> v & 1 == 1 {
                         continue;
                     }
-                    let set = |m: u32| -> Vec<usize> {
-                        (0..n).filter(|&i| m >> i & 1 == 1).collect()
-                    };
+                    let set =
+                        |m: u32| -> Vec<usize> { (0..n).filter(|&i| m >> i & 1 == 1).collect() };
                     let (a, b) = (set(a_mask), set(b_mask));
                     let mut av = a.clone();
                     av.push(v);
@@ -516,6 +533,34 @@ mod tests {
         use rand::SeedableRng;
         let f = toy();
         let _ = f.stochastic_greedy(2, 1.5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn greedy_is_identical_across_thread_counts() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let n = 48;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut w = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            w[i][i] = 1.0;
+            for j in 0..i {
+                let v: f64 = rng.gen_range(0.0..1.0);
+                w[i][j] = v;
+                w[j][i] = v;
+            }
+        }
+        let f = KnnSubmodular::new(w);
+        let single = vfps_par::Pool::with_threads(1);
+        let greedy_ref = f.greedy_on(12, &single);
+        let (lazy_ref, evals_ref) = f.lazy_greedy_on(12, &single);
+        for threads in [2usize, 4, 8] {
+            let pool = vfps_par::Pool::with_threads(threads);
+            assert_eq!(f.greedy_on(12, &pool), greedy_ref, "{threads} threads");
+            let (lazy, evals) = f.lazy_greedy_on(12, &pool);
+            assert_eq!(lazy, lazy_ref, "{threads} threads");
+            assert_eq!(evals, evals_ref, "{threads} threads");
+        }
     }
 
     #[test]

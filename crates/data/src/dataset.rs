@@ -258,7 +258,8 @@ mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64, (i * 2) as f64]).collect::<Vec<_>>());
+        let x =
+            Matrix::from_rows(&(0..20).map(|i| vec![i as f64, (i * 2) as f64]).collect::<Vec<_>>());
         Dataset {
             x,
             y: (0..20).map(|i| i % 2).collect(),
@@ -279,8 +280,7 @@ mod tests {
     #[test]
     fn split_is_a_partition() {
         let s = Split::paper_split(57, 2);
-        let mut all: Vec<usize> =
-            s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..57).collect::<Vec<_>>());
     }

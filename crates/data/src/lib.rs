@@ -49,7 +49,7 @@ pub fn prepared(spec: &DatasetSpec, seed: u64) -> (Dataset, Split) {
 #[must_use]
 pub fn prepared_sized(spec: &DatasetSpec, n: usize, seed: u64) -> (Dataset, Split) {
     let mut ds = synth::generate_sized(spec, n, seed);
-    let split = Split::paper_split(ds.len(), seed ^ 0x5b11_7);
+    let split = Split::paper_split(ds.len(), seed ^ 0x0005_b117);
     let mm = MinMax::fit(&ds.x, &split.train);
     mm.apply(&mut ds.x);
     (ds, split)

@@ -263,21 +263,18 @@ mod tests {
 
     #[test]
     fn csv_skips_blank_lines() {
-        let ds =
-            parse_csv("h1,h2\n1.0,x\n\n2.0,y\n", &CsvOptions::default(), "t").unwrap();
+        let ds = parse_csv("h1,h2\n1.0,x\n\n2.0,y\n", &CsvOptions::default(), "t").unwrap();
         assert_eq!(ds.len(), 2);
     }
 
     #[test]
     fn csv_errors_are_located() {
-        let err = parse_csv("a,b\n1.0,c,extra\n", &CsvOptions::default(), "t")
-            .unwrap_err();
+        let err = parse_csv("a,b\n1.0,c,extra\n", &CsvOptions::default(), "t").unwrap_err();
         match err {
             LoadError::Parse { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected {other}"),
         }
-        let err2 =
-            parse_csv("a,b\nnotnum,c\n", &CsvOptions::default(), "t").unwrap_err();
+        let err2 = parse_csv("a,b\nnotnum,c\n", &CsvOptions::default(), "t").unwrap_err();
         assert!(matches!(err2, LoadError::Parse { .. }));
         assert!(matches!(
             parse_csv("h1,h2\n", &CsvOptions::default(), "t").unwrap_err(),
@@ -298,17 +295,13 @@ mod tests {
 
     #[test]
     fn libsvm_comments_and_errors() {
-        let ds = parse_libsvm("1 1:1.0 # trailing comment\n# whole-line\n2 1:2.0\n", "t")
-            .unwrap();
+        let ds = parse_libsvm("1 1:1.0 # trailing comment\n# whole-line\n2 1:2.0\n", "t").unwrap();
         assert_eq!(ds.len(), 2);
         assert!(matches!(
             parse_libsvm("1 0:1.0\n", "t").unwrap_err(),
             LoadError::Parse { line: 1, .. }
         ));
-        assert!(matches!(
-            parse_libsvm("1 banana\n", "t").unwrap_err(),
-            LoadError::Parse { .. }
-        ));
+        assert!(matches!(parse_libsvm("1 banana\n", "t").unwrap_err(), LoadError::Parse { .. }));
     }
 
     #[test]

@@ -203,11 +203,7 @@ mod tests {
         for spec in paper_catalog() {
             assert!(spec.informative_frac > 0.0 && spec.informative_frac <= 1.0);
             assert!(spec.noise_frac() >= 0.0);
-            assert!(
-                spec.informative_frac + spec.redundant_frac <= 1.0 + 1e-9,
-                "{}",
-                spec.name
-            );
+            assert!(spec.informative_frac + spec.redundant_frac <= 1.0 + 1e-9, "{}", spec.name);
             assert!(spec.sim_instances >= 500, "{}", spec.name);
         }
     }

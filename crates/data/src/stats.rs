@@ -59,8 +59,7 @@ impl DatasetStats {
                 max = max.max(v);
             }
             let mean = sum / n as f64;
-            let var = (0..n).map(|r| (ds.x.get(r, c) - mean).powi(2)).sum::<f64>()
-                / n as f64;
+            let var = (0..n).map(|r| (ds.x.get(r, c) - mean).powi(2)).sum::<f64>() / n as f64;
             feature_stats.push(FeatureStats { index: c, mean, std: var.sqrt(), min, max });
         }
         DatasetStats { instances: n, features: f, class_counts, feature_stats }
@@ -81,20 +80,14 @@ impl DatasetStats {
         if ds.n_classes != 2 || ds.is_empty() {
             return Vec::new();
         }
-        let idx0: Vec<usize> =
-            (0..ds.len()).filter(|&r| ds.y[r] == 0).collect();
-        let idx1: Vec<usize> =
-            (0..ds.len()).filter(|&r| ds.y[r] == 1).collect();
+        let idx0: Vec<usize> = (0..ds.len()).filter(|&r| ds.y[r] == 0).collect();
+        let idx1: Vec<usize> = (0..ds.len()).filter(|&r| ds.y[r] == 1).collect();
         if idx0.is_empty() || idx1.is_empty() {
             return vec![0.0; ds.n_features()];
         }
         let moments = |rows: &[usize], c: usize| -> (f64, f64) {
-            let mean =
-                rows.iter().map(|&r| ds.x.get(r, c)).sum::<f64>() / rows.len() as f64;
-            let var = rows
-                .iter()
-                .map(|&r| (ds.x.get(r, c) - mean).powi(2))
-                .sum::<f64>()
+            let mean = rows.iter().map(|&r| ds.x.get(r, c)).sum::<f64>() / rows.len() as f64;
+            let var = rows.iter().map(|&r| (ds.x.get(r, c) - mean).powi(2)).sum::<f64>()
                 / rows.len() as f64;
             (mean, var.sqrt())
         };
@@ -129,15 +122,9 @@ pub fn party_profiles(ds: &Dataset, partition: &VerticalPartition) -> Vec<PartyP
     (0..partition.parties())
         .map(|p| {
             let cols = partition.columns(p);
-            let seps: Vec<f64> = cols
-                .iter()
-                .filter_map(|&c| sep.get(c).copied())
-                .collect();
-            let mean_separation = if seps.is_empty() {
-                0.0
-            } else {
-                seps.iter().sum::<f64>() / seps.len() as f64
-            };
+            let seps: Vec<f64> = cols.iter().filter_map(|&c| sep.get(c).copied()).collect();
+            let mean_separation =
+                if seps.is_empty() { 0.0 } else { seps.iter().sum::<f64>() / seps.len() as f64 };
             let max_separation = seps.iter().copied().fold(0.0, f64::max);
             PartyProfile { party: p, features: cols.len(), mean_separation, max_separation }
         })
@@ -195,8 +182,7 @@ mod tests {
     #[test]
     fn party_profiles_rank_partitions() {
         let ds = toy();
-        let partition =
-            VerticalPartition::from_groups(2, vec![vec![0], vec![1]]);
+        let partition = VerticalPartition::from_groups(2, vec![vec![0], vec![1]]);
         let profiles = party_profiles(&ds, &partition);
         assert_eq!(profiles.len(), 2);
         assert!(profiles[0].mean_separation > profiles[1].mean_separation);

@@ -70,7 +70,7 @@ pub fn generate_sized(spec: &DatasetSpec, n: usize, seed: u64) -> Dataset {
     let n_signal = ((f as f64 * signal_frac).round() as usize).clamp(1, f);
     let n_weak = f - n_signal;
 
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a_5e7);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0da7_a5e7);
 
     let l_sig = signal_factor_count(f).min(n_signal);
     let l_noise = (l_sig / 3).max(1);
@@ -81,9 +81,8 @@ pub fn generate_sized(spec: &DatasetSpec, n: usize, seed: u64) -> Dataset {
     let mut feature_factor = vec![0usize; f];
     let mut kinds = vec![FeatureKind::Noise; f];
     {
-        let mut signal_assignment: Vec<usize> = (0..n_signal)
-            .map(|i| if i < l_sig { i } else { rng.gen_range(0..l_sig) })
-            .collect();
+        let mut signal_assignment: Vec<usize> =
+            (0..n_signal).map(|i| if i < l_sig { i } else { rng.gen_range(0..l_sig) }).collect();
         signal_assignment.shuffle(&mut rng);
         let mut weak_assignment: Vec<usize> =
             (0..n_weak).map(|_| l_sig + rng.gen_range(0..l_noise)).collect();
@@ -202,10 +201,8 @@ mod tests {
             train.iter().map(|&i| ds.y[i]).collect(),
             2,
         );
-        let acc = knn.accuracy(
-            &ds.x.select_rows(&test),
-            &test.iter().map(|&i| ds.y[i]).collect::<Vec<_>>(),
-        );
+        let acc = knn
+            .accuracy(&ds.x.select_rows(&test), &test.iter().map(|&i| ds.y[i]).collect::<Vec<_>>());
         assert!(acc > 0.8, "acc={acc}");
     }
 
@@ -249,10 +246,7 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         for &rcol in &redundant {
-            let best = informative
-                .iter()
-                .map(|&icol| corr(rcol, icol).abs())
-                .fold(0.0, f64::max);
+            let best = informative.iter().map(|&icol| corr(rcol, icol).abs()).fold(0.0, f64::max);
             assert!(best > 0.4, "redundant col {rcol} correlates at most {best}");
         }
     }
@@ -269,12 +263,20 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         for &c in &noise_cols {
-            let m0: f64 = ds.y.iter().enumerate().filter(|(_, &l)| l == 0)
-                .map(|(r, _)| ds.x.get(r, c)).sum::<f64>()
-                / ds.y.iter().filter(|&&l| l == 0).count() as f64;
-            let m1: f64 = ds.y.iter().enumerate().filter(|(_, &l)| l == 1)
-                .map(|(r, _)| ds.x.get(r, c)).sum::<f64>()
-                / ds.y.iter().filter(|&&l| l == 1).count() as f64;
+            let m0: f64 =
+                ds.y.iter()
+                    .enumerate()
+                    .filter(|(_, &l)| l == 0)
+                    .map(|(r, _)| ds.x.get(r, c))
+                    .sum::<f64>()
+                    / ds.y.iter().filter(|&&l| l == 0).count() as f64;
+            let m1: f64 =
+                ds.y.iter()
+                    .enumerate()
+                    .filter(|(_, &l)| l == 1)
+                    .map(|(r, _)| ds.x.get(r, c))
+                    .sum::<f64>()
+                    / ds.y.iter().filter(|&&l| l == 1).count() as f64;
             assert!((m0 - m1).abs() < 0.6, "noise col {c}: {m0} vs {m1}");
         }
     }
@@ -283,13 +285,9 @@ mod tests {
     fn informative_count_matches_factor_count() {
         let spec = small_spec();
         let ds = generate(&spec, 5);
-        let n_informative = ds
-            .feature_kinds
-            .iter()
-            .filter(|k| **k == FeatureKind::Informative)
-            .count();
-        let signal_feats = ((spec.features as f64
-            * (spec.informative_frac + spec.redundant_frac))
+        let n_informative =
+            ds.feature_kinds.iter().filter(|k| **k == FeatureKind::Informative).count();
+        let signal_feats = ((spec.features as f64 * (spec.informative_frac + spec.redundant_frac))
             .round() as usize)
             .max(1);
         let expected = signal_factor_count(spec.features).min(signal_feats);

@@ -83,7 +83,8 @@ impl BigUint {
         if m.is_zero() {
             return None;
         }
-        let (g, x, _) = BigInt::from_biguint(self.rem(m)).extended_gcd(&BigInt::from_biguint(m.clone()));
+        let (g, x, _) =
+            BigInt::from_biguint(self.rem(m)).extended_gcd(&BigInt::from_biguint(m.clone()));
         if !g.magnitude().is_one() {
             return None;
         }
@@ -117,9 +118,7 @@ mod tests {
     fn mod_pow_edge_cases() {
         let m = BigUint::from_u64(13);
         assert!(BigUint::from_u64(5).mod_pow(&BigUint::zero(), &m).is_one());
-        assert!(BigUint::from_u64(5)
-            .mod_pow(&BigUint::from_u64(100), &BigUint::one())
-            .is_zero());
+        assert!(BigUint::from_u64(5).mod_pow(&BigUint::from_u64(100), &BigUint::one()).is_zero());
         assert!(BigUint::zero().mod_pow(&BigUint::from_u64(5), &m).is_zero());
     }
 

@@ -41,7 +41,7 @@ impl MontgomeryCtx {
     /// scratch): returns `t · R⁻¹ mod m` as an `L`-limb value.
     fn redc(&self, t: &mut [u64]) -> Vec<u64> {
         let l = self.limbs();
-        debug_assert!(t.len() >= 2 * l + 1);
+        debug_assert!(t.len() > 2 * l);
         for i in 0..l {
             let u = t[i].wrapping_mul(self.n0_inv);
             // t += u * m << (64 * i)
@@ -78,8 +78,7 @@ impl MontgomeryCtx {
             }
             let mut carry = 0u128;
             for (j, &bj) in b.iter().enumerate() {
-                let sum =
-                    u128::from(t[i + j]) + u128::from(ai) * u128::from(bj) + carry;
+                let sum = u128::from(t[i + j]) + u128::from(ai) * u128::from(bj) + carry;
                 t[i + j] = sum as u64;
                 carry = sum >> 64;
             }
@@ -208,11 +207,7 @@ mod tests {
             for _ in 0..3 {
                 let base = BigUint::random_below(&mut rng, &m);
                 let exp = BigUint::random_bits(&mut rng, bits / 2);
-                assert_eq!(
-                    ctx.mod_pow(&base, &exp),
-                    base.mod_pow_plain(&exp, &m),
-                    "bits={bits}"
-                );
+                assert_eq!(ctx.mod_pow(&base, &exp), base.mod_pow_plain(&exp, &m), "bits={bits}");
             }
         }
     }

@@ -88,10 +88,7 @@ fn split(x: &BigUint, at: usize) -> (BigUint, BigUint) {
     if x.limbs.len() <= at {
         (x.clone(), BigUint::zero())
     } else {
-        (
-            BigUint::from_limbs(x.limbs[..at].to_vec()),
-            BigUint::from_limbs(x.limbs[at..].to_vec()),
-        )
+        (BigUint::from_limbs(x.limbs[..at].to_vec()), BigUint::from_limbs(x.limbs[at..].to_vec()))
     }
 }
 
@@ -124,10 +121,7 @@ mod tests {
         let a = BigUint::from_limbs(vec![u64::MAX; 3]);
         let sq = a.mul(&a);
         // (2^192 - 1)^2 = 2^384 - 2^193 + 1
-        let expect = BigUint::one()
-            .shl(384)
-            .sub(&BigUint::one().shl(193))
-            .add(&BigUint::one());
+        let expect = BigUint::one().shl(384).sub(&BigUint::one().shl(193)).add(&BigUint::one());
         assert_eq!(sq, expect);
     }
 

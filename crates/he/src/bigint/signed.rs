@@ -49,7 +49,9 @@ impl BigInt {
         match v.cmp(&0) {
             Ordering::Equal => Self::zero(),
             Ordering::Greater => BigInt { sign: Sign::Positive, mag: BigUint::from_u64(v as u64) },
-            Ordering::Less => BigInt { sign: Sign::Negative, mag: BigUint::from_u64(v.unsigned_abs()) },
+            Ordering::Less => {
+                BigInt { sign: Sign::Negative, mag: BigUint::from_u64(v.unsigned_abs()) }
+            }
         }
     }
 

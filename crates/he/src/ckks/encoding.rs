@@ -94,19 +94,13 @@ impl CkksEncoder {
     #[must_use]
     pub fn decode(&self, coeffs: &[i64], count: usize) -> Vec<f64> {
         debug_assert_eq!(coeffs.len(), self.n);
-        let mut v: Vec<Complex> = coeffs
-            .iter()
-            .enumerate()
-            .map(|(k, &c)| self.twist[k].scale(c as f64))
-            .collect();
+        let mut v: Vec<Complex> =
+            coeffs.iter().enumerate().map(|(k, &c)| self.twist[k].scale(c as f64)).collect();
         // Inverse of the encode transform: sign +1; `fft_in_place` also
         // divides by n, so undo that to get plain evaluations.
         fft_in_place(&mut v, true);
         let n = self.n as f64;
-        v.iter()
-            .take(count.min(self.slots()))
-            .map(|c| c.re * n / self.scale)
-            .collect()
+        v.iter().take(count.min(self.slots())).map(|c| c.re * n / self.scale).collect()
     }
 }
 

@@ -45,10 +45,7 @@ impl Complex {
     /// Multiplication.
     #[must_use]
     pub fn mul(self, o: Self) -> Self {
-        Complex {
-            re: self.re * o.re - self.im * o.im,
-            im: self.re * o.im + self.im * o.re,
-        }
+        Complex { re: self.re * o.re - self.im * o.im, im: self.re * o.im + self.im * o.re }
     }
 
     /// Scaling by a real.

@@ -152,10 +152,7 @@ impl CkksContext {
         let u = Poly::ternary(rng, Arc::clone(&self.tables));
         let e0 = Poly::error(rng, Arc::clone(&self.tables));
         let e1 = Poly::error(rng, Arc::clone(&self.tables));
-        Ok(CkksCiphertext {
-            c0: pk.b.mul(&u).add(&e0).add(&m),
-            c1: pk.a.mul(&u).add(&e1),
-        })
+        Ok(CkksCiphertext { c0: pk.b.mul(&u).add(&e0).add(&m), c1: pk.a.mul(&u).add(&e1) })
     }
 
     /// Decrypts to `count` approximate real values.
@@ -204,9 +201,8 @@ impl CkksContext {
             let mut coeffs = Vec::with_capacity(n);
             for i in 0..n {
                 let start = off + i * 8;
-                let c = u64::from_le_bytes(
-                    bytes[start..start + 8].try_into().expect("exact slice"),
-                );
+                let c =
+                    u64::from_le_bytes(bytes[start..start + 8].try_into().expect("exact slice"));
                 if c >= self.tables.q {
                     return Err(Error::InvalidParameters(format!(
                         "coefficient {c} exceeds modulus"
@@ -329,10 +325,12 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(CkksContext::new(&CkksParams { degree: 100, modulus_bits: 50, scale: 1e9 })
-            .is_err());
-        assert!(CkksContext::new(&CkksParams { degree: 256, modulus_bits: 20, scale: 1e9 })
-            .is_err());
+        assert!(
+            CkksContext::new(&CkksParams { degree: 100, modulus_bits: 50, scale: 1e9 }).is_err()
+        );
+        assert!(
+            CkksContext::new(&CkksParams { degree: 256, modulus_bits: 20, scale: 1e9 }).is_err()
+        );
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub fn is_prime_u64(n: u64) -> bool {
         return false;
     }
     for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
@@ -136,7 +136,7 @@ impl NttTables {
     #[must_use]
     pub fn new(n: usize, q: u64) -> Self {
         assert!(n.is_power_of_two() && n >= 2, "ring degree must be a power of two");
-        assert!((q - 1) % (2 * n as u64) == 0, "q must be 1 mod 2n");
+        assert!((q - 1).is_multiple_of(2 * n as u64), "q must be 1 mod 2n");
         let psi = find_psi(q, n);
         let psi_inv = inv_mod(psi, q);
         let log_n = n.trailing_zeros();

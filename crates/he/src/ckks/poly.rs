@@ -41,13 +41,7 @@ impl Poly {
         let q = tables.q;
         let v = coeffs
             .iter()
-            .map(|&c| {
-                if c >= 0 {
-                    (c as u64) % q
-                } else {
-                    q - ((c.unsigned_abs()) % q)
-                }
-            })
+            .map(|&c| if c >= 0 { (c as u64) % q } else { q - ((c.unsigned_abs()) % q) })
             .map(|c| if c == q { 0 } else { c })
             .collect();
         Poly::from_coeffs(v, tables)
@@ -64,10 +58,7 @@ impl Poly {
     pub fn centered(&self) -> Vec<i64> {
         let q = self.tables.q;
         let half = q / 2;
-        self.coeffs
-            .iter()
-            .map(|&c| if c > half { c as i64 - q as i64 } else { c as i64 })
-            .collect()
+        self.coeffs.iter().map(|&c| if c > half { c as i64 - q as i64 } else { c as i64 }).collect()
     }
 
     /// The modulus.
@@ -86,12 +77,8 @@ impl Poly {
     #[must_use]
     pub fn add(&self, other: &Self) -> Self {
         let q = self.tables.q;
-        let coeffs = self
-            .coeffs
-            .iter()
-            .zip(&other.coeffs)
-            .map(|(&a, &b)| add_mod(a, b, q))
-            .collect();
+        let coeffs =
+            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| add_mod(a, b, q)).collect();
         Poly { coeffs, tables: Arc::clone(&self.tables) }
     }
 
@@ -99,12 +86,8 @@ impl Poly {
     #[must_use]
     pub fn sub(&self, other: &Self) -> Self {
         let q = self.tables.q;
-        let coeffs = self
-            .coeffs
-            .iter()
-            .zip(&other.coeffs)
-            .map(|(&a, &b)| sub_mod(a, b, q))
-            .collect();
+        let coeffs =
+            self.coeffs.iter().zip(&other.coeffs).map(|(&a, &b)| sub_mod(a, b, q)).collect();
         Poly { coeffs, tables: Arc::clone(&self.tables) }
     }
 
@@ -245,8 +228,7 @@ mod tests {
         for &c in p.centered().iter() {
             assert!(c.abs() <= 21, "binomial(21) support bound");
         }
-        let mean: f64 =
-            p.centered().iter().map(|&c| c as f64).sum::<f64>() / p.degree() as f64;
+        let mean: f64 = p.centered().iter().map(|&c| c as f64).sum::<f64>() / p.degree() as f64;
         assert!(mean.abs() < 2.0, "error distribution should be centered, mean={mean}");
     }
 }

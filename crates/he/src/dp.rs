@@ -27,9 +27,7 @@ impl LaplaceMechanism {
             )));
         }
         if !(epsilon > 0.0 && epsilon.is_finite()) {
-            return Err(Error::InvalidParameters(format!(
-                "epsilon {epsilon} must be positive"
-            )));
+            return Err(Error::InvalidParameters(format!("epsilon {epsilon} must be positive")));
         }
         Ok(LaplaceMechanism { scale: sensitivity / epsilon })
     }
@@ -84,9 +82,7 @@ impl GaussianMechanism {
             )));
         }
         if !(delta > 0.0 && delta < 1.0) {
-            return Err(Error::InvalidParameters(format!(
-                "delta {delta} must be in (0, 1)"
-            )));
+            return Err(Error::InvalidParameters(format!("delta {delta} must be in (0, 1)")));
         }
         let sigma = sensitivity * (2.0 * (1.25 / delta).ln()).sqrt() / epsilon;
         Ok(GaussianMechanism { sigma })

@@ -23,9 +23,7 @@ impl FixedPoint {
     /// Returns [`Error::InvalidParameters`] if `frac_bits > 52`.
     pub fn new(frac_bits: u32) -> Result<Self> {
         if frac_bits > 52 {
-            return Err(Error::InvalidParameters(format!(
-                "frac_bits {frac_bits} exceeds 52"
-            )));
+            return Err(Error::InvalidParameters(format!("frac_bits {frac_bits} exceeds 52")));
         }
         Ok(FixedPoint { frac_bits })
     }
@@ -89,7 +87,7 @@ mod tests {
     #[test]
     fn roundtrip_within_quantization_error() {
         let fp = FixedPoint::default_codec();
-        for &x in &[0.0, 1.0, -1.0, 3.141_592_653_5, -2.718_28, 1e6, -1e6, 1e-7] {
+        for &x in &[0.0, 1.0, -1.0, std::f64::consts::PI, -std::f64::consts::E, 1e6, -1e6, 1e-7] {
             let v = fp.encode(x).unwrap();
             assert!((fp.decode(v) - x).abs() <= fp.quantization_error(), "x={x}");
         }

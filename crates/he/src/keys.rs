@@ -47,10 +47,7 @@ fn check_header(input: &mut &[u8], kind: u8) -> Result<()> {
         return Err(Error::InvalidParameters("bad key magic".into()));
     }
     if head[4] != VERSION {
-        return Err(Error::InvalidParameters(format!(
-            "unsupported key version {}",
-            head[4]
-        )));
+        return Err(Error::InvalidParameters(format!("unsupported key version {}", head[4])));
     }
     if head[5] != kind {
         return Err(Error::InvalidParameters(format!(
@@ -173,9 +170,6 @@ mod tests {
     #[test]
     fn undersized_modulus_rejected() {
         let bytes = encode_paillier_public(&BigUint::from_u64(12345));
-        assert!(matches!(
-            decode_paillier_public(&bytes),
-            Err(Error::KeyTooSmall { .. })
-        ));
+        assert!(matches!(decode_paillier_public(&bytes), Err(Error::KeyTooSmall { .. })));
     }
 }

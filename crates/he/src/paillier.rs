@@ -194,11 +194,7 @@ impl PaillierPublicKey {
     ///
     /// # Errors
     /// Returns [`Error::PlaintextOutOfRange`] if `m >= n`.
-    pub fn encrypt<R: Rng + ?Sized>(
-        &self,
-        m: &BigUint,
-        rng: &mut R,
-    ) -> Result<PaillierCiphertext> {
+    pub fn encrypt<R: Rng + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Result<PaillierCiphertext> {
         if m >= &self.n {
             return Err(Error::PlaintextOutOfRange);
         }
@@ -317,10 +313,7 @@ mod tests {
     #[test]
     fn rejects_tiny_keys() {
         let mut rng = StdRng::seed_from_u64(0);
-        assert!(matches!(
-            generate_keypair(&mut rng, 32),
-            Err(Error::KeyTooSmall { .. })
-        ));
+        assert!(matches!(generate_keypair(&mut rng, 32), Err(Error::KeyTooSmall { .. })));
     }
 
     #[test]
@@ -400,10 +393,7 @@ mod tests {
         let kp = keypair(128);
         let mut rng = StdRng::seed_from_u64(8);
         let too_big = kp.public.modulus().clone();
-        assert!(matches!(
-            kp.public.encrypt(&too_big, &mut rng),
-            Err(Error::PlaintextOutOfRange)
-        ));
+        assert!(matches!(kp.public.encrypt(&too_big, &mut rng), Err(Error::PlaintextOutOfRange)));
     }
 
     #[test]

@@ -36,6 +36,21 @@ pub trait AdditiveHe: Send + Sync {
     /// represented.
     fn encrypt(&self, values: &[f64]) -> Result<Self::Ciphertext>;
 
+    /// Encrypts several batches at once — the protocol hot path when a
+    /// participant ships all its candidate partials for one query.
+    ///
+    /// The default implementation encrypts sequentially; schemes with
+    /// expensive per-ciphertext work ([`PaillierHe`], [`CkksHe`]) override
+    /// it to run on the global [`vfps_par`] pool with per-item seeded
+    /// randomness, so the output is identical at any thread count.
+    ///
+    /// # Errors
+    /// Fails when any batch exceeds the slot count or a value cannot be
+    /// represented.
+    fn encrypt_many(&self, batches: &[&[f64]]) -> Result<Vec<Self::Ciphertext>> {
+        batches.iter().map(|b| self.encrypt(b)).collect()
+    }
+
     /// Decrypts the first `count` values.
     fn decrypt(&self, ct: &Self::Ciphertext, count: usize) -> Vec<f64>;
 
@@ -95,10 +110,7 @@ impl AdditiveHe for PlainHe {
 
     fn encrypt(&self, values: &[f64]) -> Result<Vec<f64>> {
         if values.len() > self.batch {
-            return Err(crate::error::Error::TooManySlots {
-                got: values.len(),
-                max: self.batch,
-            });
+            return Err(crate::error::Error::TooManySlots { got: values.len(), max: self.batch });
         }
         Ok(values.to_vec())
     }
@@ -137,9 +149,7 @@ impl AdditiveHe for PlainHe {
             return Err(err());
         }
         Ok((0..n)
-            .map(|i| {
-                f64::from_le_bytes(bytes[4 + i * 8..12 + i * 8].try_into().expect("8 bytes"))
-            })
+            .map(|i| f64::from_le_bytes(bytes[4 + i * 8..12 + i * 8].try_into().expect("8 bytes")))
             .collect())
     }
 
@@ -169,18 +179,54 @@ impl PaillierHe {
     pub fn generate(key_bits: usize, batch: usize, seed: u64) -> Result<Self> {
         let mut rng = StdRng::seed_from_u64(seed);
         let keypair = paillier::generate_keypair(&mut rng, key_bits)?;
-        Ok(PaillierHe {
-            keypair,
-            codec: FixedPoint::default_codec(),
-            rng: Mutex::new(rng),
-            batch,
-        })
+        Ok(PaillierHe { keypair, codec: FixedPoint::default_codec(), rng: Mutex::new(rng), batch })
     }
 
     /// The underlying keypair (tests and calibration benches).
     #[must_use]
     pub fn keypair(&self) -> &PaillierKeypair {
         &self.keypair
+    }
+
+    /// Encrypts one batch on an explicit pool (tests and benchmarks pin
+    /// the thread count through this; [`AdditiveHe::encrypt`] uses the
+    /// global pool).
+    ///
+    /// One call consumes exactly one draw from the scheme's master RNG
+    /// regardless of batch size or thread count; each value then encrypts
+    /// under its own RNG seeded by [`vfps_par::split_seed`], so the
+    /// ciphertexts are a pure function of (scheme state, values).
+    ///
+    /// # Errors
+    /// Fails when the batch exceeds the slot count or a value cannot be
+    /// represented.
+    pub fn encrypt_on(
+        &self,
+        values: &[f64],
+        pool: &vfps_par::Pool,
+    ) -> Result<Vec<PaillierCiphertext>> {
+        if values.len() > self.batch {
+            return Err(crate::error::Error::TooManySlots { got: values.len(), max: self.batch });
+        }
+        let call_seed: u64 = self.rng.lock().expect("rng mutex poisoned").gen();
+        self.encrypt_seeded(values, call_seed, pool)
+    }
+
+    /// The seeded core of [`PaillierHe::encrypt_on`]: per-value RNGs split
+    /// from `call_seed` by value index.
+    fn encrypt_seeded(
+        &self,
+        values: &[f64],
+        call_seed: u64,
+        pool: &vfps_par::Pool,
+    ) -> Result<Vec<PaillierCiphertext>> {
+        pool.par_map_indexed(values, |i, &v| {
+            let mut rng = StdRng::seed_from_u64(vfps_par::split_seed(call_seed, i as u64));
+            let enc = self.codec.encode(v)?;
+            self.keypair.public.encrypt_i64(enc, &mut rng)
+        })
+        .into_iter()
+        .collect()
     }
 }
 
@@ -196,18 +242,28 @@ impl AdditiveHe for PaillierHe {
     }
 
     fn encrypt(&self, values: &[f64]) -> Result<Self::Ciphertext> {
-        if values.len() > self.batch {
-            return Err(crate::error::Error::TooManySlots {
-                got: values.len(),
-                max: self.batch,
-            });
-        }
-        let mut rng = self.rng.lock().expect("rng mutex poisoned");
-        values
+        self.encrypt_on(values, vfps_par::global())
+    }
+
+    fn encrypt_many(&self, batches: &[&[f64]]) -> Result<Vec<Self::Ciphertext>> {
+        // One master draw per batch, taken sequentially under the lock so
+        // the seed sequence is independent of scheduling; the modpow-heavy
+        // per-value work then fans out across the pool.
+        let call_seeds: Vec<u64> = {
+            let mut rng = self.rng.lock().expect("rng mutex poisoned");
+            batches.iter().map(|_| rng.gen()).collect()
+        };
+        batches
             .iter()
-            .map(|&v| {
-                let enc = self.codec.encode(v)?;
-                self.keypair.public.encrypt_i64(enc, &mut *rng)
+            .zip(&call_seeds)
+            .map(|(b, &seed)| {
+                if b.len() > self.batch {
+                    return Err(crate::error::Error::TooManySlots {
+                        got: b.len(),
+                        max: self.batch,
+                    });
+                }
+                self.encrypt_seeded(b, seed, vfps_par::global())
             })
             .collect()
     }
@@ -239,8 +295,7 @@ impl AdditiveHe for PaillierHe {
     }
 
     fn ct_from_bytes(&self, bytes: &[u8]) -> Result<Self::Ciphertext> {
-        let err =
-            || crate::error::Error::InvalidParameters("malformed paillier ciphertext".into());
+        let err = || crate::error::Error::InvalidParameters("malformed paillier ciphertext".into());
         let mut cur = bytes;
         let take = |cur: &mut &[u8], n: usize| -> Result<Vec<u8>> {
             if cur.len() < n {
@@ -251,13 +306,11 @@ impl AdditiveHe for PaillierHe {
             Ok(head.to_vec())
         };
         let count =
-            u32::from_le_bytes(take(&mut cur, 4)?.as_slice().try_into().expect("4 bytes"))
-                as usize;
+            u32::from_le_bytes(take(&mut cur, 4)?.as_slice().try_into().expect("4 bytes")) as usize;
         let mut out = Vec::with_capacity(count.min(1 << 20));
         for _ in 0..count {
-            let len = u32::from_le_bytes(
-                take(&mut cur, 4)?.as_slice().try_into().expect("4 bytes"),
-            ) as usize;
+            let len = u32::from_le_bytes(take(&mut cur, 4)?.as_slice().try_into().expect("4 bytes"))
+                as usize;
             let raw = take(&mut cur, len)?;
             out.push(PaillierCiphertext::from_biguint(BigUint::from_bytes_be(&raw)));
         }
@@ -302,6 +355,28 @@ impl CkksHe {
     pub fn context(&self) -> &CkksContext {
         &self.ctx
     }
+
+    /// Encrypts several slot-batches on an explicit pool, one ciphertext
+    /// per batch. A single master draw seeds the whole call; batch `i`
+    /// encrypts under `split_seed(call_seed, i)`, so the NTT/sampling work
+    /// parallelizes across ciphertexts while the output stays identical at
+    /// any thread count.
+    ///
+    /// # Errors
+    /// Fails when any batch exceeds the slot count.
+    pub fn encrypt_many_on(
+        &self,
+        batches: &[&[f64]],
+        pool: &vfps_par::Pool,
+    ) -> Result<Vec<CkksCiphertext>> {
+        let call_seed: u64 = self.rng.lock().expect("rng mutex poisoned").gen();
+        pool.par_map_indexed(batches, |i, b| {
+            let mut rng = StdRng::seed_from_u64(vfps_par::split_seed(call_seed, i as u64));
+            self.ctx.encrypt(&self.pk, b, &mut rng)
+        })
+        .into_iter()
+        .collect()
+    }
 }
 
 impl AdditiveHe for CkksHe {
@@ -318,6 +393,10 @@ impl AdditiveHe for CkksHe {
     fn encrypt(&self, values: &[f64]) -> Result<CkksCiphertext> {
         let mut rng = self.rng.lock().expect("rng mutex poisoned");
         self.ctx.encrypt(&self.pk, values, &mut *rng)
+    }
+
+    fn encrypt_many(&self, batches: &[&[f64]]) -> Result<Vec<CkksCiphertext>> {
+        self.encrypt_many_on(batches, vfps_par::global())
     }
 
     fn decrypt(&self, ct: &CkksCiphertext, count: usize) -> Vec<f64> {
@@ -437,6 +516,64 @@ mod tests {
         let c = CkksHe::generate(&CkksParams::insecure_test(), 1).unwrap();
         assert!(p.error_bound(100) < 1e-4, "paillier is exact up to quantization");
         assert!(c.error_bound(100) > 0.0, "ckks error grows with terms");
+    }
+
+    #[test]
+    fn paillier_encrypt_is_identical_across_thread_counts() {
+        let values = seeded_uniform(3, 24, -5.0, 5.0);
+        let reference = {
+            let scheme = PaillierHe::generate(256, 32, 77).unwrap();
+            scheme.encrypt_on(&values, &vfps_par::Pool::with_threads(1)).unwrap()
+        };
+        for threads in [2usize, 4] {
+            let scheme = PaillierHe::generate(256, 32, 77).unwrap();
+            let ct = scheme.encrypt_on(&values, &vfps_par::Pool::with_threads(threads)).unwrap();
+            assert_eq!(ct, reference, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn ckks_encrypt_many_is_identical_across_thread_counts() {
+        let flat = seeded_uniform(4, 12, -1.0, 1.0);
+        let batches: Vec<&[f64]> = flat.chunks(4).collect();
+        let reference = {
+            let scheme = CkksHe::generate(&CkksParams::insecure_test(), 78).unwrap();
+            scheme.encrypt_many_on(&batches, &vfps_par::Pool::with_threads(1)).unwrap()
+        };
+        for threads in [2usize, 4] {
+            let scheme = CkksHe::generate(&CkksParams::insecure_test(), 78).unwrap();
+            let cts =
+                scheme.encrypt_many_on(&batches, &vfps_par::Pool::with_threads(threads)).unwrap();
+            assert_eq!(cts, reference, "{threads} threads");
+        }
+    }
+
+    fn exercise_encrypt_many<H: AdditiveHe>(scheme: &H, tol_scale: f64) {
+        let flat = seeded_uniform(5, 9, -3.0, 3.0);
+        let batches: Vec<&[f64]> = flat.chunks(3).collect();
+        let cts = scheme.encrypt_many(&batches).unwrap();
+        assert_eq!(cts.len(), batches.len());
+        let bound = scheme.error_bound(1).max(1e-12) * tol_scale;
+        for (ct, batch) in cts.iter().zip(&batches) {
+            let out = scheme.decrypt(ct, batch.len());
+            for (got, want) in out.iter().zip(*batch) {
+                assert!((got - want).abs() <= bound, "{}: {got} vs {want}", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn encrypt_many_roundtrips_on_every_scheme() {
+        exercise_encrypt_many(&PlainHe::new(8), 1.0);
+        exercise_encrypt_many(&PaillierHe::generate(256, 8, 31).unwrap(), 1.0);
+        exercise_encrypt_many(&CkksHe::generate(&CkksParams::insecure_test(), 32).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn encrypt_many_rejects_oversized_batches() {
+        let scheme = PaillierHe::generate(256, 2, 41).unwrap();
+        let big = [1.0, 2.0, 3.0];
+        assert!(scheme.encrypt_many(&[&big[..]]).is_err());
     }
 
     #[test]

@@ -96,9 +96,7 @@ pub fn select_by_cv<T: Copy>(
     assert!(!candidates.is_empty(), "empty candidate grid");
     let mut best: Option<(T, f64)> = None;
     for &c in candidates {
-        let score = folds.cross_validate(x, y, |tx, ty, vx, vy| {
-            fit_score(c, tx, ty, vx, vy)
-        });
+        let score = folds.cross_validate(x, y, |tx, ty, vx, vy| fit_score(c, tx, ty, vx, vy));
         if best.map(|(_, s)| score > s).unwrap_or(true) {
             best = Some((c, score));
         }
@@ -124,10 +122,7 @@ mod tests {
     #[test]
     fn folds_partition_the_rows() {
         let kf = KFold::new(53, 5, 1);
-        let mut all: Vec<usize> = kf
-            .splits()
-            .flat_map(|(_, val)| val)
-            .collect();
+        let mut all: Vec<usize> = kf.splits().flat_map(|(_, val)| val).collect();
         all.sort_unstable();
         assert_eq!(all, (0..53).collect::<Vec<_>>());
         for (train, val) in kf.splits() {
@@ -162,11 +157,10 @@ mod tests {
         let (x, y) = blobs(60);
         let kf = KFold::new(60, 4, 3);
         // k = n-ish forces the classifier toward the prior; small k wins.
-        let (best_k, score) =
-            select_by_cv(&x, &y, &kf, &[3usize, 45], |k, tx, ty, vx, vy| {
-                let knn = KnnClassifier::fit(k, tx.clone(), ty.to_vec(), 2);
-                knn.accuracy(vx, vy)
-            });
+        let (best_k, score) = select_by_cv(&x, &y, &kf, &[3usize, 45], |k, tx, ty, vx, vy| {
+            let knn = KnnClassifier::fit(k, tx.clone(), ty.to_vec(), 2);
+            knn.accuracy(vx, vy)
+        });
         assert_eq!(best_k, 3);
         assert!(score > 0.9);
     }

@@ -33,10 +33,7 @@ pub fn quantile_bins(values: &[f64], n_bins: usize) -> Vec<usize> {
             sorted[pos.min(sorted.len() - 1)]
         })
         .collect();
-    values
-        .iter()
-        .map(|&v| edges.iter().take_while(|&&e| v >= e).count())
-        .collect()
+    values.iter().map(|&v| edges.iter().take_while(|&&e| v >= e).count()).collect()
 }
 
 /// Plug-in mutual information (in nats) between two discrete variables.
@@ -122,8 +119,7 @@ pub fn digamma(mut x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
-        - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
+    result + x.ln() - 0.5 * inv - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
 }
 
 /// KNN-based MI estimator between a continuous (multi-dimensional) feature
@@ -140,21 +136,14 @@ pub fn digamma(mut x: f64) -> f64 {
 /// Panics on mismatched lengths, empty input, `k == 0`, or labels out of
 /// range.
 #[must_use]
-pub fn knn_mi(
-    x: &Matrix,
-    cols: &[usize],
-    labels: &[usize],
-    n_classes: usize,
-    k: usize,
-) -> f64 {
+pub fn knn_mi(x: &Matrix, cols: &[usize], labels: &[usize], n_classes: usize, k: usize) -> f64 {
     assert!(k > 0, "k must be positive");
     assert_eq!(x.rows(), labels.len(), "rows/labels mismatch");
     assert!(!labels.is_empty(), "empty input");
     assert!(labels.iter().all(|&y| y < n_classes), "label out of range");
     let n = x.rows();
-    let feats: Vec<Vec<f64>> = (0..n)
-        .map(|r| cols.iter().map(|&c| x.get(r, c)).collect())
-        .collect();
+    let feats: Vec<Vec<f64>> =
+        (0..n).map(|r| cols.iter().map(|&c| x.get(r, c)).collect()).collect();
     let class_counts = {
         let mut c = vec![0usize; n_classes];
         for &y in labels {
@@ -182,10 +171,8 @@ pub fn knn_mi(
         let radius = same[k - 1];
         // Count of samples (any class) strictly within the radius; ties on
         // the radius are included per the estimator's "≤" convention.
-        let m = (0..n)
-            .filter(|&j| j != i && chebyshev(&feats[i], &feats[j]) <= radius)
-            .count()
-            .max(k);
+        let m =
+            (0..n).filter(|&j| j != i && chebyshev(&feats[i], &feats[j]) <= radius).count().max(k);
         psi_m += digamma(m as f64);
         psi_ny += digamma(ny as f64);
         used += 1;
@@ -193,8 +180,7 @@ pub fn knn_mi(
     if used == 0 {
         return 0.0;
     }
-    let est = digamma(n as f64) - psi_ny / used as f64 + digamma(k as f64)
-        - psi_m / used as f64;
+    let est = digamma(n as f64) - psi_ny / used as f64 + digamma(k as f64) - psi_m / used as f64;
     est.max(0.0)
 }
 

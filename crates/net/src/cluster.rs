@@ -64,10 +64,7 @@ impl TrafficLedger {
     /// Creates a ledger that also records the message transcript.
     #[must_use]
     pub fn with_trace() -> Self {
-        TrafficLedger {
-            links: Arc::default(),
-            trace: Some(Arc::new(Mutex::new(Vec::new()))),
-        }
+        TrafficLedger { links: Arc::default(), trace: Some(Arc::new(Mutex::new(Vec::new()))) }
     }
 
     fn record(&self, from: NodeId, to: NodeId, bytes: u64) {
@@ -124,9 +121,7 @@ impl<M: Wire + Send + 'static> NodeCtx<M> {
     pub fn send(&self, to: NodeId, msg: M) {
         let bytes = msg.encoded_len() as u64;
         self.ledger.record(self.id, to, bytes);
-        self.senders[to]
-            .send(Envelope { from: self.id, msg })
-            .expect("destination node hung up");
+        self.senders[to].send(Envelope { from: self.id, msg }).expect("destination node hung up");
     }
 
     /// Blocking receive of the next message.
@@ -205,19 +200,11 @@ where
     }
     let mut handles = Vec::with_capacity(n);
     for (id, (f, receiver)) in node_fns.into_iter().zip(receivers).enumerate() {
-        let ctx = NodeCtx {
-            id,
-            senders: senders.clone(),
-            receiver,
-            ledger: ledger.clone(),
-        };
+        let ctx = NodeCtx { id, senders: senders.clone(), receiver, ledger: ledger.clone() };
         handles.push(std::thread::spawn(move || f(ctx)));
     }
     drop(senders);
-    let results = handles
-        .into_iter()
-        .map(|h| h.join().expect("node thread panicked"))
-        .collect();
+    let results = handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect();
     (results, ledger)
 }
 
@@ -252,7 +239,8 @@ mod tests {
     #[test]
     fn star_aggregation() {
         // Nodes 1..4 send a vector to node 0, which sums them.
-        let fns: Vec<Box<dyn FnOnce(NodeCtx<Vec<f64>>) -> f64 + Send>> = (0..4)
+        type SumNodeFn = Box<dyn FnOnce(NodeCtx<Vec<f64>>) -> f64 + Send>;
+        let fns: Vec<SumNodeFn> = (0..4)
             .map(|i| {
                 Box::new(move |ctx: NodeCtx<Vec<f64>>| {
                     if i == 0 {
@@ -265,7 +253,7 @@ mod tests {
                         ctx.send(0, vec![i as f64; 2]);
                         0.0
                     }
-                }) as Box<dyn FnOnce(NodeCtx<Vec<f64>>) -> f64 + Send>
+                }) as SumNodeFn
             })
             .collect();
         let (results, ledger) = run_cluster(fns);

@@ -240,6 +240,19 @@ pub struct CostBreakdown {
 }
 
 impl CostBreakdown {
+    /// Merges another breakdown into this one component-wise. Together with
+    /// [`OpLedger::merge`] this lets per-worker ledgers from a parallel run
+    /// be combined into exactly the totals a sequential run would produce
+    /// (all counters are sums, so merging commutes with recording).
+    pub fn merge(&mut self, other: &CostBreakdown) {
+        self.enc_us += other.enc_us;
+        self.dec_us += other.dec_us;
+        self.he_add_us += other.he_add_us;
+        self.plain_us += other.plain_us;
+        self.transfer_us += other.transfer_us;
+        self.latency_us += other.latency_us;
+    }
+
     /// Sum of all components.
     #[must_use]
     pub fn total_us(&self) -> f64 {
@@ -338,6 +351,47 @@ mod tests {
         assert_eq!(a.enc.work, 6);
         assert_eq!(a.bytes, 10);
         assert_eq!(a.rounds, 1);
+    }
+
+    /// The contract the parallel selection engine relies on: splitting a
+    /// recording stream across ledgers and merging them afterwards yields
+    /// byte-exact the same ledger as recording sequentially into one.
+    #[test]
+    fn merge_of_splits_equals_sequential_accumulation() {
+        // A synthetic stream of heterogeneous records.
+        let records: Vec<(u64, u64)> = (1..=40).map(|i| (i, i % 5 + 1)).collect();
+        let record_all = |ledger: &mut OpLedger, part: &[(u64, u64)]| {
+            for &(n, p) in part {
+                ledger.record_enc(n, p);
+                ledger.record_dec(n / 2);
+                ledger.record_he_add(n * p);
+                ledger.record_plain(n * 3, p);
+                ledger.record_dist(n, p);
+                ledger.record_traffic(n * 256, p);
+                ledger.record_round();
+            }
+        };
+
+        let mut sequential = OpLedger::default();
+        record_all(&mut sequential, &records);
+
+        // Split into uneven chunks, record each into its own ledger (as
+        // parallel workers would), merge in chunk order.
+        let mut merged = OpLedger::default();
+        let mut merged_breakdown = CostBreakdown::default();
+        let model = CostModel::default();
+        for chunk in records.chunks(7) {
+            let mut part = OpLedger::default();
+            record_all(&mut part, chunk);
+            merged_breakdown.merge(&part.breakdown(&model));
+            merged.merge(&part);
+        }
+
+        assert_eq!(merged, sequential);
+        let seq_breakdown = sequential.breakdown(&model);
+        assert!((merged_breakdown.total_us() - seq_breakdown.total_us()).abs() < 1e-9);
+        assert!((merged_breakdown.enc_us - seq_breakdown.enc_us).abs() < 1e-12);
+        assert!((merged_breakdown.latency_us - seq_breakdown.latency_us).abs() < 1e-12);
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub mod cluster;
 pub mod cost;
 pub mod wire;
 
-pub use cluster::{run_cluster, run_cluster_traced, Envelope, NodeCtx, NodeId, TraceEvent, TrafficLedger};
+pub use cluster::{
+    run_cluster, run_cluster_traced, Envelope, NodeCtx, NodeId, TraceEvent, TrafficLedger,
+};
 pub use cost::{CostModel, OpLedger};
 pub use wire::{Wire, WireError};
 

@@ -208,7 +208,7 @@ mod tests {
         roundtrip(12_345u32);
         roundtrip(u64::MAX);
         roundtrip(-42i64);
-        roundtrip(3.141_592_653_589_793f64);
+        roundtrip(std::f64::consts::PI);
         roundtrip(f64::NEG_INFINITY);
         roundtrip(true);
         roundtrip(987_654usize);

@@ -1,0 +1,508 @@
+//! Deterministic work-stealing thread pool for the VFPS-SM hot paths.
+//!
+//! The pool parallelizes the selection pipeline's embarrassingly parallel
+//! loops — fed-KNN query batches, Paillier/CKKS batch encryption, and
+//! marginal-gain evaluation in the submodular maximizer — while guaranteeing
+//! **bit-identical results at any thread count**. Three rules make that
+//! hold, and every primitive here is built around them:
+//!
+//! 1. **Order-preserving results.** [`Pool::par_map_indexed`] returns
+//!    outputs in input-index order no matter which worker computed them, so
+//!    a caller that folds the returned `Vec` sequentially reproduces the
+//!    exact floating-point accumulation order of a single-threaded run.
+//! 2. **Length-dependent chunking.** Work is split into chunks whose
+//!    boundaries depend only on the input length — never on the thread
+//!    count — so [`Pool::par_fold`]'s chunk accumulators and the order they
+//!    are merged in are the same at 1 thread and at N.
+//! 3. **Per-item seed derivation.** Randomized work must not draw from a
+//!    shared RNG (arrival order would change the stream). Instead, derive
+//!    an independent seed per item with [`split_seed`]`(master, index)` and
+//!    build a fresh RNG from it; the stream consumed by item `i` is then a
+//!    pure function of `(master, i)`.
+//!
+//! Worker count comes from [`PoolBuilder::threads`], else the
+//! `VFPS_THREADS` environment variable, else the number of available cores.
+//! The process-wide pool is [`global()`]. The scheduler is a classic
+//! work-stealing design on `crossbeam::deque`: spawns land in a global
+//! injector, each worker drains its local deque first, then the injector,
+//! then steals from siblings. Blocked scope callers help execute tasks, so
+//! nested scopes cannot deadlock and a 1-thread pool runs everything inline
+//! on the caller.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Derives an independent RNG seed for item `index` from a master seed.
+///
+/// This is a SplitMix64-style finalizer over the master seed advanced by
+/// the index, giving well-distributed, decorrelated per-item seeds. It is a
+/// pure function, so parallel workers can derive item seeds without any
+/// shared state, and the seed for item `i` is independent of the thread
+/// that processes it.
+#[must_use]
+#[inline]
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Chunk length for `len` items: depends only on `len`, never on the
+/// thread count, so chunk boundaries (and therefore merge order and
+/// per-chunk floating-point accumulation) are identical at any parallelism.
+#[must_use]
+fn chunk_len(len: usize) -> usize {
+    // Target enough chunks to load-balance a large pool while keeping
+    // per-task overhead negligible for small inputs.
+    const TARGET_CHUNKS: usize = 64;
+    len.div_ceil(TARGET_CHUNKS).max(1)
+}
+
+struct State {
+    shutdown: bool,
+}
+
+struct Shared {
+    injector: Injector<Task>,
+    stealers: Vec<Stealer<Task>>,
+    state: Mutex<State>,
+    work_cv: Condvar,
+}
+
+impl Shared {
+    /// Wakes sleeping workers after new tasks were injected.
+    fn signal(&self) {
+        self.work_cv.notify_all();
+    }
+
+    /// Next task: local deque first, then the injector, then steal.
+    fn find_task(&self, local: Option<&Worker<Task>>) -> Option<Task> {
+        if let Some(w) = local {
+            if let Some(t) = w.pop() {
+                return Some(t);
+            }
+        }
+        if let Steal::Success(t) = self.injector.steal() {
+            return Some(t);
+        }
+        for s in &self.stealers {
+            if let Steal::Success(t) = s.steal() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+fn worker_loop(shared: &Shared, local: &Worker<Task>) {
+    loop {
+        if let Some(task) = shared.find_task(Some(local)) {
+            task();
+            continue;
+        }
+        let mut guard = shared.state.lock();
+        if guard.shutdown {
+            return;
+        }
+        // Timed wait closes the push/sleep race without an epoch protocol:
+        // a missed notify costs at most one timeout period.
+        shared.work_cv.wait_for(&mut guard, Duration::from_millis(2));
+    }
+}
+
+/// Reads the configured default worker count: `VFPS_THREADS` if set and
+/// positive, otherwise the number of available cores.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("VFPS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Configures and builds a [`Pool`].
+#[derive(Default)]
+pub struct PoolBuilder {
+    threads: Option<usize>,
+}
+
+impl PoolBuilder {
+    /// Starts a builder with defaults.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count explicitly (overrides `VFPS_THREADS`).
+    #[must_use]
+    pub fn threads(mut self, n: usize) -> Self {
+        assert!(n > 0, "a pool needs at least one thread");
+        self.threads = Some(n);
+        self
+    }
+
+    /// Builds the pool.
+    #[must_use]
+    pub fn build(self) -> Pool {
+        Pool::with_threads(self.threads.unwrap_or_else(default_threads))
+    }
+}
+
+/// A work-stealing thread pool with deterministic parallel primitives.
+///
+/// `threads` counts the caller too: a pool of `n` spawns `n - 1` background
+/// workers and the thread driving a [`Pool::scope`] executes tasks while it
+/// waits, so a 1-thread pool is a plain sequential executor.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl Pool {
+    /// Builds a pool with exactly `threads` threads of parallelism.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        assert!(threads > 0, "a pool needs at least one thread");
+        let workers: Vec<Worker<Task>> = (0..threads - 1).map(|_| Worker::new_lifo()).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers: workers.iter().map(Worker::stealer).collect(),
+            state: Mutex::new(State { shutdown: false }),
+            work_cv: Condvar::new(),
+        });
+        let handles = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vfps-par-{i}"))
+                    .spawn(move || worker_loop(&shared, &local))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles, threads }
+    }
+
+    /// The pool's total parallelism (background workers + caller).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with a [`Scope`] on which borrowed tasks can be spawned;
+    /// returns only after every spawned task has finished. Panics from
+    /// tasks are propagated to the caller after the scope drains.
+    pub fn scope<'scope, OP, R>(&'scope self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            pending: Arc::new((Mutex::new(0usize), Condvar::new())),
+            panic: Arc::new(Mutex::new(None)),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+
+        // Help drain until every spawned task completed; this is what makes
+        // the lifetime erasure in `Scope::spawn` sound.
+        loop {
+            if let Some(task) = self.shared.find_task(None) {
+                task();
+                continue;
+            }
+            let (pending, done_cv) = &*scope.pending;
+            let mut guard = pending.lock();
+            if *guard == 0 {
+                break;
+            }
+            done_cv.wait_for(&mut guard, Duration::from_millis(1));
+            if *guard == 0 {
+                break;
+            }
+        }
+
+        if let Some(payload) = scope.panic.lock().take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+
+    /// Maps `f` over `items` in parallel, returning results in input order.
+    ///
+    /// Because the output order is the input order, any sequential fold the
+    /// caller performs over the result reproduces the single-threaded
+    /// accumulation exactly, regardless of worker scheduling.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let chunk = chunk_len(items.len());
+        let parts: Mutex<Vec<(usize, Vec<R>)>> =
+            Mutex::new(Vec::with_capacity(items.len().div_ceil(chunk)));
+        self.scope(|s| {
+            for (ci, chunk_items) in items.chunks(chunk).enumerate() {
+                let start = ci * chunk;
+                let f = &f;
+                let parts = &parts;
+                s.spawn(move || {
+                    let vals: Vec<R> =
+                        chunk_items.iter().enumerate().map(|(j, t)| f(start + j, t)).collect();
+                    parts.lock().push((start, vals));
+                });
+            }
+        });
+        let mut parts = parts.into_inner();
+        parts.sort_unstable_by_key(|(start, _)| *start);
+        let mut out = Vec::with_capacity(items.len());
+        for (_, vals) in parts {
+            out.extend(vals);
+        }
+        out
+    }
+
+    /// Folds `items` in parallel with deterministic chunking.
+    ///
+    /// Each chunk is folded left-to-right from a fresh `identity()`, and
+    /// the chunk accumulators are merged **in chunk order** on the calling
+    /// thread. Chunk boundaries depend only on `items.len()`, so the result
+    /// — including floating-point rounding — is identical at every thread
+    /// count, and differs from a plain sequential fold only by where the
+    /// fixed chunk seams lie.
+    pub fn par_fold<T, A, ID, F, M>(&self, items: &[T], identity: ID, fold: F, mut merge: M) -> A
+    where
+        T: Sync,
+        A: Send,
+        ID: Fn() -> A + Sync,
+        F: Fn(A, usize, &T) -> A + Sync,
+        M: FnMut(A, A) -> A,
+    {
+        let chunk = chunk_len(items.len());
+        let fold_chunk = |ci: usize, chunk_items: &[T]| {
+            let start = ci * chunk;
+            let mut acc = identity();
+            for (j, t) in chunk_items.iter().enumerate() {
+                acc = fold(acc, start + j, t);
+            }
+            acc
+        };
+        let accs: Vec<A> = if self.threads <= 1 || items.len() <= 1 {
+            items.chunks(chunk).enumerate().map(|(ci, c)| fold_chunk(ci, c)).collect()
+        } else {
+            let parts: Mutex<Vec<(usize, A)>> =
+                Mutex::new(Vec::with_capacity(items.len().div_ceil(chunk)));
+            self.scope(|s| {
+                for (ci, chunk_items) in items.chunks(chunk).enumerate() {
+                    let fold_chunk = &fold_chunk;
+                    let parts = &parts;
+                    s.spawn(move || {
+                        let acc = fold_chunk(ci, chunk_items);
+                        parts.lock().push((ci, acc));
+                    });
+                }
+            });
+            let mut parts = parts.into_inner();
+            parts.sort_unstable_by_key(|(ci, _)| *ci);
+            parts.into_iter().map(|(_, a)| a).collect()
+        };
+        let mut acc = identity();
+        for a in accs {
+            acc = merge(acc, a);
+        }
+        acc
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.state.lock().shutdown = true;
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawn surface handed to [`Pool::scope`] callbacks.
+pub struct Scope<'scope> {
+    pool: &'scope Pool,
+    pending: Arc<(Mutex<usize>, Condvar)>,
+    panic: Arc<Mutex<Option<Box<dyn Any + Send>>>>,
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task that may borrow from the enclosing scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        *self.pending.0.lock() += 1;
+        let pending = Arc::clone(&self.pending);
+        let panic = Arc::clone(&self.panic);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                panic.lock().get_or_insert(payload);
+            }
+            let (count, done_cv) = &*pending;
+            let mut guard = count.lock();
+            *guard -= 1;
+            if *guard == 0 {
+                done_cv.notify_all();
+            }
+        });
+        // SAFETY: `Pool::scope` does not return until `pending` reaches
+        // zero, i.e. until this task (and its borrows of 'scope data) has
+        // finished running, so extending the closure's lifetime to 'static
+        // never lets it observe freed stack data.
+        let task: Task =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+        self.pool.shared.injector.push(task);
+        self.pool.shared.signal();
+    }
+}
+
+/// The process-wide pool, sized by `VFPS_THREADS` / available cores on
+/// first use.
+pub fn global() -> &'static Pool {
+    static GLOBAL: OnceLock<Pool> = OnceLock::new();
+    GLOBAL.get_or_init(|| PoolBuilder::new().build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 2, 4] {
+            let pool = Pool::with_threads(threads);
+            let items: Vec<u64> = (0..500).collect();
+            let out = pool.par_map_indexed(&items, |i, &x| (i as u64, x * 2));
+            assert_eq!(out.len(), 500);
+            for (i, (idx, v)) in out.iter().enumerate() {
+                assert_eq!(*idx, i as u64);
+                assert_eq!(*v, items[i] * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_is_bit_identical_across_thread_counts() {
+        let items: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 1e3).collect();
+        let run = |threads: usize| {
+            let pool = Pool::with_threads(threads);
+            pool.par_fold(&items, || 0.0f64, |acc, _i, &x| acc + x * 1.000_000_1, |a, b| a + b)
+        };
+        let base = run(1);
+        for threads in [2, 3, 4, 8] {
+            let got = run(threads);
+            assert_eq!(got.to_bits(), base.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_results_are_bit_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..300).collect();
+        let run = |threads: usize| {
+            let pool = Pool::with_threads(threads);
+            pool.par_map_indexed(&items, |i, &x| {
+                let mut rng = StdRng::seed_from_u64(split_seed(42, i as u64));
+                rng.gen::<f64>() * x as f64
+            })
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scope_runs_borrowed_tasks() {
+        let pool = Pool::with_threads(4);
+        let data: Vec<u64> = (0..64).collect();
+        let sums = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for chunk in data.chunks(8) {
+                let sums = &sums;
+                s.spawn(move || {
+                    sums.lock().push(chunk.iter().sum::<u64>());
+                });
+            }
+        });
+        let total: u64 = sums.into_inner().iter().sum();
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Pool::with_threads(2);
+        let outer = pool.par_map_indexed(&[10usize, 20, 30], |_, &n| {
+            pool.par_map_indexed(&(0..n).collect::<Vec<_>>(), |_, &x| x).iter().sum::<usize>()
+        });
+        assert_eq!(outer, vec![45, 190, 435]);
+    }
+
+    #[test]
+    fn task_panics_propagate() {
+        let pool = Pool::with_threads(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("boom"));
+            });
+        }));
+        assert!(result.is_err());
+        // The pool stays usable after a propagated panic.
+        assert_eq!(pool.par_map_indexed(&[1, 2, 3], |_, &x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn split_seed_is_pure_and_spread_out() {
+        assert_eq!(split_seed(7, 3), split_seed(7, 3));
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|i| split_seed(12345, i)).collect();
+        assert_eq!(seeds.len(), 1000, "per-item seeds must not collide");
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let pool = Pool::with_threads(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(pool.par_map_indexed(&empty, |_, &x| x).is_empty());
+        let folded = pool.par_fold(&empty, || 5u64, |a, _, _: &u32| a, |a, b| a + b);
+        assert_eq!(folded, 5);
+        assert_eq!(pool.par_map_indexed(&[9u32], |i, &x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn builder_respects_explicit_threads() {
+        let pool = PoolBuilder::new().threads(3).build();
+        assert_eq!(pool.threads(), 3);
+    }
+}

@@ -3,7 +3,7 @@
 //! sequential/random access mix each algorithm pays.
 
 use crate::fagin::fagin_topk;
-use crate::list::{total_stats, AccessStats, Direction, RankedList};
+use crate::list::{total_stats, AccessStats, RankedList};
 use crate::naive::naive_topk;
 use crate::nra::nra_topk;
 use crate::threshold::threshold_topk;
@@ -74,19 +74,13 @@ pub struct ComparisonRow {
 /// correctness tripwire, not a recoverable condition.
 #[must_use]
 pub fn compare_all(lists: &[RankedList], k: usize) -> Vec<ComparisonRow> {
-    let rows: Vec<ComparisonRow> =
-        Algorithm::ALL.iter().map(|a| a.run(lists, k)).collect();
+    let rows: Vec<ComparisonRow> = Algorithm::ALL.iter().map(|a| a.run(lists, k)).collect();
     let mut oracle = rows[0].outcome.ids();
     oracle.sort_unstable();
     for row in &rows[1..] {
         let mut ids = row.outcome.ids();
         ids.sort_unstable();
-        assert_eq!(
-            ids,
-            oracle,
-            "{} disagreed with the exhaustive oracle",
-            row.algorithm.name()
-        );
+        assert_eq!(ids, oracle, "{} disagreed with the exhaustive oracle", row.algorithm.name());
     }
     rows
 }
@@ -94,13 +88,13 @@ pub fn compare_all(lists: &[RankedList], k: usize) -> Vec<ComparisonRow> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::list::Direction;
 
     fn correlated_lists(n: usize, parties: usize) -> Vec<RankedList> {
         (0..parties)
             .map(|p| {
-                let scores: Vec<f64> = (0..n)
-                    .map(|i| i as f64 + ((i * 7 + p * 13) % 10) as f64 * 0.3)
-                    .collect();
+                let scores: Vec<f64> =
+                    (0..n).map(|i| i as f64 + ((i * 7 + p * 13) % 10) as f64 * 0.3).collect();
                 RankedList::from_scores(scores, Direction::Ascending)
             })
             .collect()

@@ -67,10 +67,7 @@ pub fn fagin_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
             // Random-access the full score vector: simpler bookkeeping at the
             // cost of |P| random accesses per partial candidate, matching the
             // classic FA description ("obtain the scores of all seen items").
-            lists
-                .iter_mut()
-                .map(|l| l.random_access(id).expect("dense ids"))
-                .sum()
+            lists.iter_mut().map(|l| l.random_access(id).expect("dense ids")).sum()
         };
         candidates.push((id, total));
     }
@@ -155,8 +152,7 @@ mod tests {
 
     #[test]
     fn k_clamped_to_n() {
-        let mut lists =
-            vec![RankedList::from_scores(vec![2.0, 1.0], Direction::Ascending)];
+        let mut lists = vec![RankedList::from_scores(vec![2.0, 1.0], Direction::Ascending)];
         let out = fagin_topk(&mut lists, 50);
         assert_eq!(out.topk.len(), 2);
         assert_eq!(out.topk[0].0, 1);
@@ -164,8 +160,7 @@ mod tests {
 
     #[test]
     fn single_party_is_just_its_ranking() {
-        let mut lists =
-            vec![RankedList::from_scores(vec![3.0, 1.0, 2.0], Direction::Ascending)];
+        let mut lists = vec![RankedList::from_scores(vec![3.0, 1.0, 2.0], Direction::Ascending)];
         let out = fagin_topk(&mut lists, 2);
         assert_eq!(out.topk, vec![(1, 1.0), (2, 2.0)]);
         assert_eq!(out.depth, 2);

@@ -78,10 +78,7 @@ mod proptests {
     fn score_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
         // parties in 1..=4, items in 1..=24, scores in a bounded range.
         (1usize..=4, 1usize..=24).prop_flat_map(|(p, n)| {
-            proptest::collection::vec(
-                proptest::collection::vec(0.0f64..100.0, n),
-                p,
-            )
+            proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, n), p)
         })
     }
 

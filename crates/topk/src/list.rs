@@ -77,8 +77,7 @@ impl RankedList {
     /// Ties are broken by id so runs are deterministic.
     #[must_use]
     pub fn from_scores(scores: Vec<f64>, direction: Direction) -> Self {
-        let mut sorted: Vec<(ItemId, f64)> =
-            scores.iter().copied().enumerate().collect();
+        let mut sorted: Vec<(ItemId, f64)> = scores.iter().copied().enumerate().collect();
         sorted.sort_by(|a, b| {
             let ord = match direction {
                 Direction::Ascending => a.1.total_cmp(&b.1),

@@ -39,10 +39,8 @@ pub fn nra_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
     let parties = lists.len();
 
     // Public per-list score maxima (metadata, not a counted access).
-    let maxima: Vec<f64> = lists
-        .iter()
-        .map(|l| l.ranking().last().map(|e| e.1).unwrap_or(0.0))
-        .collect();
+    let maxima: Vec<f64> =
+        lists.iter().map(|l| l.ranking().last().map(|e| e.1).unwrap_or(0.0)).collect();
 
     // seen[id][party] = Some(score)
     let mut seen: Vec<Vec<Option<f64>>> = vec![vec![None; parties]; n];
@@ -99,17 +97,15 @@ pub fn nra_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
             .min(if depth < n { frontier_sum } else { f64::INFINITY });
 
         if kth_worst < rest_best {
-            let topk: Vec<(ItemId, f64)> =
-                bounds[..k].iter().map(|e| (e.0, e.1)).collect();
+            let topk: Vec<(ItemId, f64)> = bounds[..k].iter().map(|e| (e.0, e.1)).collect();
             let candidates_examined = bounds.len();
             return TopkOutcome { topk, candidates_examined, depth };
         }
     }
 
     // Full scan: every score is known exactly.
-    let mut exact: Vec<(ItemId, f64)> = (0..n)
-        .map(|id| (id, seen[id].iter().map(|s| s.expect("fully scanned")).sum()))
-        .collect();
+    let mut exact: Vec<(ItemId, f64)> =
+        (0..n).map(|id| (id, seen[id].iter().map(|s| s.expect("fully scanned")).sum())).collect();
     exact.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     exact.truncate(k);
     TopkOutcome { topk: exact, candidates_examined: n, depth }
@@ -122,10 +118,7 @@ mod tests {
     use crate::naive::naive_topk;
 
     fn mk(scores: &[Vec<f64>]) -> Vec<RankedList> {
-        scores
-            .iter()
-            .map(|s| RankedList::from_scores(s.clone(), Direction::Ascending))
-            .collect()
+        scores.iter().map(|s| RankedList::from_scores(s.clone(), Direction::Ascending)).collect()
     }
 
     #[test]
@@ -151,10 +144,7 @@ mod tests {
 
     #[test]
     fn never_performs_random_access() {
-        let scores = [
-            vec![0.5, 2.0, 1.0, 4.0, 3.0],
-            vec![1.5, 0.2, 2.0, 0.4, 3.0],
-        ];
+        let scores = [vec![0.5, 2.0, 1.0, 4.0, 3.0], vec![1.5, 0.2, 2.0, 0.4, 3.0]];
         let mut lists = mk(&scores);
         let _ = nra_topk(&mut lists, 2);
         let stats = total_stats(&lists);

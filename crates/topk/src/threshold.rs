@@ -42,10 +42,8 @@ pub fn threshold_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
             }
         }
         for id in surfaced {
-            let total: f64 = lists
-                .iter_mut()
-                .map(|l| l.random_access(id).expect("dense ids"))
-                .sum();
+            let total: f64 =
+                lists.iter_mut().map(|l| l.random_access(id).expect("dense ids")).sum();
             candidates_examined += 1;
             best.push((id, total));
             sort_for(direction, &mut best);
@@ -80,10 +78,7 @@ mod tests {
     use crate::naive::naive_topk;
 
     fn mk(scores: &[Vec<f64>]) -> Vec<RankedList> {
-        scores
-            .iter()
-            .map(|s| RankedList::from_scores(s.clone(), Direction::Ascending))
-            .collect()
+        scores.iter().map(|s| RankedList::from_scores(s.clone(), Direction::Ascending)).collect()
     }
 
     #[test]
@@ -95,11 +90,7 @@ mod tests {
         for k in 1..=8 {
             let mut a = mk(&scores);
             let mut b = mk(&scores);
-            assert_eq!(
-                threshold_topk(&mut a, k).topk,
-                naive_topk(&mut b, k).topk,
-                "k={k}"
-            );
+            assert_eq!(threshold_topk(&mut a, k).topk, naive_topk(&mut b, k).topk, "k={k}");
         }
     }
 

@@ -14,11 +14,13 @@
 //!   but every surfaced instance costs an encrypted point query.
 //!
 //! This module is the *logical* engine: it executes the exact protocol data
-//! flow single-threaded and bills every operation and byte to an
-//! [`OpLedger`], optionally scaled to the paper's instance counts. The
-//! thread-per-node implementation with real HE lives in
-//! [`crate::protocol`]; tests assert the two produce identical neighbor
-//! sets.
+//! flow and bills every operation and byte to an [`OpLedger`], optionally
+//! scaled to the paper's instance counts. Queries are independent, so
+//! [`FedKnn::query_batch`] runs them on a [`vfps_par::Pool`] with per-query
+//! ledgers merged back in query order — bit-identical to the sequential
+//! loop at any thread count. The thread-per-node implementation with real
+//! HE lives in [`crate::protocol`]; tests assert the two produce identical
+//! neighbor sets.
 
 use std::collections::HashMap;
 
@@ -155,8 +157,7 @@ impl<'a> FedKnn<'a> {
             .enumerate()
             .map(|(slot, &party)| {
                 let cols = self.partition.columns(party);
-                let q: Vec<f64> =
-                    cols.iter().map(|&c| self.x.get(query_row, c)).collect();
+                let q: Vec<f64> = cols.iter().map(|&c| self.x.get(query_row, c)).collect();
                 let view = &self.db_views[slot];
                 (0..view.rows())
                     .map(|i| {
@@ -237,10 +238,7 @@ impl<'a> FedKnn<'a> {
                 // Random-access phase: every surfaced candidate is an
                 // encrypted point query across all P parties.
                 ledger.record_enc(fbill(c), p);
-                ledger.record_traffic(
-                    p * fbill(c) * model.cipher_bytes as u64,
-                    fbill(c).max(1),
-                );
+                ledger.record_traffic(p * fbill(c) * model.cipher_bytes as u64, fbill(c).max(1));
                 ledger.record_he_add((p - 1) * fbill(c));
                 ledger.record_traffic(fbill(c) * model.cipher_bytes as u64, 1);
                 ledger.record_round();
@@ -331,10 +329,7 @@ impl<'a> FedKnn<'a> {
         ledger.record_traffic(p * model.scalar_bytes as u64, p);
         ledger.record_round();
 
-        let d_t: Vec<f64> = partials
-            .iter()
-            .map(|d| topk_pos.iter().map(|&i| d[i]).sum())
-            .collect();
+        let d_t: Vec<f64> = partials.iter().map(|d| topk_pos.iter().map(|&i| d[i]).sum()).collect();
         let d_t_total = d_t.iter().sum();
 
         QueryOutcome {
@@ -343,6 +338,36 @@ impl<'a> FedKnn<'a> {
             d_t_total,
             candidates,
         }
+    }
+
+    /// Runs a batch of independent queries on `pool`, returning outcomes in
+    /// query order.
+    ///
+    /// Each query bills a private [`OpLedger`]; the per-query ledgers are
+    /// merged into `ledger` in query order. Ledger counters are integer
+    /// sums, so the merged totals are byte-exact equal to what the
+    /// sequential `for q in rows { self.query(q, ledger) }` loop records,
+    /// at any thread count.
+    ///
+    /// # Panics
+    /// Panics if any query row is out of range of the underlying matrix.
+    pub fn query_batch(
+        &self,
+        query_rows: &[usize],
+        pool: &vfps_par::Pool,
+        ledger: &mut OpLedger,
+    ) -> Vec<QueryOutcome> {
+        let per_query = pool.par_map_indexed(query_rows, |_, &q| {
+            let mut local = OpLedger::default();
+            let outcome = self.query(q, &mut local);
+            (outcome, local)
+        });
+        let mut outcomes = Vec::with_capacity(per_query.len());
+        for (outcome, local) in per_query {
+            ledger.merge(&local);
+            outcomes.push(outcome);
+        }
+        outcomes
     }
 
     /// Classifies `query_row` by majority vote over its federated top-k
@@ -435,7 +460,7 @@ mod tests {
             let mut ledger = OpLedger::default();
             let out = engine.query(0, &mut ledger);
             // Centralized oracle (excluding the query row itself).
-            let oracle = KnnClassifier::fit(3, x.select_rows(&db[1..].to_vec()), vec![0; 7], 1);
+            let oracle = KnnClassifier::fit(3, x.select_rows(&db[1..]), vec![0; 7], 1);
             let mut expect: Vec<usize> = oracle
                 .nearest(x.row(0))
                 .iter()
@@ -596,6 +621,35 @@ mod tests {
         let mut ledger = OpLedger::default();
         assert_eq!(engine.classify(0, &labels, 2, &mut ledger), 0);
         assert_eq!(engine.classify(4, &labels, 2, &mut ledger), 1);
+    }
+
+    #[test]
+    fn query_batch_matches_sequential_queries_and_billing() {
+        let (x, part) = toy();
+        let db: Vec<usize> = (0..8).collect();
+        let queries: Vec<usize> = (0..8).collect();
+        for mode in [KnnMode::Base, KnnMode::Fagin, KnnMode::Threshold] {
+            let cfg = FedKnnConfig { k: 3, mode, batch: 2, cost_scale: 1.0 };
+            let engine = FedKnn::new(&x, &part, &[0, 1], &db, cfg);
+
+            let mut seq_ledger = OpLedger::default();
+            let seq: Vec<QueryOutcome> =
+                queries.iter().map(|&q| engine.query(q, &mut seq_ledger)).collect();
+
+            for threads in [1usize, 2, 4] {
+                let pool = vfps_par::Pool::with_threads(threads);
+                let mut par_ledger = OpLedger::default();
+                let par = engine.query_batch(&queries, &pool, &mut par_ledger);
+                assert_eq!(par_ledger, seq_ledger, "{mode:?} threads={threads}");
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.topk_rows, b.topk_rows, "{mode:?}");
+                    assert_eq!(a.candidates, b.candidates, "{mode:?}");
+                    assert_eq!(a.d_t_total.to_bits(), b.d_t_total.to_bits(), "{mode:?}");
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(bits(&a.d_t), bits(&b.d_t), "{mode:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -186,15 +186,12 @@ where
         .iter()
         .map(|&party| {
             let cols = partition.columns(party);
-            queries
-                .iter()
-                .map(|&q| cols.iter().map(|&c| x.get(q, c)).collect())
-                .collect()
+            queries.iter().map(|&q| cols.iter().map(|&c| x.get(q, c)).collect()).collect()
         })
         .collect();
 
-    let mut fns: Vec<Box<dyn FnOnce(NodeCtx<ProtoMsg>) -> Vec<QueryOutcome> + Send>> =
-        Vec::with_capacity(p + 1);
+    type NodeFn = Box<dyn FnOnce(NodeCtx<ProtoMsg>) -> Vec<QueryOutcome> + Send>;
+    let mut fns: Vec<NodeFn> = Vec::with_capacity(p + 1);
 
     // Node 0: aggregation server.
     {
@@ -246,11 +243,7 @@ fn server_node<H: AdditiveHe>(ctx: &NodeCtx<ProtoMsg>, he: &Arc<H>, shared: &Sha
             }
             KnnMode::Fagin => {
                 // Drive the streaming phase round-robin.
-                let mut sf = vfps_topk::stream::StreamingFagin::new(
-                    p,
-                    n,
-                    shared.cfg.k.min(n),
-                );
+                let mut sf = vfps_topk::stream::StreamingFagin::new(p, n, shared.cfg.k.min(n));
                 let mut exhausted = vec![false; p];
                 while !sf.is_complete() && !exhausted.iter().all(|&e| e) {
                     for slot in 0..p {
@@ -291,9 +284,7 @@ fn server_node<H: AdditiveHe>(ctx: &NodeCtx<ProtoMsg>, he: &Arc<H>, shared: &Sha
                 .collect();
             agg = Some(match agg {
                 None => cts,
-                Some(prev) => {
-                    prev.iter().zip(&cts).map(|(a, b)| he.add(a, b)).collect()
-                }
+                Some(prev) => prev.iter().zip(&cts).map(|(a, b)| he.add(a, b)).collect(),
             });
         }
         let agg = agg.expect("at least one participant");
@@ -348,9 +339,7 @@ fn participant_node<H: AdditiveHe>(
             KnnMode::Fagin => {
                 // Sorted pseudo-ID ranking, streamed on demand.
                 let mut ranking: Vec<usize> = (0..n).collect();
-                ranking.sort_by(|&a, &b| {
-                    partials[a].total_cmp(&partials[b]).then(a.cmp(&b))
-                });
+                ranking.sort_by(|&a, &b| partials[a].total_cmp(&partials[b]).then(a.cmp(&b)));
                 let pseudo_ranking: Vec<usize> =
                     ranking.iter().map(|&pos| shared.perm[pos]).collect();
                 let mut cursor = 0usize;
@@ -358,10 +347,7 @@ fn participant_node<H: AdditiveHe>(
                     match ctx.recv_from(0) {
                         ProtoMsg::NeedBatch => {
                             let end = (cursor + shared.cfg.batch).min(n);
-                            ctx.send(
-                                0,
-                                ProtoMsg::RankBatch(pseudo_ranking[cursor..end].to_vec()),
-                            );
+                            ctx.send(0, ProtoMsg::RankBatch(pseudo_ranking[cursor..end].to_vec()));
                             cursor = end;
                         }
                         ProtoMsg::Candidates(c) => break c,
@@ -386,9 +372,12 @@ fn participant_node<H: AdditiveHe>(
             })
             .collect();
         let chunk = he.max_batch().max(1);
-        let blobs: Vec<Vec<u8>> = values
-            .chunks(chunk)
-            .map(|c| he.ct_to_bytes(&he.encrypt(c).expect("encryptable batch")))
+        let chunks: Vec<&[f64]> = values.chunks(chunk).collect();
+        let blobs: Vec<Vec<u8>> = he
+            .encrypt_many(&chunks)
+            .expect("encryptable batches")
+            .iter()
+            .map(|ct| he.ct_to_bytes(ct))
             .collect();
         ctx.send(0, ProtoMsg::EncPartials(blobs));
 
@@ -405,14 +394,9 @@ fn participant_node<H: AdditiveHe>(
                 complete.extend(he.decrypt(&ct, count));
                 remaining -= count;
             }
-            let mut scored: Vec<(usize, f64)> = candidate_pseudos
-                .iter()
-                .copied()
-                .zip(complete)
-                .collect();
-            scored.sort_by(|a, b| {
-                a.1.total_cmp(&b.1).then(shared.inv[a.0].cmp(&shared.inv[b.0]))
-            });
+            let mut scored: Vec<(usize, f64)> =
+                candidate_pseudos.iter().copied().zip(complete).collect();
+            scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(shared.inv[a.0].cmp(&shared.inv[b.0])));
             let k = shared.cfg.k.min(scored.len());
             let top: Vec<usize> = scored[..k].iter().map(|e| e.0).collect();
             for peer in 0..p {
@@ -430,8 +414,7 @@ fn participant_node<H: AdditiveHe>(
         };
 
         // Everyone computes d_T^p and reports to the leader.
-        let d_t_own: f64 =
-            topk_pseudos.iter().map(|&pseudo| partials[shared.inv[pseudo]]).sum();
+        let d_t_own: f64 = topk_pseudos.iter().map(|&pseudo| partials[shared.inv[pseudo]]).sum();
         if is_leader {
             let mut d_t = vec![0.0f64; p];
             d_t[0] = d_t_own;
@@ -488,8 +471,7 @@ mod tests {
         for mode in [KnnMode::Base, KnnMode::Fagin] {
             let cfg = FedKnnConfig { k: 3, mode, batch: 2, cost_scale: 1.0 };
             let he = Arc::new(PlainHe::new(4));
-            let run =
-                run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, cfg, 77);
+            let run = run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, cfg, 77);
             let engine = FedKnn::new(&x, &part, &[0, 1], &db, cfg);
             let mut ledger = vfps_net::cost::OpLedger::default();
             for (qi, &q) in queries.iter().enumerate() {
@@ -513,8 +495,7 @@ mod tests {
         let (x, part) = toy();
         let db: Vec<usize> = (0..8).collect();
         let queries = vec![0usize, 4];
-        let cfg =
-            FedKnnConfig { k: 2, mode: KnnMode::Fagin, batch: 3, cost_scale: 1.0 };
+        let cfg = FedKnnConfig { k: 2, mode: KnnMode::Fagin, batch: 3, cost_scale: 1.0 };
         let he = Arc::new(PaillierHe::generate(128, 8, 5).unwrap());
         let run = run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, cfg, 3);
         // Query 0's nearest two are rows 1 and 2; query 4's are 3 and 5.
@@ -532,13 +513,10 @@ mod tests {
         let db: Vec<usize> = (0..8).collect();
         let queries = vec![0usize];
         let he = Arc::new(PaillierHe::generate(128, 8, 6).unwrap());
-        let base_cfg =
-            FedKnnConfig { k: 2, mode: KnnMode::Base, batch: 2, cost_scale: 1.0 };
-        let fagin_cfg =
-            FedKnnConfig { k: 2, mode: KnnMode::Fagin, batch: 2, cost_scale: 1.0 };
+        let base_cfg = FedKnnConfig { k: 2, mode: KnnMode::Base, batch: 2, cost_scale: 1.0 };
+        let fagin_cfg = FedKnnConfig { k: 2, mode: KnnMode::Fagin, batch: 2, cost_scale: 1.0 };
         let base = run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, base_cfg, 9);
-        let fagin =
-            run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, fagin_cfg, 9);
+        let fagin = run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, fagin_cfg, 9);
         assert!(
             fagin.outcomes[0].candidates < base.outcomes[0].candidates,
             "fagin candidates {} vs base {}",

@@ -145,9 +145,7 @@ where
                     let cts = queue.pop_front().expect("one block per participant");
                     agg = Some(match agg {
                         None => cts,
-                        Some(prev) => {
-                            prev.iter().zip(&cts).map(|(a, b)| he.add(a, b)).collect()
-                        }
+                        Some(prev) => prev.iter().zip(&cts).map(|(a, b)| he.add(a, b)).collect(),
                     });
                 }
                 let blobs: Vec<Vec<u8>> = agg
@@ -157,11 +155,7 @@ where
                     .collect();
                 ctx.send(1, ProtoMsg::Aggregated(blobs));
             }
-            SplitTrainRun {
-                epoch_losses: Vec::new(),
-                test_predictions: Vec::new(),
-                total_bytes: 0,
-            }
+            SplitTrainRun { epoch_losses: Vec::new(), test_predictions: Vec::new(), total_bytes: 0 }
         }));
     }
 
@@ -229,18 +223,19 @@ fn participant_train<H: AdditiveHe>(
     let chunk = he.max_batch().max(1);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
-    let forward_send = |w: &Matrix, view: &Matrix, rows: (usize, usize), ctx: &NodeCtx<ProtoMsg>| {
-        let idx: Vec<usize> = (rows.0..rows.1).collect();
-        let xb = view.select_rows(&idx);
-        let z = xb.matmul(w);
-        let blobs: Vec<Vec<u8>> = z
-            .as_slice()
-            .chunks(chunk)
-            .map(|c| he.ct_to_bytes(&he.encrypt(c).expect("encryptable batch")))
-            .collect();
-        ctx.send(0, ProtoMsg::EncPartials(blobs));
-        xb
-    };
+    let forward_send =
+        |w: &Matrix, view: &Matrix, rows: (usize, usize), ctx: &NodeCtx<ProtoMsg>| {
+            let idx: Vec<usize> = (rows.0..rows.1).collect();
+            let xb = view.select_rows(&idx);
+            let z = xb.matmul(w);
+            let blobs: Vec<Vec<u8>> = z
+                .as_slice()
+                .chunks(chunk)
+                .map(|c| he.ct_to_bytes(&he.encrypt(c).expect("encryptable batch")))
+                .collect();
+            ctx.send(0, ProtoMsg::EncPartials(blobs));
+            xb
+        };
 
     // Non-leaders receive the gradient as encrypted chunks from the leader.
     // (In a deployment the leader would encrypt under each participant's
@@ -410,9 +405,7 @@ mod tests {
         let test: Vec<usize> = (48..60).collect();
         let he = Arc::new(PaillierHe::generate(128, 64, 3).unwrap());
         let cfg = SplitTrainConfig { batch_size: 16, epochs: 4, lr: 0.1, seed: 5 };
-        let run = run_split_training(
-            &he, &x, &y, 2, &partition, &[0, 1], &train, &test, &cfg,
-        );
+        let run = run_split_training(&he, &x, &y, 2, &partition, &[0, 1], &train, &test, &cfg);
         let test_y: Vec<usize> = test.iter().map(|&r| y[r]).collect();
         let acc = accuracy(&run.test_predictions, &test_y);
         assert!(acc > 0.7, "acc={acc}");
@@ -428,15 +421,12 @@ mod tests {
         let train: Vec<usize> = (0..32).collect();
         let he = Arc::new(PlainHe::new(64));
         let cfg = SplitTrainConfig { batch_size: 32, epochs: 1, lr: 1e-9, seed: 11 };
-        let run = run_split_training(
-            &he, &x, &y, 2, &partition, &[0, 1], &train, &[], &cfg,
-        );
+        let run = run_split_training(&he, &x, &y, 2, &partition, &[0, 1], &train, &[], &cfg);
         // Rebuild the initial concatenated weights exactly as the nodes do.
         let mut w_full = Matrix::zeros(4, 2);
         for slot in 0..2usize {
             let cols = partition.columns(slot);
-            let mut rng =
-                vfps_he::scheme::seeded_rng(11u64.wrapping_add(slot as u64 * 31));
+            let mut rng = vfps_he::scheme::seeded_rng(11u64.wrapping_add(slot as u64 * 31));
             use rand::Rng;
             let bound = (6.0 / (cols.len() + 2) as f64).sqrt();
             for (local, &global) in cols.iter().enumerate() {

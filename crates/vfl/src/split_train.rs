@@ -104,8 +104,7 @@ pub fn train_downstream(
             DownstreamReport { accuracy: acc, epochs: 0, ledger }
         }
         Downstream::Lr => {
-            let mut lr =
-                LogisticRegression::new(joint.cols(), ds.n_classes, cfg.lr, seed);
+            let mut lr = LogisticRegression::new(joint.cols(), ds.n_classes, cfg.lr, seed);
             let report = lr.fit(&train_x, &train_y, &val_x, &val_y, cfg);
             bill_split_epochs(
                 &mut ledger,
@@ -128,8 +127,7 @@ pub fn train_downstream(
             let mut mlp = Mlp::paper_architecture(f, ds.n_classes, cfg.lr, seed);
             let report = mlp.fit(&train_x, &train_y, &val_x, &val_y, cfg);
             // Bottom layer emits per-party activations of its local width.
-            let widths: Vec<usize> =
-                parties.iter().map(|&p| partition.columns(p).len()).collect();
+            let widths: Vec<usize> = parties.iter().map(|&p| partition.columns(p).len()).collect();
             bill_split_epochs(
                 &mut ledger,
                 partition,
@@ -149,12 +147,7 @@ pub fn train_downstream(
     }
 }
 
-fn take(
-    joint: &Matrix,
-    ds: &Dataset,
-    split: &Split,
-    part: SplitPart,
-) -> (Matrix, Vec<usize>) {
+fn take(joint: &Matrix, ds: &Dataset, split: &Split, part: SplitPart) -> (Matrix, Vec<usize>) {
     let rows = match part {
         SplitPart::Train => &split.train,
         SplitPart::Val => &split.val,
@@ -299,21 +292,30 @@ mod tests {
     fn fewer_parties_cost_less() {
         let (ds, split, partition) = setup();
         let full = train_downstream(
-            &ds, &split, &partition, &[0, 1, 2, 3], Downstream::Lr,
-            &TrainConfig::fast(), 1.0, 4,
+            &ds,
+            &split,
+            &partition,
+            &[0, 1, 2, 3],
+            Downstream::Lr,
+            &TrainConfig::fast(),
+            1.0,
+            4,
         );
         let half = train_downstream(
-            &ds, &split, &partition, &[0, 1], Downstream::Lr,
-            &TrainConfig::fast(), 1.0, 4,
+            &ds,
+            &split,
+            &partition,
+            &[0, 1],
+            Downstream::Lr,
+            &TrainConfig::fast(),
+            1.0,
+            4,
         );
         let m = CostModel::default();
         // Same model class but half the parties: bytes per batch halve.
         let full_per_epoch = full.ledger.bytes as f64 / full.epochs.max(1) as f64;
         let half_per_epoch = half.ledger.bytes as f64 / half.epochs.max(1) as f64;
-        assert!(
-            half_per_epoch < full_per_epoch,
-            "{half_per_epoch} vs {full_per_epoch}"
-        );
+        assert!(half_per_epoch < full_per_epoch, "{half_per_epoch} vs {full_per_epoch}");
         assert!(full.ledger.simulated_seconds(&m) > 0.0);
     }
 
@@ -321,12 +323,24 @@ mod tests {
     fn cost_scale_amplifies_training_cost() {
         let (ds, split, partition) = setup();
         let small = train_downstream(
-            &ds, &split, &partition, &[0, 1], Downstream::Lr,
-            &TrainConfig::fast(), 1.0, 5,
+            &ds,
+            &split,
+            &partition,
+            &[0, 1],
+            Downstream::Lr,
+            &TrainConfig::fast(),
+            1.0,
+            5,
         );
         let big = train_downstream(
-            &ds, &split, &partition, &[0, 1], Downstream::Lr,
-            &TrainConfig::fast(), 50.0, 5,
+            &ds,
+            &split,
+            &partition,
+            &[0, 1],
+            Downstream::Lr,
+            &TrainConfig::fast(),
+            50.0,
+            5,
         );
         assert_eq!(small.accuracy, big.accuracy, "scale is billing-only");
         assert!(big.ledger.bytes > 10 * small.ledger.bytes);
@@ -337,7 +351,7 @@ mod tests {
         // Build a partition where parties {0,1} hold the informative
         // features and {2,3} mostly noise, then compare downstream KNN.
         let spec = DatasetSpec::by_name("Phishing").unwrap();
-        let (ds, split) = prepared_sized(&spec, 400, 11);
+        let (ds, split) = prepared_sized(&spec, 400, 13);
         let mut informative: Vec<usize> = Vec::new();
         let mut rest: Vec<usize> = Vec::new();
         for (i, k) in ds.feature_kinds.iter().enumerate() {
@@ -357,18 +371,25 @@ mod tests {
         ];
         let partition = VerticalPartition::from_groups(ds.n_features(), groups);
         let good = train_downstream(
-            &ds, &split, &partition, &[0, 1], Downstream::Knn { k: 5 },
-            &TrainConfig::fast(), 1.0, 6,
+            &ds,
+            &split,
+            &partition,
+            &[0, 1],
+            Downstream::Knn { k: 5 },
+            &TrainConfig::fast(),
+            1.0,
+            6,
         );
         let bad = train_downstream(
-            &ds, &split, &partition, &[2, 3], Downstream::Knn { k: 5 },
-            &TrainConfig::fast(), 1.0, 6,
+            &ds,
+            &split,
+            &partition,
+            &[2, 3],
+            Downstream::Knn { k: 5 },
+            &TrainConfig::fast(),
+            1.0,
+            6,
         );
-        assert!(
-            good.accuracy > bad.accuracy + 0.05,
-            "good={} bad={}",
-            good.accuracy,
-            bad.accuracy
-        );
+        assert!(good.accuracy > bad.accuracy + 0.05, "good={} bad={}", good.accuracy, bad.accuracy);
     }
 }

@@ -15,10 +15,7 @@ use vfps_vfl::protocol::run_threaded_knn;
 fn data_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
     (6usize..20, 4usize..8).prop_flat_map(|(rows, cols)| {
         (
-            proptest::collection::vec(
-                proptest::collection::vec(-50.0f64..50.0, cols),
-                rows,
-            ),
+            proptest::collection::vec(proptest::collection::vec(-50.0f64..50.0, cols), rows),
             Just(cols),
         )
     })

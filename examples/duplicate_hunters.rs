@@ -30,12 +30,9 @@ fn main() {
             query_count: 24,
             ..PipelineConfig::default()
         };
-        let shapley =
-            run_pipeline(&spec, Method::Shapley, Downstream::Knn { k: 10 }, &cfg, 11);
-        let vfmine =
-            run_pipeline(&spec, Method::VfMine, Downstream::Knn { k: 10 }, &cfg, 11);
-        let vfps =
-            run_pipeline(&spec, Method::VfpsSm, Downstream::Knn { k: 10 }, &cfg, 11);
+        let shapley = run_pipeline(&spec, Method::Shapley, Downstream::Knn { k: 10 }, &cfg, 11);
+        let vfmine = run_pipeline(&spec, Method::VfMine, Downstream::Knn { k: 10 }, &cfg, 11);
+        let vfps = run_pipeline(&spec, Method::VfpsSm, Downstream::Knn { k: 10 }, &cfg, 11);
         println!(
             "{:>11} {:>10.4} {:>10.4} {:>10.4}   {:?}",
             dups, shapley.accuracy, vfmine.accuracy, vfps.accuracy, vfps.chosen

@@ -66,16 +66,8 @@ fn main() {
     let he = Arc::new(PaillierHe::generate(512, 64, 7).expect("keygen"));
     let queries: Vec<usize> = split.train.iter().copied().take(8).collect();
     let cfg = FedKnnConfig { k: 8, mode: KnnMode::Fagin, batch: 32, cost_scale: 1.0 };
-    let run = run_threaded_knn(
-        &he,
-        &ds.x,
-        &partition,
-        &[0, 1, 2, 3],
-        &split.train,
-        &queries,
-        cfg,
-        7,
-    );
+    let run =
+        run_threaded_knn(&he, &ds.x, &partition, &[0, 1, 2, 3], &split.train, &queries, cfg, 7);
     println!(
         "  {} queries, {} bytes over the wire in {} messages, avg {:.0} encrypted rows/query",
         queries.len(),
@@ -105,10 +97,7 @@ fn main() {
 
     let f = KnnSubmodular::new(w);
     let chosen = f.greedy(2);
-    println!(
-        "\nVFPS-SM selects: {:?}",
-        chosen.iter().map(|&c| PARTY_NAMES[c]).collect::<Vec<_>>()
-    );
+    println!("\nVFPS-SM selects: {:?}", chosen.iter().map(|&c| PARTY_NAMES[c]).collect::<Vec<_>>());
 
     // Downstream check: accuracy of the chosen pair vs the redundant pair.
     let eval = |parties: &[usize]| -> f64 {

@@ -12,12 +12,12 @@ use vfps_vfl::split_train::Downstream;
 
 fn main() {
     let spec = DatasetSpec::by_name("Rice").expect("catalog dataset");
-    let cfg = PipelineConfig {
-        sim_instances: Some(600),
-        ..PipelineConfig::default()
-    };
+    let cfg = PipelineConfig { sim_instances: Some(600), ..PipelineConfig::default() };
 
-    println!("VFPS-SM quickstart — dataset {} ({} features, paper size {} rows)", spec.name, spec.features, spec.paper_instances);
+    println!(
+        "VFPS-SM quickstart — dataset {} ({} features, paper size {} rows)",
+        spec.name, spec.features, spec.paper_instances
+    );
     println!("consortium: {} participants, selecting {}\n", cfg.parties, cfg.select);
     println!(
         "{:<14} {:>9} {:>14} {:>14} {:>12}   chosen",

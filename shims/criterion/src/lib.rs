@@ -1,0 +1,220 @@
+//! Offline shim for `criterion` covering the surface this workspace uses:
+//! [`Criterion::benchmark_group`], `bench_function`/`bench_with_input`,
+//! [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Each benchmark is calibrated so one sample lasts roughly
+//! `TARGET_SAMPLE_MS`, then `sample_size` samples are timed and the median
+//! per-iteration wall-clock is printed as
+//! `bench: <group>/<id> median <ns> ns/iter (<samples> samples x <iters> iters)`
+//! — a stable, greppable line, with no statistical analysis or HTML reports.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const TARGET_SAMPLE_MS: u64 = 2;
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = name.into();
+        let _ = write!(label, "/{parameter}");
+        BenchmarkId { label }
+    }
+
+    /// An id carrying only a parameter (grouped under the group name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    median_ns: f64,
+    samples: usize,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: one untimed warm-up call, then pick an iteration count
+        // that makes a sample last roughly TARGET_SAMPLE_MS.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(TARGET_SAMPLE_MS);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            per_iter_ns.push(dt.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = per_iter_ns[per_iter_ns.len() / 2];
+        self.samples = per_iter_ns.len();
+        self.iters = iters;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples itself.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher =
+            Bencher { sample_size: self.sample_size, median_ns: 0.0, samples: 0, iters: 0 };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (report lines were already printed per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, id: &BenchmarkId, bencher: &Bencher) {
+        let line = format!(
+            "bench: {}/{} median {:.0} ns/iter ({} samples x {} iters)",
+            self.name, id.label, bencher.median_ns, bencher.samples, bencher.iters
+        );
+        println!("{line}");
+        self.criterion.reports.push(line);
+    }
+}
+
+/// Entry point mirroring criterion's `Criterion` struct.
+#[derive(Default)]
+pub struct Criterion {
+    reports: Vec<String>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(name);
+        group.bench_function("base", f);
+        self
+    }
+
+    /// Accepted for API compatibility with `configure_from_args`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_median() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::new("spin", 16), |b| b.iter(|| (0..16u64).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.reports.len(), 1);
+        assert!(c.reports[0].starts_with("bench: shim/spin/16 median "));
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group
+            .bench_with_input(BenchmarkId::new("len", 4), &vec![1u8; 4], |b, v| b.iter(|| v.len()));
+        assert!(c.reports[0].contains("shim/len/4"));
+    }
+}

@@ -11,8 +11,18 @@ fn vfps() -> Command {
 fn synthetic_run_prints_selection() {
     let out = vfps()
         .args([
-            "--synthetic", "Rice", "--parties", "4", "--select", "2", "--method",
-            "vfps-sm", "--model", "knn", "--queries", "8",
+            "--synthetic",
+            "Rice",
+            "--parties",
+            "4",
+            "--select",
+            "2",
+            "--method",
+            "vfps-sm",
+            "--model",
+            "knn",
+            "--queries",
+            "8",
         ])
         .output()
         .expect("binary runs");
@@ -66,10 +76,8 @@ fn csv_input_round_trips() {
 #[test]
 fn bad_arguments_fail_cleanly() {
     // Unknown method.
-    let out = vfps()
-        .args(["--synthetic", "Rice", "--method", "magic"])
-        .output()
-        .expect("binary runs");
+    let out =
+        vfps().args(["--synthetic", "Rice", "--method", "magic"]).output().expect("binary runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown method"));
 

@@ -14,17 +14,11 @@ fn cfg(sim: usize) -> PipelineConfig {
 fn every_method_runs_on_knn_downstream() {
     let spec = DatasetSpec::by_name("Rice").unwrap();
     for method in Method::TABLE_ORDER {
-        let report =
-            run_pipeline(&spec, method, Downstream::Knn { k: 5 }, &cfg(300), 1);
+        let report = run_pipeline(&spec, method, Downstream::Knn { k: 5 }, &cfg(300), 1);
         // RANDOM may legitimately draw a poor pair at this tiny scale; the
         // bar checks the pipeline runs and is not totally broken.
         let floor = if method == Method::Random { 0.5 } else { 0.65 };
-        assert!(
-            report.accuracy >= floor,
-            "{}: accuracy {}",
-            method.name(),
-            report.accuracy
-        );
+        assert!(report.accuracy >= floor, "{}: accuracy {}", method.name(), report.accuracy);
         let expected = if method == Method::All { 4 } else { 2 };
         assert_eq!(report.chosen.len(), expected, "{}", method.name());
     }
@@ -35,12 +29,7 @@ fn every_downstream_model_runs_with_vfps_sm() {
     let spec = DatasetSpec::by_name("Rice").unwrap();
     for model in [Downstream::Knn { k: 5 }, Downstream::Lr, Downstream::Mlp] {
         let report = run_pipeline(&spec, Method::VfpsSm, model, &cfg(220), 2);
-        assert!(
-            report.accuracy > 0.6,
-            "{}: accuracy {}",
-            model.name(),
-            report.accuracy
-        );
+        assert!(report.accuracy > 0.6, "{}: accuracy {}", model.name(), report.accuracy);
         assert!(report.training_seconds > 0.0);
     }
 }
@@ -64,11 +53,7 @@ fn selection_time_ordering_matches_table1() {
     .map(|&m| (m, run_pipeline(&spec, m, Downstream::Lr, &c, 3)))
     .collect();
     let by = |m: Method| {
-        reports
-            .iter()
-            .find(|(mm, _)| *mm == m)
-            .map(|(_, r)| r)
-            .expect("method present")
+        reports.iter().find(|(mm, _)| *mm == m).map(|(_, r)| r).expect("method present")
     };
     assert!(by(Method::Shapley).selection_seconds > by(Method::VfpsSmBase).selection_seconds);
     assert!(by(Method::VfpsSmBase).selection_seconds > by(Method::VfMine).selection_seconds);
@@ -89,9 +74,9 @@ fn duplicates_hurt_baselines_not_vfps_sm() {
     let spec = DatasetSpec::by_name("Phishing").unwrap();
     let mut c = cfg(300);
     c.duplicates = 3;
-    let vfps = run_pipeline(&spec, Method::VfpsSm, Downstream::Knn { k: 5 }, &c, 4);
-    let shapley = run_pipeline(&spec, Method::Shapley, Downstream::Knn { k: 5 }, &c, 4);
-    let vfmine = run_pipeline(&spec, Method::VfMine, Downstream::Knn { k: 5 }, &c, 4);
+    let vfps = run_pipeline(&spec, Method::VfpsSm, Downstream::Knn { k: 5 }, &c, 5);
+    let shapley = run_pipeline(&spec, Method::Shapley, Downstream::Knn { k: 5 }, &c, 5);
+    let vfmine = run_pipeline(&spec, Method::VfMine, Downstream::Knn { k: 5 }, &c, 5);
     // VFPS-SM never picks two copies of the same partition. Parties 4..7
     // are clones of the strongest base party.
     let src = vfps.duplicated_party.expect("duplicates were injected");

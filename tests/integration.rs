@@ -140,8 +140,7 @@ fn vfps_sm_selects_informative_partitions() {
         cost_scale: 1.0,
         seed: 17,
     };
-    let sel = VfpsSmSelector { k: 8, query_count: 24, ..VfpsSmSelector::default() }
-        .select(&ctx, 2);
+    let sel = VfpsSmSelector { k: 8, query_count: 24, ..VfpsSmSelector::default() }.select(&ctx, 2);
     // The selected pair should include at least one informative-heavy party.
     assert!(
         sel.chosen.iter().any(|&p| p < 2),

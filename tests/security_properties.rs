@@ -10,9 +10,9 @@ use vfps_data::{prepared_sized, DatasetSpec, VerticalPartition};
 use vfps_he::paillier;
 use vfps_he::scheme::{AdditiveHe, PaillierHe};
 use vfps_he::BigUint;
+use vfps_net::wire::Wire;
 use vfps_vfl::fed_knn::{FedKnnConfig, KnnMode};
 use vfps_vfl::protocol::{run_threaded_knn, ProtoMsg};
-use vfps_net::wire::Wire;
 
 /// Feature security: what leaves a participant is ciphertext — the raw
 /// plaintext bytes of the partial distances must not appear in any
