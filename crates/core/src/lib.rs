@@ -48,5 +48,5 @@ pub use selectors::{
     AllSelector, LeaveOneOutSelector, RandomSelector, Selection, SelectionContext, Selector,
     ShapleySelector, VfMineSelector, VfpsSmSelector,
 };
-pub use similarity::SimilarityAccumulator;
+pub use similarity::{SimilarityAccumulator, SimilarityError};
 pub use submodular::KnnSubmodular;

@@ -10,7 +10,7 @@ use vfps_data::{Dataset, Split, VerticalPartition};
 use vfps_ml::knn::KnnClassifier;
 use vfps_ml::mi::group_label_mi;
 use vfps_net::cost::{CostModel, OpLedger};
-use vfps_vfl::fed_knn::{FedKnn, FedKnnConfig, KnnMode};
+use vfps_vfl::fed_knn::{Dropout, FedKnn, FedKnnConfig, KnnMode};
 
 /// Everything a selector needs to run.
 pub struct SelectionContext<'a> {
@@ -46,6 +46,9 @@ pub struct Selection {
     pub scores: Vec<f64>,
     /// Average instances encrypted per query (Fig. 9 metric; 0 if N/A).
     pub candidates_per_query: f64,
+    /// Parties that dropped out during the selection phase (degraded-mode
+    /// runs only; dead parties score 0 and are never chosen).
+    pub dropouts: Vec<usize>,
 }
 
 /// A participant-selection strategy.
@@ -79,6 +82,7 @@ impl Selector for RandomSelector {
             ledger: OpLedger::default(),
             scores: Vec::new(),
             candidates_per_query: 0.0,
+            dropouts: Vec::new(),
         }
     }
 }
@@ -90,7 +94,7 @@ impl Selector for RandomSelector {
 /// The paper's method: KNN-likelihood similarity + greedy submodular
 /// maximization, with either the Fagin-optimized or the baseline federated
 /// KNN oracle.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct VfpsSmSelector {
     /// Neighbor count for the proxy KNN.
     pub k: usize,
@@ -105,6 +109,13 @@ pub struct VfpsSmSelector {
     /// (the DP alternative to HE the paper surveys in §II; used by the
     /// `ablation-dp` experiment to show the accuracy cost of noise).
     pub dp_epsilon: Option<f64>,
+    /// Deterministic participant-failure schedule for the selection phase.
+    /// Empty (the default) runs the fault-free protocol bit-identically;
+    /// otherwise selection degrades to the surviving consortium: the
+    /// similarity matrix is accumulated over survivor-width profiles, the
+    /// greedy maximizer runs over survivors only, and dead parties score
+    /// 0.0 and are never chosen (DESIGN.md §7).
+    pub dropouts: Vec<Dropout>,
 }
 
 impl Default for VfpsSmSelector {
@@ -115,6 +126,7 @@ impl Default for VfpsSmSelector {
             mode: KnnMode::Fagin,
             batch: 100,
             dp_epsilon: None,
+            dropouts: Vec::new(),
         }
     }
 }
@@ -157,16 +169,25 @@ impl Selector for VfpsSmSelector {
         queries.shuffle(&mut StdRng::seed_from_u64(ctx.seed ^ 0x9e_a4));
         queries.truncate(self.query_count.min(queries.len()));
 
-        let counts: Vec<usize> = parties.iter().map(|&p| ctx.partition.columns(p).len()).collect();
-        let mut acc = SimilarityAccumulator::new(parties.len()).with_feature_counts(counts);
-        let mut candidates = 0usize;
         // Queries are independent: run the batch on the global pool. The
         // per-query ledgers merge back in query order and the accumulator
         // consumes outcomes in query order, so the similarity matrix and
         // billing are bit-identical to the sequential loop at any thread
-        // count.
-        let outcomes = engine.query_batch(&queries, vfps_par::global(), &mut ledger);
-        for (qi, mut outcome) in outcomes.into_iter().enumerate() {
+        // count. A non-empty dropout schedule degrades the later queries
+        // to the surviving consortium; with an empty schedule this path is
+        // exactly `query_batch`.
+        let batch =
+            engine.query_batch_resilient(&queries, &self.dropouts, vfps_par::global(), &mut ledger);
+        let survivors = batch.survivors.clone();
+
+        // The similarity matrix is accumulated at final-survivor width:
+        // pre-dropout outcomes are projected onto the survivor slots, so
+        // every query contributes a profile over the same parties.
+        let counts: Vec<usize> =
+            survivors.iter().map(|&s| ctx.partition.columns(parties[s]).len()).collect();
+        let mut acc = SimilarityAccumulator::new(survivors.len()).with_feature_counts(counts);
+        let mut candidates = 0usize;
+        for (qi, (mut outcome, alive)) in batch.outcomes.into_iter().enumerate() {
             candidates += outcome.candidates;
             if let Some(eps) = self.dp_epsilon {
                 // DP alternative: Laplace noise on each party's d_T^p
@@ -178,7 +199,7 @@ impl Selector for VfpsSmSelector {
                 let mut dp_rng =
                     StdRng::seed_from_u64(vfps_par::split_seed(ctx.seed ^ 0xd9, qi as u64));
                 let sens =
-                    (outcome.d_t_total / (self.k.max(1) * parties.len().max(1)) as f64).max(1e-9);
+                    (outcome.d_t_total / (self.k.max(1) * alive.len().max(1)) as f64).max(1e-9);
                 let mech = vfps_he::dp::LaplaceMechanism::new(sens, eps)
                     .expect("positive sensitivity and epsilon");
                 for d in &mut outcome.d_t {
@@ -186,18 +207,35 @@ impl Selector for VfpsSmSelector {
                 }
                 outcome.d_t_total = outcome.d_t.iter().sum();
             }
-            acc.add_query(&outcome);
+            if alive.len() != survivors.len() {
+                // Survivors are always a subset of this query's alive set
+                // (the consortium only shrinks), so the projection is a
+                // positional lookup.
+                let d_t: Vec<f64> = survivors
+                    .iter()
+                    .map(|s| {
+                        let pos = alive.iter().position(|a| a == s).expect("survivor was alive");
+                        outcome.d_t[pos]
+                    })
+                    .collect();
+                outcome.d_t_total = d_t.iter().sum();
+                outcome.d_t = d_t;
+            }
+            acc.add_query(&outcome).expect("outcome projected to survivor width");
         }
         let w = acc.finish();
         let f = KnnSubmodular::new(w);
-        let chosen = f.greedy(count.min(parties.len()));
+        // Greedy over the survivor-indexed matrix, mapped back to original
+        // party slots; dead parties keep score 0.0 and are never chosen.
+        let chosen_local = f.greedy(count.min(survivors.len()));
+        let chosen: Vec<usize> = chosen_local.iter().map(|&v| survivors[v]).collect();
 
         // Marginal-gain scores in selection order.
         let mut scores = vec![0.0; parties.len()];
-        let mut best = vec![0.0f64; parties.len()];
-        for &v in &chosen {
-            scores[v] = f.gain(&best, v);
-            for p in 0..parties.len() {
+        let mut best = vec![0.0f64; survivors.len()];
+        for &v in &chosen_local {
+            scores[survivors[v]] = f.gain(&best, v);
+            for p in 0..survivors.len() {
                 best[p] = best[p].max(f.similarity(p, v));
             }
         }
@@ -207,6 +245,7 @@ impl Selector for VfpsSmSelector {
             ledger,
             scores,
             candidates_per_query: candidates as f64 / queries.len().max(1) as f64,
+            dropouts: batch.dropouts.iter().map(|d| d.slot).collect(),
         }
     }
 }
@@ -368,7 +407,13 @@ impl Selector for ShapleySelector {
         order.sort_by(|&a, &b| sv[b].total_cmp(&sv[a]).then(a.cmp(&b)));
         order.truncate(count.min(p));
 
-        Selection { chosen: order, ledger, scores: sv, candidates_per_query: 0.0 }
+        Selection {
+            chosen: order,
+            ledger,
+            scores: sv,
+            candidates_per_query: 0.0,
+            dropouts: Vec::new(),
+        }
     }
 }
 
@@ -439,7 +484,7 @@ impl Selector for LeaveOneOutSelector {
         let mut order: Vec<usize> = (0..p).collect();
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         order.truncate(count.min(p));
-        Selection { chosen: order, ledger, scores, candidates_per_query: 0.0 }
+        Selection { chosen: order, ledger, scores, candidates_per_query: 0.0, dropouts: Vec::new() }
     }
 }
 
@@ -539,7 +584,7 @@ impl Selector for VfMineSelector {
         order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         order.truncate(count.min(p));
 
-        Selection { chosen: order, ledger, scores, candidates_per_query: 0.0 }
+        Selection { chosen: order, ledger, scores, candidates_per_query: 0.0, dropouts: Vec::new() }
     }
 }
 
@@ -562,6 +607,7 @@ impl Selector for AllSelector {
             ledger: OpLedger::default(),
             scores: Vec::new(),
             candidates_per_query: 0.0,
+            dropouts: Vec::new(),
         }
     }
 }
@@ -625,6 +671,25 @@ mod tests {
         for w in gains.windows(2) {
             assert!(w[0] >= w[1] - 1e-9, "gains must diminish: {gains:?}");
         }
+    }
+
+    #[test]
+    fn vfps_sm_with_dropouts_selects_survivors_only() {
+        let f = fixture(3);
+        let clean = VfpsSmSelector { query_count: 12, ..Default::default() }.select(&ctx(&f, 3), 3);
+        assert!(clean.dropouts.is_empty(), "fault-free run records no dropouts");
+        let degraded = VfpsSmSelector {
+            query_count: 12,
+            dropouts: vec![Dropout { at_query: 4, slot: 2 }],
+            ..Default::default()
+        }
+        .select(&ctx(&f, 3), 3);
+        assert_eq!(degraded.dropouts, vec![2], "the death is recorded in the selection");
+        assert_eq!(degraded.ledger.dropouts, 1, "and billed on the ledger");
+        assert!(!degraded.chosen.contains(&2), "a dead party is never chosen");
+        assert_eq!(degraded.chosen.len(), 3, "selection still fills from survivors");
+        assert_eq!(degraded.scores[2], 0.0, "dead parties score zero");
+        assert_eq!(degraded.scores.len(), 4, "scores stay full-width");
     }
 
     #[test]

@@ -11,7 +11,37 @@
 //! geometry agrees (similar contributions to the same neighbor set) score
 //! close to 1; divergent feature spaces score lower.
 
+use std::fmt;
 use vfps_vfl::fed_knn::QueryOutcome;
+
+/// Shape error from feeding the accumulator an incompatible outcome.
+///
+/// A mid-batch participant dropout shrinks the `d_t` width of later
+/// outcomes; the accumulator surfaces that as a typed error so degraded
+/// runs can re-accumulate over the survivor set instead of panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimilarityError {
+    /// The outcome's `d_t` width disagrees with the accumulator's party
+    /// count.
+    PartyCountMismatch {
+        /// Width the accumulator was built for.
+        expected: usize,
+        /// Width the outcome actually carried.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimilarityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimilarityError::PartyCountMismatch { expected, got } => {
+                write!(f, "party count mismatch: accumulator holds {expected}, outcome has {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimilarityError {}
 
 /// Accumulates per-query `d_T^p` vectors into the `P × P` similarity
 /// matrix.
@@ -67,10 +97,17 @@ impl SimilarityAccumulator {
     /// query in every feature) contribute full similarity for every pair —
     /// no distance signal means no evidence of divergence.
     ///
-    /// # Panics
-    /// Panics if the outcome's party count disagrees.
-    pub fn add_query(&mut self, outcome: &QueryOutcome) {
-        assert_eq!(outcome.d_t.len(), self.parties, "party count mismatch");
+    /// # Errors
+    /// Returns [`SimilarityError::PartyCountMismatch`] when the outcome's
+    /// `d_t` width disagrees with the accumulator's party count — e.g. the
+    /// outcome was computed after a participant dropped out.
+    pub fn add_query(&mut self, outcome: &QueryOutcome) -> Result<(), SimilarityError> {
+        if outcome.d_t.len() != self.parties {
+            return Err(SimilarityError::PartyCountMismatch {
+                expected: self.parties,
+                got: outcome.d_t.len(),
+            });
+        }
         self.queries += 1;
         let profile: Vec<f64> = match &self.feature_counts {
             None => outcome.d_t.clone(),
@@ -87,6 +124,7 @@ impl SimilarityAccumulator {
                 self.sums[p][s] += w;
             }
         }
+        Ok(())
     }
 
     /// Number of queries accumulated.
@@ -118,7 +156,7 @@ mod tests {
     #[test]
     fn identical_contributions_score_one() {
         let mut acc = SimilarityAccumulator::new(3);
-        acc.add_query(&outcome(vec![2.0, 2.0, 2.0]));
+        acc.add_query(&outcome(vec![2.0, 2.0, 2.0])).unwrap();
         let w = acc.finish();
         for p in 0..3 {
             for s in 0..3 {
@@ -130,7 +168,7 @@ mod tests {
     #[test]
     fn divergent_contributions_score_lower() {
         let mut acc = SimilarityAccumulator::new(2);
-        acc.add_query(&outcome(vec![9.0, 1.0]));
+        acc.add_query(&outcome(vec![9.0, 1.0])).unwrap();
         let w = acc.finish();
         // |9-1| = 8, total 10 → w = 0.2 off-diagonal, 1.0 on-diagonal.
         assert!((w[0][1] - 0.2).abs() < 1e-12);
@@ -140,8 +178,8 @@ mod tests {
     #[test]
     fn matrix_is_symmetric_with_unit_diagonal() {
         let mut acc = SimilarityAccumulator::new(4);
-        acc.add_query(&outcome(vec![1.0, 3.0, 0.5, 2.5]));
-        acc.add_query(&outcome(vec![0.1, 0.2, 0.3, 0.4]));
+        acc.add_query(&outcome(vec![1.0, 3.0, 0.5, 2.5])).unwrap();
+        acc.add_query(&outcome(vec![0.1, 0.2, 0.3, 0.4])).unwrap();
         let w = acc.finish();
         for p in 0..4 {
             assert!((w[p][p] - 1.0).abs() < 1e-12, "diagonal");
@@ -155,8 +193,8 @@ mod tests {
     #[test]
     fn averaging_over_queries() {
         let mut acc = SimilarityAccumulator::new(2);
-        acc.add_query(&outcome(vec![1.0, 1.0])); // w01 = 1.0
-        acc.add_query(&outcome(vec![3.0, 1.0])); // w01 = (4-2)/4 = 0.5
+        acc.add_query(&outcome(vec![1.0, 1.0])).unwrap(); // w01 = 1.0
+        acc.add_query(&outcome(vec![3.0, 1.0])).unwrap(); // w01 = (4-2)/4 = 0.5
         let w = acc.finish();
         assert!((w[0][1] - 0.75).abs() < 1e-12);
         assert_eq!(acc.queries(), 2);
@@ -165,9 +203,24 @@ mod tests {
     #[test]
     fn zero_total_distance_counts_as_full_similarity() {
         let mut acc = SimilarityAccumulator::new(2);
-        acc.add_query(&outcome(vec![0.0, 0.0]));
+        acc.add_query(&outcome(vec![0.0, 0.0])).unwrap();
         let w = acc.finish();
         assert_eq!(w[0][1], 1.0);
+    }
+
+    #[test]
+    fn shrunk_outcome_yields_typed_error_not_panic() {
+        // A participant dropping out mid-batch shrinks d_t from 3 to 2
+        // entries; the accumulator must report the mismatch, not assert.
+        let mut acc = SimilarityAccumulator::new(3);
+        acc.add_query(&outcome(vec![1.0, 2.0, 3.0])).unwrap();
+        let err = acc.add_query(&outcome(vec![1.0, 2.0])).unwrap_err();
+        assert_eq!(err, SimilarityError::PartyCountMismatch { expected: 3, got: 2 });
+        assert!(err.to_string().contains("party count mismatch"));
+        // The rejected query must not have been half-accumulated.
+        assert_eq!(acc.queries(), 1);
+        let w = acc.finish();
+        assert_eq!(w.len(), 3, "accumulator state is untouched by the error");
     }
 
     #[test]

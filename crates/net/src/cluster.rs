@@ -4,12 +4,28 @@
 //! The VFL protocols deploy five logical roles (key server, aggregation
 //! server, leader, participants) onto these nodes, mirroring the paper's
 //! five-machine deployment.
+//!
+//! ## Failure semantics
+//!
+//! Every channel operation on [`NodeCtx`] returns `Result<_, Error>`
+//! instead of panicking. When a node thread exits — cleanly, by returning
+//! an error, or by panicking — a departure guard broadcasts the fact to
+//! every peer, so a blocked `recv` observes [`Error::Hangup`] instead of
+//! deadlocking, and [`run_cluster_with`] always drains every thread.
+//! Out-of-order arrivals from other senders are buffered by
+//! [`NodeCtx::recv_from`] (in arrival order) rather than treated as
+//! protocol violations, and a [`FaultPlan`] can deterministically kill
+//! nodes or drop/delay links to exercise all of the above.
 
+use crate::error::Error;
+use crate::fault::FaultPlan;
 use crate::wire::Wire;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Node identifier within a cluster.
 pub type NodeId = usize;
@@ -45,13 +61,23 @@ pub struct TraceEvent {
     pub bytes: u64,
 }
 
+#[derive(Debug, Default)]
+struct LedgerInner {
+    links: HashMap<(NodeId, NodeId), LinkTraffic>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
 /// Shared, thread-safe traffic ledger, optionally recording the full
 /// message transcript (enable with [`TrafficLedger::with_trace`] — the
 /// transcript is the tool for diagnosing protocol races and deadlocks).
+///
+/// Link totals and the transcript live under a *single* lock, so any
+/// mid-run observer sees a consistent pair: the transcript length always
+/// equals the summed message count of the link snapshot taken in the same
+/// critical section (see [`TrafficLedger::consistent_view`]).
 #[derive(Clone, Debug, Default)]
 pub struct TrafficLedger {
-    links: Arc<Mutex<HashMap<(NodeId, NodeId), LinkTraffic>>>,
-    trace: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+    inner: Arc<Mutex<LedgerInner>>,
 }
 
 impl TrafficLedger {
@@ -64,85 +90,340 @@ impl TrafficLedger {
     /// Creates a ledger that also records the message transcript.
     #[must_use]
     pub fn with_trace() -> Self {
-        TrafficLedger { links: Arc::default(), trace: Some(Arc::new(Mutex::new(Vec::new()))) }
+        TrafficLedger {
+            inner: Arc::new(Mutex::new(LedgerInner {
+                links: HashMap::new(),
+                trace: Some(Vec::new()),
+            })),
+        }
     }
 
     fn record(&self, from: NodeId, to: NodeId, bytes: u64) {
-        let mut links = self.links.lock();
-        let entry = links.entry((from, to)).or_default();
+        let mut inner = self.inner.lock();
+        let entry = inner.links.entry((from, to)).or_default();
         entry.bytes += bytes;
         entry.messages += 1;
-        if let Some(trace) = &self.trace {
-            let mut t = trace.lock();
-            let seq = t.len() as u64;
-            t.push(TraceEvent { seq, from, to, bytes });
+        if let Some(trace) = &mut inner.trace {
+            let seq = trace.len() as u64;
+            trace.push(TraceEvent { seq, from, to, bytes });
         }
     }
 
     /// The recorded transcript (empty unless built with `with_trace`).
     #[must_use]
     pub fn transcript(&self) -> Vec<TraceEvent> {
-        self.trace.as_ref().map(|t| t.lock().clone()).unwrap_or_default()
+        self.inner.lock().trace.clone().unwrap_or_default()
     }
 
     /// Snapshot of all links.
     #[must_use]
     pub fn snapshot(&self) -> HashMap<(NodeId, NodeId), LinkTraffic> {
-        self.links.lock().clone()
+        self.inner.lock().links.clone()
+    }
+
+    /// Atomically captures link totals *and* transcript in one critical
+    /// section, so the two can be cross-checked even while senders are
+    /// still running (the transcript length equals the summed message
+    /// count of the snapshot).
+    #[must_use]
+    pub fn consistent_view(&self) -> (HashMap<(NodeId, NodeId), LinkTraffic>, Vec<TraceEvent>) {
+        let inner = self.inner.lock();
+        (inner.links.clone(), inner.trace.clone().unwrap_or_default())
     }
 
     /// Total bytes over all links.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.links.lock().values().map(|l| l.bytes).sum()
+        self.inner.lock().links.values().map(|l| l.bytes).sum()
     }
 
     /// Total messages over all links.
     #[must_use]
     pub fn total_messages(&self) -> u64 {
-        self.links.lock().values().map(|l| l.messages).sum()
+        self.inner.lock().links.values().map(|l| l.messages).sum()
     }
+}
+
+/// What actually travels on a channel: either a routed message or the
+/// notification that a peer's thread has exited.
+enum Packet<M> {
+    Msg(Envelope<M>),
+    Departed { node: NodeId, clean: bool },
+}
+
+/// A message held back by a delay fault, due for release at `release_op`.
+/// Wire size is captured at hold time so flushing (including from `Drop`,
+/// where the `Wire` bound is unavailable) needs no re-encoding.
+struct Delayed<M> {
+    release_op: u64,
+    to: NodeId,
+    bytes: u64,
+    env: Envelope<M>,
+}
+
+/// Interior mutable per-node bookkeeping (nodes are single-threaded, so a
+/// `RefCell` suffices and keeps the public methods `&self`).
+struct CtxState<M> {
+    /// Envelopes consumed while waiting for a specific sender, replayed in
+    /// arrival order by subsequent receives.
+    reorder: VecDeque<Envelope<M>>,
+    /// Peers observed to have exited, with their clean/dirty flag.
+    departed: HashMap<NodeId, bool>,
+    /// Most recently observed departure (reported when everyone is gone).
+    last_departed: Option<NodeId>,
+    /// Combined send + receive operation counter (fault-plan clock).
+    ops: u64,
+    /// Per-destination message sequence numbers (fault-plan link clock).
+    link_seq: HashMap<NodeId, u64>,
+    /// Messages held back by delay faults.
+    delayed: Vec<Delayed<M>>,
+    /// Set once the fault plan kills this node; sticky.
+    killed: Option<u64>,
 }
 
 /// A node's handle to the cluster: send to any node, receive from anyone.
 pub struct NodeCtx<M> {
     /// This node's id.
     pub id: NodeId,
-    senders: Vec<Sender<Envelope<M>>>,
-    receiver: Receiver<Envelope<M>>,
+    senders: Vec<Sender<Packet<M>>>,
+    receiver: Receiver<Packet<M>>,
     ledger: TrafficLedger,
+    faults: Arc<FaultPlan>,
+    state: RefCell<CtxState<M>>,
 }
 
 impl<M: Wire + Send + 'static> NodeCtx<M> {
+    /// Advances the fault-plan clock by one channel operation; errors once
+    /// the plan's kill point for this node is reached (and forever after).
+    fn tick(&self) -> Result<(), Error> {
+        let mut st = self.state.borrow_mut();
+        if let Some(op) = st.killed {
+            return Err(Error::Killed { node: self.id, op });
+        }
+        let op = st.ops;
+        st.ops += 1;
+        if let Some(kill) = self.faults.kill_op(self.id) {
+            if op >= kill {
+                st.killed = Some(kill);
+                return Err(Error::Killed { node: self.id, op: kill });
+            }
+        }
+        Ok(())
+    }
+
+    /// Releases delayed messages whose hold has expired (`all` releases
+    /// everything — used before blocking, so a held message can never
+    /// deadlock the cluster on its own). Billed at delivery time; a
+    /// hung-up destination just loses the message, like a crash while a
+    /// real packet is in flight.
+    fn flush_delayed(&self, all: bool) {
+        let due: Vec<Delayed<M>> = {
+            let mut st = self.state.borrow_mut();
+            let now = st.ops;
+            let mut due = Vec::new();
+            let mut i = 0;
+            while i < st.delayed.len() {
+                if all || st.delayed[i].release_op <= now {
+                    due.push(st.delayed.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            due
+        };
+        for d in due {
+            self.ledger.record(self.id, d.to, d.bytes);
+            let _ = self.senders[d.to].send(Packet::Msg(d.env));
+        }
+    }
+
     /// Sends `msg` to node `to`, recording its wire size on the ledger.
     ///
-    /// # Panics
-    /// Panics if the destination is out of range or has hung up.
-    pub fn send(&self, to: NodeId, msg: M) {
+    /// # Errors
+    /// [`Error::Hangup`] if the destination has exited;
+    /// [`Error::Killed`] once the fault plan has killed this node.
+    pub fn send(&self, to: NodeId, msg: M) -> Result<(), Error> {
+        self.tick()?;
+        self.flush_delayed(false);
+        let seq = {
+            let mut st = self.state.borrow_mut();
+            let seq = st.link_seq.entry(to).or_insert(0);
+            let s = *seq;
+            *seq += 1;
+            s
+        };
+        if self.faults.should_drop(self.id, to, seq) {
+            // Lost in flight: sender proceeds, nothing delivered or billed.
+            return Ok(());
+        }
         let bytes = msg.encoded_len() as u64;
+        let env = Envelope { from: self.id, msg };
+        if let Some(hold) = self.faults.delay_for(self.id, to, seq) {
+            let release_op = self.state.borrow().ops + hold;
+            self.state.borrow_mut().delayed.push(Delayed { release_op, to, bytes, env });
+            return Ok(());
+        }
+        if self.state.borrow().departed.contains_key(&to) {
+            return Err(Error::Hangup { peer: to });
+        }
         self.ledger.record(self.id, to, bytes);
-        self.senders[to].send(Envelope { from: self.id, msg }).expect("destination node hung up");
+        self.senders[to].send(Packet::Msg(env)).map_err(|_| Error::Hangup { peer: to })
     }
 
-    /// Blocking receive of the next message.
-    ///
-    /// # Panics
-    /// Panics when all senders have hung up.
-    #[must_use]
-    pub fn recv(&self) -> Envelope<M> {
-        self.receiver.recv().expect("all peers hung up")
+    /// Records a departure notification; returns the peer id.
+    fn note_departure(&self, node: NodeId, clean: bool) {
+        let mut st = self.state.borrow_mut();
+        st.departed.insert(node, clean);
+        st.last_departed = Some(node);
     }
 
-    /// Receives until a message from `from` arrives, asserting the cluster
-    /// protocol is well-ordered (used by the strictly phased VFL flows).
+    /// True once every peer has exited (no more messages can ever arrive).
+    fn all_peers_departed(&self) -> bool {
+        self.state.borrow().departed.len() >= self.senders.len().saturating_sub(1)
+    }
+
+    /// The error to report when a blocking receive can never complete.
+    fn starved(&self) -> Error {
+        let peer = self.state.borrow().last_departed.unwrap_or(self.id);
+        Error::Hangup { peer }
+    }
+
+    /// Receives one packet, blocking up to `deadline` (forever if `None`).
+    fn recv_packet(&self, deadline: Option<Instant>) -> Result<Packet<M>, Error> {
+        // Anything we are still holding back could be the very message our
+        // peer must answer before we unblock — release it all.
+        self.flush_delayed(true);
+        if self.all_peers_departed() {
+            return Err(self.starved());
+        }
+        match deadline {
+            None => self.receiver.recv().map_err(|_| self.starved()),
+            Some(d) => {
+                let now = Instant::now();
+                let remaining = d.saturating_duration_since(now);
+                self.receiver.recv_timeout(remaining).map_err(|e| match e {
+                    RecvTimeoutError::Timeout => Error::Timeout { peer: None, waited: remaining },
+                    RecvTimeoutError::Disconnected => self.starved(),
+                })
+            }
+        }
+    }
+
+    fn recv_inner(&self, deadline: Option<Instant>) -> Result<Envelope<M>, Error> {
+        self.tick()?;
+        if let Some(env) = self.state.borrow_mut().reorder.pop_front() {
+            return Ok(env);
+        }
+        loop {
+            match self.recv_packet(deadline)? {
+                Packet::Msg(env) => return Ok(env),
+                Packet::Departed { node, clean } => {
+                    self.note_departure(node, clean);
+                    if !clean {
+                        return Err(Error::Hangup { peer: node });
+                    }
+                    // Clean exits only matter once nobody is left to talk.
+                    if self.all_peers_departed() {
+                        return Err(self.starved());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking receive of the next message (buffered out-of-order
+    /// envelopes first, in arrival order).
     ///
-    /// # Panics
-    /// Panics if a message from a different node arrives first.
+    /// # Errors
+    /// [`Error::Hangup`] when a peer exits dirtily or every peer is gone;
+    /// [`Error::Killed`] once the fault plan has killed this node.
+    pub fn recv(&self) -> Result<Envelope<M>, Error> {
+        self.recv_inner(None)
+    }
+
+    /// As [`NodeCtx::recv`] but gives up after `timeout`.
+    ///
+    /// # Errors
+    /// [`Error::Timeout`] when the deadline expires, otherwise as
+    /// [`NodeCtx::recv`].
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, Error> {
+        self.recv_inner(Some(Instant::now() + timeout))
+    }
+
+    fn recv_from_inner(&self, from: NodeId, deadline: Option<Instant>) -> Result<M, Error> {
+        self.tick()?;
+        // Serve a previously buffered envelope from this sender first.
+        {
+            let mut st = self.state.borrow_mut();
+            if let Some(pos) = st.reorder.iter().position(|e| e.from == from) {
+                return Ok(st.reorder.remove(pos).expect("position just found").msg);
+            }
+            if st.departed.contains_key(&from) {
+                return Err(Error::Hangup { peer: from });
+            }
+        }
+        loop {
+            match self.recv_packet(deadline) {
+                Ok(Packet::Msg(env)) => {
+                    if env.from == from {
+                        return Ok(env.msg);
+                    }
+                    // Out-of-order arrival from another sender: buffer it
+                    // in arrival order instead of declaring a violation.
+                    self.state.borrow_mut().reorder.push_back(env);
+                }
+                Ok(Packet::Departed { node, clean }) => {
+                    // Departures of *other* peers are recorded silently
+                    // (query via `is_departed`); only the awaited sender's
+                    // exit fails this call.
+                    self.note_departure(node, clean);
+                    if node == from {
+                        return Err(Error::Hangup { peer: from });
+                    }
+                }
+                Err(Error::Timeout { waited, .. }) => {
+                    return Err(Error::Timeout { peer: Some(from), waited });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Receives the next message from `from`, buffering envelopes that
+    /// other senders interleave (they are replayed, in arrival order, by
+    /// later receives).
+    ///
+    /// # Errors
+    /// [`Error::Hangup`] if `from` has exited (other peers' departures are
+    /// recorded but do not fail this call);
+    /// [`Error::Killed`] once the fault plan has killed this node.
+    pub fn recv_from(&self, from: NodeId) -> Result<M, Error> {
+        self.recv_from_inner(from, None)
+    }
+
+    /// As [`NodeCtx::recv_from`] but gives up after `timeout`.
+    ///
+    /// # Errors
+    /// [`Error::Timeout`] when the deadline expires, otherwise as
+    /// [`NodeCtx::recv_from`].
+    pub fn recv_from_timeout(&self, from: NodeId, timeout: Duration) -> Result<M, Error> {
+        self.recv_from_inner(from, Some(Instant::now() + timeout))
+    }
+
+    /// Whether `node` has been observed to exit (its departure
+    /// notification may still be in flight — this reflects what this node
+    /// has consumed so far).
     #[must_use]
-    pub fn recv_from(&self, from: NodeId) -> M {
-        let env = self.recv();
-        assert_eq!(env.from, from, "protocol violation: expected node {from}, got {}", env.from);
-        env.msg
+    pub fn is_departed(&self, node: NodeId) -> bool {
+        self.state.borrow().departed.contains_key(&node)
+    }
+
+    /// All peers observed to have exited, in ascending id order.
+    #[must_use]
+    pub fn departed(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.state.borrow().departed.keys().copied().collect();
+        v.sort_unstable();
+        v
     }
 
     /// Number of nodes in the cluster.
@@ -152,45 +433,70 @@ impl<M: Wire + Send + 'static> NodeCtx<M> {
     }
 }
 
-/// Spawns `node_fns.len()` nodes, runs them to completion, and returns their
-/// results plus the traffic ledger.
-///
-/// # Panics
-/// Propagates panics from node threads.
-pub fn run_cluster<M, R>(
-    node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
-) -> (Vec<R>, TrafficLedger)
-where
-    M: Wire + Send + 'static,
-    R: Send + 'static,
-{
-    run_cluster_with(node_fns, TrafficLedger::new())
+impl<M> Drop for NodeCtx<M> {
+    fn drop(&mut self) {
+        // A cleanly exiting node's held-back messages still reach their
+        // destinations (a killed node's do not — it crashed holding them).
+        let st = self.state.get_mut();
+        if st.killed.is_some() {
+            return;
+        }
+        for d in st.delayed.drain(..) {
+            self.ledger.record(self.id, d.to, d.bytes);
+            let _ = self.senders[d.to].send(Packet::Msg(d.env));
+        }
+    }
 }
 
-/// As [`run_cluster`] but records the full message transcript
-/// ([`TrafficLedger::transcript`]) for protocol debugging.
-///
-/// # Panics
-/// Propagates panics from node threads.
-pub fn run_cluster_traced<M, R>(
-    node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
-) -> (Vec<R>, TrafficLedger)
-where
-    M: Wire + Send + 'static,
-    R: Send + 'static,
-{
-    run_cluster_with(node_fns, TrafficLedger::with_trace())
+/// Broadcasts this node's departure to every peer when dropped — on clean
+/// return, error return, *and* panic — so no peer ever blocks forever on a
+/// dead node (the fix for the join deadlock).
+struct DepartureGuard<M> {
+    id: NodeId,
+    senders: Vec<Sender<Packet<M>>>,
+    clean: bool,
 }
 
-fn run_cluster_with<M, R>(
+impl<M> Drop for DepartureGuard<M> {
+    fn drop(&mut self) {
+        for (to, tx) in self.senders.iter().enumerate() {
+            if to != self.id {
+                let _ = tx.send(Packet::Departed { node: self.id, clean: self.clean });
+            }
+        }
+    }
+}
+
+/// Configuration for [`run_cluster_with`]: which ledger records traffic
+/// and which fault plan (if any) is injected.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterOptions {
+    /// Traffic ledger shared by all nodes.
+    pub ledger: TrafficLedger,
+    /// Deterministic fault script (empty by default).
+    pub faults: FaultPlan,
+}
+
+impl ClusterOptions {
+    /// Options with a transcript-recording ledger and no faults.
+    #[must_use]
+    pub fn traced() -> Self {
+        ClusterOptions { ledger: TrafficLedger::with_trace(), faults: FaultPlan::default() }
+    }
+}
+
+fn run_cluster_impl<M, R>(
     node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
-    ledger: TrafficLedger,
+    opts: ClusterOptions,
+    is_clean: fn(&R) -> bool,
 ) -> (Vec<R>, TrafficLedger)
 where
     M: Wire + Send + 'static,
     R: Send + 'static,
 {
     let n = node_fns.len();
+    let ledger = opts.ledger;
+    let faults = Arc::new(opts.faults);
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
@@ -200,12 +506,117 @@ where
     }
     let mut handles = Vec::with_capacity(n);
     for (id, (f, receiver)) in node_fns.into_iter().zip(receivers).enumerate() {
-        let ctx = NodeCtx { id, senders: senders.clone(), receiver, ledger: ledger.clone() };
-        handles.push(std::thread::spawn(move || f(ctx)));
+        let ctx = NodeCtx {
+            id,
+            senders: senders.clone(),
+            receiver,
+            ledger: ledger.clone(),
+            faults: Arc::clone(&faults),
+            state: RefCell::new(CtxState {
+                reorder: VecDeque::new(),
+                departed: HashMap::new(),
+                last_departed: None,
+                ops: 0,
+                link_seq: HashMap::new(),
+                delayed: Vec::new(),
+                killed: None,
+            }),
+        };
+        let guard_senders = senders.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut guard = DepartureGuard { id, senders: guard_senders, clean: false };
+            let out = f(ctx);
+            guard.clean = is_clean(&out);
+            out
+        }));
     }
     drop(senders);
-    let results = handles.into_iter().map(|h| h.join().expect("node thread panicked")).collect();
+    // Join EVERY thread before propagating any panic: departure broadcasts
+    // guarantee each one terminates, and draining them all first is what
+    // turns "one node panicked" from a deadlock into a clean unwind.
+    let joined: Vec<Result<R, Box<dyn std::any::Any + Send>>> =
+        handles.into_iter().map(std::thread::JoinHandle::join).collect();
+    let mut results = Vec::with_capacity(n);
+    let mut panic_payload = None;
+    for j in joined {
+        match j {
+            Ok(r) => results.push(r),
+            Err(p) => {
+                if panic_payload.is_none() {
+                    panic_payload = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = panic_payload {
+        std::panic::resume_unwind(p);
+    }
     (results, ledger)
+}
+
+/// Spawns `node_fns.len()` nodes, runs them to completion, and returns their
+/// results plus the traffic ledger.
+///
+/// # Panics
+/// Propagates panics from node threads — after draining every other
+/// thread, so a panicking node can no longer deadlock the join loop.
+pub fn run_cluster<M, R>(
+    node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
+) -> (Vec<R>, TrafficLedger)
+where
+    M: Wire + Send + 'static,
+    R: Send + 'static,
+{
+    run_cluster_with(node_fns, ClusterOptions::default())
+}
+
+/// As [`run_cluster`] but records the full message transcript
+/// ([`TrafficLedger::transcript`]) for protocol debugging.
+///
+/// # Panics
+/// Propagates panics from node threads (after draining all threads).
+pub fn run_cluster_traced<M, R>(
+    node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
+) -> (Vec<R>, TrafficLedger)
+where
+    M: Wire + Send + 'static,
+    R: Send + 'static,
+{
+    run_cluster_with(node_fns, ClusterOptions::traced())
+}
+
+/// As [`run_cluster`] with explicit [`ClusterOptions`] (custom ledger
+/// and/or an injected [`FaultPlan`]).
+///
+/// # Panics
+/// Propagates panics from node threads (after draining all threads).
+pub fn run_cluster_with<M, R>(
+    node_fns: Vec<Box<dyn FnOnce(NodeCtx<M>) -> R + Send>>,
+    opts: ClusterOptions,
+) -> (Vec<R>, TrafficLedger)
+where
+    M: Wire + Send + 'static,
+    R: Send + 'static,
+{
+    run_cluster_impl(node_fns, opts, |_| true)
+}
+
+/// A fallible node body, as consumed by [`run_cluster_fallible`].
+pub type FallibleNodeFn<M, R> = Box<dyn FnOnce(NodeCtx<M>) -> Result<R, Error> + Send>;
+
+/// Runs fallible node bodies: a node returning `Err` departs *dirty* (its
+/// peers observe [`Error::Hangup`]), one returning `Ok` departs clean.
+/// Unlike [`run_cluster`], node failures come back as values instead of
+/// unwinding, so callers can degrade instead of aborting.
+pub fn run_cluster_fallible<M, R>(
+    node_fns: Vec<FallibleNodeFn<M, R>>,
+    opts: ClusterOptions,
+) -> (Vec<Result<R, Error>>, TrafficLedger)
+where
+    M: Wire + Send + 'static,
+    R: Send + 'static,
+{
+    run_cluster_impl(node_fns, opts, Result::is_ok)
 }
 
 #[cfg(test)]
@@ -220,11 +631,11 @@ mod tests {
             .map(|i| {
                 Box::new(move |ctx: NodeCtx<u64>| {
                     if i == 0 {
-                        ctx.send(1, 1u64);
-                        ctx.recv().msg
+                        ctx.send(1, 1u64).unwrap();
+                        ctx.recv().unwrap().msg
                     } else {
-                        let v = ctx.recv().msg;
-                        ctx.send((i + 1) % n, v + 1);
+                        let v = ctx.recv().unwrap().msg;
+                        ctx.send((i + 1) % n, v + 1).unwrap();
                         v
                     }
                 }) as Box<dyn FnOnce(NodeCtx<u64>) -> u64 + Send>
@@ -246,11 +657,11 @@ mod tests {
                     if i == 0 {
                         let mut total = 0.0;
                         for _ in 0..3 {
-                            total += ctx.recv().msg.iter().sum::<f64>();
+                            total += ctx.recv().unwrap().msg.iter().sum::<f64>();
                         }
                         total
                     } else {
-                        ctx.send(0, vec![i as f64; 2]);
+                        ctx.send(0, vec![i as f64; 2]).unwrap();
                         0.0
                     }
                 }) as SumNodeFn
@@ -268,15 +679,15 @@ mod tests {
     fn transcript_records_sends_in_order() {
         let fns: Vec<Box<dyn FnOnce(NodeCtx<u8>) -> u8 + Send>> = vec![
             Box::new(|ctx: NodeCtx<u8>| {
-                ctx.send(1, 1);
-                let v = ctx.recv_from(1);
-                ctx.send(1, v + 1);
+                ctx.send(1, 1).unwrap();
+                let v = ctx.recv_from(1).unwrap();
+                ctx.send(1, v + 1).unwrap();
                 0
             }),
             Box::new(|ctx: NodeCtx<u8>| {
-                let v = ctx.recv_from(0);
-                ctx.send(0, v + 1);
-                ctx.recv_from(0)
+                let v = ctx.recv_from(0).unwrap();
+                ctx.send(0, v + 1).unwrap();
+                ctx.recv_from(0).unwrap()
             }),
         ];
         let (results, ledger) = run_cluster_traced(fns);
@@ -303,15 +714,182 @@ mod tests {
     fn recv_from_enforces_order() {
         let fns: Vec<Box<dyn FnOnce(NodeCtx<u8>) -> u8 + Send>> = vec![
             Box::new(|ctx: NodeCtx<u8>| {
-                let v = ctx.recv_from(1);
+                let v = ctx.recv_from(1).unwrap();
                 v + 1
             }),
             Box::new(|ctx: NodeCtx<u8>| {
-                ctx.send(0, 41);
+                ctx.send(0, 41).unwrap();
                 0
             }),
         ];
         let (results, _) = run_cluster(fns);
         assert_eq!(results[0], 42);
+    }
+
+    #[test]
+    fn recv_from_buffers_other_senders() {
+        // Node 2's message is guaranteed to land before node 1's, yet node
+        // 0 asks for node 1 first: the old API panicked here, the new one
+        // buffers node 2's envelope and replays it in arrival order.
+        let fns: Vec<Box<dyn FnOnce(NodeCtx<u8>) -> u8 + Send>> = vec![
+            Box::new(|ctx: NodeCtx<u8>| {
+                let a = ctx.recv_from(1).unwrap();
+                let b = ctx.recv_from(2).unwrap();
+                a * 10 + b
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                // Wait until node 2's message has certainly been consumed
+                // into the buffer path by ordering: 2 sends, then pings 1.
+                let go = ctx.recv_from(2).unwrap();
+                ctx.send(0, go).unwrap();
+                0
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                ctx.send(0, 7).unwrap();
+                ctx.send(1, 4).unwrap();
+                0
+            }),
+        ];
+        let (results, _) = run_cluster(fns);
+        assert_eq!(results[0], 47);
+    }
+
+    #[test]
+    fn clean_exit_of_all_peers_surfaces_hangup() {
+        let fns: Vec<Box<dyn FnOnce(NodeCtx<u8>) -> bool + Send>> = vec![
+            Box::new(|ctx: NodeCtx<u8>| {
+                let _ = ctx.recv_from(1).unwrap();
+                // Peer is gone now; a further receive must error, not hang.
+                matches!(ctx.recv(), Err(Error::Hangup { peer: 1 }))
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                ctx.send(0, 1).unwrap();
+                true
+            }),
+        ];
+        let (results, _) = run_cluster(fns);
+        assert!(results[0]);
+    }
+
+    #[test]
+    fn fault_kill_returns_killed_error() {
+        let opts =
+            ClusterOptions { ledger: TrafficLedger::new(), faults: FaultPlan::new().kill_at(1, 0) };
+        let fns: Vec<FallibleNodeFn<u8, u8>> = vec![
+            Box::new(|ctx: NodeCtx<u8>| {
+                // Node 1 dies on its first op; we must see its hangup.
+                match ctx.recv_from(1) {
+                    Err(Error::Hangup { peer: 1 }) => Ok(0),
+                    other => panic!("expected hangup of node 1, got {other:?}"),
+                }
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                ctx.send(0, 9)?; // killed at op 0: this fails
+                Ok(1)
+            }),
+        ];
+        let (results, ledger) = run_cluster_fallible(fns, opts);
+        assert_eq!(results[0], Ok(0));
+        assert_eq!(results[1], Err(Error::Killed { node: 1, op: 0 }));
+        assert_eq!(ledger.total_messages(), 0, "killed before any send");
+    }
+
+    #[test]
+    fn fault_drop_loses_message_silently() {
+        let opts = ClusterOptions {
+            ledger: TrafficLedger::new(),
+            faults: FaultPlan::new().drop_nth(1, 0, 0),
+        };
+        let fns: Vec<FallibleNodeFn<u8, u8>> = vec![
+            Box::new(|ctx: NodeCtx<u8>| {
+                // First message dropped: only the retry arrives.
+                let v = ctx.recv_from(1)?;
+                Ok(v)
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                ctx.send(0, 1)?; // dropped in flight
+                ctx.send(0, 2)?; // delivered
+                Ok(0)
+            }),
+        ];
+        let (results, ledger) = run_cluster_fallible(fns, opts);
+        assert_eq!(results[0], Ok(2));
+        assert_eq!(ledger.total_messages(), 1, "dropped message is not billed");
+    }
+
+    #[test]
+    fn fault_delay_reorders_but_flushes_before_block() {
+        let opts = ClusterOptions {
+            ledger: TrafficLedger::new(),
+            // Hold node 1's first message to node 0 for 10 ops: its second
+            // message overtakes it; the hold is flushed when node 1 blocks.
+            faults: FaultPlan::new().delay_nth(1, 0, 0, 10),
+        };
+        let fns: Vec<FallibleNodeFn<u8, Vec<u8>>> = vec![
+            Box::new(|ctx: NodeCtx<u8>| {
+                let a = ctx.recv()?.msg;
+                let b = ctx.recv()?.msg;
+                ctx.send(1, 0)?;
+                Ok(vec![a, b])
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                ctx.send(0, 1)?; // held
+                ctx.send(0, 2)?; // overtakes
+                let _ = ctx.recv_from(0)?; // blocking: flushes the hold first
+                Ok(vec![])
+            }),
+        ];
+        let (results, ledger) = run_cluster_fallible(fns, opts);
+        assert_eq!(results[0].as_ref().unwrap(), &vec![2, 1], "delay reordered the pair");
+        assert_eq!(ledger.total_messages(), 3, "held message still billed on delivery");
+    }
+
+    #[test]
+    fn recv_timeout_expires_on_silence() {
+        let fns: Vec<FallibleNodeFn<u8, u8>> = vec![
+            Box::new(|ctx: NodeCtx<u8>| {
+                match ctx.recv_timeout(Duration::from_millis(20)) {
+                    Err(Error::Timeout { .. }) => {}
+                    other => panic!("expected timeout, got {other:?}"),
+                }
+                // Unblock node 1.
+                ctx.send(1, 1)?;
+                Ok(0)
+            }),
+            Box::new(|ctx: NodeCtx<u8>| {
+                let v = ctx.recv_from(0)?;
+                Ok(v)
+            }),
+        ];
+        let (results, _) = run_cluster_fallible(fns, ClusterOptions::default());
+        assert_eq!(results[1], Ok(1));
+    }
+
+    #[test]
+    fn ledger_consistent_view_is_atomic() {
+        // Hammer the ledger from two writer threads while a reader checks
+        // that transcript length always equals summed link messages.
+        let ledger = TrafficLedger::with_trace();
+        let writers: Vec<_> = (0..2)
+            .map(|w| {
+                let l = ledger.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        l.record(w, 1 - w, (i % 7) + 1);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let (links, trace) = ledger.consistent_view();
+            let msgs: u64 = links.values().map(|l| l.messages).sum();
+            assert_eq!(trace.len() as u64, msgs, "trace and totals observed atomically");
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        let (links, trace) = ledger.consistent_view();
+        assert_eq!(trace.len(), 1000);
+        assert_eq!(links.values().map(|l| l.messages).sum::<u64>(), 1000);
     }
 }

@@ -106,6 +106,9 @@ pub struct OpLedger {
     pub messages: u64,
     /// Synchronous communication rounds (each costs one latency).
     pub rounds: u64,
+    /// Participants observed to drop out during the run (degraded-mode
+    /// bookkeeping — zero cost, but surfaced in every report).
+    pub dropouts: u64,
 }
 
 impl OpLedger {
@@ -158,6 +161,11 @@ impl OpLedger {
         self.rounds += 1;
     }
 
+    /// Records one participant dropout observed during the run.
+    pub fn record_dropout(&mut self) {
+        self.dropouts += 1;
+    }
+
     /// Merges `times` copies of another ledger into this one (saturating)
     /// — used to bill repeated identical protocol passes analytically.
     pub fn merge_times(&mut self, other: &OpLedger, times: u64) {
@@ -173,6 +181,7 @@ impl OpLedger {
         self.bytes = self.bytes.saturating_add(other.bytes.saturating_mul(times));
         self.messages = self.messages.saturating_add(other.messages.saturating_mul(times));
         self.rounds = self.rounds.saturating_add(other.rounds.saturating_mul(times));
+        self.dropouts = self.dropouts.saturating_add(other.dropouts.saturating_mul(times));
     }
 
     /// Merges another ledger into this one.
@@ -185,6 +194,7 @@ impl OpLedger {
         self.bytes += other.bytes;
         self.messages += other.messages;
         self.rounds += other.rounds;
+        self.dropouts += other.dropouts;
     }
 
     /// Simulated wall-clock microseconds under `model`.
@@ -351,6 +361,21 @@ mod tests {
         assert_eq!(a.enc.work, 6);
         assert_eq!(a.bytes, 10);
         assert_eq!(a.rounds, 1);
+    }
+
+    #[test]
+    fn dropouts_are_counted_but_free() {
+        let model = CostModel::default();
+        let mut l = OpLedger::default();
+        l.record_enc(10, 2);
+        let before = l.simulated_us(&model);
+        l.record_dropout();
+        l.record_dropout();
+        assert_eq!(l.dropouts, 2);
+        assert_eq!(l.simulated_us(&model), before, "dropouts carry no simulated cost");
+        let mut m = OpLedger::default();
+        m.merge_times(&l, 3);
+        assert_eq!(m.dropouts, 6);
     }
 
     /// The contract the parallel selection engine relies on: splitting a

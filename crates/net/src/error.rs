@@ -1,0 +1,104 @@
+//! The cluster's typed failure taxonomy.
+//!
+//! Every fallible [`crate::cluster::NodeCtx`] operation returns one of
+//! these instead of panicking, so protocol code can degrade (drop a dead
+//! participant, finish on the survivors) rather than poison the whole
+//! simulated deployment. The variants mirror what a real gRPC mesh
+//! surfaces: peer hangups, deadline expiry, and protocol-state violations,
+//! plus the fault-injection kill used by [`crate::fault::FaultPlan`].
+
+use crate::cluster::NodeId;
+use std::fmt;
+use std::time::Duration;
+
+/// A message-plane failure observed by one node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Error {
+    /// A peer exited (crash, kill, or clean completion) while this node
+    /// still depended on it. `peer` is the node that went away; when a
+    /// blocking receive finds *every* peer gone it reports the last one.
+    Hangup {
+        /// The departed node.
+        peer: NodeId,
+    },
+    /// A deadline-based receive expired with no message.
+    Timeout {
+        /// The node the caller was waiting for, when it was waiting for a
+        /// specific one.
+        peer: Option<NodeId>,
+        /// How long the caller waited.
+        waited: Duration,
+    },
+    /// A message arrived that the protocol state machine cannot accept
+    /// (wrong variant, impossible phase).
+    ProtocolViolation {
+        /// Human-readable description of the violated expectation.
+        detail: String,
+    },
+    /// This node was killed by the active [`crate::fault::FaultPlan`]. All
+    /// of its subsequent channel operations return this same error.
+    Killed {
+        /// The killed node (always the caller's own id).
+        node: NodeId,
+        /// The channel-op index at which the kill fired.
+        op: u64,
+    },
+}
+
+impl Error {
+    /// Convenience constructor for protocol-violation errors.
+    #[must_use]
+    pub fn violation(detail: impl Into<String>) -> Self {
+        Error::ProtocolViolation { detail: detail.into() }
+    }
+
+    /// True when the error reports the departure of `node` specifically.
+    #[must_use]
+    pub fn is_hangup_of(&self, node: NodeId) -> bool {
+        matches!(self, Error::Hangup { peer } if *peer == node)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Hangup { peer } => write!(f, "node {peer} hung up"),
+            Error::Timeout { peer: Some(p), waited } => {
+                write!(f, "timed out after {waited:?} waiting for node {p}")
+            }
+            Error::Timeout { peer: None, waited } => {
+                write!(f, "timed out after {waited:?} waiting for any message")
+            }
+            Error::ProtocolViolation { detail } => write!(f, "protocol violation: {detail}"),
+            Error::Killed { node, op } => {
+                write!(f, "node {node} killed by fault plan at channel op {op}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::Hangup { peer: 3 };
+        assert!(e.to_string().contains("node 3"));
+        let t = Error::Timeout { peer: Some(1), waited: Duration::from_millis(50) };
+        assert!(t.to_string().contains("node 1"));
+        let v = Error::violation("expected RankBatch");
+        assert!(v.to_string().contains("expected RankBatch"));
+        let k = Error::Killed { node: 2, op: 7 };
+        assert!(k.to_string().contains("op 7"));
+    }
+
+    #[test]
+    fn hangup_predicate_matches_peer() {
+        assert!(Error::Hangup { peer: 4 }.is_hangup_of(4));
+        assert!(!Error::Hangup { peer: 4 }.is_hangup_of(1));
+        assert!(!Error::violation("x").is_hangup_of(4));
+    }
+}

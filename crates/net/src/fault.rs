@@ -1,0 +1,172 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] is a *script*, not a random process: every fault is
+//! keyed to a deterministic per-node or per-link counter, so the same plan
+//! against the same protocol produces the same failure every run — a
+//! failing fault test replays exactly. Seeded random plans are derived
+//! once up front by [`FaultPlan::chaos`], after which they too are plain
+//! scripts (print the plan, re-run the plan).
+//!
+//! Three fault kinds:
+//!
+//! * **kill** — the node's channel ops (sends + receives) are counted;
+//!   when the counter reaches the scheduled index every subsequent op
+//!   returns [`crate::Error::Killed`]. The node's protocol loop unwinds,
+//!   and the cluster runtime broadcasts its (dirty) departure so blocked
+//!   peers observe [`crate::Error::Hangup`] instead of deadlocking.
+//! * **drop** — the n-th message placed on a directed link vanishes in
+//!   flight: the sender proceeds normally, nothing is delivered and
+//!   nothing is billed to the traffic ledger. Receivers guard against the
+//!   resulting silence with [`crate::cluster::NodeCtx::recv_timeout`].
+//! * **delay** — the n-th message on a directed link is held until the
+//!   sender has performed `hold_ops` further channel ops (released early
+//!   if the sender is about to block or exits), reordering it past later
+//!   traffic. This is the adversary the receive-side reorder buffer
+//!   exists for.
+
+use crate::cluster::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A deterministic, replayable fault script for one cluster run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// node → channel-op index at which it dies.
+    kills: BTreeMap<NodeId, u64>,
+    /// (from, to) → per-link message indices that are dropped.
+    drops: BTreeMap<(NodeId, NodeId), BTreeSet<u64>>,
+    /// (from, to) → per-link message index → hold duration in sender ops.
+    delays: BTreeMap<(NodeId, NodeId), BTreeMap<u64, u64>>,
+}
+
+impl FaultPlan {
+    /// An empty plan: the cluster behaves exactly as without injection.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `node` to die when its channel-op counter (sends plus
+    /// receives, counted from 0) reaches `op`.
+    #[must_use]
+    pub fn kill_at(mut self, node: NodeId, op: u64) -> Self {
+        self.kills.insert(node, op);
+        self
+    }
+
+    /// Drops the `nth` message (0-based, counted per directed link) sent
+    /// from `from` to `to`.
+    #[must_use]
+    pub fn drop_nth(mut self, from: NodeId, to: NodeId, nth: u64) -> Self {
+        self.drops.entry((from, to)).or_default().insert(nth);
+        self
+    }
+
+    /// Delays the `nth` message (0-based, per directed link) from `from`
+    /// to `to` until the sender has performed `hold_ops` further channel
+    /// ops. Held messages are flushed before the sender blocks in a
+    /// receive and when it exits cleanly, so a delay can reorder traffic
+    /// but never wedge the cluster on its own.
+    #[must_use]
+    pub fn delay_nth(mut self, from: NodeId, to: NodeId, nth: u64, hold_ops: u64) -> Self {
+        self.delays.entry((from, to)).or_default().insert(nth, hold_ops.max(1));
+        self
+    }
+
+    /// True when the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty() && self.drops.is_empty() && self.delays.is_empty()
+    }
+
+    /// The scheduled kill op for `node`, if any.
+    #[must_use]
+    pub fn kill_op(&self, node: NodeId) -> Option<u64> {
+        self.kills.get(&node).copied()
+    }
+
+    /// Whether the `seq`-th message on link `from → to` is dropped.
+    #[must_use]
+    pub fn should_drop(&self, from: NodeId, to: NodeId, seq: u64) -> bool {
+        self.drops.get(&(from, to)).is_some_and(|s| s.contains(&seq))
+    }
+
+    /// Hold duration (in sender ops) for the `seq`-th message on link
+    /// `from → to`, if it is scheduled for delay.
+    #[must_use]
+    pub fn delay_for(&self, from: NodeId, to: NodeId, seq: u64) -> Option<u64> {
+        self.delays.get(&(from, to)).and_then(|m| m.get(&seq)).copied()
+    }
+
+    /// Derives a random-but-replayable plan: `kills` nodes chosen from
+    /// `1..nodes` (node 0 — conventionally the server — is spared so the
+    /// plan exercises degradation rather than instant abort), each killed
+    /// at a channel-op index below `max_op`. The same seed always yields
+    /// the same plan.
+    #[must_use]
+    pub fn chaos(seed: u64, nodes: usize, kills: usize, max_op: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut plan = FaultPlan::new();
+        if nodes <= 1 {
+            return plan;
+        }
+        let mut victims: Vec<NodeId> = (1..nodes).collect();
+        // Fisher–Yates prefix: pick `kills` distinct victims.
+        for i in 0..victims.len().min(kills) {
+            let j = rng.gen_range(i..victims.len());
+            victims.swap(i, j);
+        }
+        for &v in victims.iter().take(kills.min(nodes - 1)) {
+            let op = rng.gen_range(0..max_op.max(1));
+            plan = plan.kill_at(v, op);
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::new();
+        assert!(p.is_empty());
+        assert_eq!(p.kill_op(0), None);
+        assert!(!p.should_drop(0, 1, 0));
+        assert_eq!(p.delay_for(0, 1, 0), None);
+    }
+
+    #[test]
+    fn builder_records_faults() {
+        let p = FaultPlan::new().kill_at(2, 5).drop_nth(0, 1, 3).delay_nth(1, 0, 2, 4);
+        assert!(!p.is_empty());
+        assert_eq!(p.kill_op(2), Some(5));
+        assert!(p.should_drop(0, 1, 3));
+        assert!(!p.should_drop(0, 1, 2));
+        assert!(!p.should_drop(1, 0, 3), "drops are per directed link");
+        assert_eq!(p.delay_for(1, 0, 2), Some(4));
+        assert_eq!(p.delay_for(1, 0, 3), None);
+    }
+
+    #[test]
+    fn chaos_is_replayable_and_spares_node_zero() {
+        let a = FaultPlan::chaos(42, 6, 3, 20);
+        let b = FaultPlan::chaos(42, 6, 3, 20);
+        assert_eq!(a, b, "same seed, same plan");
+        assert!(!a.is_empty());
+        assert_eq!(a.kill_op(0), None, "server spared");
+        let c = FaultPlan::chaos(43, 6, 3, 20);
+        assert_ne!(a, c, "different seed, different plan");
+    }
+
+    #[test]
+    fn chaos_respects_bounds() {
+        let p = FaultPlan::chaos(7, 4, 10, 8);
+        // At most nodes-1 victims even when more kills are requested.
+        let victims: Vec<_> = (0..4).filter_map(|n| p.kill_op(n)).collect();
+        assert!(victims.len() <= 3);
+        assert!(victims.iter().all(|&op| op < 8));
+    }
+}

@@ -7,6 +7,12 @@
 //!   deterministic byte size;
 //! * [`cluster`] — one thread per node with crossbeam-channel links and a
 //!   shared per-link traffic ledger;
+//! * [`error`] — the typed failure taxonomy (hangup, timeout, protocol
+//!   violation, fault-plan kill) every channel operation returns instead
+//!   of panicking;
+//! * [`fault`] — deterministic, replayable fault injection
+//!   ([`fault::FaultPlan`]): kill a node at channel-op *n*, drop or delay
+//!   the *n*-th message on a link;
 //! * [`cost`] — operation ledgers (encrypt/decrypt/add/distance counts,
 //!   bytes, rounds) and the [`cost::CostModel`] that prices them into
 //!   simulated seconds at the paper's data scales.
@@ -25,12 +31,17 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod error;
+pub mod fault;
 pub mod wire;
 
 pub use cluster::{
-    run_cluster, run_cluster_traced, Envelope, NodeCtx, NodeId, TraceEvent, TrafficLedger,
+    run_cluster, run_cluster_fallible, run_cluster_traced, run_cluster_with, ClusterOptions,
+    Envelope, FallibleNodeFn, NodeCtx, NodeId, TraceEvent, TrafficLedger,
 };
 pub use cost::{CostModel, OpLedger};
+pub use error::Error;
+pub use fault::FaultPlan;
 pub use wire::{Wire, WireError};
 
 #[cfg(test)]

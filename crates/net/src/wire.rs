@@ -163,6 +163,28 @@ impl<T: Wire> Wire for Vec<T> {
     }
 }
 
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(input)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_len)
+    }
+}
+
 impl Wire for String {
     fn encode(&self, buf: &mut Vec<u8>) {
         (self.len() as u32).encode(buf);
@@ -221,6 +243,15 @@ mod tests {
         roundtrip("hello wire".to_owned());
         roundtrip((7u32, vec![1.5f64, -2.5]));
         roundtrip(vec![vec![1u8, 2], vec![], vec![3]]);
+        roundtrip(Option::<u64>::None);
+        roundtrip(Some(42u64));
+        roundtrip(vec![Some(1.5f64), None, Some(-3.0)]);
+    }
+
+    #[test]
+    fn option_tag_is_validated() {
+        assert_eq!(Option::<u64>::from_bytes(&[2]), Err(WireError::BadTag(2)));
+        assert_eq!(Option::<u64>::from_bytes(&[0]), Ok(None));
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Regression and property tests for the fault-tolerant message plane:
+//! dead nodes must never hang the cluster, out-of-order interleavings must
+//! never be misreported as protocol violations, and fault injection must
+//! be deterministic.
+//!
+//! Every scenario that historically deadlocked runs under a watchdog: the
+//! cluster executes on a helper thread and the test fails loudly if it
+//! does not come back within the deadline, instead of wedging the runner.
+
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+use vfps_net::cluster::{run_cluster_fallible, ClusterOptions, NodeCtx};
+use vfps_net::{run_cluster, Error, FaultPlan, TrafficLedger};
+
+const WATCHDOG: Duration = Duration::from_secs(30);
+
+/// Runs `f` on a worker thread and panics if it does not finish in time —
+/// the reintroduced-deadlock detector.
+fn with_watchdog<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let out = f();
+        let _ = tx.send(());
+        out
+    });
+    rx.recv_timeout(WATCHDOG).expect("cluster hung: watchdog expired before the run returned");
+    worker.join().expect("watchdogged closure panicked")
+}
+
+type FallibleNode = Box<dyn FnOnce(NodeCtx<u64>) -> Result<u64, Error> + Send>;
+
+/// Five nodes in a star: node 0 gathers one message from each peer. Node 2
+/// is killed by the fault plan before it sends. Historically this hung the
+/// join loop forever; now the run returns and every survivor observes a
+/// typed outcome.
+#[test]
+fn killing_node_2_of_5_returns_instead_of_hanging() {
+    let (results, _) = with_watchdog(|| {
+        let opts =
+            ClusterOptions { ledger: TrafficLedger::new(), faults: FaultPlan::new().kill_at(2, 0) };
+        let fns: Vec<FallibleNode> = (0..5)
+            .map(|i| {
+                Box::new(move |ctx: NodeCtx<u64>| {
+                    if i == 0 {
+                        let mut got = 0u64;
+                        for _ in 0..4 {
+                            match ctx.recv() {
+                                Ok(env) => got += env.msg,
+                                Err(Error::Hangup { peer }) => {
+                                    assert_eq!(peer, 2, "only node 2 dies");
+                                }
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                        }
+                        Ok(got)
+                    } else {
+                        ctx.send(0, i as u64)?;
+                        Ok(0)
+                    }
+                }) as FallibleNode
+            })
+            .collect();
+        run_cluster_fallible(fns, opts)
+    });
+    assert_eq!(results[0], Ok(1 + 3 + 4), "server gathered every survivor");
+    assert_eq!(results[2], Err(Error::Killed { node: 2, op: 0 }));
+    for i in [1, 3, 4] {
+        assert_eq!(results[i], Ok(0), "survivors complete normally");
+    }
+}
+
+/// Same topology, but node 2 *panics* instead of being fault-injected.
+/// The departure guard must still broadcast, every thread must terminate,
+/// and `run_cluster` must re-raise the panic only after draining them.
+#[test]
+fn panicking_node_2_of_5_unwinds_instead_of_hanging() {
+    let outcome = with_watchdog(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let fns: Vec<Box<dyn FnOnce(NodeCtx<u64>) -> u64 + Send>> = (0..5)
+                .map(|i| {
+                    Box::new(move |ctx: NodeCtx<u64>| {
+                        if i == 0 {
+                            let mut got = 0u64;
+                            for _ in 0..4 {
+                                match ctx.recv() {
+                                    Ok(env) => got += env.msg,
+                                    Err(Error::Hangup { peer: 2 }) => {}
+                                    Err(e) => panic!("unexpected error: {e}"),
+                                }
+                            }
+                            got
+                        } else if i == 2 {
+                            panic!("node 2 exploded");
+                        } else {
+                            ctx.send(0, i as u64).unwrap();
+                            0
+                        }
+                    }) as Box<dyn FnOnce(NodeCtx<u64>) -> u64 + Send>
+                })
+                .collect();
+            run_cluster(fns)
+        }))
+    });
+    let payload = outcome.expect_err("node 2's panic must propagate");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert_eq!(msg, "node 2 exploded");
+}
+
+/// A participant dying mid-conversation surfaces `Hangup` to a peer that
+/// is blocked waiting specifically for it.
+#[test]
+fn recv_from_dead_peer_errors_promptly() {
+    let results = with_watchdog(|| {
+        let opts = ClusterOptions {
+            ledger: TrafficLedger::new(),
+            // Node 1 completes exactly 2 ops (one send, one recv) and dies
+            // on the third, mid-protocol.
+            faults: FaultPlan::new().kill_at(1, 2),
+        };
+        let fns: Vec<FallibleNode> = vec![
+            Box::new(|ctx: NodeCtx<u64>| {
+                let v = ctx.recv_from(1)?;
+                ctx.send(1, v + 1)?;
+                // Node 1 dies before its second send: this must error.
+                match ctx.recv_from(1) {
+                    Err(e) if e.is_hangup_of(1) => Ok(v),
+                    other => panic!("expected hangup of 1, got {other:?}"),
+                }
+            }),
+            Box::new(|ctx: NodeCtx<u64>| {
+                ctx.send(0, 10)?;
+                let _ = ctx.recv_from(0)?;
+                ctx.send(0, 99)?; // killed here (op 2)
+                Ok(0)
+            }),
+        ];
+        run_cluster_fallible(fns, opts).0
+    });
+    assert_eq!(results[0], Ok(10));
+    assert_eq!(results[1], Err(Error::Killed { node: 1, op: 2 }));
+}
+
+/// The same seed must produce byte-identical behavior run after run:
+/// deterministic fault injection is what makes a failing matrix entry
+/// replayable.
+#[test]
+fn seeded_fault_runs_are_replayable() {
+    let run = |seed: u64| {
+        with_watchdog(move || {
+            let opts = ClusterOptions {
+                ledger: TrafficLedger::new(),
+                faults: FaultPlan::chaos(seed, 4, 1, 3),
+            };
+            let fns: Vec<FallibleNode> = (0..4)
+                .map(|i| {
+                    Box::new(move |ctx: NodeCtx<u64>| {
+                        if i == 0 {
+                            let mut got = Vec::new();
+                            for _ in 0..3 {
+                                match ctx.recv() {
+                                    Ok(env) => got.push(env.from as u64 * 100 + env.msg),
+                                    Err(Error::Hangup { peer }) => got.push(peer as u64),
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                            got.sort_unstable();
+                            Ok(got.iter().sum())
+                        } else {
+                            ctx.send(0, i as u64)?;
+                            Ok(0)
+                        }
+                    }) as FallibleNode
+                })
+                .collect();
+            let (results, ledger) = run_cluster_fallible(fns, opts);
+            (results, ledger.total_bytes(), ledger.total_messages())
+        })
+    };
+    assert_eq!(run(7), run(7), "identical seed, identical outcome");
+    assert_eq!(FaultPlan::chaos(7, 4, 1, 3), FaultPlan::chaos(7, 4, 1, 3));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two senders each stream a fixed sequence to node 0 concurrently;
+    /// node 0 issues `recv_from` calls in an arbitrary order between the
+    /// two. Whatever the interleaving, every call succeeds (the reorder
+    /// buffer absorbs the other sender) and each sender's stream arrives
+    /// in its original order.
+    #[test]
+    fn any_interleaving_of_two_senders_is_accepted(
+        raw_order in proptest::collection::vec(any::<bool>(), 6..=6),
+        seq_a in proptest::collection::vec(0u64..1000, 3..=3),
+        seq_b in proptest::collection::vec(0u64..1000, 3..=3),
+    ) {
+        // Exactly three asks per sender, in the property's order.
+        let mut order: Vec<usize> = raw_order.iter().map(|&b| if b { 1 } else { 2 }).collect();
+        let (ones, twos): (Vec<_>, Vec<_>) = order.iter().partition(|&&s| s == 1);
+        // Rebalance to exactly 3 of each, preserving the prefix pattern.
+        order = ones.into_iter().take(3).chain(twos.into_iter().take(3)).copied().collect();
+        while order.len() < 6 {
+            let count1 = order.iter().filter(|&&s| s == 1).count();
+            order.push(if count1 < 3 { 1 } else { 2 });
+        }
+
+        type StreamNode = Box<dyn FnOnce(NodeCtx<u64>) -> Result<(Vec<u64>, Vec<u64>), Error> + Send>;
+        let sa = seq_a.clone();
+        let sb = seq_b.clone();
+        let asks = order.clone();
+        let fns: Vec<StreamNode> = vec![
+            Box::new(move |ctx: NodeCtx<u64>| {
+                let mut got1 = Vec::new();
+                let mut got2 = Vec::new();
+                for from in asks {
+                    let v = ctx.recv_from(from)?;
+                    if from == 1 { got1.push(v) } else { got2.push(v) }
+                }
+                Ok((got1, got2))
+            }),
+            Box::new(move |ctx: NodeCtx<u64>| {
+                for v in seq_a {
+                    ctx.send(0, v)?;
+                }
+                Ok((Vec::new(), Vec::new()))
+            }),
+            Box::new(move |ctx: NodeCtx<u64>| {
+                for v in seq_b {
+                    ctx.send(0, v)?;
+                }
+                Ok((Vec::new(), Vec::new()))
+            }),
+        ];
+        let (results, _) = run_cluster_fallible(fns, ClusterOptions::default());
+        for r in &results {
+            prop_assert!(r.is_ok(), "no interleaving is a protocol violation: {:?}", r);
+        }
+        let (got1, got2) = results[0].clone().unwrap();
+        prop_assert_eq!(got1, sa, "sender 1's stream kept its order");
+        prop_assert_eq!(got2, sb, "sender 2's stream kept its order");
+    }
+}

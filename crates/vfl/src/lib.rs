@@ -34,7 +34,11 @@ pub mod protocol;
 pub mod split_protocol;
 pub mod split_train;
 
-pub use fed_knn::{FedKnn, FedKnnConfig, KnnMode, QueryOutcome};
-pub use protocol::{run_threaded_knn, ProtoMsg, ThreadedKnnRun};
-pub use split_protocol::{run_split_training, SplitTrainConfig, SplitTrainRun};
+pub use fed_knn::{Dropout, FedKnn, FedKnnConfig, KnnMode, QueryOutcome, ResilientBatch};
+pub use protocol::{
+    run_threaded_knn, run_threaded_knn_faulted, FaultedRun, ProtoMsg, ThreadedKnnRun,
+};
+pub use split_protocol::{
+    run_split_training, run_split_training_faulted, SplitTrainConfig, SplitTrainRun,
+};
 pub use split_train::{train_downstream, Downstream, DownstreamReport};

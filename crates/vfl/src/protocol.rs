@@ -12,6 +12,19 @@
 //! Identity security: participants apply a shared seeded permutation to
 //! instance ids before streaming them, so the server only ever sees pseudo
 //! IDs (paper §IV-B step ①).
+//!
+//! ## Fault tolerance
+//!
+//! Every node body is fallible and the run degrades instead of hanging
+//! when a participant dies (see DESIGN.md §7): the server marks dead
+//! slots as exhausted in the Fagin stream, aggregates over the survivors,
+//! and flags the reduced contributor set to the leader with
+//! [`ProtoMsg::AggregatedPartial`]; the leader zero-fills dead entries of
+//! `d_t` and completes the query batch over the surviving sub-consortium.
+//! Death of node 0 (server) or node 1 (leader) aborts the run with a
+//! typed error — there is no one left to aggregate, or to decrypt.
+//! With an empty [`FaultPlan`] the message sequence is exactly the
+//! pre-fault-tolerance protocol: same sends, same bytes, same ledger.
 
 use crate::fed_knn::{FedKnnConfig, KnnMode, QueryOutcome};
 use rand::rngs::StdRng;
@@ -21,13 +34,22 @@ use std::sync::Arc;
 use vfps_data::VerticalPartition;
 use vfps_he::scheme::AdditiveHe;
 use vfps_ml::linalg::{squared_distance, Matrix};
-use vfps_net::cluster::{run_cluster, NodeCtx};
+use vfps_net::cluster::{run_cluster_fallible, ClusterOptions, NodeCtx};
 use vfps_net::wire::{take, Wire, WireError};
+use vfps_net::{Error, FaultPlan, NodeId, TrafficLedger};
 
 /// Stand-in distance for a query's own database entry: large enough never
 /// to win a top-k, small enough to stay representable in every scheme's
 /// fixed-point plaintext space.
 const SELF_EXCLUDE_SENTINEL: f64 = 1e9;
+
+/// Deadline for every blocking receive in the protocol. A dropped frame
+/// leaves its sender alive but silent, so peer death alone cannot unblock
+/// the receiver — only a deadline can. One phase of in-process work
+/// (encrypting or decrypting a single query's candidates) is
+/// milliseconds even with real Paillier/CKKS, so ten seconds cannot fire
+/// spuriously, while still bounding every fault-injected run.
+pub(crate) const PHASE_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
 /// Protocol messages. Ciphertexts travel as opaque scheme-serialized blobs.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,6 +64,11 @@ pub enum ProtoMsg {
     EncPartials(Vec<Vec<u8>>),
     /// Server → leader: homomorphically aggregated chunks.
     Aggregated(Vec<Vec<u8>>),
+    /// Server → leader: aggregated chunks from a *reduced* contributor
+    /// set (second field: the participant slots that contributed, sorted).
+    /// Sent instead of [`ProtoMsg::Aggregated`] only when at least one
+    /// participant has dropped out, so fault-free runs stay byte-identical.
+    AggregatedPartial(Vec<Vec<u8>>, Vec<usize>),
     /// Leader → participants: the selected top-k pseudo IDs.
     TopkIds(Vec<usize>),
     /// Participant → leader: its `d_T^p` sum.
@@ -81,6 +108,11 @@ impl Wire for ProtoMsg {
                 v.encode(buf);
             }
             ProtoMsg::QueryDone => buf.push(7),
+            ProtoMsg::AggregatedPartial(blobs, slots) => {
+                buf.push(8);
+                blobs.encode(buf);
+                slots.encode(buf);
+            }
         }
     }
 
@@ -95,6 +127,7 @@ impl Wire for ProtoMsg {
             5 => ProtoMsg::TopkIds(Vec::decode(input)?),
             6 => ProtoMsg::DtSum(f64::decode(input)?),
             7 => ProtoMsg::QueryDone,
+            8 => ProtoMsg::AggregatedPartial(Vec::decode(input)?, Vec::decode(input)?),
             t => return Err(WireError::BadTag(t)),
         })
     }
@@ -106,6 +139,7 @@ impl Wire for ProtoMsg {
                 ids.encoded_len()
             }
             ProtoMsg::EncPartials(blobs) | ProtoMsg::Aggregated(blobs) => blobs.encoded_len(),
+            ProtoMsg::AggregatedPartial(blobs, slots) => blobs.encoded_len() + slots.encoded_len(),
             ProtoMsg::DtSum(v) => v.encoded_len(),
         }
     }
@@ -120,6 +154,37 @@ pub struct ThreadedKnnRun {
     pub total_bytes: u64,
     /// Total messages between nodes.
     pub total_messages: u64,
+    /// Node ids that dropped out during the run (empty when fault-free).
+    pub dropouts: Vec<NodeId>,
+}
+
+/// Outcome of a fault-injected threaded run: the protocol always returns
+/// one of these instead of hanging.
+#[derive(Debug)]
+pub enum FaultedRun {
+    /// Every node completed; the result is exactly a fault-free run's.
+    Complete(ThreadedKnnRun),
+    /// One or more participants died; the leader finished the batch over
+    /// the survivors (dead slots carry `d_t = 0.0`).
+    Degraded(ThreadedKnnRun),
+    /// The server or the leader died — no usable result exists.
+    Aborted {
+        /// The failure the leader (or server) observed.
+        error: Error,
+        /// Node ids that went down during the run.
+        dropouts: Vec<NodeId>,
+    },
+}
+
+impl FaultedRun {
+    /// The completed or degraded run, if one exists.
+    #[must_use]
+    pub fn run(&self) -> Option<&ThreadedKnnRun> {
+        match self {
+            FaultedRun::Complete(r) | FaultedRun::Degraded(r) => Some(r),
+            FaultedRun::Aborted { .. } => None,
+        }
+    }
 }
 
 /// Shared, read-only inputs handed to every node.
@@ -134,11 +199,18 @@ struct Shared {
     inv: Vec<usize>,
 }
 
+/// What each node thread reports back: the leader's per-query outcomes
+/// (empty elsewhere) and the participant slots it observed dropping out.
+type NodeOut = (Vec<QueryOutcome>, Vec<usize>);
+type NodeResult = Result<NodeOut, Error>;
+
 /// Runs the full federated KNN protocol over `queries` with real HE.
 ///
 /// # Panics
-/// Panics on inconsistent inputs or if a node thread fails.
+/// Panics on inconsistent inputs or if a node thread fails (without fault
+/// injection a node failure is a protocol bug, not an operational event).
 #[must_use]
+#[allow(clippy::too_many_arguments)]
 pub fn run_threaded_knn<H>(
     he: &Arc<H>,
     x: &Matrix,
@@ -149,6 +221,45 @@ pub fn run_threaded_knn<H>(
     cfg: FedKnnConfig,
     shuffle_seed: u64,
 ) -> ThreadedKnnRun
+where
+    H: AdditiveHe + 'static,
+{
+    match run_threaded_knn_faulted(
+        he,
+        x,
+        partition,
+        parties,
+        db_rows,
+        queries,
+        cfg,
+        shuffle_seed,
+        &FaultPlan::default(),
+    ) {
+        FaultedRun::Complete(run) => run,
+        FaultedRun::Degraded(run) => {
+            panic!("fault-free run degraded: dropouts {:?}", run.dropouts)
+        }
+        FaultedRun::Aborted { error, .. } => panic!("fault-free run aborted: {error}"),
+    }
+}
+
+/// As [`run_threaded_knn`] under a deterministic [`FaultPlan`]. Never
+/// hangs and never panics on node death: the result is always a typed
+/// [`FaultedRun`]. With an empty plan the protocol transcript (messages,
+/// bytes, outcomes) is bit-identical to [`run_threaded_knn`].
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_knn_faulted<H>(
+    he: &Arc<H>,
+    x: &Matrix,
+    partition: &VerticalPartition,
+    parties: &[usize],
+    db_rows: &[usize],
+    queries: &[usize],
+    cfg: FedKnnConfig,
+    shuffle_seed: u64,
+    faults: &FaultPlan,
+) -> FaultedRun
 where
     H: AdditiveHe + 'static,
 {
@@ -190,7 +301,7 @@ where
         })
         .collect();
 
-    type NodeFn = Box<dyn FnOnce(NodeCtx<ProtoMsg>) -> Vec<QueryOutcome> + Send>;
+    type NodeFn = Box<dyn FnOnce(NodeCtx<ProtoMsg>) -> NodeResult + Send>;
     let mut fns: Vec<NodeFn> = Vec::with_capacity(p + 1);
 
     // Node 0: aggregation server.
@@ -198,8 +309,8 @@ where
         let he = Arc::clone(he);
         let shared = Arc::clone(&shared);
         fns.push(Box::new(move |ctx| {
-            server_node(&ctx, &he, &shared);
-            Vec::new()
+            let dead = server_node(&ctx, &he, &shared)?;
+            Ok((Vec::new(), dead))
         }));
     }
 
@@ -212,22 +323,79 @@ where
         fns.push(Box::new(move |ctx| participant_node(&ctx, &he, &shared, slot, &view, &qfeats)));
     }
 
-    let (mut results, ledger) = run_cluster(fns);
-    let outcomes = results.remove(1); // the leader's view
-    ThreadedKnnRun {
-        outcomes,
-        total_bytes: ledger.total_bytes(),
-        total_messages: ledger.total_messages(),
+    let opts = ClusterOptions { ledger: TrafficLedger::new(), faults: faults.clone() };
+    let (mut results, ledger) = run_cluster_fallible(fns, opts);
+
+    // Every node that errored is down; the leader and server additionally
+    // report slots they observed dropping (a killed slot's own result and
+    // its peers' observations agree, but union them to be safe).
+    let mut dropped = vec![false; p + 1];
+    for (node, r) in results.iter().enumerate() {
+        match r {
+            Err(_) => dropped[node] = true,
+            Ok((_, dead_slots)) => {
+                for &slot in dead_slots {
+                    dropped[1 + slot] = true;
+                }
+            }
+        }
+    }
+    let dropouts: Vec<NodeId> = (0..=p).filter(|&i| dropped[i]).collect();
+
+    let leader = results.remove(1);
+    match leader {
+        Err(error) => FaultedRun::Aborted { error, dropouts },
+        Ok((outcomes, _)) => {
+            let run = ThreadedKnnRun {
+                outcomes,
+                total_bytes: ledger.total_bytes(),
+                total_messages: ledger.total_messages(),
+                dropouts: dropouts.clone(),
+            };
+            if dropouts.is_empty() {
+                FaultedRun::Complete(run)
+            } else {
+                FaultedRun::Degraded(run)
+            }
+        }
+    }
+}
+
+/// Marks `slot` dead, or aborts the whole node if the dead slot is the
+/// leader (slot 0) — without the leader nothing can be decrypted.
+fn mark_dead(dead: &mut [bool], slot: usize) -> Result<(), Error> {
+    if slot == 0 {
+        return Err(Error::Hangup { peer: 1 });
+    }
+    dead[slot] = true;
+    Ok(())
+}
+
+/// Sends, mapping a destination hangup to `Ok(false)` (peer is dead,
+/// caller degrades) while letting the sender's own faults — e.g.
+/// [`Error::Killed`] — propagate.
+fn send_or_gone(ctx: &NodeCtx<ProtoMsg>, to: usize, msg: ProtoMsg) -> Result<bool, Error> {
+    match ctx.send(to, msg) {
+        Ok(()) => Ok(true),
+        Err(Error::Hangup { .. }) => Ok(false),
+        Err(e) => Err(e),
     }
 }
 
 /// The aggregation server: per query, gathers (or Fagin-selects) encrypted
 /// partials, sums them homomorphically, and forwards to the leader.
-fn server_node<H: AdditiveHe>(ctx: &NodeCtx<ProtoMsg>, he: &Arc<H>, shared: &Shared) {
+/// Participant death marks the slot dead and the round continues over the
+/// survivors; leader death aborts. Returns the dead slots it observed.
+fn server_node<H: AdditiveHe>(
+    ctx: &NodeCtx<ProtoMsg>,
+    he: &Arc<H>,
+    shared: &Shared,
+) -> Result<Vec<usize>, Error> {
     let p = shared.parties.len();
     let n = shared.db_rows.len();
+    let mut dead = vec![false; p];
     for _q in 0..shared.queries.len() {
-        let candidate_count = match shared.cfg.mode {
+        match shared.cfg.mode {
             // Threshold is rejected at entry; grouped with Base to keep the
             // match exhaustive.
             KnnMode::Base | KnnMode::Threshold => {
@@ -237,72 +405,162 @@ fn server_node<H: AdditiveHe>(ctx: &NodeCtx<ProtoMsg>, he: &Arc<H>, shared: &Sha
                 // could interleave with this query's.
                 let all: Vec<usize> = (0..n).collect();
                 for slot in 0..p {
-                    ctx.send(1 + slot, ProtoMsg::Candidates(all.clone()));
+                    if dead[slot] {
+                        continue;
+                    }
+                    if !send_or_gone(ctx, 1 + slot, ProtoMsg::Candidates(all.clone()))? {
+                        mark_dead(&mut dead, slot)?;
+                    }
                 }
-                n
             }
             KnnMode::Fagin => {
-                // Drive the streaming phase round-robin.
+                // Drive the streaming phase round-robin, lock-step per
+                // slot — kept lock-step (not pipelined) deliberately: the
+                // server stops requesting the moment Fagin completes, and
+                // pipelining would change the fault-free transcript. A
+                // dead slot counts as exhausted from the start: Fagin
+                // completion needs every list, so with a dead slot the
+                // stream instead terminates when the survivors have fed
+                // every id.
                 let mut sf = vfps_topk::stream::StreamingFagin::new(p, n, shared.cfg.k.min(n));
-                let mut exhausted = vec![false; p];
+                let mut exhausted: Vec<bool> = dead.clone();
                 while !sf.is_complete() && !exhausted.iter().all(|&e| e) {
                     for slot in 0..p {
-                        if sf.is_complete() || exhausted[slot] {
+                        if sf.is_complete() || exhausted[slot] || dead[slot] {
                             continue;
                         }
-                        ctx.send(1 + slot, ProtoMsg::NeedBatch);
-                        match ctx.recv_from(1 + slot) {
-                            ProtoMsg::RankBatch(ids) => {
+                        if ctx.is_departed(1 + slot)
+                            || !send_or_gone(ctx, 1 + slot, ProtoMsg::NeedBatch)?
+                        {
+                            mark_dead(&mut dead, slot)?;
+                            exhausted[slot] = true;
+                            continue;
+                        }
+                        match ctx.recv_from_timeout(1 + slot, PHASE_TIMEOUT) {
+                            Ok(ProtoMsg::RankBatch(ids)) => {
                                 if ids.is_empty() {
                                     exhausted[slot] = true;
                                 } else {
                                     sf.feed(slot, &ids);
                                 }
                             }
-                            other => panic!("expected RankBatch, got {other:?}"),
+                            Ok(other) => {
+                                return Err(Error::violation(format!(
+                                    "expected RankBatch, got {other:?}"
+                                )))
+                            }
+                            // A hangup of this slot, or silence past the
+                            // deadline (its frame was lost in flight):
+                            // either way the slot will never answer.
+                            Err(e) if e.is_hangup_of(1 + slot) => {
+                                mark_dead(&mut dead, slot)?;
+                                exhausted[slot] = true;
+                            }
+                            Err(Error::Timeout { .. }) => {
+                                mark_dead(&mut dead, slot)?;
+                                exhausted[slot] = true;
+                            }
+                            Err(e) => return Err(e),
                         }
                     }
                 }
                 let cands = sf.candidates().to_vec();
                 for slot in 0..p {
-                    ctx.send(1 + slot, ProtoMsg::Candidates(cands.clone()));
+                    if dead[slot] {
+                        continue;
+                    }
+                    if !send_or_gone(ctx, 1 + slot, ProtoMsg::Candidates(cands.clone()))? {
+                        mark_dead(&mut dead, slot)?;
+                    }
                 }
-                cands.len()
             }
-        };
-
-        // Gather encrypted chunks from every participant and sum.
-        let mut agg: Option<Vec<H::Ciphertext>> = None;
-        for _ in 0..p {
-            let env = ctx.recv();
-            let ProtoMsg::EncPartials(blobs) = env.msg else {
-                panic!("expected EncPartials");
-            };
-            let cts: Vec<H::Ciphertext> = blobs
-                .iter()
-                .map(|b| he.ct_from_bytes(b).expect("well-formed ciphertext"))
-                .collect();
-            agg = Some(match agg {
-                None => cts,
-                Some(prev) => prev.iter().zip(&cts).map(|(a, b)| he.add(a, b)).collect(),
-            });
         }
-        let agg = agg.expect("at least one participant");
-        debug_assert!(candidate_count > 0);
+
+        // Gather encrypted chunks from every live participant and sum in
+        // arrival order (HE addition commutes, so arrival order does not
+        // change the aggregate).
+        let mut agg: Option<Vec<H::Ciphertext>> = None;
+        let mut contributors: Vec<usize> = Vec::new();
+        let mut got = vec![false; p];
+        loop {
+            // Slots whose departure was already consumed (e.g. noted
+            // silently during the stream phase) will never deliver.
+            for slot in 0..p {
+                if !dead[slot] && !got[slot] && ctx.is_departed(1 + slot) {
+                    mark_dead(&mut dead, slot)?;
+                }
+            }
+            if (0..p).all(|s| got[s] || dead[s]) {
+                break;
+            }
+            match ctx.recv_timeout(PHASE_TIMEOUT) {
+                Ok(env) => {
+                    let slot = env.from - 1;
+                    let ProtoMsg::EncPartials(blobs) = env.msg else {
+                        return Err(Error::violation(format!(
+                            "expected EncPartials from node {}, got {:?}",
+                            env.from, env.msg
+                        )));
+                    };
+                    let mut cts = Vec::with_capacity(blobs.len());
+                    for b in &blobs {
+                        cts.push(
+                            he.ct_from_bytes(b)
+                                .map_err(|_| Error::violation("malformed ciphertext"))?,
+                        );
+                    }
+                    agg = Some(match agg {
+                        None => cts,
+                        Some(prev) => prev.iter().zip(&cts).map(|(a, b)| he.add(a, b)).collect(),
+                    });
+                    got[slot] = true;
+                    contributors.push(slot);
+                }
+                Err(Error::Hangup { peer }) if peer >= 1 => {
+                    mark_dead(&mut dead, peer - 1)?;
+                }
+                // Silence past the deadline: every slot still owing a
+                // contribution lost its frame — count them all out (dead
+                // leader ⇒ abort via `mark_dead`).
+                Err(Error::Timeout { .. }) => {
+                    for slot in 0..p {
+                        if !dead[slot] && !got[slot] {
+                            mark_dead(&mut dead, slot)?;
+                        }
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let Some(agg) = agg else {
+            // Unreachable in practice: losing every contributor implies
+            // losing the leader, which aborts above.
+            return Err(Error::violation("no participant contributed partials"));
+        };
         let blobs: Vec<Vec<u8>> = agg.iter().map(|c| he.ct_to_bytes(c)).collect();
-        ctx.send(1, ProtoMsg::Aggregated(blobs));
+        let msg = if dead.iter().any(|&d| d) {
+            contributors.sort_unstable();
+            ProtoMsg::AggregatedPartial(blobs, contributors)
+        } else {
+            ProtoMsg::Aggregated(blobs)
+        };
+        ctx.send(1, msg)?;
         // Barrier: wait for the leader to finish the whole query before
-        // starting the next one.
-        match ctx.recv_from(1) {
+        // starting the next one. An unresponsive leader is as fatal as a
+        // dead one.
+        match ctx.recv_from_timeout(1, PHASE_TIMEOUT)? {
             ProtoMsg::QueryDone => {}
-            other => panic!("expected QueryDone, got {other:?}"),
+            other => return Err(Error::violation(format!("expected QueryDone, got {other:?}"))),
         }
     }
+    Ok((0..p).filter(|&s| dead[s]).collect())
 }
 
 /// A participant: computes partial distances, streams rankings (Fagin),
 /// encrypts what the server asks for, and reports `d_T^p` to the leader.
-/// Slot 0 (node 1) additionally acts as the leader.
+/// Slot 0 (node 1) additionally acts as the leader: it tolerates peer
+/// participants dying (their `d_t` entries become `0.0`), but errors out
+/// if the server goes away.
 fn participant_node<H: AdditiveHe>(
     ctx: &NodeCtx<ProtoMsg>,
     he: &Arc<H>,
@@ -310,11 +568,13 @@ fn participant_node<H: AdditiveHe>(
     slot: usize,
     view: &Matrix,
     query_feats: &[Vec<f64>],
-) -> Vec<QueryOutcome> {
+) -> NodeResult {
     let p = shared.parties.len();
     let n = shared.db_rows.len();
     let is_leader = slot == 0;
     let mut outcomes = Vec::new();
+    // Leader-observed dead slots, persistent across queries.
+    let mut dead = vec![false; p];
 
     for (qi, qfeat) in query_feats.iter().enumerate() {
         let query_row = shared.queries[qi];
@@ -332,9 +592,11 @@ fn participant_node<H: AdditiveHe>(
 
         // Which pseudo IDs to encrypt.
         let candidate_pseudos: Vec<usize> = match shared.cfg.mode {
-            KnnMode::Base | KnnMode::Threshold => match ctx.recv_from(0) {
+            KnnMode::Base | KnnMode::Threshold => match ctx.recv_from_timeout(0, PHASE_TIMEOUT)? {
                 ProtoMsg::Candidates(_) => (0..n).map(|pos| shared.perm[pos]).collect(),
-                other => panic!("expected Candidates, got {other:?}"),
+                other => {
+                    return Err(Error::violation(format!("expected Candidates, got {other:?}")))
+                }
             },
             KnnMode::Fagin => {
                 // Sorted pseudo-ID ranking, streamed on demand.
@@ -344,14 +606,18 @@ fn participant_node<H: AdditiveHe>(
                     ranking.iter().map(|&pos| shared.perm[pos]).collect();
                 let mut cursor = 0usize;
                 loop {
-                    match ctx.recv_from(0) {
+                    match ctx.recv_from_timeout(0, PHASE_TIMEOUT)? {
                         ProtoMsg::NeedBatch => {
                             let end = (cursor + shared.cfg.batch).min(n);
-                            ctx.send(0, ProtoMsg::RankBatch(pseudo_ranking[cursor..end].to_vec()));
+                            ctx.send(0, ProtoMsg::RankBatch(pseudo_ranking[cursor..end].to_vec()))?;
                             cursor = end;
                         }
                         ProtoMsg::Candidates(c) => break c,
-                        other => panic!("expected NeedBatch/Candidates, got {other:?}"),
+                        other => {
+                            return Err(Error::violation(format!(
+                                "expected NeedBatch/Candidates, got {other:?}"
+                            )))
+                        }
                     }
                 }
             }
@@ -375,21 +641,33 @@ fn participant_node<H: AdditiveHe>(
         let chunks: Vec<&[f64]> = values.chunks(chunk).collect();
         let blobs: Vec<Vec<u8>> = he
             .encrypt_many(&chunks)
-            .expect("encryptable batches")
+            .map_err(|_| Error::violation("unencryptable batch"))?
             .iter()
             .map(|ct| he.ct_to_bytes(ct))
             .collect();
-        ctx.send(0, ProtoMsg::EncPartials(blobs));
+        ctx.send(0, ProtoMsg::EncPartials(blobs))?;
 
         // Leader: decrypt aggregate, pick top-k, broadcast.
         let topk_pseudos: Vec<usize> = if is_leader {
-            let ProtoMsg::Aggregated(blobs) = ctx.recv_from(0) else {
-                panic!("expected Aggregated");
-            };
+            let (blobs, contributors): (Vec<Vec<u8>>, Vec<usize>) =
+                match ctx.recv_from_timeout(0, PHASE_TIMEOUT)? {
+                    ProtoMsg::Aggregated(b) => (b, (0..p).collect()),
+                    ProtoMsg::AggregatedPartial(b, c) => (b, c),
+                    other => {
+                        return Err(Error::violation(format!("expected Aggregated, got {other:?}")))
+                    }
+                };
+            for s in 0..p {
+                if !contributors.contains(&s) {
+                    dead[s] = true;
+                }
+            }
             let mut complete = Vec::with_capacity(candidate_pseudos.len());
             let mut remaining = candidate_pseudos.len();
             for blob in &blobs {
-                let ct = he.ct_from_bytes(blob).expect("well-formed ciphertext");
+                let ct = he
+                    .ct_from_bytes(blob)
+                    .map_err(|_| Error::violation("malformed aggregate ciphertext"))?;
                 let count = remaining.min(chunk);
                 complete.extend(he.decrypt(&ct, count));
                 remaining -= count;
@@ -400,17 +678,20 @@ fn participant_node<H: AdditiveHe>(
             let k = shared.cfg.k.min(scored.len());
             let top: Vec<usize> = scored[..k].iter().map(|e| e.0).collect();
             for peer in 0..p {
-                if peer != slot {
-                    ctx.send(1 + peer, ProtoMsg::TopkIds(top.clone()));
+                if peer != slot
+                    && !dead[peer]
+                    && !ctx.is_departed(1 + peer)
+                    && !send_or_gone(ctx, 1 + peer, ProtoMsg::TopkIds(top.clone()))?
+                {
+                    dead[peer] = true;
                 }
             }
             top
         } else {
-            let env = ctx.recv();
-            let ProtoMsg::TopkIds(ids) = env.msg else {
-                panic!("expected TopkIds");
-            };
-            ids
+            match ctx.recv_from_timeout(1, PHASE_TIMEOUT)? {
+                ProtoMsg::TopkIds(ids) => ids,
+                other => return Err(Error::violation(format!("expected TopkIds, got {other:?}"))),
+            }
         };
 
         // Everyone computes d_T^p and reports to the leader.
@@ -418,15 +699,46 @@ fn participant_node<H: AdditiveHe>(
         if is_leader {
             let mut d_t = vec![0.0f64; p];
             d_t[0] = d_t_own;
-            for _ in 1..p {
-                let env = ctx.recv();
-                let ProtoMsg::DtSum(v) = env.msg else {
-                    panic!("expected DtSum");
-                };
-                d_t[env.from - 1] = v;
+            let mut got = vec![false; p];
+            got[0] = true;
+            loop {
+                for s in 1..p {
+                    if !dead[s] && !got[s] && ctx.is_departed(1 + s) {
+                        dead[s] = true;
+                    }
+                }
+                if (0..p).all(|s| got[s] || dead[s]) {
+                    break;
+                }
+                match ctx.recv_timeout(PHASE_TIMEOUT) {
+                    Ok(env) => {
+                        let ProtoMsg::DtSum(v) = env.msg else {
+                            return Err(Error::violation(format!(
+                                "expected DtSum from node {}, got {:?}",
+                                env.from, env.msg
+                            )));
+                        };
+                        d_t[env.from - 1] = v;
+                        got[env.from - 1] = true;
+                    }
+                    // A dying peer participant zero-fills its entry; the
+                    // server hanging up is fatal (the QueryDone barrier
+                    // and all later queries need it).
+                    Err(Error::Hangup { peer }) if peer >= 2 => dead[peer - 1] = true,
+                    // Silence past the deadline: whoever still owes a sum
+                    // lost its frame; zero-fill them all.
+                    Err(Error::Timeout { .. }) => {
+                        for s in 1..p {
+                            if !dead[s] && !got[s] {
+                                dead[s] = true;
+                            }
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
             }
             let d_t_total = d_t.iter().sum();
-            ctx.send(0, ProtoMsg::QueryDone);
+            ctx.send(0, ProtoMsg::QueryDone)?;
             outcomes.push(QueryOutcome {
                 topk_rows: topk_pseudos
                     .iter()
@@ -437,10 +749,10 @@ fn participant_node<H: AdditiveHe>(
                 candidates: candidate_pseudos.len(),
             });
         } else {
-            ctx.send(1, ProtoMsg::DtSum(d_t_own));
+            ctx.send(1, ProtoMsg::DtSum(d_t_own))?;
         }
     }
-    outcomes
+    Ok((outcomes, (0..p).filter(|&s| dead[s]).collect()))
 }
 
 #[cfg(test)]
@@ -472,6 +784,7 @@ mod tests {
             let cfg = FedKnnConfig { k: 3, mode, batch: 2, cost_scale: 1.0 };
             let he = Arc::new(PlainHe::new(4));
             let run = run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, cfg, 77);
+            assert!(run.dropouts.is_empty());
             let engine = FedKnn::new(&x, &part, &[0, 1], &db, cfg);
             let mut ledger = vfps_net::cost::OpLedger::default();
             for (qi, &q) in queries.iter().enumerate() {
@@ -533,6 +846,7 @@ mod tests {
             ProtoMsg::Candidates(vec![]),
             ProtoMsg::EncPartials(vec![vec![1, 2], vec![]]),
             ProtoMsg::Aggregated(vec![vec![0xff; 10]]),
+            ProtoMsg::AggregatedPartial(vec![vec![0xaa; 4]], vec![0, 2]),
             ProtoMsg::TopkIds(vec![7]),
             ProtoMsg::DtSum(-1.25),
             ProtoMsg::QueryDone,

@@ -20,14 +20,15 @@
 //! as centralized logistic regression — which the tests verify gradient
 //! by gradient.
 
-use crate::protocol::ProtoMsg;
+use crate::protocol::{ProtoMsg, PHASE_TIMEOUT};
 use std::sync::Arc;
 use vfps_data::VerticalPartition;
 use vfps_he::scheme::AdditiveHe;
 use vfps_ml::linalg::Matrix;
 use vfps_ml::nn::{cross_entropy, softmax, softmax_ce_grad};
 use vfps_ml::optim::Adam;
-use vfps_net::cluster::{run_cluster, NodeCtx};
+use vfps_net::cluster::{run_cluster_fallible, ClusterOptions, NodeCtx};
+use vfps_net::{Error, FaultPlan};
 
 /// Configuration for a threaded split-LR training run.
 #[derive(Clone, Debug)]
@@ -83,6 +84,46 @@ pub fn run_split_training<H>(
 where
     H: AdditiveHe + 'static,
 {
+    run_split_training_faulted(
+        he,
+        x,
+        labels,
+        n_classes,
+        partition,
+        parties,
+        train_rows,
+        test_rows,
+        cfg,
+        &FaultPlan::default(),
+    )
+    .expect("fault-free split training failed")
+}
+
+/// As [`run_split_training`] under a deterministic [`FaultPlan`].
+///
+/// Unlike the KNN protocol, split training does **not** degrade on
+/// dropout: a participant's weight block is load-bearing for every later
+/// batch, so losing any node makes the model unrecoverable and the run
+/// returns the typed error the leader observed instead of a partial model.
+///
+/// # Panics
+/// Panics on empty inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_split_training_faulted<H>(
+    he: &Arc<H>,
+    x: &Matrix,
+    labels: &[usize],
+    n_classes: usize,
+    partition: &VerticalPartition,
+    parties: &[usize],
+    train_rows: &[usize],
+    test_rows: &[usize],
+    cfg: &SplitTrainConfig,
+    faults: &FaultPlan,
+) -> Result<SplitTrainRun, Error>
+where
+    H: AdditiveHe + 'static,
+{
     assert!(!train_rows.is_empty(), "empty training set");
     assert!(!parties.is_empty(), "empty consortium");
     let p = parties.len();
@@ -110,8 +151,8 @@ where
     let train_labels: Vec<usize> = train_rows.iter().map(|&r| labels[r]).collect();
 
     let batches = Arc::new(batches);
-    let mut fns: Vec<Box<dyn FnOnce(NodeCtx<ProtoMsg>) -> SplitTrainRun + Send>> =
-        Vec::with_capacity(p + 1);
+    type SplitNodeFn = Box<dyn FnOnce(NodeCtx<ProtoMsg>) -> Result<SplitTrainRun, Error> + Send>;
+    let mut fns: Vec<SplitNodeFn> = Vec::with_capacity(p + 1);
 
     // Node 0: aggregation server — sums encrypted logit blocks.
     {
@@ -129,15 +170,21 @@ where
             let mut pending: Vec<std::collections::VecDeque<Vec<H::Ciphertext>>> =
                 (0..p).map(|_| std::collections::VecDeque::new()).collect();
             for _ in 0..rounds {
+                // Deadline-based: a lost frame must abort the round, not
+                // wedge it (split training never degrades — see DESIGN.md
+                // §7 — so any silence is fatal).
                 while pending.iter().any(std::collections::VecDeque::is_empty) {
-                    let env = ctx.recv();
+                    let env = ctx.recv_timeout(PHASE_TIMEOUT)?;
                     let ProtoMsg::EncPartials(blobs) = env.msg else {
-                        panic!("expected EncPartials");
+                        return Err(Error::violation("expected EncPartials"));
                     };
-                    let cts: Vec<H::Ciphertext> = blobs
-                        .iter()
-                        .map(|b| he.ct_from_bytes(b).expect("well-formed ciphertext"))
-                        .collect();
+                    let mut cts = Vec::with_capacity(blobs.len());
+                    for b in &blobs {
+                        cts.push(
+                            he.ct_from_bytes(b)
+                                .map_err(|_| Error::violation("malformed ciphertext"))?,
+                        );
+                    }
                     pending[env.from - 1].push_back(cts);
                 }
                 let mut agg: Option<Vec<H::Ciphertext>> = None;
@@ -153,9 +200,13 @@ where
                     .iter()
                     .map(|c| he.ct_to_bytes(c))
                     .collect();
-                ctx.send(1, ProtoMsg::Aggregated(blobs));
+                ctx.send(1, ProtoMsg::Aggregated(blobs))?;
             }
-            SplitTrainRun { epoch_losses: Vec::new(), test_predictions: Vec::new(), total_bytes: 0 }
+            Ok(SplitTrainRun {
+                epoch_losses: Vec::new(),
+                test_predictions: Vec::new(),
+                total_bytes: 0,
+            })
         }));
     }
 
@@ -183,10 +234,11 @@ where
         }));
     }
 
-    let (mut results, ledger) = run_cluster(fns);
-    let mut leader = results.remove(1);
+    let opts = ClusterOptions { ledger: vfps_net::TrafficLedger::new(), faults: faults.clone() };
+    let (mut results, ledger) = run_cluster_fallible(fns, opts);
+    let mut leader = results.remove(1)?;
     leader.total_bytes = ledger.total_bytes();
-    leader
+    Ok(leader)
 }
 
 /// One participant's training loop; the leader (slot 0) additionally owns
@@ -203,7 +255,7 @@ fn participant_train<H: AdditiveHe>(
     n_classes: usize,
     batches: &[(usize, usize)],
     cfg: &SplitTrainConfig,
-) -> SplitTrainRun {
+) -> Result<SplitTrainRun, Error> {
     let is_leader = slot == 0;
     let f_local = train_view.cols();
     // Xavier-ish init, seeded per slot so runs are reproducible.
@@ -223,53 +275,60 @@ fn participant_train<H: AdditiveHe>(
     let chunk = he.max_batch().max(1);
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
 
-    let forward_send =
-        |w: &Matrix, view: &Matrix, rows: (usize, usize), ctx: &NodeCtx<ProtoMsg>| {
-            let idx: Vec<usize> = (rows.0..rows.1).collect();
-            let xb = view.select_rows(&idx);
-            let z = xb.matmul(w);
-            let blobs: Vec<Vec<u8>> = z
-                .as_slice()
-                .chunks(chunk)
-                .map(|c| he.ct_to_bytes(&he.encrypt(c).expect("encryptable batch")))
-                .collect();
-            ctx.send(0, ProtoMsg::EncPartials(blobs));
-            xb
-        };
+    let forward_send = |w: &Matrix,
+                        view: &Matrix,
+                        rows: (usize, usize),
+                        ctx: &NodeCtx<ProtoMsg>|
+     -> Result<Matrix, Error> {
+        let idx: Vec<usize> = (rows.0..rows.1).collect();
+        let xb = view.select_rows(&idx);
+        let z = xb.matmul(w);
+        let mut blobs = Vec::new();
+        for c in z.as_slice().chunks(chunk) {
+            let ct = he.encrypt(c).map_err(|_| Error::violation("unencryptable batch"))?;
+            blobs.push(he.ct_to_bytes(&ct));
+        }
+        ctx.send(0, ProtoMsg::EncPartials(blobs))?;
+        Ok(xb)
+    };
 
     // Non-leaders receive the gradient as encrypted chunks from the leader.
     // (In a deployment the leader would encrypt under each participant's
     // key; the simulation shares one scheme handle — see the module docs.)
-    let recv_grad = |ctx: &NodeCtx<ProtoMsg>| -> Vec<f64> {
-        let env = ctx.recv();
-        let ProtoMsg::EncPartials(blobs) = env.msg else {
-            panic!("expected gradient frame");
-        };
-        blobs
-            .iter()
-            .flat_map(|b| {
-                let ct = he.ct_from_bytes(b).expect("well-formed ciphertext");
-                he.decrypt(&ct, chunk)
-            })
-            .collect()
+    let recv_grad = |ctx: &NodeCtx<ProtoMsg>| -> Result<Vec<f64>, Error> {
+        match ctx.recv_from_timeout(1, PHASE_TIMEOUT)? {
+            ProtoMsg::EncPartials(blobs) => {
+                let mut flat = Vec::new();
+                for b in &blobs {
+                    let ct = he
+                        .ct_from_bytes(b)
+                        .map_err(|_| Error::violation("malformed gradient ciphertext"))?;
+                    flat.extend(he.decrypt(&ct, chunk));
+                }
+                Ok(flat)
+            }
+            other => Err(Error::violation(format!("expected gradient frame, got {other:?}"))),
+        }
     };
 
     for _epoch in 0..cfg.epochs {
         let mut loss_sum = 0.0;
         for &(start, end) in batches {
-            let xb = forward_send(&w, train_view, (start, end), ctx);
+            let xb = forward_send(&w, train_view, (start, end), ctx)?;
             let b = end - start;
 
             // Leader decrypts the aggregate, computes the gradient, and
             // broadcasts it encrypted.
             let dz: Matrix = if is_leader {
-                let ProtoMsg::Aggregated(blobs) = ctx.recv_from(0) else {
-                    panic!("expected Aggregated");
+                let ProtoMsg::Aggregated(blobs) = ctx.recv_from_timeout(0, PHASE_TIMEOUT)? else {
+                    return Err(Error::violation("expected Aggregated"));
                 };
                 let mut flat = Vec::with_capacity(b * n_classes);
                 let mut remaining = b * n_classes;
                 for blob in &blobs {
-                    let ct = he.ct_from_bytes(blob).expect("well-formed");
+                    let ct = he
+                        .ct_from_bytes(blob)
+                        .map_err(|_| Error::violation("malformed aggregate ciphertext"))?;
                     let take = remaining.min(chunk);
                     flat.extend(he.decrypt(&ct, take));
                     remaining -= take;
@@ -280,17 +339,18 @@ fn participant_train<H: AdditiveHe>(
                 loss_sum += cross_entropy(&probs, yb) * b as f64;
                 let dz = softmax_ce_grad(&probs, yb);
                 // Broadcast (encrypted — participants share the scheme).
-                let blobs: Vec<Vec<u8>> = dz
-                    .as_slice()
-                    .chunks(chunk)
-                    .map(|c| he.ct_to_bytes(&he.encrypt(c).expect("encryptable")))
-                    .collect();
+                let mut blobs = Vec::new();
+                for c in dz.as_slice().chunks(chunk) {
+                    let ct =
+                        he.encrypt(c).map_err(|_| Error::violation("unencryptable gradient"))?;
+                    blobs.push(he.ct_to_bytes(&ct));
+                }
                 for peer in 1..p {
-                    ctx.send(1 + peer, ProtoMsg::EncPartials(blobs.clone()));
+                    ctx.send(1 + peer, ProtoMsg::EncPartials(blobs.clone()))?;
                 }
                 dz
             } else {
-                let flat = recv_grad(ctx);
+                let flat = recv_grad(ctx)?;
                 Matrix::from_vec(b, n_classes, flat[..b * n_classes].to_vec())
             };
 
@@ -307,16 +367,18 @@ fn participant_train<H: AdditiveHe>(
     // Final federated forward pass over the test set.
     let mut test_predictions = Vec::new();
     if test_view.rows() > 0 {
-        let _ = forward_send(&w, test_view, (0, test_view.rows()), ctx);
+        let _ = forward_send(&w, test_view, (0, test_view.rows()), ctx)?;
         if is_leader {
-            let ProtoMsg::Aggregated(blobs) = ctx.recv_from(0) else {
-                panic!("expected Aggregated");
+            let ProtoMsg::Aggregated(blobs) = ctx.recv_from_timeout(0, PHASE_TIMEOUT)? else {
+                return Err(Error::violation("expected Aggregated"));
             };
             let b = test_view.rows();
             let mut flat = Vec::with_capacity(b * n_classes);
             let mut remaining = b * n_classes;
             for blob in &blobs {
-                let ct = he.ct_from_bytes(blob).expect("well-formed");
+                let ct = he
+                    .ct_from_bytes(blob)
+                    .map_err(|_| Error::violation("malformed aggregate ciphertext"))?;
                 let take = remaining.min(chunk);
                 flat.extend(he.decrypt(&ct, take));
                 remaining -= take;
@@ -337,7 +399,7 @@ fn participant_train<H: AdditiveHe>(
         }
     }
 
-    SplitTrainRun { epoch_losses, test_predictions, total_bytes: 0 }
+    Ok(SplitTrainRun { epoch_losses, test_predictions, total_bytes: 0 })
 }
 
 #[cfg(test)]

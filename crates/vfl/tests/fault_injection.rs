@@ -1,0 +1,185 @@
+//! Seeded fault matrix over the threaded KNN protocol: every role killed
+//! at operation indices spanning the protocol's phases (before the Fagin
+//! stream, during the encrypt/aggregate phase, near the end). Every run
+//! must return a typed outcome — Complete, Degraded, or Aborted — and
+//! never hang; with an empty fault plan the protocol must be bit-identical
+//! to the panic-free `run_threaded_knn` path.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+use vfps_data::VerticalPartition;
+use vfps_he::scheme::PlainHe;
+use vfps_ml::linalg::Matrix;
+use vfps_net::{Error, FaultPlan};
+use vfps_vfl::fed_knn::{FedKnnConfig, KnnMode};
+use vfps_vfl::{run_threaded_knn, run_threaded_knn_faulted, FaultedRun};
+
+const WATCHDOG: Duration = Duration::from_secs(60);
+
+/// Runs `f` on a worker thread and fails the test if it does not return in
+/// time — a hang is exactly the regression this suite exists to catch.
+fn with_watchdog<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        let out = f();
+        let _ = tx.send(());
+        out
+    });
+    rx.recv_timeout(WATCHDOG).expect("protocol hung: watchdog expired");
+    worker.join().expect("watchdogged closure panicked")
+}
+
+fn toy() -> (Matrix, VerticalPartition) {
+    let x = Matrix::from_rows(&[
+        vec![0.0, 0.0, 0.0, 0.0],
+        vec![0.1, 0.0, 0.1, 0.0],
+        vec![0.0, 0.2, 0.0, 0.1],
+        vec![5.0, 5.0, 5.0, 5.0],
+        vec![5.1, 5.0, 4.9, 5.0],
+        vec![5.0, 5.2, 5.0, 5.1],
+        vec![2.5, 2.5, 2.5, 2.5],
+        vec![9.0, 9.0, 9.0, 9.0],
+    ]);
+    (x, VerticalPartition::even(4, 2))
+}
+
+fn run_with(faults: FaultPlan, mode: KnnMode) -> FaultedRun {
+    with_watchdog(move || {
+        let (x, part) = toy();
+        let db: Vec<usize> = (0..8).collect();
+        let queries = vec![0usize, 3, 6];
+        let cfg = FedKnnConfig { k: 3, mode, batch: 2, cost_scale: 1.0 };
+        let he = Arc::new(PlainHe::new(4));
+        run_threaded_knn_faulted(&he, &x, &part, &[0, 1], &db, &queries, cfg, 77, &faults)
+    })
+}
+
+/// With no faults injected the fallible path must reproduce the legacy
+/// panic-on-failure path bit for bit: same neighbors, same `d_t` bits,
+/// same traffic ledger totals.
+#[test]
+fn empty_fault_plan_is_bit_identical_to_fault_free_run() {
+    for mode in [KnnMode::Base, KnnMode::Fagin] {
+        let (x, part) = toy();
+        let db: Vec<usize> = (0..8).collect();
+        let queries = vec![0usize, 3, 6];
+        let cfg = FedKnnConfig { k: 3, mode, batch: 2, cost_scale: 1.0 };
+        let he = Arc::new(PlainHe::new(4));
+        let plain = run_threaded_knn(&he, &x, &part, &[0, 1], &db, &queries, cfg, 77);
+        let faulted = run_with(FaultPlan::default(), mode);
+        let FaultedRun::Complete(run) = faulted else {
+            panic!("empty plan must complete, got {faulted:?}");
+        };
+        assert!(run.dropouts.is_empty());
+        assert_eq!(run.total_bytes, plain.total_bytes, "{mode:?} byte transcript");
+        assert_eq!(run.total_messages, plain.total_messages, "{mode:?} message transcript");
+        for (a, b) in plain.outcomes.iter().zip(&run.outcomes) {
+            assert_eq!(a.topk_rows, b.topk_rows, "{mode:?}");
+            assert_eq!(a.candidates, b.candidates, "{mode:?}");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.d_t), bits(&b.d_t), "{mode:?}");
+        }
+    }
+}
+
+/// Kill each role at op indices spanning the protocol's phases. No run may
+/// hang; the outcome variant is determined by the role: server or leader
+/// death aborts, participant death degrades (or completes, when the kill
+/// op lies beyond the ops that node ever executes).
+#[test]
+fn kill_matrix_returns_typed_outcomes_for_every_role_and_phase() {
+    // Op indices chosen to land before the stream starts, inside the
+    // stream/encrypt phase, and in the late aggregate/d_t phase.
+    let phases = [0u64, 4, 12, 40];
+    for mode in [KnnMode::Base, KnnMode::Fagin] {
+        for node in [0usize, 1, 2] {
+            for &op in &phases {
+                let outcome = run_with(FaultPlan::new().kill_at(node, op), mode);
+                match (node, &outcome) {
+                    // The aggregation server or the leader dying is fatal.
+                    (0 | 1, FaultedRun::Aborted { error, .. }) => {
+                        assert!(
+                            matches!(
+                                error,
+                                Error::Killed { .. } | Error::Hangup { .. } | Error::Timeout { .. }
+                            ),
+                            "{mode:?} node {node} op {op}: unexpected error {error:?}"
+                        );
+                    }
+                    // A kill op beyond the node's lifetime never fires.
+                    (0 | 1, FaultedRun::Complete(run)) => {
+                        assert!(
+                            run.dropouts.is_empty(),
+                            "{mode:?} node {node} op {op}: complete run with dropouts"
+                        );
+                    }
+                    // A plain participant dying degrades but never aborts.
+                    (2, FaultedRun::Degraded(run)) => {
+                        assert_eq!(run.dropouts, vec![2], "{mode:?} op {op}: dropout bookkeeping");
+                        assert_eq!(run.outcomes.len(), 3, "{mode:?} op {op}: batch completes");
+                        for o in &run.outcomes {
+                            assert_eq!(o.d_t.len(), 2, "full p-width is preserved");
+                        }
+                    }
+                    (2, FaultedRun::Complete(run)) => {
+                        assert!(run.dropouts.is_empty(), "{mode:?} op {op}");
+                    }
+                    (n, o) => panic!("{mode:?} node {n} op {op}: unexpected outcome {o:?}"),
+                }
+            }
+        }
+    }
+}
+
+/// A participant dying mid-batch: the leader finishes the remaining
+/// queries over the survivors, dead slots carry `d_t = 0.0`, and the
+/// surviving slots still produce usable neighbor sets.
+#[test]
+fn participant_death_zero_fills_its_d_t_share() {
+    let outcome = run_with(FaultPlan::new().kill_at(2, 6), KnnMode::Fagin);
+    let FaultedRun::Degraded(run) = outcome else {
+        panic!("expected degraded run, got {outcome:?}");
+    };
+    assert_eq!(run.dropouts, vec![2]);
+    assert_eq!(run.outcomes.len(), 3);
+    // After the death every outcome's slot-1 share is zero-filled (node 2
+    // holds slot 1); the leader's own share stays live.
+    let last = run.outcomes.last().unwrap();
+    assert_eq!(last.d_t[1], 0.0, "dead slot is zero-filled");
+    assert!(!last.topk_rows.is_empty(), "the query still answers");
+}
+
+/// Seeded chaos plans at the protocol level: any seed must yield a typed
+/// outcome, and the same seed twice must yield the same variant and the
+/// same dropout set — the replayability that makes a failing matrix entry
+/// debuggable.
+#[test]
+fn seeded_chaos_runs_are_typed_and_replayable() {
+    let classify = |o: &FaultedRun| -> (u8, Vec<usize>) {
+        match o {
+            FaultedRun::Complete(r) => (0, r.dropouts.clone()),
+            FaultedRun::Degraded(r) => (1, r.dropouts.clone()),
+            FaultedRun::Aborted { dropouts, .. } => (2, dropouts.clone()),
+        }
+    };
+    for seed in 0..6u64 {
+        let a = classify(&run_with(FaultPlan::chaos(seed, 3, 1, 20), KnnMode::Fagin));
+        let b = classify(&run_with(FaultPlan::chaos(seed, 3, 1, 20), KnnMode::Fagin));
+        assert_eq!(a, b, "seed {seed} must replay identically");
+    }
+}
+
+/// Dropped messages alone must not wedge the protocol: the lock-step
+/// server loop uses `recv_from` against live peers, so a dropped frame
+/// surfaces as a hangup/timeout abort or a degraded run, never a hang.
+#[test]
+fn dropped_link_messages_do_not_hang() {
+    // Drop the first frame each direction between server and node 2.
+    let plan = FaultPlan::new().drop_nth(2, 0, 0).kill_at(2, 8);
+    let outcome = run_with(plan, KnnMode::Fagin);
+    assert!(
+        matches!(outcome, FaultedRun::Degraded(_) | FaultedRun::Aborted { .. }),
+        "lost frames must produce a typed outcome, got {outcome:?}"
+    );
+}

@@ -78,7 +78,7 @@ fn main() {
 
     let mut acc = SimilarityAccumulator::new(4);
     for o in &run.outcomes {
-        acc.add_query(o);
+        acc.add_query(o).expect("clean run keeps full width");
     }
     let w = acc.finish();
     println!("\nparticipant similarity w(p, s):");

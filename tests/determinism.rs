@@ -45,7 +45,7 @@ fn run_selection(
     let mut acc = SimilarityAccumulator::new(parties.len()).with_feature_counts(counts);
     let mut ledger = OpLedger::default();
     for outcome in engine.query_batch(&queries, pool, &mut ledger) {
-        acc.add_query(&outcome);
+        acc.add_query(&outcome).unwrap();
     }
     let w = acc.finish();
     let w_bits: Vec<Vec<u64>> =

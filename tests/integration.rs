@@ -89,7 +89,7 @@ fn duplicate_participants_get_unit_similarity_and_are_avoided() {
     let mut acc = SimilarityAccumulator::new(parties.len());
     let mut ledger = OpLedger::default();
     for &q in split.train.iter().take(12) {
-        acc.add_query(&engine.query(q, &mut ledger));
+        acc.add_query(&engine.query(q, &mut ledger)).unwrap();
     }
     let w = acc.finish();
     assert!(
@@ -164,7 +164,7 @@ fn fagin_selection_cheaper_same_result() {
         seed: 23,
     };
     let fagin = VfpsSmSelector { k: 10, query_count: 16, ..Default::default() };
-    let base = fagin.base();
+    let base = fagin.clone().base();
     let sf = fagin.select(&ctx, 2);
     let sb = base.select(&ctx, 2);
     assert_eq!(sf.chosen, sb.chosen, "optimization must not change the selection");
