@@ -806,12 +806,66 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
         }
     }
 
+    // Per-phase observability breakdown: the same fed-KNN workload run
+    // once per mode under a trace capture. The exported `enc_instances`
+    // counters use the ledger's corrected accounting (sublinear Fagin
+    // billing of candidates only), so the Fagin-vs-Base comparison here is
+    // the paper's Fig. 9 claim measured through the obs plane.
+    let per_phase = {
+        let spec = DatasetSpec::by_name("Rice").expect("catalog");
+        let sim_n = if cfg.quick { 200 } else { 400 };
+        let (ds, split) = prepared_sized(&spec, sim_n, 1504);
+        let partition = VerticalPartition::random(ds.n_features(), 4, 1504);
+        let parties = [0usize, 1, 2, 3];
+        let q_count = if cfg.quick { 8 } else { 24 };
+        let queries: Vec<usize> = split.train.iter().copied().take(q_count).collect();
+        let pool = Pool::with_threads(1);
+        let measure = |mode: KnnMode| {
+            let knn_cfg = FedKnnConfig { k: 10, mode, batch: 100, cost_scale: 1.0 };
+            let engine = FedKnn::new(&ds.x, &partition, &parties, &split.train, knn_cfg);
+            let mut ledger = OpLedger::default();
+            vfps_obs::start_capture();
+            let _ = engine.query_batch(&queries, &pool, &mut ledger);
+            let trace = vfps_obs::finish_capture().expect("capture was started");
+            (trace, ledger)
+        };
+        let (base_trace, base_ledger) = measure(KnnMode::Base);
+        let (fagin_trace, fagin_ledger) = measure(KnnMode::Fagin);
+        let base_enc = base_trace.metrics.counter("fed_knn.base.enc_instances");
+        let fagin_enc = fagin_trace.metrics.counter("fed_knn.fagin.enc_instances");
+        assert_eq!(base_enc, base_ledger.enc.work, "obs counter must mirror the ledger");
+        assert_eq!(fagin_enc, fagin_ledger.enc.work, "obs counter must mirror the ledger");
+        assert!(
+            fagin_enc < base_enc,
+            "fagin enc {fagin_enc} must strictly undercut base {base_enc}"
+        );
+        format!(
+            "  \"per_phase_breakdown\": {{\n\
+             \x20   \"queries\": {q_count},\n\
+             \x20   \"base\": {{\"enc_instances\": {base_enc}, \"query_span_us\": {}, \
+             \"encrypt_all_us\": {}, \"leader_tail_us\": {}}},\n\
+             \x20   \"fagin\": {{\"enc_instances\": {fagin_enc}, \"query_span_us\": {}, \
+             \"stream_us\": {}, \"encrypt_candidates_us\": {}, \"leader_tail_us\": {}, \
+             \"candidates\": {}}},\n\
+             \x20   \"fagin_undercuts_base\": true\n  }},\n",
+            base_trace.total_us("fed_knn.query"),
+            base_trace.total_us("fed_knn.base.encrypt_all"),
+            base_trace.total_us("fed_knn.leader_tail"),
+            fagin_trace.total_us("fed_knn.query"),
+            fagin_trace.total_us("fed_knn.fagin.stream"),
+            fagin_trace.total_us("fed_knn.fagin.encrypt_candidates"),
+            fagin_trace.total_us("fed_knn.leader_tail"),
+            fagin_trace.metrics.counter("fed_knn.fagin.candidates"),
+        )
+    };
+
     // Emit BENCH_selection.json (hand-rolled; no serde in the tree).
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
     json.push_str("  \"benchmark\": \"selection thread scaling\",\n");
     json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     json.push_str(&format!("  \"reps_per_point\": {reps},\n"));
+    json.push_str(&per_phase);
     json.push_str("  \"stages\": [\n");
     for (i, (stage, threads, secs, det)) in rows.iter().enumerate() {
         let base =

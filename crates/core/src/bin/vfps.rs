@@ -39,6 +39,7 @@ struct Args {
     label_column: i64,
     no_header: bool,
     verbose: bool,
+    trace_out: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -57,6 +58,7 @@ impl Default for Args {
             label_column: -1,
             no_header: false,
             verbose: false,
+            trace_out: None,
         }
     }
 }
@@ -90,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--no-header" => args.no_header = true,
             "--verbose" | "-v" => args.verbose = true,
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -123,7 +126,10 @@ fn print_help() {
          \x20 --k <k>                proxy-KNN neighbor count (default 10)\n\
          \x20 --queries <q>          similarity query sample (default 32)\n\
          \x20 --seed <s>             run seed (default 42)\n\
-         \x20 --verbose, -v          print the per-party score report"
+         \x20 --verbose, -v          print the per-party score report\n\n\
+         OBSERVABILITY:\n\
+         \x20 --trace-out <file>     capture a structured trace of the run (span tree +\n\
+         \x20                        metrics) and write it as JSON"
     );
 }
 
@@ -211,6 +217,9 @@ fn run() -> Result<(), String> {
         ..Default::default()
     };
     let cost_model = CostModel::default();
+    if args.trace_out.is_some() {
+        vfps_obs::start_capture();
+    }
     println!(
         "\n{:<14} {:>9} {:>14} {:>14}   chosen",
         "method", "accuracy", "selection (s)", "training (s)"
@@ -254,6 +263,17 @@ fn run() -> Result<(), String> {
             selection.ledger.simulated_seconds(&cost_model),
             report.ledger.simulated_seconds(&cost_model),
             chosen
+        );
+    }
+    if let Some(path) = &args.trace_out {
+        let trace = vfps_obs::finish_capture().expect("capture was started");
+        std::fs::write(path, trace.to_json())
+            .map_err(|e| format!("cannot write trace to {}: {e}", path.display()))?;
+        println!(
+            "\ntrace: {} spans, {} counters -> {}",
+            trace.span_count_total(),
+            trace.metrics.counters().len(),
+            path.display()
         );
     }
     Ok(())

@@ -120,24 +120,32 @@ impl IncrementalConsortium {
     }
 
     /// The current similarity matrix over active parties.
+    ///
+    /// Queries whose profile total is zero — every top-k neighbor at
+    /// distance 0 in every party, e.g. a query row that exists in
+    /// duplicate — carry no distance signal and are excluded from the
+    /// average: folding them in as `w = 1.0` for every pair would drag all
+    /// parties toward "identical" and blind the greedy selector. The
+    /// divisor is the *effective* (non-degenerate) query count.
     #[must_use]
     pub fn similarity_matrix(&self) -> Vec<Vec<f64>> {
         let p = self.parties.len();
         let mut sums = vec![vec![0.0f64; p]; p];
+        let mut effective = 0usize;
         for profile in &self.profiles {
             let total: f64 = profile.iter().sum();
+            if total <= 0.0 {
+                continue;
+            }
+            effective += 1;
             for a in 0..p {
                 for b in 0..p {
-                    let w = if total > 0.0 {
-                        ((total - (profile[a] - profile[b]).abs()) / total).max(0.0)
-                    } else {
-                        1.0
-                    };
+                    let w = ((total - (profile[a] - profile[b]).abs()) / total).max(0.0);
                     sums[a][b] += w;
                 }
             }
         }
-        let q = self.profiles.len().max(1) as f64;
+        let q = effective.max(1) as f64;
         sums.iter().map(|row| row.iter().map(|v| v / q).collect()).collect()
     }
 
@@ -224,18 +232,82 @@ mod tests {
         inc.leave(1);
         assert_eq!(inc.parties(), &[0, 2, 3]);
         let w3 = inc.similarity_matrix();
-        // Compare with the matrix built from the same outcomes restricted
-        // to the surviving parties' profile columns.
+        // Independent oracle: restrict each outcome's `d_t` to the
+        // surviving parties' columns and build the consortium over the
+        // survivor list directly — `leave()` is never called on this path,
+        // so the comparison exercises a genuinely different construction.
         let survivors = [0usize, 2, 3];
-        let mut restricted =
-            IncrementalConsortium::from_outcomes(&full, &partition, &queries, &outcomes);
-        restricted.leave(1);
-        let w_oracle = restricted.similarity_matrix();
+        let restricted: Vec<QueryOutcome> = outcomes
+            .iter()
+            .map(|o| QueryOutcome {
+                d_t: survivors.iter().map(|&p| o.d_t[p]).collect(),
+                ..o.clone()
+            })
+            .collect();
+        let oracle =
+            IncrementalConsortium::from_outcomes(&survivors, &partition, &queries, &restricted);
+        let w_oracle = oracle.similarity_matrix();
         for a in 0..survivors.len() {
             for b in 0..survivors.len() {
                 assert!((w3[a][b] - w_oracle[a][b]).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn duplicated_query_row_does_not_inflate_similarity() {
+        // Rows 0-2 are exact copies, so querying row 0 with k = 2 finds its
+        // duplicates at distance 0 in every party: a zero-total profile.
+        let x = Matrix::from_rows(&[
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![1.0, 1.0, 1.0, 1.0],
+            vec![0.0, 2.0, 4.0, 8.0],
+            vec![3.0, 0.5, 7.0, 1.0],
+            vec![6.0, 5.0, 0.2, 2.5],
+            vec![2.0, 8.0, 1.5, 0.3],
+        ]);
+        let partition = VerticalPartition::even(4, 2);
+        let parties = [0usize, 1];
+        let db: Vec<usize> = (0..7).collect();
+        let engine = FedKnn::new(
+            &x,
+            &partition,
+            &parties,
+            &db,
+            FedKnnConfig { k: 2, ..FedKnnConfig::default() },
+        );
+        let mut ledger = OpLedger::default();
+        let queries = [0usize, 3, 4, 5];
+        let outcomes: Vec<QueryOutcome> =
+            queries.iter().map(|&q| engine.query(q, &mut ledger)).collect();
+        assert_eq!(outcomes[0].d_t_total, 0.0, "duplicated query must be degenerate");
+        assert!(outcomes[1..].iter().all(|o| o.d_t_total > 0.0));
+
+        let with_dup =
+            IncrementalConsortium::from_outcomes(&parties, &partition, &queries, &outcomes);
+        let clean = IncrementalConsortium::from_outcomes(
+            &parties,
+            &partition,
+            &queries[1..],
+            &outcomes[1..],
+        );
+        let w_dup = with_dup.similarity_matrix();
+        let w_clean = clean.similarity_matrix();
+        for a in 0..parties.len() {
+            for b in 0..parties.len() {
+                assert!(
+                    (w_dup[a][b] - w_clean[a][b]).abs() < 1e-12,
+                    "degenerate query shifted w[{a}][{b}]: {} vs {}",
+                    w_dup[a][b],
+                    w_clean[a][b]
+                );
+            }
+        }
+        assert!(
+            w_dup[0][1] < 1.0,
+            "off-diagonal similarity must not be dragged to 1.0 by the duplicate"
+        );
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub struct RunReport {
     pub dropouts: Vec<usize>,
     /// Wall-clock milliseconds the simulation itself took.
     pub real_ms: f64,
+    /// Wall-clock milliseconds per pipeline phase, in execution order
+    /// (`prepare`, `select`, `train`). The same phases are also emitted as
+    /// `pipeline.*` spans on the `vfps_obs` recorder when a capture is
+    /// active.
+    pub phase_ms: Vec<(String, f64)>,
 }
 
 impl RunReport {
@@ -178,6 +183,14 @@ pub fn run_pipeline(
     seed: u64,
 ) -> RunReport {
     let started = std::time::Instant::now();
+    vfps_obs::span!("pipeline.run");
+    let mut phase_ms: Vec<(String, f64)> = Vec::with_capacity(3);
+    let mut timed = |name: &str, since: std::time::Instant| {
+        phase_ms.push((name.to_owned(), since.elapsed().as_secs_f64() * 1e3));
+        std::time::Instant::now()
+    };
+
+    let prepare_span = vfps_obs::span("pipeline.prepare");
     let sim_n = cfg.sim_instances.unwrap_or(spec.sim_instances);
     let (ds, split) = prepared_sized(spec, sim_n, seed);
     let cost_scale = spec.paper_instances as f64 / sim_n as f64;
@@ -210,10 +223,18 @@ pub fn run_pipeline(
         duplicated_party = Some(best);
     }
 
+    drop(prepare_span);
+    let t = timed("prepare", started);
+
     let ctx = SelectionContext { ds: &ds, split: &split, partition: &partition, cost_scale, seed };
     let selector = make_selector(method, cfg);
+    let select_span = vfps_obs::span("pipeline.select");
     let selection: Selection = selector.select(&ctx, cfg.select);
+    drop(select_span);
+    vfps_obs::gauge_set("pipeline.candidates_per_query", selection.candidates_per_query);
+    let t = timed("select", t);
 
+    let train_span = vfps_obs::span("pipeline.train");
     let downstream = train_downstream(
         &ds,
         &split,
@@ -224,6 +245,8 @@ pub fn run_pipeline(
         cost_scale,
         seed,
     );
+    drop(train_span);
+    let _ = timed("train", t);
 
     RunReport {
         dataset: spec.name.to_owned(),
@@ -237,6 +260,7 @@ pub fn run_pipeline(
         duplicated_party,
         dropouts: selection.dropouts,
         real_ms: started.elapsed().as_secs_f64() * 1e3,
+        phase_ms,
     }
 }
 
@@ -264,6 +288,10 @@ pub fn run_averaged(
     avg.training_seconds = reports.iter().map(|r| r.training_seconds).sum::<f64>() / n;
     avg.candidates_per_query = reports.iter().map(|r| r.candidates_per_query).sum::<f64>() / n;
     avg.real_ms = reports.iter().map(|r| r.real_ms).sum::<f64>();
+    // Every run records the same phase sequence; average elementwise.
+    for (i, slot) in avg.phase_ms.iter_mut().enumerate() {
+        slot.1 = reports.iter().map(|r| r.phase_ms[i].1).sum::<f64>() / n;
+    }
     avg
 }
 

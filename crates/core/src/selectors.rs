@@ -149,6 +149,7 @@ impl Selector for VfpsSmSelector {
     }
 
     fn select(&self, ctx: &SelectionContext<'_>, count: usize) -> Selection {
+        vfps_obs::span!("select.vfps_sm");
         let parties: Vec<usize> = (0..ctx.parties()).collect();
         let mut ledger = OpLedger::default();
         let engine = FedKnn::new(
@@ -176,13 +177,16 @@ impl Selector for VfpsSmSelector {
         // count. A non-empty dropout schedule degrades the later queries
         // to the surviving consortium; with an empty schedule this path is
         // exactly `query_batch`.
-        let batch =
-            engine.query_batch_resilient(&queries, &self.dropouts, vfps_par::global(), &mut ledger);
+        let batch = {
+            vfps_obs::span!("select.vfps_sm.knn_queries");
+            engine.query_batch_resilient(&queries, &self.dropouts, vfps_par::global(), &mut ledger)
+        };
         let survivors = batch.survivors.clone();
 
         // The similarity matrix is accumulated at final-survivor width:
         // pre-dropout outcomes are projected onto the survivor slots, so
         // every query contributes a profile over the same parties.
+        let similarity_span = vfps_obs::span("select.vfps_sm.similarity");
         let counts: Vec<usize> =
             survivors.iter().map(|&s| ctx.partition.columns(parties[s]).len()).collect();
         let mut acc = SimilarityAccumulator::new(survivors.len()).with_feature_counts(counts);
@@ -224,6 +228,8 @@ impl Selector for VfpsSmSelector {
             acc.add_query(&outcome).expect("outcome projected to survivor width");
         }
         let w = acc.finish();
+        drop(similarity_span);
+        vfps_obs::span!("select.vfps_sm.greedy");
         let f = KnnSubmodular::new(w);
         // Greedy over the survivor-indexed matrix, mapped back to original
         // party slots; dead parties keep score 0.0 and are never chosen.
@@ -332,6 +338,7 @@ impl Selector for ShapleySelector {
     }
 
     fn select(&self, ctx: &SelectionContext<'_>, count: usize) -> Selection {
+        vfps_obs::span!("select.shapley");
         let p = ctx.parties();
         let mut ledger = OpLedger::default();
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x54a91);
@@ -453,6 +460,7 @@ impl Selector for LeaveOneOutSelector {
     }
 
     fn select(&self, ctx: &SelectionContext<'_>, count: usize) -> Selection {
+        vfps_obs::span!("select.loo");
         let p = ctx.parties();
         let mut ledger = OpLedger::default();
         let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x100);
@@ -530,6 +538,7 @@ impl Selector for VfMineSelector {
     }
 
     fn select(&self, ctx: &SelectionContext<'_>, count: usize) -> Selection {
+        vfps_obs::span!("select.vfmine");
         let p = ctx.parties();
         let mut ledger = OpLedger::default();
         let model = CostModel::default();

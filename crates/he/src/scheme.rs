@@ -112,18 +112,20 @@ impl AdditiveHe for PlainHe {
         if values.len() > self.batch {
             return Err(crate::error::Error::TooManySlots { got: values.len(), max: self.batch });
         }
-        Ok(values.to_vec())
+        vfps_obs::time_us("he.plain.encrypt_us", || Ok(values.to_vec()))
     }
 
     fn decrypt(&self, ct: &Vec<f64>, count: usize) -> Vec<f64> {
-        ct.iter().copied().take(count).collect()
+        vfps_obs::time_us("he.plain.decrypt_us", || ct.iter().copied().take(count).collect())
     }
 
     fn add(&self, a: &Vec<f64>, b: &Vec<f64>) -> Vec<f64> {
-        let n = a.len().max(b.len());
-        (0..n)
-            .map(|i| a.get(i).copied().unwrap_or(0.0) + b.get(i).copied().unwrap_or(0.0))
-            .collect()
+        vfps_obs::time_us("he.plain.add_us", || {
+            let n = a.len().max(b.len());
+            (0..n)
+                .map(|i| a.get(i).copied().unwrap_or(0.0) + b.get(i).copied().unwrap_or(0.0))
+                .collect()
+        })
     }
 
     fn ct_bytes(&self, ct: &Vec<f64>) -> usize {
@@ -220,13 +222,15 @@ impl PaillierHe {
         call_seed: u64,
         pool: &vfps_par::Pool,
     ) -> Result<Vec<PaillierCiphertext>> {
-        pool.par_map_indexed(values, |i, &v| {
-            let mut rng = StdRng::seed_from_u64(vfps_par::split_seed(call_seed, i as u64));
-            let enc = self.codec.encode(v)?;
-            self.keypair.public.encrypt_i64(enc, &mut rng)
+        vfps_obs::time_us("he.paillier.encrypt_us", || {
+            pool.par_map_indexed(values, |i, &v| {
+                let mut rng = StdRng::seed_from_u64(vfps_par::split_seed(call_seed, i as u64));
+                let enc = self.codec.encode(v)?;
+                self.keypair.public.encrypt_i64(enc, &mut rng)
+            })
+            .into_iter()
+            .collect()
         })
-        .into_iter()
-        .collect()
     }
 }
 
@@ -269,14 +273,18 @@ impl AdditiveHe for PaillierHe {
     }
 
     fn decrypt(&self, ct: &Self::Ciphertext, count: usize) -> Vec<f64> {
-        ct.iter()
-            .take(count)
-            .map(|c| self.codec.decode_i128(self.keypair.private.decrypt_i128(c)))
-            .collect()
+        vfps_obs::time_us("he.paillier.decrypt_us", || {
+            ct.iter()
+                .take(count)
+                .map(|c| self.codec.decode_i128(self.keypair.private.decrypt_i128(c)))
+                .collect()
+        })
     }
 
     fn add(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
-        a.iter().zip(b.iter()).map(|(x, y)| self.keypair.public.add(x, y)).collect()
+        vfps_obs::time_us("he.paillier.add_us", || {
+            a.iter().zip(b.iter()).map(|(x, y)| self.keypair.public.add(x, y)).collect()
+        })
     }
 
     fn ct_bytes(&self, ct: &Self::Ciphertext) -> usize {
@@ -370,12 +378,14 @@ impl CkksHe {
         pool: &vfps_par::Pool,
     ) -> Result<Vec<CkksCiphertext>> {
         let call_seed: u64 = self.rng.lock().expect("rng mutex poisoned").gen();
-        pool.par_map_indexed(batches, |i, b| {
-            let mut rng = StdRng::seed_from_u64(vfps_par::split_seed(call_seed, i as u64));
-            self.ctx.encrypt(&self.pk, b, &mut rng)
+        vfps_obs::time_us("he.ckks.encrypt_us", || {
+            pool.par_map_indexed(batches, |i, b| {
+                let mut rng = StdRng::seed_from_u64(vfps_par::split_seed(call_seed, i as u64));
+                self.ctx.encrypt(&self.pk, b, &mut rng)
+            })
+            .into_iter()
+            .collect()
         })
-        .into_iter()
-        .collect()
     }
 }
 
@@ -392,7 +402,7 @@ impl AdditiveHe for CkksHe {
 
     fn encrypt(&self, values: &[f64]) -> Result<CkksCiphertext> {
         let mut rng = self.rng.lock().expect("rng mutex poisoned");
-        self.ctx.encrypt(&self.pk, values, &mut *rng)
+        vfps_obs::time_us("he.ckks.encrypt_us", || self.ctx.encrypt(&self.pk, values, &mut *rng))
     }
 
     fn encrypt_many(&self, batches: &[&[f64]]) -> Result<Vec<CkksCiphertext>> {
@@ -400,11 +410,11 @@ impl AdditiveHe for CkksHe {
     }
 
     fn decrypt(&self, ct: &CkksCiphertext, count: usize) -> Vec<f64> {
-        self.ctx.decrypt(&self.sk, ct, count)
+        vfps_obs::time_us("he.ckks.decrypt_us", || self.ctx.decrypt(&self.sk, ct, count))
     }
 
     fn add(&self, a: &CkksCiphertext, b: &CkksCiphertext) -> CkksCiphertext {
-        self.ctx.add(a, b)
+        vfps_obs::time_us("he.ckks.add_us", || self.ctx.add(a, b))
     }
 
     fn ct_bytes(&self, ct: &CkksCiphertext) -> usize {

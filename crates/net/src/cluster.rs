@@ -205,6 +205,7 @@ impl<M: Wire + Send + 'static> NodeCtx<M> {
         if let Some(kill) = self.faults.kill_op(self.id) {
             if op >= kill {
                 st.killed = Some(kill);
+                vfps_obs::counter_add("cluster.faults.kills", 1);
                 return Err(Error::Killed { node: self.id, op: kill });
             }
         }
@@ -254,6 +255,7 @@ impl<M: Wire + Send + 'static> NodeCtx<M> {
         };
         if self.faults.should_drop(self.id, to, seq) {
             // Lost in flight: sender proceeds, nothing delivered or billed.
+            vfps_obs::counter_add("cluster.faults.dropped_msgs", 1);
             return Ok(());
         }
         let bytes = msg.encoded_len() as u64;
@@ -267,6 +269,10 @@ impl<M: Wire + Send + 'static> NodeCtx<M> {
             return Err(Error::Hangup { peer: to });
         }
         self.ledger.record(self.id, to, bytes);
+        if vfps_obs::is_enabled() {
+            vfps_obs::counter_add(&format!("cluster.node{}.msgs_sent", self.id), 1);
+            vfps_obs::counter_add(&format!("cluster.node{}.bytes_sent", self.id), bytes);
+        }
         self.senders[to].send(Packet::Msg(env)).map_err(|_| Error::Hangup { peer: to })
     }
 
@@ -459,6 +465,10 @@ struct DepartureGuard<M> {
 
 impl<M> Drop for DepartureGuard<M> {
     fn drop(&mut self) {
+        vfps_obs::counter_add(
+            if self.clean { "cluster.departures.clean" } else { "cluster.departures.dirty" },
+            1,
+        );
         for (to, tx) in self.senders.iter().enumerate() {
             if to != self.id {
                 let _ = tx.send(Packet::Departed { node: self.id, clean: self.clean });

@@ -32,43 +32,52 @@ pub fn fagin_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
     let k = k.min(n);
     let parties = lists.len();
 
-    // Phase 1: lockstep sequential scan.
-    let mut seen_count = vec![0u32; n];
-    let mut seen_partial: Vec<Vec<f64>> = vec![Vec::new(); n];
+    // Phase 1: lockstep sequential scan. Each surfaced id remembers *which*
+    // party's list it surfaced in (and the score), so phase 2 knows exactly
+    // which entries are still missing.
+    let mut seen: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
     let mut fully_seen = 0usize;
     let mut depth = 0usize;
     while fully_seen < k && depth < n {
-        for list in lists.iter_mut() {
+        for (pi, list) in lists.iter_mut().enumerate() {
             let (id, score) = list.sequential_access(depth).expect("depth < n");
-            seen_count[id] += 1;
-            seen_partial[id].push(score);
-            if seen_count[id] as usize == parties {
+            seen[id].push((pi, score));
+            if seen[id].len() == parties {
                 fully_seen += 1;
             }
         }
         depth += 1;
     }
 
-    // Phase 2: random accesses for partially-seen candidates.
-    //
-    // An engineering refinement over re-fetching everything: items already
-    // fully seen need no random access, and partially-seen items only fetch
-    // from lists where they have not surfaced. To know *which* lists those
-    // are we track per-id which parties contributed — recomputed here from
-    // scratch by probing, which still counts each fetched score once.
+    // Phase 2: random accesses for partially-seen candidates. Items already
+    // fully seen need no random access at all; a partially-seen item fetches
+    // only from the lists where it has *not* surfaced. Every such point
+    // lookup is counted — it is the per-entry cost (one encryption + one
+    // transmission in the federated protocol) the paper's savings argument
+    // is priced in, so over-fetching here would overstate FA's cost.
     let mut candidates: Vec<(ItemId, f64)> = Vec::new();
+    let mut random_accesses = 0usize;
+    let mut per_party: Vec<Option<f64>> = vec![None; parties];
     for id in 0..n {
-        if seen_count[id] == 0 {
+        if seen[id].is_empty() {
             continue;
         }
-        let total: f64 = if seen_count[id] as usize == parties {
-            seen_partial[id].iter().sum()
-        } else {
-            // Random-access the full score vector: simpler bookkeeping at the
-            // cost of |P| random accesses per partial candidate, matching the
-            // classic FA description ("obtain the scores of all seen items").
-            lists.iter_mut().map(|l| l.random_access(id).expect("dense ids")).sum()
-        };
+        per_party.iter_mut().for_each(|s| *s = None);
+        for &(pi, score) in &seen[id] {
+            per_party[pi] = Some(score);
+        }
+        // Summed in party order so aggregates are bit-identical to the
+        // naive oracle's accumulation order.
+        let mut total = 0.0f64;
+        for (pi, list) in lists.iter_mut().enumerate() {
+            total += match per_party[pi] {
+                Some(score) => score,
+                None => {
+                    random_accesses += 1;
+                    list.random_access(id).expect("dense ids")
+                }
+            };
+        }
         candidates.push((id, total));
     }
 
@@ -76,7 +85,7 @@ pub fn fagin_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
     let candidates_examined = candidates.len();
     sort_for(direction, &mut candidates);
     candidates.truncate(k);
-    TopkOutcome { topk: candidates, candidates_examined, depth }
+    TopkOutcome { topk: candidates, candidates_examined, depth, random_accesses }
 }
 
 #[cfg(test)]
@@ -98,6 +107,11 @@ mod tests {
         let out = fagin_topk(&mut lists, 2);
         assert_eq!(out.depth, 3, "scan stops once X1 and X3 are fully seen");
         assert_eq!(out.candidates_examined, 4, "X1..X4 all surfaced");
+        // At depth 3: X1 and X3 are fully seen (0 fetches), X2 surfaced in
+        // p1 and p3 (1 missing list), X4 surfaced only in p2 (2 missing
+        // lists) — so exactly 3 random accesses, not 4 x |P| = 12.
+        assert_eq!(out.random_accesses, 3, "only the missing entries are fetched");
+        assert_eq!(total_stats(&lists).random, 3, "the lists saw the same count");
         let ids: Vec<_> = out.topk.iter().map(|e| e.0).collect();
         assert_eq!(ids, vec![0, 1], "minimal-2 is X1, X2 — not the fully-seen X3");
     }
@@ -130,6 +144,7 @@ mod tests {
         let out = fagin_topk(&mut lists, 3);
         assert_eq!(out.depth, 3);
         assert_eq!(out.candidates_examined, 3);
+        assert_eq!(out.random_accesses, 0);
         let stats = total_stats(&lists);
         assert_eq!(stats.random, 0, "no partial candidates on aligned lists");
         assert_eq!(stats.sequential, 6);

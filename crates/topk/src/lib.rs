@@ -56,6 +56,12 @@ pub struct TopkOutcome {
     pub candidates_examined: usize,
     /// Sequential scan depth reached (0 when the algorithm does not scan).
     pub depth: usize,
+    /// Point lookups issued against the sorted lists — each one is a score
+    /// a participant must serve (and, federated, encrypt) outside the
+    /// sequential stream. Fagin's savings argument is exactly that this
+    /// count covers only the *missing* entries of partially-seen items,
+    /// never the full `|P|`-score vector.
+    pub random_accesses: usize,
 }
 
 impl TopkOutcome {
@@ -79,6 +85,22 @@ mod proptests {
         // parties in 1..=4, items in 1..=24, scores in a bounded range.
         (1usize..=4, 1usize..=24).prop_flat_map(|(p, n)| {
             proptest::collection::vec(proptest::collection::vec(0.0f64..100.0, n), p)
+        })
+    }
+
+    /// Score matrices drawn from a tiny integer alphabet (0..6) so ties —
+    /// within a list and across lists — are the common case, paired with a
+    /// direction flag. Integer-valued f64 sums are exact, so full
+    /// `(id, score)` outcomes can be compared, not just id sets.
+    fn tied_score_matrix() -> impl Strategy<Value = (Vec<Vec<f64>>, bool)> {
+        (1usize..=4, 1usize..=24, 0usize..2).prop_flat_map(|(p, n, dir)| {
+            proptest::collection::vec(proptest::collection::vec(0usize..6, n), p).prop_map(
+                move |m| {
+                    let scores =
+                        m.into_iter().map(|r| r.into_iter().map(|v| v as f64).collect()).collect();
+                    (scores, dir == 1)
+                },
+            )
         })
     }
 
@@ -143,6 +165,37 @@ mod proptests {
             for id in truth.ids() {
                 prop_assert!(cands.contains(&id), "top-k id {} missing from candidates", id);
             }
+        }
+
+        /// FA matches the exhaustive oracle on heavily tied integer scores
+        /// in both directions (ties are where sort/scan order bugs hide:
+        /// integer scores make aggregates exact, and the shared id
+        /// tiebreak makes the full ranking deterministic), and the
+        /// corrected random-access accounting never exceeds the trivial
+        /// bound of |P| lookups per examined candidate.
+        #[test]
+        fn fagin_matches_naive_on_ties_and_bounds_random_accesses(
+            (scores, descending) in tied_score_matrix(),
+            k in 1usize..8,
+        ) {
+            let direction =
+                if descending { Direction::Descending } else { Direction::Ascending };
+            let mk = |scores: &Vec<Vec<f64>>| -> Vec<RankedList> {
+                scores.iter()
+                    .map(|s| RankedList::from_scores(s.clone(), direction))
+                    .collect()
+            };
+            let mut a = mk(&scores);
+            let mut b = mk(&scores);
+            let oracle = naive_topk(&mut a, k);
+            let fa = fagin_topk(&mut b, k);
+            prop_assert_eq!(fa.ids(), oracle.ids());
+            prop_assert_eq!(&fa.topk, &oracle.topk, "integer scores sum exactly");
+            prop_assert!(
+                fa.random_accesses <= fa.candidates_examined * scores.len(),
+                "{} random accesses for {} candidates x {} parties",
+                fa.random_accesses, fa.candidates_examined, scores.len()
+            );
         }
 
         /// The candidate count never exceeds the instance count and never

@@ -27,7 +27,8 @@ pub fn naive_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
     }
     sort_for(direction, &mut agg);
     agg.truncate(k);
-    TopkOutcome { topk: agg, candidates_examined: n, depth: 0 }
+    // Every id is point-looked-up in every list: the full n x |P| cost.
+    TopkOutcome { topk: agg, candidates_examined: n, depth: 0, random_accesses: n * lists.len() }
 }
 
 /// Sorts aggregate scores best-first for `direction`, ties by id.

@@ -99,7 +99,7 @@ pub fn nra_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
         if kth_worst < rest_best {
             let topk: Vec<(ItemId, f64)> = bounds[..k].iter().map(|e| (e.0, e.1)).collect();
             let candidates_examined = bounds.len();
-            return TopkOutcome { topk, candidates_examined, depth };
+            return TopkOutcome { topk, candidates_examined, depth, random_accesses: 0 };
         }
     }
 
@@ -108,7 +108,7 @@ pub fn nra_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
         (0..n).map(|id| (id, seen[id].iter().map(|s| s.expect("fully scanned")).sum())).collect();
     exact.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
     exact.truncate(k);
-    TopkOutcome { topk: exact, candidates_examined: n, depth }
+    TopkOutcome { topk: exact, candidates_examined: n, depth, random_accesses: 0 }
 }
 
 #[cfg(test)]

@@ -68,7 +68,14 @@ pub fn threshold_topk(lists: &mut [RankedList], k: usize) -> TopkOutcome {
         }
     }
 
-    TopkOutcome { topk: best, candidates_examined, depth }
+    // TA scores each surfaced item in full the moment it appears, so its
+    // random-access bill is exactly |P| lookups per candidate.
+    TopkOutcome {
+        topk: best,
+        candidates_examined,
+        depth,
+        random_accesses: candidates_examined * lists.len(),
+    }
 }
 
 #[cfg(test)]

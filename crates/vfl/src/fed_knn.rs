@@ -203,18 +203,23 @@ impl<'a> FedKnn<'a> {
     /// # Panics
     /// Panics if `query_row` is out of range of the underlying matrix.
     pub fn query(&self, query_row: usize, ledger: &mut OpLedger) -> QueryOutcome {
+        vfps_obs::span!("fed_knn.query");
         let n = self.db_len();
         let p = self.parties() as u64;
         let scale = self.cfg.cost_scale;
         let bill = |count: usize| -> u64 { (count as f64 * scale).round() as u64 };
 
-        let partials = self.partial_distances(query_row);
+        let partials =
+            vfps_obs::time_us("fed_knn.local_distances_us", || self.partial_distances(query_row));
         // Every party computes N partial distances locally, in parallel.
         ledger.record_dist(bill(n), p);
 
         let (candidate_positions, candidates) = match self.cfg.mode {
             KnnMode::Base => {
-                // Everyone encrypts everything.
+                vfps_obs::span!("fed_knn.base.encrypt_all");
+                // Everyone encrypts everything. The obs counter mirrors the
+                // ledger's `enc.work` accounting (per-party x parties).
+                vfps_obs::counter_add("fed_knn.base.enc_instances", bill(n) * p);
                 ledger.record_enc(bill(n), p);
                 let cipher = vfps_net::cost::CostModel::default().cipher_bytes as u64;
                 ledger.record_traffic(p * bill(n) * cipher, p);
@@ -228,6 +233,7 @@ impl<'a> FedKnn<'a> {
                 ((0..n).collect::<Vec<_>>(), n)
             }
             KnnMode::Threshold => {
+                vfps_obs::span!("fed_knn.ta.scan");
                 // TA interleaves sorted and random access; in the federated
                 // setting every random access is an encrypted point query
                 // answered by all P parties. Run the plaintext TA to learn
@@ -263,6 +269,8 @@ impl<'a> FedKnn<'a> {
 
                 // Random-access phase: every surfaced candidate is an
                 // encrypted point query across all P parties.
+                vfps_obs::counter_add("fed_knn.ta.enc_instances", fbill(c) * p);
+                vfps_obs::counter_add("fed_knn.ta.candidates", c as u64);
                 ledger.record_enc(fbill(c), p);
                 ledger.record_traffic(p * fbill(c) * model.cipher_bytes as u64, fbill(c).max(1));
                 ledger.record_he_add((p - 1) * fbill(c));
@@ -285,6 +293,7 @@ impl<'a> FedKnn<'a> {
                 ledger.record_plain(sort_ops, p);
 
                 // Streaming phase: mini-batches of pseudo IDs, round-robin.
+                let stream_span = vfps_obs::span("fed_knn.fagin.stream");
                 let rankings: Vec<Vec<usize>> = partials
                     .iter()
                     .map(|d| {
@@ -310,6 +319,7 @@ impl<'a> FedKnn<'a> {
                         break;
                     }
                 }
+                drop(stream_span);
                 let depth = pos.iter().copied().max().unwrap_or(0);
                 let scaled_depth = fbill(depth).max(1);
                 let rounds = scaled_depth.div_ceil(self.cfg.batch as u64).max(1);
@@ -319,9 +329,16 @@ impl<'a> FedKnn<'a> {
                 }
                 ledger.record_traffic(fbill(sf.ids_received()) * id_bytes, rounds * p);
 
-                // Candidate phase: encrypt only surfaced instances.
+                // Candidate phase: encrypt only surfaced instances. The obs
+                // counter uses the same sublinear `fbill` scaling as the
+                // ledger, so Fagin-vs-Base comparisons in the exported
+                // metrics reproduce the ledger's accounting exactly.
+                vfps_obs::span!("fed_knn.fagin.encrypt_candidates");
                 let cands = sf.candidates().to_vec();
                 let c = cands.len();
+                vfps_obs::counter_add("fed_knn.fagin.enc_instances", fbill(c) * p);
+                vfps_obs::counter_add("fed_knn.fagin.candidates", c as u64);
+                vfps_obs::counter_add("fed_knn.fagin.depth", depth as u64);
                 ledger.record_enc(fbill(c), p);
                 let cipher = vfps_net::cost::CostModel::default().cipher_bytes as u64;
                 ledger.record_traffic(p * fbill(c) * cipher, p);
@@ -335,6 +352,7 @@ impl<'a> FedKnn<'a> {
         };
 
         // Leader: complete distances of candidates, take k smallest.
+        vfps_obs::span!("fed_knn.leader_tail");
         let mut complete: Vec<(usize, f64)> = candidate_positions
             .iter()
             .map(|&i| (i, partials.iter().map(|d| d[i]).sum::<f64>()))
@@ -457,6 +475,7 @@ impl<'a> FedKnn<'a> {
             if alive.len() > 1 && alive.contains(&d.slot) {
                 alive.retain(|&s| s != d.slot);
                 applied.push(d);
+                vfps_obs::counter_add("fed_knn.dropouts", 1);
                 ledger.record_dropout();
                 let parties: Vec<usize> = alive.iter().map(|&s| self.parties[s]).collect();
                 reduced =

@@ -324,7 +324,12 @@ where
     }
 
     let opts = ClusterOptions { ledger: TrafficLedger::new(), faults: faults.clone() };
-    let (mut results, ledger) = run_cluster_fallible(fns, opts);
+    let (mut results, ledger) = {
+        vfps_obs::span!("protocol.run");
+        run_cluster_fallible(fns, opts)
+    };
+    vfps_obs::gauge_set("protocol.run.total_bytes", ledger.total_bytes() as f64);
+    vfps_obs::gauge_set("protocol.run.total_messages", ledger.total_messages() as f64);
 
     // Every node that errored is down; the leader and server additionally
     // report slots they observed dropping (a killed slot's own result and
@@ -395,6 +400,7 @@ fn server_node<H: AdditiveHe>(
     let n = shared.db_rows.len();
     let mut dead = vec![false; p];
     for _q in 0..shared.queries.len() {
+        vfps_obs::span!("protocol.server.query");
         match shared.cfg.mode {
             // Threshold is rejected at entry; grouped with Base to keep the
             // match exhaustive.
@@ -422,6 +428,7 @@ fn server_node<H: AdditiveHe>(
                 // completion needs every list, so with a dead slot the
                 // stream instead terminates when the survivors have fed
                 // every id.
+                vfps_obs::span!("protocol.server.fagin_stream");
                 let mut sf = vfps_topk::stream::StreamingFagin::new(p, n, shared.cfg.k.min(n));
                 let mut exhausted: Vec<bool> = dead.clone();
                 while !sf.is_complete() && !exhausted.iter().all(|&e| e) {
@@ -479,6 +486,7 @@ fn server_node<H: AdditiveHe>(
         // Gather encrypted chunks from every live participant and sum in
         // arrival order (HE addition commutes, so arrival order does not
         // change the aggregate).
+        vfps_obs::span!("protocol.server.aggregate");
         let mut agg: Option<Vec<H::Ciphertext>> = None;
         let mut contributors: Vec<usize> = Vec::new();
         let mut got = vec![false; p];
@@ -639,12 +647,15 @@ fn participant_node<H: AdditiveHe>(
             .collect();
         let chunk = he.max_batch().max(1);
         let chunks: Vec<&[f64]> = values.chunks(chunk).collect();
-        let blobs: Vec<Vec<u8>> = he
-            .encrypt_many(&chunks)
-            .map_err(|_| Error::violation("unencryptable batch"))?
-            .iter()
-            .map(|ct| he.ct_to_bytes(ct))
-            .collect();
+        let blobs: Vec<Vec<u8>> = {
+            vfps_obs::span!("protocol.participant.encrypt_candidates");
+            vfps_obs::counter_add("protocol.encrypted_values", values.len() as u64);
+            he.encrypt_many(&chunks)
+                .map_err(|_| Error::violation("unencryptable batch"))?
+                .iter()
+                .map(|ct| he.ct_to_bytes(ct))
+                .collect()
+        };
         ctx.send(0, ProtoMsg::EncPartials(blobs))?;
 
         // Leader: decrypt aggregate, pick top-k, broadcast.
@@ -662,6 +673,7 @@ fn participant_node<H: AdditiveHe>(
                     dead[s] = true;
                 }
             }
+            let decrypt_span = vfps_obs::span("protocol.leader.decrypt");
             let mut complete = Vec::with_capacity(candidate_pseudos.len());
             let mut remaining = candidate_pseudos.len();
             for blob in &blobs {
@@ -672,6 +684,7 @@ fn participant_node<H: AdditiveHe>(
                 complete.extend(he.decrypt(&ct, count));
                 remaining -= count;
             }
+            drop(decrypt_span);
             let mut scored: Vec<(usize, f64)> =
                 candidate_pseudos.iter().copied().zip(complete).collect();
             scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(shared.inv[a.0].cmp(&shared.inv[b.0])));

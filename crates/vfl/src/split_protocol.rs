@@ -312,13 +312,18 @@ fn participant_train<H: AdditiveHe>(
     };
 
     for _epoch in 0..cfg.epochs {
+        vfps_obs::span!("split.epoch");
         let mut loss_sum = 0.0;
         for &(start, end) in batches {
-            let xb = forward_send(&w, train_view, (start, end), ctx)?;
+            let xb = {
+                vfps_obs::span!("split.forward");
+                forward_send(&w, train_view, (start, end), ctx)?
+            };
             let b = end - start;
 
             // Leader decrypts the aggregate, computes the gradient, and
             // broadcasts it encrypted.
+            let grad_span = vfps_obs::span("split.gradient");
             let dz: Matrix = if is_leader {
                 let ProtoMsg::Aggregated(blobs) = ctx.recv_from_timeout(0, PHASE_TIMEOUT)? else {
                     return Err(Error::violation("expected Aggregated"));
@@ -353,8 +358,10 @@ fn participant_train<H: AdditiveHe>(
                 let flat = recv_grad(ctx)?;
                 Matrix::from_vec(b, n_classes, flat[..b * n_classes].to_vec())
             };
+            drop(grad_span);
 
             // Local backward + Adam step.
+            vfps_obs::span!("split.backward_update");
             let mut dw = xb.t_matmul(&dz);
             dw.scale_inplace(1.0 / b as f64);
             adam.step(w.as_mut_slice(), dw.as_slice());

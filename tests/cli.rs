@@ -74,6 +74,44 @@ fn csv_input_round_trips() {
 }
 
 #[test]
+fn trace_out_writes_span_tree_json() {
+    let dir = std::env::temp_dir().join("vfps_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.json");
+    let out = vfps()
+        .args([
+            "--synthetic",
+            "Rice",
+            "--parties",
+            "4",
+            "--select",
+            "2",
+            "--method",
+            "vfps-sm",
+            "--queries",
+            "8",
+            "--trace-out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace:"), "{stdout}");
+    let json = std::fs::read_to_string(&path).expect("trace file exists");
+    for needle in [
+        "\"wall_us\"",
+        "\"spans\"",
+        "\"select.vfps_sm\"",
+        "\"fed_knn.query\"",
+        "\"counters\"",
+        "fed_knn.fagin.enc_instances",
+    ] {
+        assert!(json.contains(needle), "trace JSON missing {needle}");
+    }
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     // Unknown method.
     let out =
