@@ -2,7 +2,8 @@
 //! paper's evaluation.
 //!
 //! ```text
-//! cargo run --release -p vfps-bench --bin experiments -- <id> [--runs N] [--quick]
+//! cargo run --release -p vfps-bench --bin experiments -- <id> [--runs N] [--quick] [--cached]
+//! cargo run --release -p vfps-bench --bin experiments -- bench-check [--current F] [--baseline F] [--tolerance N]
 //!
 //! ids: table1 tables45 fig4 fig5 fig6 fig7 fig8 fig9
 //!      ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown calibrate all
@@ -16,12 +17,43 @@ use vfps_bench::experiments::{
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `bench-check` is the CI regression gate, not an experiment: it diffs
+    // a fresh BENCH_selection.json against the committed baseline and
+    // exits non-zero on regression.
+    if args.first().map(String::as_str) == Some("bench-check") {
+        let mut current = "BENCH_selection.json".to_owned();
+        let mut baseline = "results/bench_baseline.json".to_owned();
+        let mut tolerance = vfps_bench::check::DEFAULT_TOLERANCE;
+        let mut it = args.iter().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--current" => {
+                    current = it.next().cloned().unwrap_or_else(|| usage("--current needs a path"));
+                }
+                "--baseline" => {
+                    baseline =
+                        it.next().cloned().unwrap_or_else(|| usage("--baseline needs a path"));
+                }
+                "--tolerance" => {
+                    tolerance = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--tolerance needs a number"));
+                }
+                other => usage(&format!("unexpected argument {other}")),
+            }
+        }
+        std::process::exit(vfps_bench::check::run_bench_check(&current, &baseline, tolerance));
+    }
+
     let mut id: Option<String> = None;
     let mut cfg = ExpConfig::default();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => cfg.quick = true,
+            "--cached" => cfg.cached = true,
             "--runs" => {
                 cfg.runs = it
                     .next()
@@ -112,9 +144,12 @@ fn main() {
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: experiments <id> [--runs N] [--quick]\n\
+        "usage: experiments <id> [--runs N] [--quick] [--cached]\n\
+         \x20      experiments bench-check [--current F] [--baseline F] [--tolerance N]\n\
          ids: table1 tables45 fig4 fig5 fig6 fig7 fig8 fig9\n\
-         \x20    ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown bench-selection calibrate all"
+         \x20    ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown bench-selection calibrate all\n\
+         --cached additionally exercises the selection-artifact cache in bench-selection;\n\
+         bench-check diffs BENCH_selection.json against results/bench_baseline.json"
     );
     std::process::exit(2)
 }

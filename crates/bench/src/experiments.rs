@@ -19,11 +19,14 @@ pub struct ExpConfig {
     pub runs: usize,
     /// Shrink instance counts and query sets for a fast smoke pass.
     pub quick: bool,
+    /// Also exercise the selection-artifact cache in `bench_selection`,
+    /// emitting the cold/warm/churn breakdown into `BENCH_selection.json`.
+    pub cached: bool,
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { runs: 3, quick: false }
+        ExpConfig { runs: 3, quick: false, cached: false }
     }
 }
 
@@ -839,12 +842,16 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
             fagin_enc < base_enc,
             "fagin enc {fagin_enc} must strictly undercut base {base_enc}"
         );
+        let base_bytes = base_ledger.bytes;
+        let fagin_bytes = fagin_ledger.bytes;
         format!(
             "  \"per_phase_breakdown\": {{\n\
              \x20   \"queries\": {q_count},\n\
-             \x20   \"base\": {{\"enc_instances\": {base_enc}, \"query_span_us\": {}, \
+             \x20   \"base\": {{\"enc_instances\": {base_enc}, \"bytes\": {base_bytes}, \
+             \"query_span_us\": {}, \
              \"encrypt_all_us\": {}, \"leader_tail_us\": {}}},\n\
-             \x20   \"fagin\": {{\"enc_instances\": {fagin_enc}, \"query_span_us\": {}, \
+             \x20   \"fagin\": {{\"enc_instances\": {fagin_enc}, \"bytes\": {fagin_bytes}, \
+             \"query_span_us\": {}, \
              \"stream_us\": {}, \"encrypt_candidates_us\": {}, \"leader_tail_us\": {}, \
              \"candidates\": {}}},\n\
              \x20   \"fagin_undercuts_base\": true\n  }},\n",
@@ -859,6 +866,103 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
         )
     };
 
+    // Cold/warm/churn serving through the artifact cache (`--cached`).
+    // The warm request must encrypt nothing and reproduce the cold
+    // selection bit-for-bit; churn reuses the cached similarity matrix and
+    // touches only the changed party's pairs (join: |Q|·k plaintext
+    // distance evaluations, leave: zero).
+    let (cache_breakdown, cache_md) = if cfg.cached {
+        use vfps_cache::ArtifactCache;
+        use vfps_core::selectors::{SelectionContext, VfpsSmSelector};
+        use vfps_core::{select_with_cache, CacheStatus};
+        use vfps_net::cost::CostModel;
+
+        let spec = DatasetSpec::by_name("Rice").expect("catalog");
+        let sim_n = if cfg.quick { 200 } else { 400 };
+        let (ds, split) = prepared_sized(&spec, sim_n, 1505);
+        let partition = VerticalPartition::random(ds.n_features(), 5, 1505);
+        let ctx = SelectionContext {
+            ds: &ds,
+            split: &split,
+            partition: &partition,
+            cost_scale: 1.0,
+            seed: 1505,
+        };
+        let q_count = if cfg.quick { 8 } else { 24 };
+        let sel = VfpsSmSelector { query_count: q_count, ..VfpsSmSelector::default() };
+        let cost_model = CostModel::default();
+        let tag = spec.canonical_bytes();
+        let dir = std::env::temp_dir().join(format!("vfps_bench_cache_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::open(&dir).expect("cache dir");
+        let timed = |party_set: &[usize]| {
+            let t = Instant::now();
+            let served = select_with_cache(&cache, &sel, &ctx, party_set, 2, &cost_model, &tag);
+            (served, t.elapsed().as_secs_f64() * 1e3)
+        };
+
+        let (cold, cold_ms) = timed(&[0, 1, 2, 3]);
+        assert_eq!(cold.status, CacheStatus::Cold);
+        let cold_enc = cold.selection.ledger.enc.work;
+        assert!(cold_enc > 0, "cold run must encrypt");
+
+        let (warm, warm_ms) = timed(&[0, 1, 2, 3]);
+        assert_eq!(warm.status, CacheStatus::Warm);
+        assert_eq!(warm.selection.ledger.enc.work, 0, "warm run must encrypt nothing");
+        let warm_identical = warm.selection.chosen == cold.selection.chosen
+            && warm.selection.scores.iter().map(|s| s.to_bits()).eq(cold
+                .selection
+                .scores
+                .iter()
+                .map(|s| s.to_bits()));
+        assert!(warm_identical, "warm selection must be bit-identical to cold");
+
+        let (join, join_ms) = timed(&[0, 1, 2, 3, 4]);
+        assert_eq!(join.status, CacheStatus::ChurnJoin(4));
+        assert_eq!(join.selection.ledger.enc.work, 0, "churn must encrypt nothing");
+        let join_evals = join.selection.ledger.dist.work;
+        assert_eq!(join_evals, (q_count * sel.k) as u64, "join touches only the new party");
+
+        let (leave, leave_ms) = timed(&[0, 1, 2]);
+        assert_eq!(leave.status, CacheStatus::ChurnLeave(3));
+        assert_eq!(leave.selection.ledger.dist.work, 0, "leave recomputes nothing");
+        assert!(!leave.selection.chosen.contains(&3), "departed party must not be chosen");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let json = format!(
+            "  \"cache_breakdown\": {{\n\
+             \x20   \"queries\": {q_count},\n\
+             \x20   \"cold\": {{\"wall_ms\": {cold_ms:.3}, \"enc_instances\": {cold_enc}, \
+             \"cache_misses\": 1}},\n\
+             \x20   \"warm\": {{\"wall_ms\": {warm_ms:.3}, \"enc_instances\": 0, \
+             \"cache_hits\": 1, \"bit_identical_to_cold\": {warm_identical}}},\n\
+             \x20   \"churn_join\": {{\"wall_ms\": {join_ms:.3}, \"enc_instances\": 0, \
+             \"distance_evals\": {join_evals}}},\n\
+             \x20   \"churn_leave\": {{\"wall_ms\": {leave_ms:.3}, \"enc_instances\": 0, \
+             \"distance_evals\": 0}}\n  }},\n"
+        );
+        let md = format!(
+            "\n## Artifact-cache serving (Rice, {q_count} queries)\n\n{}",
+            markdown_table(
+                &["Mode", "wall (ms)", "enc instances", "distance evals"],
+                &[
+                    vec!["cold".into(), format!("{cold_ms:.2}"), cold_enc.to_string(), "-".into()],
+                    vec!["warm".into(), format!("{warm_ms:.2}"), "0".into(), "0".into()],
+                    vec![
+                        "churn-join(4)".into(),
+                        format!("{join_ms:.2}"),
+                        "0".into(),
+                        join_evals.to_string(),
+                    ],
+                    vec!["churn-leave(3)".into(), format!("{leave_ms:.2}"), "0".into(), "0".into()],
+                ],
+            )
+        );
+        (json, md)
+    } else {
+        (String::new(), String::new())
+    };
+
     // Emit BENCH_selection.json (hand-rolled; no serde in the tree).
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
@@ -866,6 +970,7 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
     json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
     json.push_str(&format!("  \"reps_per_point\": {reps},\n"));
     json.push_str(&per_phase);
+    json.push_str(&cache_breakdown);
     json.push_str("  \"stages\": [\n");
     for (i, (stage, threads, secs, det)) in rows.iter().enumerate() {
         let base =
@@ -904,11 +1009,12 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
         assert!(det, "{stage} at {threads} threads diverged from the 1-thread reference");
     }
     let out = format!(
-        "# Thread scaling — parallelized selection stages (wall-clock on this machine)\n\n{}",
+        "# Thread scaling — parallelized selection stages (wall-clock on this machine)\n\n{}{}",
         markdown_table(
             &["Stage", "Threads", "median (s)", "speedup", "bit-identical"],
             &table_rows
-        )
+        ),
+        cache_md
     );
     write_result("bench_selection", &out);
     out

@@ -4,7 +4,9 @@
 
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod experiments;
+pub mod json;
 
 use std::path::PathBuf;
 use std::time::Instant;

@@ -1,0 +1,31 @@
+//! `vfps-cache`: a content-addressed, on-disk artifact cache for selection
+//! runs.
+//!
+//! The paper's cost story is that the federated-KNN proxy dominates
+//! selection; Fagin only reduces that cost *within* one request, while a
+//! production selector re-pays the full proxy on every request over an
+//! unchanged consortium. This crate closes that gap: a cold run stores its
+//! per-query [`QueryOutcome`](vfps_vfl::fed_knn::QueryOutcome)s, similarity
+//! matrix, and greedy result under a deterministic fingerprint of every
+//! selection input, so that
+//!
+//! * a **warm** repeat of the same request replays the cached outcomes
+//!   through the selection tail — bit-identical result, zero new
+//!   encryptions;
+//! * a **churned** request (one party joined or left) reuses the cached
+//!   matrix through `IncrementalConsortium`, touching only the changed
+//!   party's pairs.
+//!
+//! Key derivation and the frame format are documented in DESIGN.md §9.
+//! Hashing is hand-rolled FNV-1a-128 and serialization is the existing
+//! [`vfps_net::wire::Wire`] codec — no new dependencies. The store bumps
+//! `cache.{hit,miss,evict}` counters and the `cache.bytes` gauge on the
+//! `vfps-obs` plane.
+
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod store;
+
+pub use fingerprint::{CacheKey, Fingerprint, Fnv128};
+pub use store::{ArtifactCache, CacheEntry, CacheError, ChurnKind, EXTENSION, MAGIC};

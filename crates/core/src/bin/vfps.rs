@@ -40,6 +40,7 @@ struct Args {
     no_header: bool,
     verbose: bool,
     trace_out: Option<PathBuf>,
+    cache_dir: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -59,6 +60,7 @@ impl Default for Args {
             no_header: false,
             verbose: false,
             trace_out: None,
+            cache_dir: None,
         }
     }
 }
@@ -93,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             "--no-header" => args.no_header = true,
             "--verbose" | "-v" => args.verbose = true,
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--help" | "-h" => {
                 print_help();
                 std::process::exit(0);
@@ -129,7 +132,12 @@ fn print_help() {
          \x20 --verbose, -v          print the per-party score report\n\n\
          OBSERVABILITY:\n\
          \x20 --trace-out <file>     capture a structured trace of the run (span tree +\n\
-         \x20                        metrics) and write it as JSON"
+         \x20                        metrics) and write it as JSON\n\n\
+         CACHING:\n\
+         \x20 --cache-dir <dir>      content-addressed selection-artifact cache for the\n\
+         \x20                        vfps-sm methods: repeat runs are served warm (no\n\
+         \x20                        re-encryption, bit-identical); party churn reuses\n\
+         \x20                        the cached similarity matrix"
     );
 }
 
@@ -232,8 +240,45 @@ fn run() -> Result<(), String> {
             cost_scale: 1.0,
             seed: args.seed,
         };
-        let selector = make_selector(method, &cfg);
-        let selection = selector.select(&ctx, args.select);
+        let (selection, cache_status) = match (&args.cache_dir, method) {
+            (Some(dir), Method::VfpsSm | Method::VfpsSmBase) => {
+                let mut sel = vfps_core::selectors::VfpsSmSelector {
+                    k: args.knn_k,
+                    query_count: args.queries,
+                    ..vfps_core::selectors::VfpsSmSelector::default()
+                };
+                if method == Method::VfpsSmBase {
+                    sel = sel.base();
+                }
+                match vfps_cache::ArtifactCache::open(dir) {
+                    Ok(cache) => {
+                        let party_set: Vec<usize> = (0..args.parties).collect();
+                        let served = vfps_core::select_with_cache(
+                            &cache,
+                            &sel,
+                            &ctx,
+                            &party_set,
+                            args.select,
+                            &cost_model,
+                            ds.name.as_bytes(),
+                        );
+                        if let Some(err) = &served.degraded {
+                            eprintln!("warning: cache degraded to cold run: {err}");
+                        }
+                        (served.selection, Some(served.status.to_string()))
+                    }
+                    // An unusable cache directory must never fail the run.
+                    Err(e) => {
+                        eprintln!("warning: cache disabled ({e})");
+                        (make_selector(method, &cfg).select(&ctx, args.select), None)
+                    }
+                }
+            }
+            _ => (make_selector(method, &cfg).select(&ctx, args.select), None),
+        };
+        if let Some(status) = &cache_status {
+            println!("cache: {status}");
+        }
         if args.verbose {
             let names: Vec<String> = (0..args.parties).map(|p| format!("party-{p}")).collect();
             println!(

@@ -1,0 +1,247 @@
+//! Cache-backed selection serving: warm-start and churn paths over the
+//! `vfps-cache` artifact store (DESIGN.md §9).
+//!
+//! [`select_with_cache`] is the single entry point. Per request it
+//! resolves to one of four paths:
+//!
+//! * **warm** — an exact-fingerprint entry exists: the cached per-query
+//!   outcomes are replayed through the accumulate + greedy tail via the
+//!   fed-KNN memo hook. The selection is bit-identical to the cold run
+//!   that stored the entry, with zero new encryptions and an (almost)
+//!   empty ledger.
+//! * **churn** — an entry exists whose consortium differs by exactly one
+//!   party: the cached matrix is extended/shrunk through
+//!   [`IncrementalConsortium`], touching only the changed party's pairs
+//!   (`|Q|·k` plaintext distance evaluations for a join, zero work for a
+//!   leave). Churn results are *not* stored back — the entry is an
+//!   approximation for joins; the churned consortium gets its own exact
+//!   entry on its first cold run.
+//! * **cold** — no reusable entry: the full pipeline runs and its
+//!   artifacts are stored.
+//! * **bypass** — the request uses features the cache does not model
+//!   (dropout schedules, differential privacy): the full pipeline runs
+//!   and the cache is left untouched.
+//!
+//! Every cache failure (unreadable file, bad checksum, undecodable
+//! payload, fingerprint collision) degrades to a cold run and is surfaced
+//! as a typed [`CacheError`] on the result — serving never panics on
+//! cache damage, and the cold run's store overwrites the damaged file.
+
+use std::collections::HashMap;
+
+use vfps_cache::{ArtifactCache, CacheEntry, CacheError, CacheKey, ChurnKind, Fnv128};
+use vfps_net::cost::{CostModel, OpLedger};
+use vfps_net::wire::Wire;
+use vfps_vfl::fed_knn::{KnnMode, QueryOutcome};
+
+use crate::incremental::IncrementalConsortium;
+use crate::selectors::{Selection, SelectionContext, VfpsSmSelector};
+
+/// How a cached request was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// No reusable entry: full run, artifacts stored.
+    Cold,
+    /// Exact entry replayed: bit-identical selection, zero encryptions.
+    Warm,
+    /// Served from a cached neighbor entry by joining this party.
+    ChurnJoin(usize),
+    /// Served from a cached neighbor entry by dropping this party.
+    ChurnLeave(usize),
+    /// Request not cacheable (dropouts / DP active): cache untouched.
+    Bypass,
+}
+
+impl std::fmt::Display for CacheStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheStatus::Cold => f.write_str("cold"),
+            CacheStatus::Warm => f.write_str("warm"),
+            CacheStatus::ChurnJoin(p) => write!(f, "churn-join({p})"),
+            CacheStatus::ChurnLeave(p) => write!(f, "churn-leave({p})"),
+            CacheStatus::Bypass => f.write_str("bypass"),
+        }
+    }
+}
+
+/// A selection plus how the cache served it.
+///
+/// Not `Clone`: the `degraded` slot may hold an `io::Error`.
+#[derive(Debug)]
+pub struct CachedSelection {
+    /// The selection result.
+    pub selection: Selection,
+    /// Which serving path ran.
+    pub status: CacheStatus,
+    /// Hex of the request's full fingerprint (`None` for bypass).
+    pub fingerprint: Option<String>,
+    /// A cache failure that forced degradation to a cold run (the run
+    /// itself still succeeded; the damaged entry was overwritten).
+    pub degraded: Option<CacheError>,
+}
+
+/// Builds the content-addressed key identifying one selection request.
+///
+/// `dataset_tag` carries caller-level dataset identity (e.g.
+/// `DatasetSpec::canonical_bytes()`, or a source path for loaded data); the
+/// dataset's actual content — every matrix cell, every label — is hashed
+/// in as well, so a regenerated or edited dataset can never alias a stale
+/// entry.
+#[must_use]
+pub fn cache_key(
+    sel: &VfpsSmSelector,
+    ctx: &SelectionContext<'_>,
+    party_set: &[usize],
+    cost_model: &CostModel,
+    dataset_tag: &[u8],
+) -> CacheKey {
+    let mut h = Fnv128::new();
+    h.update(&(dataset_tag.len() as u64).to_le_bytes());
+    h.update(dataset_tag);
+    h.update(&(ctx.ds.name.len() as u64).to_le_bytes());
+    h.update(ctx.ds.name.as_bytes());
+    h.update(&(ctx.ds.x.rows() as u64).to_le_bytes());
+    h.update(&(ctx.ds.x.cols() as u64).to_le_bytes());
+    for r in 0..ctx.ds.x.rows() {
+        for &v in ctx.ds.x.row(r) {
+            h.update(&v.to_bits().to_le_bytes());
+        }
+    }
+    for &label in &ctx.ds.y {
+        h.update(&(label as u64).to_le_bytes());
+    }
+    let dataset = h.digest();
+
+    let mut p = Fnv128::new();
+    p.update(&(ctx.partition.parties() as u64).to_le_bytes());
+    for group in ctx.partition.all_columns() {
+        p.update(&group.to_bytes());
+    }
+    let partition = p.digest();
+
+    CacheKey {
+        dataset,
+        partition,
+        db: Fnv128::of(&ctx.split.train.to_bytes()),
+        queries: sel.query_rows(ctx),
+        party_set: party_set.to_vec(),
+        k: sel.k,
+        batch: sel.batch,
+        mode: match sel.mode {
+            KnnMode::Base => 0,
+            KnnMode::Fagin => 1,
+            KnnMode::Threshold => 2,
+        },
+        cost_scale_bits: ctx.cost_scale.to_bits(),
+        cost_model: Fnv128::of(&cost_model.to_bytes()),
+        seed: ctx.seed,
+    }
+}
+
+/// Runs a VFPS-SM selection through the artifact cache. See the module
+/// docs for the warm / churn / cold / bypass semantics.
+///
+/// # Panics
+/// Panics if `party_set` contains an id outside the partition.
+pub fn select_with_cache(
+    cache: &ArtifactCache,
+    sel: &VfpsSmSelector,
+    ctx: &SelectionContext<'_>,
+    party_set: &[usize],
+    count: usize,
+    cost_model: &CostModel,
+    dataset_tag: &[u8],
+) -> CachedSelection {
+    if !sel.dropouts.is_empty() || sel.dp_epsilon.is_some() {
+        return CachedSelection {
+            selection: sel.run_over(ctx, party_set, count, None).selection,
+            status: CacheStatus::Bypass,
+            fingerprint: None,
+            degraded: None,
+        };
+    }
+
+    let key = cache_key(sel, ctx, party_set, cost_model, dataset_tag);
+    let fingerprint = Some(key.fingerprint().hex());
+    let mut degraded: Option<CacheError> = None;
+
+    // Warm path: exact entry.
+    match cache.lookup(&key) {
+        Ok(Some(entry)) => {
+            let memo: HashMap<usize, QueryOutcome> =
+                entry.key.queries.iter().copied().zip(entry.outcomes.iter().cloned()).collect();
+            let mut art = sel.run_over(ctx, party_set, count, Some(&memo));
+            art.selection.ledger.record_cache_hit();
+            return CachedSelection {
+                selection: art.selection,
+                status: CacheStatus::Warm,
+                fingerprint,
+                degraded: None,
+            };
+        }
+        Ok(None) => {}
+        Err(e) => degraded = Some(e),
+    }
+
+    // Churn path: a neighbor entry one membership change away. Corrupt
+    // neighbors were already skipped inside the scan; a scan-level failure
+    // (unreadable directory) just falls through to cold.
+    if let Ok(Some((entry, kind))) = cache.lookup_churn(&key) {
+        let mut ledger = OpLedger::default();
+        let mut inc = IncrementalConsortium::from_outcomes(
+            &entry.key.party_set,
+            ctx.partition,
+            &entry.key.queries,
+            &entry.outcomes,
+        );
+        match kind {
+            ChurnKind::Join(p) => {
+                let evals = inc.join(p, &ctx.ds.x, ctx.partition);
+                ledger.record_dist(evals as u64, 1);
+            }
+            ChurnKind::Leave(p) => inc.leave(p),
+        }
+        let scored = inc.select_scored(count.min(inc.parties().len()));
+        let chosen: Vec<usize> = scored.iter().map(|&(p, _)| p).collect();
+        let mut scores = vec![0.0; ctx.parties()];
+        for &(p, gain) in &scored {
+            scores[p] = gain;
+        }
+        ledger.record_cache_hit();
+        let status = match kind {
+            ChurnKind::Join(p) => CacheStatus::ChurnJoin(p),
+            ChurnKind::Leave(p) => CacheStatus::ChurnLeave(p),
+        };
+        return CachedSelection {
+            selection: Selection {
+                chosen,
+                ledger,
+                scores,
+                candidates_per_query: 0.0,
+                dropouts: Vec::new(),
+            },
+            status,
+            fingerprint,
+            degraded,
+        };
+    }
+
+    // Cold path: full run, then store (overwriting any damaged file at
+    // this address).
+    let art = sel.run_over(ctx, party_set, count, None);
+    let mut selection = art.selection;
+    let entry = CacheEntry {
+        key,
+        outcomes: art.outcomes,
+        similarity: art.similarity,
+        chosen: selection.chosen.clone(),
+        scores: selection.scores.clone(),
+        candidates_per_query: selection.candidates_per_query,
+        ledger: selection.ledger.clone(),
+    };
+    if let Err(e) = cache.store(&entry) {
+        degraded = degraded.or(Some(e));
+    }
+    selection.ledger.record_cache_miss();
+    CachedSelection { selection, status: CacheStatus::Cold, fingerprint, degraded }
+}

@@ -76,15 +76,19 @@ impl IncrementalConsortium {
     }
 
     /// A new participant joins: computes its per-query profile over the
-    /// cached neighbor sets from its local features only.
+    /// cached neighbor sets from its local features only. Returns the
+    /// number of local distance evaluations performed (`|Q| · k`) — the
+    /// entire cost of the join; zero encryptions, zero federated rounds.
+    /// Also bumps the `incremental.join.distance_evals` obs counter.
     ///
     /// # Panics
     /// Panics if the party is already active or out of the partition's
     /// range.
-    pub fn join(&mut self, party: usize, x: &Matrix, partition: &VerticalPartition) {
+    pub fn join(&mut self, party: usize, x: &Matrix, partition: &VerticalPartition) -> usize {
         assert!(!self.parties.contains(&party), "party {party} already active");
         let cols = partition.columns(party);
         let per_feature = cols.len() as f64;
+        let mut evals = 0usize;
         for ((q, topk), profile) in
             self.queries.iter().zip(&self.topk).zip(self.profiles.iter_mut())
         {
@@ -96,12 +100,16 @@ impl IncrementalConsortium {
                     squared_distance(&qf, &tf)
                 })
                 .sum();
+            evals += topk.len();
             profile.push(d_t / per_feature);
         }
         self.parties.push(party);
+        vfps_obs::counter_add("incremental.join.distance_evals", evals as u64);
+        evals
     }
 
-    /// A participant leaves: drops its profile column (exact).
+    /// A participant leaves: drops its profile column (exact). Bumps the
+    /// `incremental.leave` obs counter.
     ///
     /// # Panics
     /// Panics if the party is not active or the consortium would become
@@ -117,6 +125,7 @@ impl IncrementalConsortium {
         for profile in &mut self.profiles {
             profile.remove(idx);
         }
+        vfps_obs::counter_add("incremental.leave", 1);
     }
 
     /// The current similarity matrix over active parties.
@@ -156,8 +165,30 @@ impl IncrementalConsortium {
     /// Panics if `count` exceeds the active consortium.
     #[must_use]
     pub fn select(&self, count: usize) -> Vec<usize> {
+        self.select_scored(count).into_iter().map(|(p, _)| p).collect()
+    }
+
+    /// As [`IncrementalConsortium::select`], but each chosen party id is
+    /// paired with its marginal gain at selection time — the same scoring
+    /// the full VFPS-SM selector reports, so a churn-served selection can
+    /// surface comparable scores.
+    ///
+    /// # Panics
+    /// Panics if `count` exceeds the active consortium.
+    #[must_use]
+    pub fn select_scored(&self, count: usize) -> Vec<(usize, f64)> {
         let f = KnnSubmodular::new(self.similarity_matrix());
-        f.greedy(count).into_iter().map(|i| self.parties[i]).collect()
+        let chosen = f.greedy(count);
+        let n = self.parties.len();
+        let mut best = vec![0.0f64; n];
+        let mut out = Vec::with_capacity(chosen.len());
+        for &v in &chosen {
+            out.push((self.parties[v], f.gain(&best, v)));
+            for p in 0..n {
+                best[p] = best[p].max(f.similarity(p, v));
+            }
+        }
+        out
     }
 }
 
@@ -321,6 +352,32 @@ mod tests {
         assert_eq!(chosen.len(), 2);
         assert!(chosen.iter().all(|p| [1, 2, 3].contains(p)));
         assert!(!chosen.contains(&0), "departed party must not be selected");
+    }
+
+    #[test]
+    fn join_cost_is_queries_times_k() {
+        let base = [0usize, 1, 2];
+        let (ds, partition, queries, outcomes) = setup(&base, 6);
+        let mut inc = IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
+        let evals = inc.join(3, &ds.x, &partition);
+        let expected: usize = outcomes.iter().map(|o| o.topk_rows.len()).sum();
+        assert_eq!(evals, expected, "join cost must be |Q|·k local distance evaluations");
+    }
+
+    #[test]
+    fn select_scored_pairs_ids_with_diminishing_gains() {
+        let base = [0usize, 1, 2, 3];
+        let (_, partition, queries, outcomes) = setup(&base, 7);
+        let inc = IncrementalConsortium::from_outcomes(&base, &partition, &queries, &outcomes);
+        let scored = inc.select_scored(3);
+        assert_eq!(
+            scored.iter().map(|&(p, _)| p).collect::<Vec<_>>(),
+            inc.select(3),
+            "select and select_scored must agree on the chosen ids"
+        );
+        for w in scored.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-9, "gains must diminish: {scored:?}");
+        }
     }
 
     #[test]

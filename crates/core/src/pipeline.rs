@@ -76,6 +76,14 @@ pub struct PipelineConfig {
     /// fault-free pipeline; only the VFPS-SM variants degrade — other
     /// methods ignore the schedule.
     pub dropouts: Vec<(usize, usize)>,
+    /// Directory for the selection-artifact cache (`vfps-cache`). When set,
+    /// VFPS-SM selections are served through [`crate::cached::select_with_cache`]:
+    /// a repeated request replays cached per-query outcomes (zero new
+    /// encryptions, bit-identical selection) and a degraded or unusable
+    /// cache silently falls back to the cold path. `None` (the default)
+    /// runs every selection cold and touches no disk. Only the VFPS-SM
+    /// variants are cacheable — the baselines ignore this.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for PipelineConfig {
@@ -91,6 +99,7 @@ impl Default for PipelineConfig {
             sim_instances: None,
             duplicates: 0,
             dropouts: Vec::new(),
+            cache_dir: None,
         }
     }
 }
@@ -119,6 +128,10 @@ pub struct RunReport {
     /// Parties that dropped out during the selection phase (degraded-mode
     /// runs only; empty for fault-free pipelines).
     pub dropouts: Vec<usize>,
+    /// How the artifact cache served the selection (`"cold"`, `"warm"`,
+    /// `"churn-join(p)"`, `"churn-leave(p)"`, `"bypass"`); `None` when no
+    /// cache directory was configured or the method is not cacheable.
+    pub cache: Option<String>,
     /// Wall-clock milliseconds the simulation itself took.
     pub real_ms: f64,
     /// Wall-clock milliseconds per pipeline phase, in execution order
@@ -227,9 +240,43 @@ pub fn run_pipeline(
     let t = timed("prepare", started);
 
     let ctx = SelectionContext { ds: &ds, split: &split, partition: &partition, cost_scale, seed };
-    let selector = make_selector(method, cfg);
     let select_span = vfps_obs::span("pipeline.select");
-    let selection: Selection = selector.select(&ctx, cfg.select);
+    let (selection, cache): (Selection, Option<String>) = match (&cfg.cache_dir, method) {
+        (Some(dir), Method::VfpsSm | Method::VfpsSmBase) => {
+            let mut sel = VfpsSmSelector {
+                k: cfg.knn_k,
+                query_count: cfg.query_count,
+                batch: cfg.batch,
+                dropouts: cfg
+                    .dropouts
+                    .iter()
+                    .map(|&(at_query, slot)| vfps_vfl::fed_knn::Dropout { at_query, slot })
+                    .collect(),
+                ..VfpsSmSelector::default()
+            };
+            if method == Method::VfpsSmBase {
+                sel = sel.base();
+            }
+            match vfps_cache::ArtifactCache::open(dir) {
+                Ok(cache) => {
+                    let party_set: Vec<usize> = (0..ctx.parties()).collect();
+                    let served = crate::cached::select_with_cache(
+                        &cache,
+                        &sel,
+                        &ctx,
+                        &party_set,
+                        cfg.select,
+                        &cfg.cost_model,
+                        &spec.canonical_bytes(),
+                    );
+                    (served.selection, Some(served.status.to_string()))
+                }
+                // An unusable cache directory must never fail the run.
+                Err(_) => (sel.select(&ctx, cfg.select), None),
+            }
+        }
+        _ => (make_selector(method, cfg).select(&ctx, cfg.select), None),
+    };
     drop(select_span);
     vfps_obs::gauge_set("pipeline.candidates_per_query", selection.candidates_per_query);
     let t = timed("select", t);
@@ -259,6 +306,7 @@ pub fn run_pipeline(
         candidates_per_query: selection.candidates_per_query,
         duplicated_party,
         dropouts: selection.dropouts,
+        cache,
         real_ms: started.elapsed().as_secs_f64() * 1e3,
         phase_ms,
     }

@@ -73,6 +73,12 @@ pub fn selection_report(
             selection.dropouts.iter().map(|&p| name(p)).collect::<Vec<_>>().join(", ")
         ));
     }
+    if selection.ledger.cache_hits + selection.ledger.cache_misses > 0 {
+        out.push_str(&format!(
+            "artifact cache: {} hit(s), {} miss(es)\n",
+            selection.ledger.cache_hits, selection.ledger.cache_misses
+        ));
+    }
     out
 }
 
@@ -146,5 +152,15 @@ mod tests {
         let r = selection_report(&s, "VFPS-SM", &[], &CostModel::default());
         assert!(r.contains("dropouts (2): party-1, party-3"), "{r}");
         assert!(r.contains("degraded to survivors"), "{r}");
+    }
+
+    #[test]
+    fn report_prints_cache_line_only_when_the_cache_was_consulted() {
+        let uncached = selection_report(&selection(), "VFPS-SM", &[], &CostModel::default());
+        assert!(!uncached.contains("artifact cache"), "{uncached}");
+        let mut s = selection();
+        s.ledger.record_cache_hit();
+        let r = selection_report(&s, "VFPS-SM", &[], &CostModel::default());
+        assert!(r.contains("artifact cache: 1 hit(s), 0 miss(es)"), "{r}");
     }
 }

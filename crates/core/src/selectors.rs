@@ -1,6 +1,8 @@
 //! Participant selectors: VFPS-SM (+ its no-Fagin base), and the paper's
 //! baselines RANDOM, SHAPLEY, and VF-MINE.
 
+use std::collections::HashMap;
+
 use crate::similarity::SimilarityAccumulator;
 use crate::submodular::KnnSubmodular;
 use rand::rngs::StdRng;
@@ -10,7 +12,7 @@ use vfps_data::{Dataset, Split, VerticalPartition};
 use vfps_ml::knn::KnnClassifier;
 use vfps_ml::mi::group_label_mi;
 use vfps_net::cost::{CostModel, OpLedger};
-use vfps_vfl::fed_knn::{Dropout, FedKnn, FedKnnConfig, KnnMode};
+use vfps_vfl::fed_knn::{Dropout, FedKnn, FedKnnConfig, KnnMode, QueryOutcome, ResilientBatch};
 
 /// Everything a selector needs to run.
 pub struct SelectionContext<'a> {
@@ -131,26 +133,70 @@ impl Default for VfpsSmSelector {
     }
 }
 
+/// Everything one VFPS-SM run produces beyond the [`Selection`] itself:
+/// the sampled query set, the per-query KNN outcomes as accumulated, and
+/// the finished similarity matrix. This is the raw material the
+/// selection-artifact cache (`vfps-cache`) stores — replaying `outcomes`
+/// through the accumulate + greedy tail reproduces `selection` bit for
+/// bit.
+#[derive(Clone, Debug)]
+pub struct VfpsRunArtifacts {
+    /// The selection result.
+    pub selection: Selection,
+    /// Query rows, in execution order.
+    pub queries: Vec<usize>,
+    /// Per-query outcomes aligned with `queries` (post-DP / post-dropout
+    /// projection when those features are active; raw otherwise).
+    pub outcomes: Vec<QueryOutcome>,
+    /// The accumulated party-by-party similarity matrix (survivor width).
+    pub similarity: Vec<Vec<f64>>,
+}
+
 impl VfpsSmSelector {
     /// The non-optimized ablation (`VFPS-SM-BASE`).
     #[must_use]
     pub fn base(self) -> Self {
         VfpsSmSelector { mode: KnnMode::Base, ..self }
     }
-}
 
-impl Selector for VfpsSmSelector {
-    fn name(&self) -> &'static str {
-        match self.mode {
-            KnnMode::Fagin => "VFPS-SM",
-            KnnMode::Base => "VFPS-SM-BASE",
-            KnnMode::Threshold => "VFPS-SM-TA",
-        }
+    /// The query set Q: a seeded sample of training rows. Deterministic in
+    /// `(ctx.split.train, ctx.seed, self.query_count)` and independent of
+    /// the consortium composition — the property the cache's churn path
+    /// relies on (a party join/leave never changes Q).
+    #[must_use]
+    pub fn query_rows(&self, ctx: &SelectionContext<'_>) -> Vec<usize> {
+        let mut queries = ctx.split.train.clone();
+        queries.shuffle(&mut StdRng::seed_from_u64(ctx.seed ^ 0x9e_a4));
+        queries.truncate(self.query_count.min(queries.len()));
+        queries
     }
 
-    fn select(&self, ctx: &SelectionContext<'_>, count: usize) -> Selection {
+    /// Runs the full VFPS-SM pipeline over the consortium `party_set`
+    /// (party ids into `ctx.partition`), returning the selection plus the
+    /// reusable artifacts.
+    ///
+    /// `memo` optionally maps query rows to already-known outcomes; hits
+    /// are served without any federated work or billing (see
+    /// [`FedKnn::query_batch_memo`]). The accumulate + greedy tail runs
+    /// identically either way, so a fully-memoized run is bit-identical to
+    /// the run that produced the memo.
+    ///
+    /// [`Selector::select`] is exactly `run_over` with the full party set
+    /// and no memo.
+    ///
+    /// # Panics
+    /// Panics if `memo` is `Some` while `self.dropouts` is non-empty
+    /// (memo serving is only defined for fault-free schedules), or if
+    /// `party_set` contains an id outside the partition.
+    pub fn run_over(
+        &self,
+        ctx: &SelectionContext<'_>,
+        party_set: &[usize],
+        count: usize,
+        memo: Option<&HashMap<usize, QueryOutcome>>,
+    ) -> VfpsRunArtifacts {
         vfps_obs::span!("select.vfps_sm");
-        let parties: Vec<usize> = (0..ctx.parties()).collect();
+        let parties: Vec<usize> = party_set.to_vec();
         let mut ledger = OpLedger::default();
         let engine = FedKnn::new(
             &ctx.ds.x,
@@ -165,10 +211,7 @@ impl Selector for VfpsSmSelector {
             },
         );
 
-        // Query set Q: a seeded sample of training rows.
-        let mut queries = ctx.split.train.clone();
-        queries.shuffle(&mut StdRng::seed_from_u64(ctx.seed ^ 0x9e_a4));
-        queries.truncate(self.query_count.min(queries.len()));
+        let queries = self.query_rows(ctx);
 
         // Queries are independent: run the batch on the global pool. The
         // per-query ledgers merge back in query order and the accumulator
@@ -179,7 +222,26 @@ impl Selector for VfpsSmSelector {
         // exactly `query_batch`.
         let batch = {
             vfps_obs::span!("select.vfps_sm.knn_queries");
-            engine.query_batch_resilient(&queries, &self.dropouts, vfps_par::global(), &mut ledger)
+            if let Some(memo) = memo {
+                assert!(
+                    self.dropouts.is_empty(),
+                    "memo serving requires a fault-free dropout schedule"
+                );
+                let all: Vec<usize> = (0..parties.len()).collect();
+                let outcomes = engine
+                    .query_batch_memo(&queries, memo, vfps_par::global(), &mut ledger)
+                    .into_iter()
+                    .map(|o| (o, all.clone()))
+                    .collect();
+                ResilientBatch { outcomes, survivors: all, dropouts: Vec::new() }
+            } else {
+                engine.query_batch_resilient(
+                    &queries,
+                    &self.dropouts,
+                    vfps_par::global(),
+                    &mut ledger,
+                )
+            }
         };
         let survivors = batch.survivors.clone();
 
@@ -190,6 +252,7 @@ impl Selector for VfpsSmSelector {
         let counts: Vec<usize> =
             survivors.iter().map(|&s| ctx.partition.columns(parties[s]).len()).collect();
         let mut acc = SimilarityAccumulator::new(survivors.len()).with_feature_counts(counts);
+        let mut kept_outcomes = Vec::with_capacity(queries.len());
         let mut candidates = 0usize;
         for (qi, (mut outcome, alive)) in batch.outcomes.into_iter().enumerate() {
             candidates += outcome.candidates;
@@ -226,33 +289,52 @@ impl Selector for VfpsSmSelector {
                 outcome.d_t = d_t;
             }
             acc.add_query(&outcome).expect("outcome projected to survivor width");
+            kept_outcomes.push(outcome);
         }
         let w = acc.finish();
+        let similarity = w.clone();
         drop(similarity_span);
         vfps_obs::span!("select.vfps_sm.greedy");
         let f = KnnSubmodular::new(w);
         // Greedy over the survivor-indexed matrix, mapped back to original
-        // party slots; dead parties keep score 0.0 and are never chosen.
+        // party ids; dead parties keep score 0.0 and are never chosen.
         let chosen_local = f.greedy(count.min(survivors.len()));
-        let chosen: Vec<usize> = chosen_local.iter().map(|&v| survivors[v]).collect();
+        let chosen: Vec<usize> = chosen_local.iter().map(|&v| parties[survivors[v]]).collect();
 
-        // Marginal-gain scores in selection order.
-        let mut scores = vec![0.0; parties.len()];
+        // Marginal-gain scores in selection order, at full partition width
+        // (parties outside `party_set` keep score 0.0).
+        let mut scores = vec![0.0; ctx.parties()];
         let mut best = vec![0.0f64; survivors.len()];
         for &v in &chosen_local {
-            scores[survivors[v]] = f.gain(&best, v);
+            scores[parties[survivors[v]]] = f.gain(&best, v);
             for p in 0..survivors.len() {
                 best[p] = best[p].max(f.similarity(p, v));
             }
         }
 
-        Selection {
+        let selection = Selection {
             chosen,
             ledger,
             scores,
             candidates_per_query: candidates as f64 / queries.len().max(1) as f64,
-            dropouts: batch.dropouts.iter().map(|d| d.slot).collect(),
+            dropouts: batch.dropouts.iter().map(|d| parties[d.slot]).collect(),
+        };
+        VfpsRunArtifacts { selection, queries, outcomes: kept_outcomes, similarity }
+    }
+}
+
+impl Selector for VfpsSmSelector {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            KnnMode::Fagin => "VFPS-SM",
+            KnnMode::Base => "VFPS-SM-BASE",
+            KnnMode::Threshold => "VFPS-SM-TA",
         }
+    }
+
+    fn select(&self, ctx: &SelectionContext<'_>, count: usize) -> Selection {
+        let parties: Vec<usize> = (0..ctx.parties()).collect();
+        self.run_over(ctx, &parties, count, None).selection
     }
 }
 

@@ -14,7 +14,7 @@ const SMALL_PRIMES: [u64; 54] = [
 const MR_ROUNDS: usize = 24;
 
 impl BigUint {
-    /// Probabilistic primality test (Miller–Rabin with [`MR_ROUNDS`] random
+    /// Probabilistic primality test (Miller–Rabin with 24 random
     /// bases after small-prime trial division).
     pub fn is_probable_prime<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
         if let Some(v) = self.to_u64() {

@@ -109,6 +109,11 @@ pub struct OpLedger {
     /// Participants observed to drop out during the run (degraded-mode
     /// bookkeeping — zero cost, but surfaced in every report).
     pub dropouts: u64,
+    /// Selection-artifact cache hits observed during the run (zero cost:
+    /// a hit *replaces* federated work, it does not add any).
+    pub cache_hits: u64,
+    /// Selection-artifact cache misses observed during the run.
+    pub cache_misses: u64,
 }
 
 impl OpLedger {
@@ -166,6 +171,16 @@ impl OpLedger {
         self.dropouts += 1;
     }
 
+    /// Records one selection-artifact cache hit (warm or churned serving).
+    pub fn record_cache_hit(&mut self) {
+        self.cache_hits += 1;
+    }
+
+    /// Records one selection-artifact cache miss (cold run, entry stored).
+    pub fn record_cache_miss(&mut self) {
+        self.cache_misses += 1;
+    }
+
     /// Merges `times` copies of another ledger into this one (saturating)
     /// — used to bill repeated identical protocol passes analytically.
     pub fn merge_times(&mut self, other: &OpLedger, times: u64) {
@@ -182,6 +197,9 @@ impl OpLedger {
         self.messages = self.messages.saturating_add(other.messages.saturating_mul(times));
         self.rounds = self.rounds.saturating_add(other.rounds.saturating_mul(times));
         self.dropouts = self.dropouts.saturating_add(other.dropouts.saturating_mul(times));
+        self.cache_hits = self.cache_hits.saturating_add(other.cache_hits.saturating_mul(times));
+        self.cache_misses =
+            self.cache_misses.saturating_add(other.cache_misses.saturating_mul(times));
     }
 
     /// Merges another ledger into this one.
@@ -195,6 +213,8 @@ impl OpLedger {
         self.messages += other.messages;
         self.rounds += other.rounds;
         self.dropouts += other.dropouts;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Simulated wall-clock microseconds under `model`.
@@ -285,6 +305,91 @@ impl CostBreakdown {
         } else {
             (self.enc_us + self.dec_us + self.he_add_us) / total
         }
+    }
+}
+
+impl crate::wire::Wire for OpCount {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.path.encode(out);
+        self.work.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::wire::WireError> {
+        Ok(OpCount { path: u64::decode(input)?, work: u64::decode(input)? })
+    }
+
+    fn encoded_len(&self) -> usize {
+        16
+    }
+}
+
+impl crate::wire::Wire for OpLedger {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.enc.encode(out);
+        self.dec.encode(out);
+        self.he_add.encode(out);
+        self.plain.encode(out);
+        self.dist.encode(out);
+        self.bytes.encode(out);
+        self.messages.encode(out);
+        self.rounds.encode(out);
+        self.dropouts.encode(out);
+        self.cache_hits.encode(out);
+        self.cache_misses.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::wire::WireError> {
+        Ok(OpLedger {
+            enc: OpCount::decode(input)?,
+            dec: OpCount::decode(input)?,
+            he_add: OpCount::decode(input)?,
+            plain: OpCount::decode(input)?,
+            dist: OpCount::decode(input)?,
+            bytes: u64::decode(input)?,
+            messages: u64::decode(input)?,
+            rounds: u64::decode(input)?,
+            dropouts: u64::decode(input)?,
+            cache_hits: u64::decode(input)?,
+            cache_misses: u64::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        5 * 16 + 6 * 8
+    }
+}
+
+impl crate::wire::Wire for CostModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.enc_us.encode(out);
+        self.dec_us.encode(out);
+        self.he_add_us.encode(out);
+        self.plain_op_us.encode(out);
+        self.dist_us.encode(out);
+        self.latency_us.encode(out);
+        self.bytes_per_us.encode(out);
+        self.cipher_bytes.encode(out);
+        self.id_bytes.encode(out);
+        self.scalar_bytes.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, crate::wire::WireError> {
+        Ok(CostModel {
+            enc_us: f64::decode(input)?,
+            dec_us: f64::decode(input)?,
+            he_add_us: f64::decode(input)?,
+            plain_op_us: f64::decode(input)?,
+            dist_us: f64::decode(input)?,
+            latency_us: f64::decode(input)?,
+            bytes_per_us: f64::decode(input)?,
+            cipher_bytes: usize::decode(input)?,
+            id_bytes: usize::decode(input)?,
+            scalar_bytes: usize::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        10 * 8
     }
 }
 
@@ -427,6 +532,43 @@ mod tests {
         let mut big = OpLedger::default();
         big.record_enc(10_000, 4);
         assert!(big.simulated_seconds(&model) > small.simulated_seconds(&model));
+    }
+
+    #[test]
+    fn cache_counters_are_counted_but_free() {
+        let model = CostModel::default();
+        let mut l = OpLedger::default();
+        l.record_enc(10, 2);
+        let before = l.simulated_us(&model);
+        l.record_cache_hit();
+        l.record_cache_miss();
+        assert_eq!((l.cache_hits, l.cache_misses), (1, 1));
+        assert_eq!(l.simulated_us(&model), before, "cache bookkeeping carries no simulated cost");
+        let mut m = OpLedger::default();
+        m.merge_times(&l, 4);
+        assert_eq!((m.cache_hits, m.cache_misses), (4, 4));
+        let mut n = OpLedger::default();
+        n.merge(&l);
+        assert_eq!((n.cache_hits, n.cache_misses), (1, 1));
+    }
+
+    #[test]
+    fn ledger_and_model_roundtrip_through_wire() {
+        use crate::wire::Wire;
+        let mut l = OpLedger::default();
+        l.record_enc(7, 3);
+        l.record_dec(5);
+        l.record_he_add(11);
+        l.record_dist(13, 2);
+        l.record_traffic(4096, 9);
+        l.record_round();
+        l.record_dropout();
+        l.record_cache_hit();
+        l.record_cache_miss();
+        assert_eq!(OpLedger::from_bytes(&l.to_bytes()).unwrap(), l);
+
+        let model = CostModel::default();
+        assert_eq!(CostModel::from_bytes(&model.to_bytes()).unwrap(), model);
     }
 
     #[test]

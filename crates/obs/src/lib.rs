@@ -8,7 +8,7 @@
 //!
 //! Three primitives:
 //!
-//! * **Spans** — RAII phase timers ([`span`] / [`span!`]) that nest: a
+//! * **Spans** — RAII phase timers ([`span()`](fn@span) / [`span!`]) that nest: a
 //!   span opened while another is open on the same thread becomes its
 //!   child. The finished capture is a forest, exported as a JSON tree.
 //! * **Metrics** — monotonic counters, gauges, and log2-bucket histograms
@@ -173,7 +173,7 @@ fn elapsed_us(epoch: Instant) -> u64 {
     u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// RAII guard returned by [`span`]; the span closes when it drops.
+/// RAII guard returned by [`span()`](fn@span); the span closes when it drops.
 pub struct SpanGuard {
     token: Option<SpanToken>,
 }

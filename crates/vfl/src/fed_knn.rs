@@ -105,7 +105,7 @@ pub struct ResilientBatch {
 }
 
 /// Result of one federated KNN query.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryOutcome {
     /// Absolute row ids of the k nearest database instances, nearest first.
     pub topk_rows: Vec<usize>,
@@ -117,6 +117,28 @@ pub struct QueryOutcome {
     /// Instances whose partial distances were encrypted for this query
     /// (at simulation scale — the Fig. 9 metric).
     pub candidates: usize,
+}
+
+impl vfps_net::wire::Wire for QueryOutcome {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.topk_rows.encode(out);
+        self.d_t.encode(out);
+        self.d_t_total.encode(out);
+        self.candidates.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, vfps_net::wire::WireError> {
+        Ok(QueryOutcome {
+            topk_rows: Vec::<usize>::decode(input)?,
+            d_t: Vec::<f64>::decode(input)?,
+            d_t_total: f64::decode(input)?,
+            candidates: usize::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.topk_rows.encoded_len() + self.d_t.encoded_len() + 8 + 8
+    }
 }
 
 /// The logical federated KNN engine for a fixed database and consortium.
@@ -411,6 +433,48 @@ impl<'a> FedKnn<'a> {
             ledger.merge(&local);
             outcomes.push(outcome);
         }
+        outcomes
+    }
+
+    /// As [`FedKnn::query_batch`], but with a warm-start memo: queries whose
+    /// row appears in `memo` are served from it verbatim — no local
+    /// distances, no encryption, no traffic, nothing billed to `ledger` —
+    /// while the remaining queries run the real protocol on `pool`.
+    /// Outcomes come back in query order regardless of the hit pattern.
+    ///
+    /// Each served query increments the `fed_knn.memo.served` obs counter;
+    /// this is the engine-level hook behind the selection-artifact cache
+    /// (DESIGN.md §9). With an empty memo this is exactly
+    /// [`FedKnn::query_batch`]: bit-identical outcomes and billing.
+    ///
+    /// # Panics
+    /// Panics if any non-memoized query row is out of range of the
+    /// underlying matrix.
+    pub fn query_batch_memo(
+        &self,
+        query_rows: &[usize],
+        memo: &HashMap<usize, QueryOutcome>,
+        pool: &vfps_par::Pool,
+        ledger: &mut OpLedger,
+    ) -> Vec<QueryOutcome> {
+        if memo.is_empty() {
+            return self.query_batch(query_rows, pool, ledger);
+        }
+        let missing: Vec<usize> =
+            query_rows.iter().copied().filter(|q| !memo.contains_key(q)).collect();
+        let mut computed = self.query_batch(&missing, pool, ledger).into_iter();
+        let mut served = 0u64;
+        let outcomes = query_rows
+            .iter()
+            .map(|q| match memo.get(q) {
+                Some(hit) => {
+                    served += 1;
+                    hit.clone()
+                }
+                None => computed.next().expect("one computed outcome per missing query"),
+            })
+            .collect();
+        vfps_obs::counter_add("fed_knn.memo.served", served);
         outcomes
     }
 
@@ -765,6 +829,66 @@ mod tests {
                     assert_eq!(bits(&a.d_t), bits(&b.d_t), "{mode:?}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn memo_batch_serves_hits_free_and_computes_misses() {
+        let (x, part) = toy();
+        let db: Vec<usize> = (0..8).collect();
+        let queries: Vec<usize> = (0..8).collect();
+        let engine = FedKnn::new(
+            &x,
+            &part,
+            &[0, 1],
+            &db,
+            FedKnnConfig { k: 3, mode: KnnMode::Fagin, batch: 2, cost_scale: 1.0 },
+        );
+        let pool = vfps_par::Pool::with_threads(2);
+
+        let mut cold_ledger = OpLedger::default();
+        let cold = engine.query_batch(&queries, &pool, &mut cold_ledger);
+
+        // Full memo: every query served, nothing billed.
+        let memo: HashMap<usize, QueryOutcome> =
+            queries.iter().copied().zip(cold.iter().cloned()).collect();
+        let mut warm_ledger = OpLedger::default();
+        let warm = engine.query_batch_memo(&queries, &memo, &pool, &mut warm_ledger);
+        assert_eq!(warm_ledger, OpLedger::default(), "full memo bills nothing");
+        assert_eq!(warm, cold);
+
+        // Partial memo: only the misses are billed, order is preserved.
+        let partial: HashMap<usize, QueryOutcome> =
+            [0usize, 3, 6].iter().map(|&q| (q, cold[q].clone())).collect();
+        let mut mixed_ledger = OpLedger::default();
+        let mixed = engine.query_batch_memo(&queries, &partial, &pool, &mut mixed_ledger);
+        assert_eq!(mixed, cold);
+        let mut miss_ledger = OpLedger::default();
+        let _ = engine.query_batch(&[1, 2, 4, 5, 7], &pool, &mut miss_ledger);
+        assert_eq!(mixed_ledger, miss_ledger, "hits must not be billed");
+
+        // Empty memo degenerates to query_batch exactly.
+        let mut empty_ledger = OpLedger::default();
+        let none = engine.query_batch_memo(&queries, &HashMap::new(), &pool, &mut empty_ledger);
+        assert_eq!(none, cold);
+        assert_eq!(empty_ledger, cold_ledger);
+    }
+
+    #[test]
+    fn query_outcome_roundtrips_through_wire() {
+        use vfps_net::wire::Wire;
+        let (x, part) = toy();
+        let db: Vec<usize> = (0..8).collect();
+        let engine = FedKnn::new(&x, &part, &[0, 1], &db, FedKnnConfig::default());
+        let mut ledger = OpLedger::default();
+        for q in 0..8 {
+            let out = engine.query(q, &mut ledger);
+            let back = QueryOutcome::from_bytes(&out.to_bytes()).unwrap();
+            assert_eq!(back.topk_rows, out.topk_rows);
+            assert_eq!(back.candidates, out.candidates);
+            assert_eq!(back.d_t_total.to_bits(), out.d_t_total.to_bits());
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&back.d_t), bits(&out.d_t));
         }
     }
 

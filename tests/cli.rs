@@ -112,6 +112,45 @@ fn trace_out_writes_span_tree_json() {
 }
 
 #[test]
+fn cache_dir_serves_the_second_run_warm() {
+    let dir = std::env::temp_dir().join(format!("vfps_cli_cache_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run = || {
+        let out = vfps()
+            .args([
+                "--synthetic",
+                "Rice",
+                "--parties",
+                "4",
+                "--select",
+                "2",
+                "--method",
+                "vfps-sm",
+                "--queries",
+                "8",
+                "--cache-dir",
+                dir.to_str().unwrap(),
+            ])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let cold = run();
+    assert!(cold.contains("cache: cold"), "{cold}");
+    let warm = run();
+    assert!(warm.contains("cache: warm"), "{warm}");
+    // Warm serving must reproduce the cold selection: the printed chosen
+    // set (the trailing `[..]` on the VFPS-SM row) is identical.
+    let chosen = |s: &str| -> String {
+        let row = s.lines().find(|l| l.starts_with("VFPS-SM")).expect("result row").to_owned();
+        row[row.find('[').expect("chosen set")..].to_owned()
+    };
+    assert_eq!(chosen(&cold), chosen(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     // Unknown method.
     let out =
