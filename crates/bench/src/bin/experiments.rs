@@ -47,6 +47,32 @@ fn main() {
         std::process::exit(vfps_bench::check::run_bench_check(&current, &baseline, tolerance));
     }
 
+    // `bench-serve` drives the selection service under concurrent load; it
+    // has its own flags (`--clients`, `--addr`) so it is dispatched before
+    // the generic experiment ids.
+    if args.first().map(String::as_str) == Some("bench-serve") {
+        let mut cfg = vfps_bench::serve::ServeBenchConfig::default();
+        let mut it = args.iter().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => cfg.quick = true,
+                "--clients" => {
+                    cfg.clients = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--clients needs a number"));
+                }
+                "--addr" => {
+                    cfg.addr =
+                        Some(it.next().cloned().unwrap_or_else(|| usage("--addr needs a value")));
+                }
+                other => usage(&format!("unexpected argument {other}")),
+            }
+        }
+        println!("{}", vfps_bench::serve::bench_serve(&cfg));
+        return;
+    }
+
     let mut id: Option<String> = None;
     let mut cfg = ExpConfig::default();
     let mut it = args.iter();
@@ -146,10 +172,12 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: experiments <id> [--runs N] [--quick] [--cached]\n\
          \x20      experiments bench-check [--current F] [--baseline F] [--tolerance N]\n\
+         \x20      experiments bench-serve [--quick] [--clients N] [--addr host:port]\n\
          ids: table1 tables45 fig4 fig5 fig6 fig7 fig8 fig9\n\
          \x20    ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown bench-selection calibrate all\n\
          --cached additionally exercises the selection-artifact cache in bench-selection;\n\
-         bench-check diffs BENCH_selection.json against results/bench_baseline.json"
+         bench-check diffs BENCH_selection.json against results/bench_baseline.json;\n\
+         bench-serve load-tests the selection service (in-process, or --addr for a daemon)"
     );
     std::process::exit(2)
 }

@@ -44,6 +44,99 @@ impl Value {
             _ => None,
         }
     }
+
+    /// On an object: replaces the value at `key` or appends the pair,
+    /// preserving the order of existing keys. No-op on other variants.
+    pub fn set(&mut self, key: &str, value: Value) {
+        if let Value::Obj(fields) = self {
+            match fields.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value,
+                None => fields.push((key.to_owned(), value)),
+            }
+        }
+    }
+
+    /// Serializes back to JSON (2-space indent, object key order
+    /// preserved) — the write half of the parser above, used to merge new
+    /// sections into an existing artifact without disturbing the rest.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => out.push_str(&fmt_num(*n)),
+            Value::Str(s) => write_str(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                }
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    push_indent(out, indent + 1);
+                    write_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 == fields.len() { "\n" } else { ",\n" });
+                }
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Integers print without a decimal point (greppable counters); other
+/// values use `f64`'s shortest round-trip form.
+fn fmt_num(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure: byte offset and message.
@@ -293,6 +386,36 @@ mod tests {
             let e = parse(bad).unwrap_err();
             assert!(e.to_string().contains("byte"), "{bad}: {e}");
         }
+    }
+
+    #[test]
+    fn serializer_roundtrips_through_the_parser() {
+        let doc = r#"{
+          "name": "bench", "n": 16, "pi": 3.25, "neg": -2,
+          "flags": [true, false, null],
+          "nested": {"empty_arr": [], "empty_obj": {}, "text": "a\nb\"c\""}
+        }"#;
+        let v = parse(doc).unwrap();
+        let emitted = v.to_json();
+        assert_eq!(parse(&emitted).unwrap(), v, "serialize→parse must be identity");
+        // Integers stay integers (greppable), floats keep their value.
+        assert!(emitted.contains("\"n\": 16"), "{emitted}");
+        assert!(emitted.contains("\"pi\": 3.25"), "{emitted}");
+    }
+
+    #[test]
+    fn set_replaces_in_place_and_appends_new_keys() {
+        let mut v = parse(r#"{"a": 1, "b": 2}"#).unwrap();
+        v.set("a", Value::Num(9.0));
+        v.set("c", Value::Str("new".into()));
+        match &v {
+            Value::Obj(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, vec!["a", "b", "c"], "replace keeps order, append goes last");
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+        assert_eq!(v.get("a").and_then(Value::as_num), Some(9.0));
     }
 
     #[test]

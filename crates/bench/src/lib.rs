@@ -7,6 +7,7 @@
 pub mod check;
 pub mod experiments;
 pub mod json;
+pub mod serve;
 
 use std::path::PathBuf;
 use std::time::Instant;

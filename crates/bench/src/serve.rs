@@ -1,0 +1,370 @@
+//! `experiments bench-serve` — the load generator for the vfps-serve
+//! daemon.
+//!
+//! Drives N concurrent clients through a mixed workload — warm repeats of
+//! a hot request, cold requests with unique seeds, and one-party churn —
+//! then a deliberate over-capacity burst, then a graceful shutdown. It
+//! verifies the service invariants end to end:
+//!
+//! * **zero lost or duplicated responses** — every request id is answered
+//!   exactly once;
+//! * **warm serving** — repeat requests report `cache_hits > 0` and
+//!   `enc_instances == 0`;
+//! * **typed backpressure** — the burst trips at least one `Busy`, never
+//!   an unbounded queue;
+//! * **clean drain** — the final report shows `in_flight == 0` and
+//!   `accepted == completed + failed`.
+//!
+//! Results (throughput, client-observed p50/p95/p99 latency per mode) are
+//! merged into `BENCH_selection.json` as a `serve_breakdown` section
+//! without disturbing the rest of the artifact.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vfps_serve::{Client, DrainReport, Response, SelectRequest, ServeConfig, Server};
+
+use crate::json::{parse, Value};
+use crate::markdown_table;
+
+/// The server parameters the workload assumes. An external daemon driven
+/// via `--addr` must be started with exactly these (`vfps serve
+/// --synthetic Bank --instances 240 --parties 4 --seed 42`), or requests
+/// will be cold where the bench expects warm.
+pub const SERVER_DATASET: &str = "Bank";
+/// Instance count matching [`SERVER_DATASET`].
+pub const SERVER_INSTANCES: usize = 240;
+/// Partition size the workload's party sets are drawn from.
+pub const SERVER_PARTIES: usize = 4;
+/// Dataset/partition seed; the hot request reuses it so a direct
+/// `vfps --synthetic Bank --seed 42` run is bit-identical.
+pub const SERVER_SEED: u64 = 42;
+
+/// Load-generator configuration.
+pub struct ServeBenchConfig {
+    /// Fewer requests per client, smaller burst.
+    pub quick: bool,
+    /// Concurrent load clients (the acceptance floor is 8).
+    pub clients: usize,
+    /// Drive an already-running daemon instead of an in-process server.
+    pub addr: Option<String>,
+}
+
+impl Default for ServeBenchConfig {
+    fn default() -> Self {
+        ServeBenchConfig { quick: false, clients: 8, addr: None }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Mode {
+    Cold,
+    Warm,
+    Churn,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Cold => "cold",
+            Mode::Warm => "warm",
+            Mode::Churn => "churn",
+        }
+    }
+}
+
+struct Outcome {
+    id: u64,
+    mode: Mode,
+    latency_us: u64,
+    reply_status: String,
+    enc_instances: u64,
+    cache_hits: u64,
+    busy_retries: u64,
+}
+
+fn hot_request(id: u64) -> SelectRequest {
+    SelectRequest {
+        request_id: id,
+        party_set: (0..SERVER_PARTIES).collect(),
+        select: 2,
+        k: 10,
+        query_count: 8,
+        mode: 1,
+        seed: SERVER_SEED,
+        deadline_ms: 0,
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+/// Runs the full workload and returns the human-readable report. Panics
+/// on any violated invariant — the CI `serve` job runs this under a hard
+/// timeout and treats a panic as failure.
+#[must_use]
+pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
+    let per_client: usize = if cfg.quick { 3 } else { 6 };
+    let clients = cfg.clients.max(1);
+
+    // 1. Server: in-process unless an external daemon was given.
+    let (addr, server_handle) = match &cfg.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(&ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                dataset: SERVER_DATASET.into(),
+                instances: SERVER_INSTANCES,
+                parties: SERVER_PARTIES,
+                data_seed: SERVER_SEED,
+                max_concurrent: 2,
+                queue_capacity: clients / 2,
+                default_deadline: Duration::from_secs(60),
+                cache_dir: None,
+                once: false,
+                trace_out: None,
+            })
+            .expect("bind in-process server");
+            let addr = server.local_addr().to_string();
+            (addr, Some(std::thread::spawn(move || server.run().expect("server run"))))
+        }
+    };
+
+    // 2. Prime the cache: one cold run of the hot request.
+    let mut primer = Client::connect(&addr).expect("connect primer");
+    let prime = match primer.select(&hot_request(1)).expect("prime roundtrip") {
+        Response::Selected(r) => r,
+        other => panic!("prime request must select, got {other:?}"),
+    };
+
+    // 3. Sustained mixed load: `clients` threads, each issuing warm/cold/
+    //    churn requests with unique ids; Busy is retried with backoff and
+    //    counted.
+    let addr = Arc::new(addr);
+    let load_started = Instant::now();
+    let outcomes: Vec<Outcome> = {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr.as_str()).expect("connect load client");
+                    client.set_read_timeout(Some(Duration::from_secs(180))).unwrap();
+                    let mut out = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let id = 1000 + (c * per_client + i) as u64;
+                        let mode = match i % 3 {
+                            0 => Mode::Warm,
+                            1 => Mode::Cold,
+                            _ => Mode::Churn,
+                        };
+                        let mut req = hot_request(id);
+                        match mode {
+                            Mode::Warm => {}
+                            // Unique seed: a fingerprint no one else wrote.
+                            Mode::Cold => req.seed = 10_000 + id,
+                            // Hot entry minus its last party: the cached
+                            // neighbor serves it incrementally.
+                            Mode::Churn => {
+                                req.party_set.pop();
+                                req.select = 2;
+                            }
+                        }
+                        let mut busy_retries = 0u64;
+                        let started = Instant::now();
+                        let reply = loop {
+                            match client.select(&req).expect("load roundtrip") {
+                                Response::Busy { .. } => {
+                                    busy_retries += 1;
+                                    std::thread::sleep(Duration::from_millis(20));
+                                }
+                                other => break other,
+                            }
+                        };
+                        let latency_us = started.elapsed().as_micros() as u64;
+                        match reply {
+                            Response::Selected(r) => {
+                                assert_eq!(r.request_id, id, "response/request correlation");
+                                out.push(Outcome {
+                                    id,
+                                    mode,
+                                    latency_us,
+                                    reply_status: r.cache_status.clone(),
+                                    enc_instances: r.enc_instances,
+                                    cache_hits: r.cache_hits,
+                                    busy_retries,
+                                });
+                            }
+                            other => panic!("load request {id} failed: {other:?}"),
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("load client panicked")).collect()
+    };
+    let load_wall = load_started.elapsed();
+
+    // Zero lost or duplicated responses: every issued id answered once.
+    let mut seen = HashMap::new();
+    for o in &outcomes {
+        *seen.entry(o.id).or_insert(0u32) += 1;
+    }
+    let duplicated = seen.values().filter(|&&n| n > 1).count();
+    let lost = clients * per_client - seen.len();
+    assert_eq!(duplicated, 0, "duplicated responses");
+    assert_eq!(lost, 0, "lost responses");
+
+    // Warm requests must be served from the cache without encrypting.
+    for o in &outcomes {
+        if o.mode == Mode::Warm {
+            assert_eq!(o.enc_instances, 0, "warm request {} re-encrypted", o.id);
+            assert!(o.cache_hits > 0, "warm request {} missed the cache", o.id);
+            assert_eq!(o.reply_status, "warm", "request {}", o.id);
+        }
+        if o.mode == Mode::Churn {
+            assert_eq!(o.enc_instances, 0, "churn request {} re-encrypted", o.id);
+        }
+    }
+    let load_retries: u64 = outcomes.iter().map(|o| o.busy_retries).sum();
+
+    // 4. Over-capacity burst: one-shot cold submits from 2x-clients
+    //    simultaneous connections, no retry — admission control must turn
+    //    the overflow into typed Busy replies.
+    let burst_size = clients * 2;
+    let burst_results: Vec<Response> = {
+        let handles: Vec<_> = (0..burst_size)
+            .map(|i| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr.as_str()).expect("connect burst client");
+                    client.set_read_timeout(Some(Duration::from_secs(180))).unwrap();
+                    let mut req = hot_request(5000 + i as u64);
+                    req.seed = 50_000 + i as u64; // all cold: slow enough to pile up
+                    client.select(&req).expect("burst roundtrip")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("burst client panicked")).collect()
+    };
+    let busy_burst = burst_results.iter().filter(|r| matches!(r, Response::Busy { .. })).count();
+    let burst_selected =
+        burst_results.iter().filter(|r| matches!(r, Response::Selected(_))).count();
+    assert_eq!(
+        busy_burst + burst_selected,
+        burst_size,
+        "burst replies must be Selected or Busy only"
+    );
+    assert!(busy_burst >= 1, "an over-capacity burst must trip Busy at least once");
+
+    // 5. Graceful shutdown: drain must account for everything.
+    let report: DrainReport = primer.shutdown().expect("shutdown");
+    assert_eq!(report.in_flight, 0, "drain left work in flight");
+    assert_eq!(
+        report.accepted,
+        report.completed + report.failed,
+        "admitted work must be fully answered"
+    );
+    assert!(report.cache_hits > 0, "the workload must produce warm hits");
+    if let Some(handle) = server_handle {
+        let final_report = handle.join().expect("server thread panicked");
+        assert_eq!(final_report.in_flight, 0);
+    }
+
+    // 6. Aggregate + emit.
+    let completed_total = outcomes.len() + burst_selected + 1; // +1 primer
+    let throughput_rps = outcomes.len() as f64 / load_wall.as_secs_f64();
+    let mut per_mode: HashMap<Mode, Vec<u64>> = HashMap::new();
+    for o in &outcomes {
+        per_mode.entry(o.mode).or_default().push(o.latency_us);
+    }
+
+    let mut mode_objs: Vec<(String, Value)> = Vec::new();
+    let mut md_rows: Vec<Vec<String>> = Vec::new();
+    for mode in [Mode::Cold, Mode::Warm, Mode::Churn] {
+        let mut lat = per_mode.remove(&mode).unwrap_or_default();
+        lat.sort_unstable();
+        let (p50, p95, p99) =
+            (percentile(&lat, 0.50), percentile(&lat, 0.95), percentile(&lat, 0.99));
+        let mut fields = vec![
+            ("count".to_owned(), Value::Num(lat.len() as f64)),
+            ("p50_us".to_owned(), Value::Num(p50 as f64)),
+            ("p95_us".to_owned(), Value::Num(p95 as f64)),
+            ("p99_us".to_owned(), Value::Num(p99 as f64)),
+        ];
+        if mode != Mode::Cold {
+            fields.push(("enc_instances".to_owned(), Value::Num(0.0)));
+        }
+        mode_objs.push((mode.name().to_owned(), Value::Obj(fields)));
+        md_rows.push(vec![
+            mode.name().to_owned(),
+            lat.len().to_string(),
+            format!("{:.2}", p50 as f64 / 1e3),
+            format!("{:.2}", p95 as f64 / 1e3),
+            format!("{:.2}", p99 as f64 / 1e3),
+        ]);
+    }
+
+    let breakdown = Value::Obj(
+        [
+            ("clients".to_owned(), Value::Num(clients as f64)),
+            ("requests_completed".to_owned(), Value::Num(completed_total as f64)),
+            ("lost_responses".to_owned(), Value::Num(lost as f64)),
+            ("duplicated_responses".to_owned(), Value::Num(duplicated as f64)),
+            ("busy_retries".to_owned(), Value::Num(load_retries as f64)),
+            ("busy_burst".to_owned(), Value::Num(busy_burst as f64)),
+            ("serve_rejected".to_owned(), Value::Num(report.rejected as f64)),
+            ("drain_in_flight".to_owned(), Value::Num(report.in_flight as f64)),
+            ("throughput_rps".to_owned(), Value::Num((throughput_rps * 1e3).round() / 1e3)),
+        ]
+        .into_iter()
+        .chain(mode_objs)
+        .collect(),
+    );
+    merge_into_artifact("BENCH_selection.json", breakdown);
+
+    let table = markdown_table(&["mode", "requests", "p50 (ms)", "p95 (ms)", "p99 (ms)"], &md_rows);
+    format!(
+        "## bench-serve ({clients} clients × {per_client} requests + {burst_size} burst)\n\n\
+         prime: cache={} enc={}\n\
+         throughput: {throughput_rps:.1} req/s sustained ({} responses, 0 lost, 0 duplicated)\n\
+         backpressure: {busy_burst} Busy in the burst, {load_retries} Busy retries under load\n\
+         drain: accepted {} completed {} failed {} rejected {} in-flight {} cache-hits {}\n\n{table}",
+        prime.cache_status,
+        prime.enc_instances,
+        outcomes.len(),
+        report.accepted,
+        report.completed,
+        report.failed,
+        report.rejected,
+        report.in_flight,
+        report.cache_hits,
+    )
+}
+
+/// Merges `serve_breakdown` into an existing `BENCH_selection.json`
+/// (preserving every other key), or writes a minimal document if the file
+/// is absent or unparseable.
+fn merge_into_artifact(path: &str, breakdown: Value) {
+    let mut doc = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse(&text).ok())
+        .unwrap_or_else(|| {
+            Value::Obj(vec![(
+                "benchmark".to_owned(),
+                Value::Str("selection thread scaling".to_owned()),
+            )])
+        });
+    doc.set("serve_breakdown", breakdown);
+    if let Err(e) = std::fs::write(path, doc.to_json()) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("[saved {path} (serve_breakdown)]");
+    }
+}

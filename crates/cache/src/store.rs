@@ -181,10 +181,6 @@ impl ArtifactCache {
     /// `cache.hit` / `cache.miss` obs counters.
     pub fn lookup(&self, key: &CacheKey) -> Result<Option<CacheEntry>, CacheError> {
         let path = self.path_for(key);
-        if !path.exists() {
-            vfps_obs::counter_add("cache.miss", 1);
-            return Ok(None);
-        }
         match read_entry(&path) {
             Ok(entry) => {
                 if entry.key != *key {
@@ -193,6 +189,13 @@ impl ArtifactCache {
                 }
                 vfps_obs::counter_add("cache.hit", 1);
                 Ok(Some(entry))
+            }
+            // A missing file is a clean miss — including one that vanished
+            // between a directory scan and this open because a concurrent
+            // evictor removed it.
+            Err(CacheError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                vfps_obs::counter_add("cache.miss", 1);
+                Ok(None)
             }
             Err(e) => {
                 vfps_obs::counter_add("cache.miss", 1);
@@ -239,6 +242,13 @@ impl ArtifactCache {
     /// Stores `entry` (overwriting any file at its address, including a
     /// corrupt one), then enforces the byte cap and refreshes the
     /// `cache.bytes` gauge.
+    ///
+    /// The write is atomic with respect to concurrent readers: the frame is
+    /// written to a uniquely named `.tmp` sibling and `rename`d into place,
+    /// so another process sharing the directory (e.g. two `--cache-dir`
+    /// sessions, or the serving daemon's workers) can never observe a
+    /// truncated entry mid-write — it sees either the old file, the new
+    /// file, or no file at all.
     pub fn store(&self, entry: &CacheEntry) -> Result<PathBuf, CacheError> {
         let path = self.path_for(&entry.key);
         let payload = entry.to_bytes();
@@ -246,7 +256,18 @@ impl ArtifactCache {
         bytes.extend_from_slice(&MAGIC);
         bytes.extend_from_slice(&payload);
         bytes.extend_from_slice(&Fnv128::of(&payload).to_le_bytes());
-        std::fs::write(&path, &bytes)?;
+        // Unique per process *and* call, so two concurrent writers of the
+        // same key never clobber each other's staging file; the extension
+        // is not `vfpsc`, so scans never pick a staging file up.
+        static STORE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = STORE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp =
+            self.dir.join(format!("{}.{}-{seq}.tmp", entry.key.file_stem(), std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
         self.enforce_cap(&path)?;
         vfps_obs::gauge_set("cache.bytes", self.total_bytes()? as f64);
         Ok(path)
@@ -277,7 +298,14 @@ impl ArtifactCache {
             if path.extension().is_none_or(|x| x != EXTENSION) {
                 continue;
             }
-            let meta = e.metadata()?;
+            // An entry can vanish between readdir and stat when another
+            // thread or process evicts it; that is not an error, the file
+            // is simply gone.
+            let meta = match e.metadata() {
+                Ok(m) => m,
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(err) => return Err(err.into()),
+            };
             let mtime = meta.modified().unwrap_or(std::time::SystemTime::UNIX_EPOCH);
             out.push((path, mtime, meta.len()));
         }
@@ -297,7 +325,13 @@ impl ArtifactCache {
             if path == keep {
                 continue;
             }
-            std::fs::remove_file(&path)?;
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                // A concurrent evictor already removed it — the bytes are
+                // reclaimed either way.
+                Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+                Err(err) => return Err(err.into()),
+            }
             vfps_obs::counter_add("cache.evict", 1);
             total = total.saturating_sub(len);
         }

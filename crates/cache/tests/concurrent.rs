@@ -1,0 +1,214 @@
+//! Concurrency properties of the artifact store (ISSUE 5 satellite):
+//! with atomic tmp+rename writes, readers hammering the same key, churn
+//! prefix-scans, and competing evictors must never observe a *corruption*
+//! error (`Checksum` / `Truncated` / `BadMagic` / `Corrupt`). A reader may
+//! see a clean miss (the entry was evicted) or a full, bit-exact hit —
+//! nothing in between.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use vfps_cache::{ArtifactCache, CacheEntry, CacheError, CacheKey, Fnv128};
+use vfps_net::cost::OpLedger;
+use vfps_vfl::fed_knn::QueryOutcome;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("vfps_cache_concurrent_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key_with_parties(parties: &[usize]) -> CacheKey {
+    CacheKey {
+        dataset: Fnv128::of(b"conc-ds"),
+        partition: Fnv128::of(b"conc-part"),
+        db: Fnv128::of(b"conc-db"),
+        queries: vec![3, 5, 8],
+        party_set: parties.to_vec(),
+        k: 4,
+        batch: 16,
+        mode: 1,
+        cost_scale_bits: 1.0f64.to_bits(),
+        cost_model: Fnv128::of(b"conc-cost"),
+        seed: 99,
+    }
+}
+
+fn entry_with_parties(parties: &[usize]) -> CacheEntry {
+    let key = key_with_parties(parties);
+    let outcomes = key
+        .queries
+        .iter()
+        .map(|&q| {
+            let d_t: Vec<f64> = parties.iter().map(|&p| p as f64 * 0.25 + 1.0).collect();
+            QueryOutcome {
+                topk_rows: vec![q, q + 1, q + 7],
+                d_t_total: d_t.iter().sum(),
+                d_t,
+                candidates: q + 2,
+            }
+        })
+        .collect();
+    let mut ledger = OpLedger::default();
+    ledger.record_enc(64, parties.len() as u64);
+    ledger.record_round();
+    CacheEntry {
+        key,
+        outcomes,
+        similarity: vec![vec![0.5; parties.len()]; parties.len()],
+        chosen: vec![parties[0]],
+        scores: parties.iter().map(|&p| p as f64 + 0.125).collect(),
+        candidates_per_query: 3.0,
+        ledger,
+    }
+}
+
+/// Panic message distinguishing a torn-write symptom (what the atomic
+/// rename must rule out) from a plain i/o failure.
+fn classify(e: &CacheError) -> &'static str {
+    match e {
+        CacheError::Checksum
+        | CacheError::Truncated
+        | CacheError::BadMagic
+        | CacheError::Corrupt(_)
+        | CacheError::KeyCollision => "torn entry",
+        CacheError::Io(_) => "i/o error",
+    }
+}
+
+/// Two threads store/load the same key while a third prefix-scans for
+/// churn neighbors, all against a byte-capped cache that is continuously
+/// evicting. No reader may ever see a corruption error.
+#[test]
+fn concurrent_store_load_and_churn_scan_never_see_torn_entries() {
+    let dir = scratch_dir("hammer");
+    let hot = entry_with_parties(&[0, 1, 2]);
+    let neighbor_key = key_with_parties(&[0, 1, 2, 3]);
+
+    // Size the cap around ~2 entries so every few stores trigger eviction.
+    let entry_bytes = {
+        let probe = ArtifactCache::open(&dir).unwrap();
+        let p = probe.store(&hot).unwrap();
+        let s = std::fs::metadata(&p).unwrap().len();
+        std::fs::remove_file(&p).unwrap();
+        s
+    };
+    let cap = entry_bytes * 2 + entry_bytes / 2;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    const ROUNDS: usize = 250;
+
+    let writer = {
+        let dir = dir.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let cache = ArtifactCache::open(&dir).unwrap().with_max_bytes(cap);
+            // Rotate through same-base neighbors plus the hot key, so the
+            // cap keeps evicting and the churn scan has prefix siblings.
+            let entries: Vec<CacheEntry> =
+                [vec![0, 1, 2], vec![0, 1], vec![0, 1, 2, 4], vec![1, 2]]
+                    .iter()
+                    .map(|p| entry_with_parties(p))
+                    .collect();
+            for i in 0..ROUNDS {
+                for e in &entries {
+                    cache.store(e).expect("store must survive concurrent eviction");
+                }
+                if i % 8 == 0 {
+                    let _ = cache.total_bytes().expect("byte scan must tolerate races");
+                }
+            }
+            stop.store(true, Ordering::Release);
+        })
+    };
+
+    let reader = {
+        let dir = dir.clone();
+        let stop = stop.clone();
+        let key = hot.key.clone();
+        let expect = hot.clone();
+        std::thread::spawn(move || {
+            let cache = ArtifactCache::open(&dir).unwrap();
+            let mut hits = 0usize;
+            while !stop.load(Ordering::Acquire) {
+                match cache.lookup(&key) {
+                    Ok(Some(entry)) => {
+                        assert_eq!(entry, expect, "a hit must be bit-exact");
+                        hits += 1;
+                    }
+                    Ok(None) => {} // evicted between stores: a clean miss
+                    Err(e) => panic!("reader observed {}: {e}", classify(&e)),
+                }
+            }
+            hits
+        })
+    };
+
+    let scanner = {
+        let dir = dir.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let cache = ArtifactCache::open(&dir).unwrap();
+            while !stop.load(Ordering::Acquire) {
+                match cache.lookup_churn(&neighbor_key) {
+                    Ok(_) => {} // hit-or-miss both fine; only errors matter
+                    Err(e) => panic!("churn scan observed {}: {e}", classify(&e)),
+                }
+            }
+        })
+    };
+
+    writer.join().expect("writer thread panicked");
+    let hits = reader.join().expect("reader thread panicked");
+    scanner.join().expect("scanner thread panicked");
+    assert!(hits > 0, "reader should land at least one warm hit across {ROUNDS} rounds");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two capped caches sharing one directory evict against each other:
+/// `remove_file` races must be swallowed, byte accounting must not error,
+/// and a final single-threaded pass must still read every surviving entry.
+#[test]
+fn competing_evictors_tolerate_already_removed_files() {
+    let dir = scratch_dir("evictors");
+    let probe_entry = entry_with_parties(&[5, 6]);
+    let entry_bytes = {
+        let probe = ArtifactCache::open(&dir).unwrap();
+        let p = probe.store(&probe_entry).unwrap();
+        let s = std::fs::metadata(&p).unwrap().len();
+        std::fs::remove_file(&p).unwrap();
+        s
+    };
+    let cap = entry_bytes + entry_bytes / 2; // ~1 entry: every store evicts
+
+    let handles: Vec<_> = (0..2)
+        .map(|t| {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                let cache = ArtifactCache::open(&dir).unwrap().with_max_bytes(cap);
+                for i in 0..150 {
+                    let parties: Vec<usize> = vec![t, t + 1, (i % 5) + 2];
+                    cache.store(&entry_with_parties(&parties)).expect("store under contention");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("evictor thread panicked");
+    }
+
+    // Whatever survived must be fully readable.
+    let cache = ArtifactCache::open(&dir).unwrap();
+    for t in 0..2usize {
+        for i in 0..5usize {
+            let key = key_with_parties(&[t, t + 1, i + 2]);
+            match cache.lookup(&key) {
+                Ok(_) => {}
+                Err(e) => panic!("post-race lookup failed: {e}"),
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

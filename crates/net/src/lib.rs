@@ -42,7 +42,7 @@ pub use cluster::{
 pub use cost::{CostModel, OpLedger};
 pub use error::Error;
 pub use fault::FaultPlan;
-pub use wire::{Wire, WireError};
+pub use wire::{read_frame, write_frame, FrameError, Wire, WireError, MAX_FRAME_BYTES};
 
 #[cfg(test)]
 mod proptests {

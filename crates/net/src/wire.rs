@@ -6,6 +6,7 @@
 //! crate is used (DESIGN.md §5).
 
 use std::fmt;
+use std::io::{Read, Write};
 
 /// Decoding error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -213,6 +214,100 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Length-prefixed stream framing
+// ---------------------------------------------------------------------------
+
+/// Upper bound on a single frame's payload. Large enough for any selection
+/// request or reply this workspace produces, small enough that a corrupt or
+/// hostile length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// A failure while reading a framed message off a byte stream.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (including EOF *inside* a frame).
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    TooLarge(usize),
+    /// The payload arrived intact but does not decode as the expected type.
+    Wire(WireError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame of {n} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+            }
+            FrameError::Wire(e) => write!(f, "frame payload undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            FrameError::Wire(e) => Some(e),
+            FrameError::TooLarge(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes `msg` as one frame: a little-endian `u32` payload length followed
+/// by the payload's canonical [`Wire`] encoding, then flushes.
+///
+/// # Errors
+/// Propagates stream errors.
+///
+/// # Panics
+/// Panics if the encoding exceeds [`MAX_FRAME_BYTES`] (a frame that
+/// [`read_frame`] would refuse; sending it would only poison the peer).
+pub fn write_frame<W: Write>(w: &mut W, msg: &impl Wire) -> std::io::Result<()> {
+    let payload = msg.to_bytes();
+    assert!(payload.len() <= MAX_FRAME_BYTES, "outbound frame exceeds MAX_FRAME_BYTES");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one frame and decodes its payload. Returns `Ok(None)` on a clean
+/// EOF *at a frame boundary* (the peer closed between messages); EOF inside
+/// a frame is an [`FrameError::Io`] error.
+///
+/// # Errors
+/// [`FrameError`] on stream failure, an oversized length prefix, or a
+/// payload that does not decode as `T` (trailing bytes included).
+pub fn read_frame<R: Read, T: Wire>(r: &mut R) -> Result<Option<T>, FrameError> {
+    let mut len_bytes = [0u8; 4];
+    // Hand-rolled first-byte probe so that "peer closed between frames" is
+    // distinguishable from "peer died mid-frame".
+    match r.read(&mut len_bytes[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            return read_frame(r);
+        }
+        Err(e) => return Err(FrameError::Io(e)),
+    }
+    r.read_exact(&mut len_bytes[1..])?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    T::from_bytes(&payload).map(Some).map_err(FrameError::Wire)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -278,6 +373,47 @@ mod tests {
         let mut buf = Vec::new();
         (u32::MAX / 2).encode(&mut buf);
         assert!(Vec::<u64>::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &vec![1u64, 2, 3]).unwrap();
+        write_frame(&mut buf, &"two".to_owned()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame::<_, Vec<u64>>(&mut r).unwrap(), Some(vec![1, 2, 3]));
+        assert_eq!(read_frame::<_, String>(&mut r).unwrap(), Some("two".to_owned()));
+        // Clean EOF at the frame boundary: None, not an error.
+        assert!(read_frame::<_, String>(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &vec![7u64; 4]).unwrap();
+        let mut r = &buf[..buf.len() - 3];
+        assert!(matches!(read_frame::<_, Vec<u64>>(&mut r), Err(FrameError::Io(_))));
+        // Truncated even inside the length prefix: still Io, not None.
+        let mut r = &buf[..2];
+        assert!(matches!(read_frame::<_, Vec<u64>>(&mut r), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let bytes = (u32::MAX).to_le_bytes().to_vec();
+        let mut r = &bytes[..];
+        assert!(matches!(
+            read_frame::<_, Vec<u64>>(&mut r),
+            Err(FrameError::TooLarge(n)) if n == u32::MAX as usize
+        ));
+    }
+
+    #[test]
+    fn frame_payload_type_mismatch_is_a_wire_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &3u8).unwrap();
+        let mut r = &buf[..];
+        assert!(matches!(read_frame::<_, u64>(&mut r), Err(FrameError::Wire(_))));
     }
 
     #[test]

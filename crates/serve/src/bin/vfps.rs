@@ -9,9 +9,21 @@
 //! vfps --data a9a.libsvm --format libsvm --parties 8 --select 4 --method vfmine
 //! vfps --synthetic SUSY --parties 4 --select 2 --method all-methods
 //! ```
+//!
+//! Or run it as a service (`vfps serve`) and submit selections over TCP
+//! (`vfps submit`) — repeat requests are served from the artifact cache's
+//! warm path:
+//!
+//! ```text
+//! vfps serve --synthetic Bank --parties 4 --addr 127.0.0.1:7878
+//! vfps submit --addr 127.0.0.1:7878 --select 2 --seed 42
+//! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
+
+use vfps_serve::{Client, Request, Response, SelectRequest, ServeConfig, Server};
 
 use vfps_core::make_selector;
 use vfps_core::pipeline::{Method, PipelineConfig};
@@ -112,7 +124,9 @@ fn parse_args() -> Result<Args, String> {
 fn print_help() {
     println!(
         "vfps — participant selection for vertical federated learning\n\n\
-         USAGE:\n  vfps --data <file> [options]\n  vfps --synthetic <name> [options]\n\n\
+         USAGE:\n  vfps --data <file> [options]\n  vfps --synthetic <name> [options]\n\
+         \x20 vfps serve [options]    run the selection service (see `vfps serve --help`)\n\
+         \x20 vfps submit [options]   submit to a running service (see `vfps submit --help`)\n\n\
          INPUT:\n\
          \x20 --data <file>          CSV or LIBSVM dataset\n\
          \x20 --format csv|libsvm    input format (default csv)\n\
@@ -324,8 +338,232 @@ fn run() -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// `vfps serve` — run the selection daemon.
+// ---------------------------------------------------------------------
+
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--synthetic" => cfg.dataset = value("--synthetic")?,
+            "--instances" => {
+                cfg.instances = value("--instances")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--parties" => {
+                cfg.parties = value("--parties")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => cfg.data_seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--max-concurrent" => {
+                cfg.max_concurrent =
+                    value("--max-concurrent")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--queue-capacity" => {
+                cfg.queue_capacity =
+                    value("--queue-capacity")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--deadline-ms" => {
+                cfg.default_deadline = Duration::from_millis(
+                    value("--deadline-ms")?.parse().map_err(|e| format!("{e}"))?,
+                );
+            }
+            "--cache-dir" => cfg.cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
+            "--trace-out" => cfg.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--once" => cfg.once = true,
+            "--help" | "-h" => {
+                print_serve_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown serve argument {other}")),
+        }
+    }
+    let server = Server::bind(&cfg).map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn print_serve_help() {
+    println!(
+        "vfps serve — run the selection service\n\n\
+         USAGE:\n  vfps serve [options]\n\n\
+         \x20 --addr <host:port>     bind address (default 127.0.0.1:0, port 0 = free port;\n\
+         \x20                        the chosen address is printed as `listening on ...`)\n\
+         \x20 --synthetic <name>     dataset to serve (default Bank)\n\
+         \x20 --instances <n>        dataset rows (default: the spec's simulation size)\n\
+         \x20 --parties <P>          partition size (default 4)\n\
+         \x20 --seed <s>             dataset + partition seed (default 42); a request with\n\
+         \x20                        the same seed is bit-identical to `vfps --seed <s>`\n\
+         \x20 --max-concurrent <n>   selection jobs running at once (default 2)\n\
+         \x20 --queue-capacity <n>   admission queue depth; beyond it submits get Busy\n\
+         \x20                        (default 8)\n\
+         \x20 --deadline-ms <ms>     default per-request deadline (default 30000)\n\
+         \x20 --cache-dir <dir>      artifact cache (default: per-process scratch dir)\n\
+         \x20 --trace-out <file>     write the span/metrics trace as JSON on drain\n\
+         \x20 --once                 serve one selection, then drain and exit"
+    );
+}
+
+// ---------------------------------------------------------------------
+// `vfps submit` — send one request to a running daemon.
+// ---------------------------------------------------------------------
+
+struct SubmitArgs {
+    addr: String,
+    req: SelectRequest,
+    parties: usize,
+    party_set: Option<Vec<usize>>,
+    ping: bool,
+    shutdown: bool,
+}
+
+fn run_submit(args: &[String]) -> Result<(), String> {
+    let mut sub = SubmitArgs {
+        addr: String::new(),
+        req: SelectRequest {
+            request_id: 1,
+            party_set: Vec::new(),
+            select: 2,
+            k: 10,
+            query_count: 32,
+            mode: 1,
+            seed: 42,
+            deadline_ms: 0,
+        },
+        parties: 4,
+        party_set: None,
+        ping: false,
+        shutdown: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => sub.addr = value("--addr")?,
+            "--id" => {
+                sub.req.request_id = value("--id")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--parties" => sub.parties = value("--parties")?.parse().map_err(|e| format!("{e}"))?,
+            "--party-set" => {
+                let set: Result<Vec<usize>, _> =
+                    value("--party-set")?.split(',').map(str::trim).map(str::parse).collect();
+                sub.party_set = Some(set.map_err(|e| format!("{e}"))?);
+            }
+            "--select" => {
+                sub.req.select = value("--select")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--k" => sub.req.k = value("--k")?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => {
+                sub.req.query_count = value("--queries")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--mode" => {
+                sub.req.mode = match value("--mode")?.to_lowercase().as_str() {
+                    "base" => 0,
+                    "fagin" => 1,
+                    "threshold" | "ta" => 2,
+                    other => return Err(format!("unknown mode {other}")),
+                };
+            }
+            "--seed" => sub.req.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--deadline-ms" => {
+                sub.req.deadline_ms =
+                    value("--deadline-ms")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--ping" => sub.ping = true,
+            "--shutdown" => sub.shutdown = true,
+            "--help" | "-h" => {
+                print_submit_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown submit argument {other}")),
+        }
+    }
+    if sub.addr.is_empty() {
+        return Err("--addr is required".into());
+    }
+    sub.req.party_set = sub.party_set.clone().unwrap_or_else(|| (0..sub.parties).collect());
+
+    let mut client = Client::connect(&sub.addr).map_err(|e| e.to_string())?;
+    client.set_read_timeout(Some(Duration::from_secs(120))).map_err(|e| e.to_string())?;
+    if sub.ping {
+        let version = client.ping().map_err(|e| e.to_string())?;
+        println!("pong: protocol version {version}");
+        return Ok(());
+    }
+    if sub.shutdown {
+        let report = client.shutdown().map_err(|e| e.to_string())?;
+        println!(
+            "draining: accepted {} completed {} failed {} rejected {} in-flight {} cache-hits {}",
+            report.accepted,
+            report.completed,
+            report.failed,
+            report.rejected,
+            report.in_flight,
+            report.cache_hits
+        );
+        return Ok(());
+    }
+    match client.roundtrip(&Request::Select(sub.req.clone())).map_err(|e| e.to_string())? {
+        Response::Selected(reply) => {
+            println!(
+                "reply {}: cache={} enc={} hits={} misses={} queue_us={} run_us={}",
+                reply.request_id,
+                reply.cache_status,
+                reply.enc_instances,
+                reply.cache_hits,
+                reply.cache_misses,
+                reply.queue_us,
+                reply.run_us
+            );
+            println!("chosen: {:?}", reply.chosen);
+            println!(
+                "scores: [{}]",
+                reply.scores.iter().map(|s| format!("{s:.6}")).collect::<Vec<_>>().join(", ")
+            );
+            Ok(())
+        }
+        Response::Busy { queue_depth, capacity, .. } => {
+            Err(format!("busy: queue {queue_depth}/{capacity} — retry later"))
+        }
+        Response::TimedOut { waited_ms, .. } => Err(format!("timed out after {waited_ms} ms")),
+        Response::Rejected { reason, .. } => Err(format!("rejected: {reason}")),
+        other => Err(format!("unexpected response {other:?}")),
+    }
+}
+
+fn print_submit_help() {
+    println!(
+        "vfps submit — send one selection request to a running `vfps serve`\n\n\
+         USAGE:\n  vfps submit --addr <host:port> [options]\n\n\
+         \x20 --addr <host:port>     server address (required)\n\
+         \x20 --id <n>               request correlation id (default 1)\n\
+         \x20 --parties <P>          shorthand for --party-set 0,1,...,P-1 (default 4)\n\
+         \x20 --party-set <a,b,...>  explicit consortium to select from\n\
+         \x20 --select <S>           participants to keep (default 2)\n\
+         \x20 --k <k>                proxy-KNN neighbor count (default 10)\n\
+         \x20 --queries <q>          similarity query sample (default 32)\n\
+         \x20 --mode base|fagin|threshold   federated KNN variant (default fagin)\n\
+         \x20 --seed <s>             run seed (default 42)\n\
+         \x20 --deadline-ms <ms>     per-request deadline (0 = server default)\n\
+         \x20 --ping                 liveness probe instead of a selection\n\
+         \x20 --shutdown             ask the server to drain and stop"
+    );
+}
+
 fn main() -> ExitCode {
-    match run() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let result = match argv.first().map(String::as_str) {
+        Some("serve") => run_serve(&argv[1..]),
+        Some("submit") => run_submit(&argv[1..]),
+        _ => run(),
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}");

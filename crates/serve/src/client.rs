@@ -1,0 +1,106 @@
+//! Blocking client for the vfps-serve protocol.
+//!
+//! One [`Client`] wraps one connection and issues strictly ordered
+//! request/response pairs. Retry-on-`Busy` is deliberately left to the
+//! caller (see `experiments bench-serve` for a retry loop with
+//! accounting) — the protocol's backpressure only works if `Busy` stays
+//! visible.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use vfps_net::{read_frame, write_frame, FrameError};
+
+use crate::proto::{DrainReport, Request, Response, SelectRequest};
+
+/// Client-side failures. Typed server replies (`Busy`, `TimedOut`,
+/// `Rejected`) are *not* errors — they come back as [`Response`] values.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect / read / write failure.
+    Io(std::io::Error),
+    /// The server closed the connection where a response frame was due.
+    Disconnected,
+    /// An undecodable or oversized response frame.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client i/o error: {e}"),
+            ClientError::Disconnected => f.write_str("server hung up before responding"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// A connected vfps-serve client.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Bounds every blocking read on this connection — a client-side
+    /// safety net past the server's own per-request deadline.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one request frame and reads exactly one response frame.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, req)?;
+        match read_frame::<_, Response>(&mut self.stream)? {
+            Some(resp) => Ok(resp),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Submits one selection. The reply may be any of `Selected`, `Busy`,
+    /// `TimedOut`, or `Rejected`; all echo the request id.
+    pub fn select(&mut self, req: &SelectRequest) -> Result<Response, ClientError> {
+        self.roundtrip(&Request::Select(req.clone()))
+    }
+
+    /// Liveness probe; returns the server's protocol version.
+    pub fn ping(&mut self) -> Result<u32, ClientError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong { version } => Ok(version),
+            other => Err(ClientError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain and stop; blocks until in-flight work
+    /// finished and returns the final accounting.
+    pub fn shutdown(&mut self) -> Result<DrainReport, ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Draining(report) => Ok(report),
+            other => Err(ClientError::Protocol(format!("expected Draining, got {other:?}"))),
+        }
+    }
+}

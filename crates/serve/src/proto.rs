@@ -1,0 +1,415 @@
+//! The vfps-serve wire protocol (DESIGN.md §10).
+//!
+//! Every message is one length-prefixed frame ([`vfps_net::write_frame`] /
+//! [`vfps_net::read_frame`]): a `u32` little-endian payload length followed
+//! by the [`Wire`]-encoded payload. Enums carry a leading tag byte; unknown
+//! tags decode to [`WireError::BadTag`], never a panic.
+//!
+//! A connection carries any number of request/response pairs in order: the
+//! client writes one [`Request`] frame and reads exactly one [`Response`]
+//! frame before writing the next. There is no pipelining — admission
+//! control happens server-side per request, so a client blocked behind its
+//! own in-flight request is the intended backpressure.
+
+use vfps_net::wire::{Wire, WireError};
+
+/// Bumped on any incompatible frame-layout change; [`Response::Pong`]
+/// echoes it so clients can detect mismatched builds.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// One selection job, fully self-describing: the server owns the dataset
+/// and partition (fixed at startup), the request owns everything else that
+/// feeds the cache fingerprint, so equal requests are served warm across
+/// connections and across client processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectRequest {
+    /// Client-chosen correlation id, echoed verbatim in every reply kind.
+    pub request_id: u64,
+    /// The consortium to select from (party ids within the server's
+    /// partition).
+    pub party_set: Vec<usize>,
+    /// How many participants to keep.
+    pub select: usize,
+    /// Proxy-KNN neighbor count.
+    pub k: usize,
+    /// Similarity query sample size.
+    pub query_count: usize,
+    /// Federated KNN variant: 0 = Base, 1 = Fagin, 2 = Threshold.
+    pub mode: u8,
+    /// Run seed — the determinism handle: a served selection with this
+    /// seed is bit-identical to a direct pipeline run with the same seed.
+    pub seed: u64,
+    /// Per-request deadline in milliseconds; 0 uses the server default.
+    pub deadline_ms: u64,
+}
+
+impl Wire for SelectRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.request_id.encode(buf);
+        self.party_set.encode(buf);
+        self.select.encode(buf);
+        self.k.encode(buf);
+        self.query_count.encode(buf);
+        self.mode.encode(buf);
+        self.seed.encode(buf);
+        self.deadline_ms.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SelectRequest {
+            request_id: u64::decode(input)?,
+            party_set: Vec::<usize>::decode(input)?,
+            select: usize::decode(input)?,
+            k: usize::decode(input)?,
+            query_count: usize::decode(input)?,
+            mode: u8::decode(input)?,
+            seed: u64::decode(input)?,
+            deadline_ms: u64::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.party_set.encoded_len() + 8 + 8 + 8 + 1 + 8 + 8
+    }
+}
+
+/// A client-to-server frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Run (or warm-serve) one selection.
+    Select(SelectRequest),
+    /// Liveness / version probe.
+    Ping,
+    /// Drain and stop: finish in-flight jobs, reply [`Response::Draining`]
+    /// with the final accounting, then exit the accept loop.
+    Shutdown,
+}
+
+impl Wire for Request {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::Select(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            Request::Ping => buf.push(1),
+            Request::Shutdown => buf.push(2),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(Request::Select(SelectRequest::decode(input)?)),
+            1 => Ok(Request::Ping),
+            2 => Ok(Request::Shutdown),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Request::Select(r) => r.encoded_len(),
+            Request::Ping | Request::Shutdown => 0,
+        }
+    }
+}
+
+/// A completed selection, with enough accounting for the client to verify
+/// warm-path behavior (`enc_instances == 0`, `cache_hits > 0`) without
+/// access to the server's trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectReply {
+    /// Echo of [`SelectRequest::request_id`].
+    pub request_id: u64,
+    /// The chosen sub-consortium, in selection order.
+    pub chosen: Vec<usize>,
+    /// Full-width per-party marginal-gain scores.
+    pub scores: Vec<f64>,
+    /// Which cache path served it (`cold`, `warm`, `churn-join(p)`,
+    /// `churn-leave(p)`, `bypass`), as rendered by
+    /// [`vfps_core::CacheStatus`]'s `Display`.
+    pub cache_status: String,
+    /// Instances encrypted while serving this request (0 on a warm hit).
+    pub enc_instances: u64,
+    /// Cache hits billed to this request's ledger.
+    pub cache_hits: u64,
+    /// Cache misses billed to this request's ledger.
+    pub cache_misses: u64,
+    /// Microseconds the request waited in the admission queue.
+    pub queue_us: u64,
+    /// Microseconds the selection itself ran.
+    pub run_us: u64,
+}
+
+impl Wire for SelectReply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.request_id.encode(buf);
+        self.chosen.encode(buf);
+        self.scores.encode(buf);
+        self.cache_status.encode(buf);
+        self.enc_instances.encode(buf);
+        self.cache_hits.encode(buf);
+        self.cache_misses.encode(buf);
+        self.queue_us.encode(buf);
+        self.run_us.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SelectReply {
+            request_id: u64::decode(input)?,
+            chosen: Vec::<usize>::decode(input)?,
+            scores: Vec::<f64>::decode(input)?,
+            cache_status: String::decode(input)?,
+            enc_instances: u64::decode(input)?,
+            cache_hits: u64::decode(input)?,
+            cache_misses: u64::decode(input)?,
+            queue_us: u64::decode(input)?,
+            run_us: u64::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.chosen.encoded_len()
+            + self.scores.encoded_len()
+            + self.cache_status.encoded_len()
+            + 8 * 5
+    }
+}
+
+/// Final accounting returned by a graceful drain. After a clean drain
+/// `in_flight` is 0 and `accepted == completed + failed`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct DrainReport {
+    /// Select requests admitted to the queue over the server's lifetime.
+    pub accepted: u64,
+    /// Admitted requests that completed with a [`Response::Selected`].
+    pub completed: u64,
+    /// Admitted requests that failed (deadline expiry, invalid inputs).
+    pub failed: u64,
+    /// Requests refused at admission with [`Response::Busy`].
+    pub rejected: u64,
+    /// Jobs still running or queued at report time (0 after a drain).
+    pub in_flight: u64,
+    /// Total cache hits billed across all completed requests.
+    pub cache_hits: u64,
+}
+
+impl Wire for DrainReport {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.accepted.encode(buf);
+        self.completed.encode(buf);
+        self.failed.encode(buf);
+        self.rejected.encode(buf);
+        self.in_flight.encode(buf);
+        self.cache_hits.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(DrainReport {
+            accepted: u64::decode(input)?,
+            completed: u64::decode(input)?,
+            failed: u64::decode(input)?,
+            rejected: u64::decode(input)?,
+            in_flight: u64::decode(input)?,
+            cache_hits: u64::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 * 6
+    }
+}
+
+/// A server-to-client frame. Every request gets exactly one response.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// The selection result.
+    Selected(SelectReply),
+    /// Admission control refused the request: the queue is full. The
+    /// client may retry; nothing was enqueued.
+    Busy {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Queue depth observed at rejection.
+        queue_depth: u64,
+        /// The server's configured queue capacity.
+        capacity: u64,
+    },
+    /// The request was admitted but its deadline expired before a worker
+    /// could finish (or start) it.
+    TimedOut {
+        /// Echo of the request id.
+        request_id: u64,
+        /// How long the request waited before expiry, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The request was malformed for this server (party id out of range,
+    /// `select` out of range, unknown mode...). Not retryable as-is.
+    Rejected {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Reply to [`Request::Shutdown`] after in-flight work finished.
+    Draining(DrainReport),
+    /// Reply to [`Request::Ping`].
+    Pong {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+}
+
+impl Wire for Response {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Response::Selected(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            Response::Busy { request_id, queue_depth, capacity } => {
+                buf.push(1);
+                request_id.encode(buf);
+                queue_depth.encode(buf);
+                capacity.encode(buf);
+            }
+            Response::TimedOut { request_id, waited_ms } => {
+                buf.push(2);
+                request_id.encode(buf);
+                waited_ms.encode(buf);
+            }
+            Response::Rejected { request_id, reason } => {
+                buf.push(3);
+                request_id.encode(buf);
+                reason.encode(buf);
+            }
+            Response::Draining(r) => {
+                buf.push(4);
+                r.encode(buf);
+            }
+            Response::Pong { version } => {
+                buf.push(5);
+                version.encode(buf);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(input)? {
+            0 => Ok(Response::Selected(SelectReply::decode(input)?)),
+            1 => Ok(Response::Busy {
+                request_id: u64::decode(input)?,
+                queue_depth: u64::decode(input)?,
+                capacity: u64::decode(input)?,
+            }),
+            2 => Ok(Response::TimedOut {
+                request_id: u64::decode(input)?,
+                waited_ms: u64::decode(input)?,
+            }),
+            3 => Ok(Response::Rejected {
+                request_id: u64::decode(input)?,
+                reason: String::decode(input)?,
+            }),
+            4 => Ok(Response::Draining(DrainReport::decode(input)?)),
+            5 => Ok(Response::Pong { version: u32::decode(input)? }),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Response::Selected(r) => r.encoded_len(),
+            Response::Busy { .. } => 8 * 3,
+            Response::TimedOut { .. } => 8 * 2,
+            Response::Rejected { reason, .. } => 8 + reason.encoded_len(),
+            Response::Draining(r) => r.encoded_len(),
+            Response::Pong { .. } => 4,
+        }
+    }
+}
+
+/// The id a reply answers, across every response kind (`None` for the
+/// connection-level [`Response::Draining`] / [`Response::Pong`]).
+#[must_use]
+pub fn response_request_id(r: &Response) -> Option<u64> {
+    match r {
+        Response::Selected(s) => Some(s.request_id),
+        Response::Busy { request_id, .. }
+        | Response::TimedOut { request_id, .. }
+        | Response::Rejected { request_id, .. } => Some(*request_id),
+        Response::Draining(_) | Response::Pong { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), v.encoded_len(), "encoded_len must be exact");
+        assert_eq!(&T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    fn sample_request() -> SelectRequest {
+        SelectRequest {
+            request_id: 7,
+            party_set: vec![0, 1, 3],
+            select: 2,
+            k: 10,
+            query_count: 32,
+            mode: 1,
+            seed: 42,
+            deadline_ms: 5000,
+        }
+    }
+
+    #[test]
+    fn every_request_kind_roundtrips() {
+        roundtrip(&Request::Select(sample_request()));
+        roundtrip(&Request::Ping);
+        roundtrip(&Request::Shutdown);
+    }
+
+    #[test]
+    fn every_response_kind_roundtrips() {
+        roundtrip(&Response::Selected(SelectReply {
+            request_id: 7,
+            chosen: vec![1, 3],
+            scores: vec![0.5, 0.25, 0.0, 0.125],
+            cache_status: "warm".into(),
+            enc_instances: 0,
+            cache_hits: 1,
+            cache_misses: 0,
+            queue_us: 150,
+            run_us: 9000,
+        }));
+        roundtrip(&Response::Busy { request_id: 9, queue_depth: 32, capacity: 32 });
+        roundtrip(&Response::TimedOut { request_id: 11, waited_ms: 250 });
+        roundtrip(&Response::Rejected { request_id: 13, reason: "party 9 out of range".into() });
+        roundtrip(&Response::Draining(DrainReport {
+            accepted: 40,
+            completed: 38,
+            failed: 2,
+            rejected: 5,
+            in_flight: 0,
+            cache_hits: 30,
+        }));
+        roundtrip(&Response::Pong { version: PROTOCOL_VERSION });
+    }
+
+    #[test]
+    fn unknown_tags_are_typed_errors() {
+        assert!(matches!(Request::from_bytes(&[9]), Err(WireError::BadTag(9))));
+        assert!(matches!(Response::from_bytes(&[250]), Err(WireError::BadTag(250))));
+    }
+
+    #[test]
+    fn request_ids_are_extracted_from_every_reply_kind() {
+        assert_eq!(
+            response_request_id(&Response::Busy { request_id: 4, queue_depth: 1, capacity: 1 }),
+            Some(4)
+        );
+        assert_eq!(response_request_id(&Response::Pong { version: 1 }), None);
+    }
+}

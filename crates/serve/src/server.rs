@@ -1,0 +1,554 @@
+//! The selection daemon: accept loop, admission control, session
+//! scheduling, and graceful drain (DESIGN.md §10).
+//!
+//! Threading model:
+//!
+//! * one **acceptor** (the caller of [`Server::run`]) blocks in
+//!   `TcpListener::accept` and spawns a detached handler per connection;
+//! * each **handler** reads one [`Request`] frame at a time, performs
+//!   admission control inline, and blocks until the job's single
+//!   [`Response`] is ready — a connection never has more than one request
+//!   in flight, so handler threads are the natural per-session flow
+//!   control;
+//! * `max_concurrent` **workers** pop admitted jobs off the
+//!   [`BoundedQueue`] and run them through
+//!   [`vfps_core::select_with_cache`]; the selection kernels inside fan
+//!   out on the shared `vfps-par` pool, so worker count bounds *sessions*,
+//!   not CPU parallelism.
+//!
+//! Determinism: the server's dataset and partition are fixed by
+//! `(dataset, instances, parties, data_seed)` at startup, exactly as the
+//! `vfps` CLI builds them, and the request seed feeds the
+//! [`SelectionContext`] unchanged — so a served reply is bit-identical
+//! (chosen set and scores) to a direct pipeline run over the same inputs,
+//! and repeat requests hit the artifact cache's warm path with zero new
+//! encryptions.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel;
+use vfps_cache::ArtifactCache;
+use vfps_core::selectors::{SelectionContext, VfpsSmSelector};
+use vfps_data::{prepared_sized, Dataset, DatasetSpec, Split, VerticalPartition};
+use vfps_net::cost::CostModel;
+use vfps_net::{read_frame, write_frame, FrameError};
+use vfps_vfl::fed_knn::KnnMode;
+
+use crate::proto::{DrainReport, Request, Response, SelectReply, SelectRequest};
+use crate::queue::{AdmitError, BoundedQueue};
+
+/// Server configuration. The dataset/partition fields must match a direct
+/// run's for bit-identical replies (see the module docs).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (0 picks a free port).
+    pub addr: String,
+    /// Synthetic dataset name ([`DatasetSpec::by_name`]).
+    pub dataset: String,
+    /// Instance count; 0 uses the spec's simulation default.
+    pub instances: usize,
+    /// Consortium size the partition is built for.
+    pub parties: usize,
+    /// Seed for dataset generation and partitioning — a direct
+    /// `vfps --synthetic <ds> --seed S` run matches a served request with
+    /// `seed == S` on a server started with `data_seed == S`.
+    pub data_seed: u64,
+    /// Maximum selection jobs running at once (worker threads).
+    pub max_concurrent: usize,
+    /// Admission queue capacity; submits beyond it get `Busy`.
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Duration,
+    /// Artifact cache directory; `None` uses a fresh per-process scratch
+    /// directory (warm serving still works within the server's lifetime).
+    pub cache_dir: Option<PathBuf>,
+    /// Serve exactly one selection request, then drain and exit.
+    pub once: bool,
+    /// Write a structured trace (span forest + metrics) here on drain.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            dataset: "Bank".into(),
+            instances: 0,
+            parties: 4,
+            data_seed: 42,
+            max_concurrent: 2,
+            queue_capacity: 8,
+            default_deadline: Duration::from_secs(30),
+            cache_dir: None,
+            once: false,
+            trace_out: None,
+        }
+    }
+}
+
+/// One admitted job: the request plus its reply slot and timing.
+struct Job {
+    req: SelectRequest,
+    admitted_at: Instant,
+    deadline: Instant,
+    reply: channel::Sender<Response>,
+}
+
+/// Everything shared between acceptor, handlers, and workers.
+struct Shared {
+    ds: Dataset,
+    split: Split,
+    partition: VerticalPartition,
+    cache: ArtifactCache,
+    cost_model: CostModel,
+    queue: BoundedQueue<Job>,
+    default_deadline: Duration,
+    once: bool,
+    // Lifetime accounting (the DrainReport).
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cache_hits: AtomicU64,
+    in_flight: AtomicU64,
+    // Drain machinery: set `shutdown`, close the queue, then wait for
+    // every worker to exit (which implies the queue fully drained).
+    shutdown: AtomicBool,
+    live_workers: AtomicUsize,
+    drained: (Mutex<()>, Condvar),
+}
+
+impl Shared {
+    fn report(&self) -> DrainReport {
+        DrainReport {
+            accepted: self.accepted.load(Ordering::Acquire),
+            completed: self.completed.load(Ordering::Acquire),
+            failed: self.failed.load(Ordering::Acquire),
+            rejected: self.rejected.load(Ordering::Acquire),
+            in_flight: self.in_flight.load(Ordering::Acquire) + self.queue.len() as u64,
+            cache_hits: self.cache_hits.load(Ordering::Acquire),
+        }
+    }
+
+    /// Stops admission and blocks until all admitted work is answered.
+    fn drain(&self) -> DrainReport {
+        self.shutdown.store(true, Ordering::Release);
+        self.queue.close();
+        let (lock, cvar) = &self.drained;
+        let mut guard = lock.lock().expect("drain lock");
+        while self.live_workers.load(Ordering::Acquire) > 0 {
+            let (g, _) = cvar.wait_timeout(guard, Duration::from_millis(50)).expect("drain lock");
+            guard = g;
+        }
+        drop(guard);
+        self.report()
+    }
+
+    fn worker_exited(&self) {
+        self.live_workers.fetch_sub(1, Ordering::AcqRel);
+        let (lock, cvar) = &self.drained;
+        let _g = lock.lock().expect("drain lock");
+        cvar.notify_all();
+    }
+}
+
+/// Errors surfaced by [`Server::run`] itself (per-request failures are
+/// typed wire replies, not `Err`s).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Configuration problem (unknown dataset, zero parties...).
+    Config(String),
+    /// Bind / accept / cache-open failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Config(m) => write!(f, "config error: {m}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The daemon. Construct with [`Server::bind`], then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    trace_out: Option<PathBuf>,
+    scratch_cache: Option<PathBuf>,
+}
+
+impl Server {
+    /// Builds the dataset, partition, and cache, binds the listener, and
+    /// prints the `listening on <addr>` line clients and tests parse.
+    pub fn bind(cfg: &ServeConfig) -> Result<Server, ServeError> {
+        let spec = DatasetSpec::by_name(&cfg.dataset).ok_or_else(|| {
+            ServeError::Config(format!("unknown synthetic dataset {}", cfg.dataset))
+        })?;
+        let instances = if cfg.instances == 0 { spec.sim_instances } else { cfg.instances };
+        let (ds, split) = prepared_sized(&spec, instances, cfg.data_seed);
+        if cfg.parties == 0 || cfg.parties > ds.n_features() {
+            return Err(ServeError::Config(format!(
+                "{} parties out of range for {} features",
+                cfg.parties,
+                ds.n_features()
+            )));
+        }
+        if cfg.max_concurrent == 0 {
+            return Err(ServeError::Config("max_concurrent must be positive".into()));
+        }
+        let partition = VerticalPartition::random(ds.n_features(), cfg.parties, cfg.data_seed);
+
+        let (cache_dir, scratch_cache) = match &cfg.cache_dir {
+            Some(dir) => (dir.clone(), None),
+            None => {
+                let dir =
+                    std::env::temp_dir().join(format!("vfps_serve_cache_{}", std::process::id()));
+                (dir.clone(), Some(dir))
+            }
+        };
+        let cache = ArtifactCache::open(&cache_dir).map_err(|e| {
+            ServeError::Config(format!("cannot open cache at {}: {e}", cache_dir.display()))
+        })?;
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+
+        if cfg.trace_out.is_some() {
+            vfps_obs::start_capture();
+        }
+
+        let shared = Arc::new(Shared {
+            ds,
+            split,
+            partition,
+            cache,
+            cost_model: CostModel::default(),
+            queue: BoundedQueue::new(cfg.queue_capacity),
+            default_deadline: cfg.default_deadline,
+            once: cfg.once,
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            live_workers: AtomicUsize::new(cfg.max_concurrent),
+            drained: (Mutex::new(()), Condvar::new()),
+        });
+        for w in 0..cfg.max_concurrent {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("vfps-serve-worker-{w}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker");
+        }
+
+        println!("vfps-serve listening on {local_addr}");
+        let _ = std::io::stdout().flush();
+        Ok(Server { listener, local_addr, shared, trace_out: cfg.trace_out.clone(), scratch_cache })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the accept loop until a `Shutdown` request (or, in `--once`
+    /// mode, the first served selection) drains the server. Returns the
+    /// final accounting; after a clean drain `in_flight == 0` and
+    /// `accepted == completed + failed`.
+    pub fn run(self) -> Result<DrainReport, ServeError> {
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
+            let shared = self.shared.clone();
+            let addr = self.local_addr;
+            std::thread::spawn(move || handle_connection(&shared, stream, addr));
+        }
+        // Belt-and-braces: the drain initiator already waited for workers.
+        let report = self.shared.drain();
+        if let Some(path) = &self.trace_out {
+            if let Some(trace) = vfps_obs::finish_capture() {
+                if let Err(e) = std::fs::write(path, trace.to_json()) {
+                    eprintln!("warning: cannot write trace to {}: {e}", path.display());
+                }
+            }
+        }
+        if let Some(dir) = &self.scratch_cache {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        println!(
+            "drain clean: accepted {} completed {} failed {} rejected {} in-flight {} cache-hits {}",
+            report.accepted,
+            report.completed,
+            report.failed,
+            report.rejected,
+            report.in_flight,
+            report.cache_hits
+        );
+        Ok(report)
+    }
+}
+
+/// Wakes the acceptor after `shutdown` is set: `TcpListener::incoming`
+/// only notices the flag on its next (possibly never-arriving) connection,
+/// so the drain initiator pokes it with a throwaway connect.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAddr) {
+    loop {
+        let req = match read_frame::<_, Request>(&mut stream) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,               // clean EOF: client done
+            Err(FrameError::Io(_)) => return, // peer reset mid-frame
+            Err(e) => {
+                // Undecodable frame: this protocol has no request id to
+                // echo, so answer with id 0 and hang up.
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Rejected { request_id: 0, reason: format!("bad frame: {e}") },
+                );
+                return;
+            }
+        };
+        match req {
+            Request::Ping => {
+                if write_frame(
+                    &mut stream,
+                    &Response::Pong { version: crate::proto::PROTOCOL_VERSION },
+                )
+                .is_err()
+                {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                vfps_obs::counter_add("serve.shutdown", 1);
+                let report = shared.drain();
+                let _ = write_frame(&mut stream, &Response::Draining(report));
+                wake_acceptor(addr);
+                return;
+            }
+            Request::Select(sel) => {
+                let one_shot = shared.once;
+                let resp = submit(shared, sel);
+                let ok = write_frame(&mut stream, &resp).is_ok();
+                if one_shot && matches!(resp, Response::Selected(_)) {
+                    shared.drain();
+                    wake_acceptor(addr);
+                    return;
+                }
+                if !ok {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Validates, admits, and waits out one selection request; always returns
+/// exactly one response.
+fn submit(shared: &Arc<Shared>, req: SelectRequest) -> Response {
+    let id = req.request_id;
+    if let Err(reason) = validate(shared, &req) {
+        shared.rejected.fetch_add(1, Ordering::AcqRel);
+        vfps_obs::counter_add("serve.rejected", 1);
+        return Response::Rejected { request_id: id, reason };
+    }
+    let deadline_ms = req.deadline_ms;
+    let now = Instant::now();
+    let deadline = now
+        + if deadline_ms == 0 {
+            shared.default_deadline
+        } else {
+            Duration::from_millis(deadline_ms)
+        };
+    let (tx, rx) = channel::unbounded();
+    let job = Job { req, admitted_at: now, deadline, reply: tx };
+    match shared.queue.try_push(job) {
+        Ok(depth) => {
+            shared.accepted.fetch_add(1, Ordering::AcqRel);
+            vfps_obs::counter_add("serve.accepted", 1);
+            vfps_obs::gauge_set("serve.queue_depth", depth as f64);
+        }
+        Err(AdmitError::Full(_, depth)) => {
+            shared.rejected.fetch_add(1, Ordering::AcqRel);
+            vfps_obs::counter_add("serve.rejected", 1);
+            vfps_obs::counter_add("serve.busy", 1);
+            return Response::Busy {
+                request_id: id,
+                queue_depth: depth as u64,
+                capacity: shared.queue.capacity() as u64,
+            };
+        }
+        Err(AdmitError::Closed(_)) => {
+            shared.rejected.fetch_add(1, Ordering::AcqRel);
+            vfps_obs::counter_add("serve.rejected", 1);
+            return Response::Rejected { request_id: id, reason: "server draining".into() };
+        }
+    }
+    // The worker always sends exactly one response (selection, timeout, or
+    // rejection), so a blocking receive cannot hang past the deadline plus
+    // one job's runtime.
+    match rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => Response::Rejected { request_id: id, reason: "worker dropped reply".into() },
+    }
+}
+
+fn validate(shared: &Shared, req: &SelectRequest) -> Result<(), String> {
+    let parties = shared.partition.parties();
+    if req.party_set.is_empty() {
+        return Err("empty party set".into());
+    }
+    if let Some(&bad) = req.party_set.iter().find(|&&p| p >= parties) {
+        return Err(format!("party {bad} out of range (server has {parties})"));
+    }
+    let mut sorted = req.party_set.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != req.party_set.len() {
+        return Err("duplicate party ids".into());
+    }
+    if req.select == 0 || req.select > req.party_set.len() {
+        return Err(format!(
+            "select {} out of range for a {}-party set",
+            req.select,
+            req.party_set.len()
+        ));
+    }
+    if req.mode > 2 {
+        return Err(format!("unknown KNN mode {}", req.mode));
+    }
+    if req.k == 0 || req.query_count == 0 {
+        return Err("k and query_count must be positive".into());
+    }
+    Ok(())
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        vfps_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
+        let waited = job.admitted_at.elapsed();
+        if Instant::now() >= job.deadline {
+            // Reuse the net plane's timeout taxonomy for the failure.
+            let err = vfps_net::Error::Timeout { peer: None, waited };
+            vfps_obs::counter_add("serve.failed", 1);
+            vfps_obs::counter_add("serve.deadline_expired", 1);
+            shared.failed.fetch_add(1, Ordering::AcqRel);
+            let _ = job.reply.send(Response::TimedOut {
+                request_id: job.req.request_id,
+                waited_ms: match err {
+                    vfps_net::Error::Timeout { waited, .. } => waited.as_millis() as u64,
+                    _ => unreachable!("constructed as Timeout"),
+                },
+            });
+            continue;
+        }
+        shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        let resp = run_job(shared, &job, waited);
+        if matches!(resp, Response::Selected(_)) {
+            shared.completed.fetch_add(1, Ordering::AcqRel);
+            vfps_obs::counter_add("serve.completed", 1);
+        } else {
+            shared.failed.fetch_add(1, Ordering::AcqRel);
+            vfps_obs::counter_add("serve.failed", 1);
+        }
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let _ = job.reply.send(resp);
+    }
+    shared.worker_exited();
+}
+
+fn run_job(shared: &Arc<Shared>, job: &Job, queued: Duration) -> Response {
+    let _span = vfps_obs::span("serve.request");
+    let req = &job.req;
+    let ctx = SelectionContext {
+        ds: &shared.ds,
+        split: &shared.split,
+        partition: &shared.partition,
+        cost_scale: 1.0,
+        seed: req.seed,
+    };
+    let sel = VfpsSmSelector {
+        k: req.k,
+        query_count: req.query_count,
+        mode: match req.mode {
+            0 => KnnMode::Base,
+            1 => KnnMode::Fagin,
+            _ => KnnMode::Threshold,
+        },
+        ..VfpsSmSelector::default()
+    };
+    let started = Instant::now();
+    // `run_over` is panic-free for validated inputs, but a lost response
+    // would wedge the client forever — convert any selection panic into a
+    // typed rejection instead.
+    let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        vfps_core::select_with_cache(
+            &shared.cache,
+            &sel,
+            &ctx,
+            &req.party_set,
+            req.select,
+            &shared.cost_model,
+            shared.ds.name.as_bytes(),
+        )
+    }));
+    let run = started.elapsed();
+    let served = match served {
+        Ok(s) => s,
+        Err(_) => {
+            return Response::Rejected {
+                request_id: req.request_id,
+                reason: "selection panicked".into(),
+            }
+        }
+    };
+    if let Some(err) = &served.degraded {
+        vfps_obs::counter_add("serve.cache_degraded", 1);
+        eprintln!("warning: request {}: cache degraded to cold run: {err}", req.request_id);
+    }
+    let ledger = &served.selection.ledger;
+    shared.cache_hits.fetch_add(ledger.cache_hits, Ordering::AcqRel);
+    let total_us = (queued + run).as_micros() as f64;
+    vfps_obs::histogram_record("serve.latency_us", total_us);
+    vfps_obs::histogram_record("serve.queue_us", queued.as_micros() as f64);
+    Response::Selected(SelectReply {
+        request_id: req.request_id,
+        chosen: served.selection.chosen.clone(),
+        scores: served.selection.scores.clone(),
+        cache_status: served.status.to_string(),
+        enc_instances: ledger.enc.work,
+        cache_hits: ledger.cache_hits,
+        cache_misses: ledger.cache_misses,
+        queue_us: queued.as_micros() as u64,
+        run_us: run.as_micros() as u64,
+    })
+}

@@ -1,0 +1,260 @@
+//! In-process integration tests for the selection service: warm-path
+//! serving, bit-identity with direct pipeline runs, admission-control
+//! backpressure, per-request deadlines, and clean drain accounting.
+
+use std::time::Duration;
+
+use vfps_core::selectors::{SelectionContext, VfpsSmSelector};
+use vfps_data::{prepared_sized, DatasetSpec, VerticalPartition};
+use vfps_serve::{Client, Response, SelectRequest, ServeConfig, Server};
+use vfps_vfl::fed_knn::KnnMode;
+
+/// A small-footprint server config shared by the tests. `instances` is
+/// shrunk well below the spec default so each selection takes
+/// milliseconds, not seconds.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        dataset: "Bank".into(),
+        instances: 240,
+        parties: 4,
+        data_seed: 42,
+        max_concurrent: 2,
+        queue_capacity: 4,
+        default_deadline: Duration::from_secs(30),
+        cache_dir: None,
+        once: false,
+        trace_out: None,
+    }
+}
+
+fn spawn(
+    cfg: ServeConfig,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<vfps_serve::DrainReport>) {
+    let server = Server::bind(&cfg).expect("bind");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+    (addr, handle)
+}
+
+fn request(id: u64, seed: u64) -> SelectRequest {
+    SelectRequest {
+        request_id: id,
+        party_set: vec![0, 1, 2, 3],
+        select: 2,
+        k: 10,
+        query_count: 8,
+        mode: 1,
+        seed,
+        deadline_ms: 0,
+    }
+}
+
+/// The selection a direct (no service, no cache) pipeline run produces
+/// for the same inputs the test server holds.
+fn direct_run(
+    seed: u64,
+    party_set: &[usize],
+    select: usize,
+    query_count: usize,
+) -> (Vec<usize>, Vec<f64>) {
+    let spec = DatasetSpec::by_name("Bank").unwrap();
+    let (ds, split) = prepared_sized(&spec, 240, 42);
+    let partition = VerticalPartition::random(ds.n_features(), 4, 42);
+    let ctx =
+        SelectionContext { ds: &ds, split: &split, partition: &partition, cost_scale: 1.0, seed };
+    let sel =
+        VfpsSmSelector { k: 10, query_count, mode: KnnMode::Fagin, ..VfpsSmSelector::default() };
+    let art = sel.run_over(&ctx, party_set, select, None);
+    (art.selection.chosen, art.selection.scores)
+}
+
+#[test]
+fn served_selection_is_bit_identical_to_a_direct_run_and_repeats_serve_warm() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+
+    // Cold request.
+    let cold = match client.select(&request(1, 42)).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert_eq!(cold.request_id, 1);
+    assert_eq!(cold.cache_status, "cold");
+    assert!(cold.enc_instances > 0, "a cold run must encrypt");
+
+    // Bit-identity against the pipeline run directly, no service involved.
+    let (chosen, scores) = direct_run(42, &[0, 1, 2, 3], 2, 8);
+    assert_eq!(cold.chosen, chosen, "served chosen set must match a direct run");
+    assert_eq!(cold.scores, scores, "served scores must be bit-identical to a direct run");
+
+    // The same request again: warm path, zero new encryptions, same bits.
+    let warm = match client.select(&request(2, 42)).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert_eq!(warm.cache_status, "warm");
+    assert_eq!(warm.enc_instances, 0, "warm serving must not encrypt");
+    assert!(warm.cache_hits > 0);
+    assert_eq!(warm.chosen, cold.chosen);
+    assert_eq!(warm.scores, cold.scores);
+
+    // Churn: the same run minus one party rides the incremental path.
+    let mut churned = request(3, 42);
+    churned.party_set = vec![0, 1, 2];
+    let churn = match client.select(&churned).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert_eq!(churn.cache_status, "churn-leave(3)");
+    assert_eq!(churn.enc_instances, 0, "churn serving must not encrypt");
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.in_flight, 0, "drain must leave nothing in flight");
+    assert_eq!(report.completed, 3);
+    assert_eq!(report.accepted, report.completed + report.failed);
+    let final_report = handle.join().unwrap();
+    assert_eq!(final_report.in_flight, 0);
+}
+
+#[test]
+fn ping_reports_the_protocol_version() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.ping().unwrap(), vfps_serve::PROTOCOL_VERSION);
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn invalid_requests_are_rejected_with_reasons_not_hangs() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+
+    let cases: Vec<(SelectRequest, &str)> = vec![
+        (SelectRequest { party_set: vec![0, 9], ..request(10, 1) }, "out of range"),
+        (SelectRequest { party_set: vec![], ..request(11, 1) }, "empty"),
+        (SelectRequest { select: 5, ..request(12, 1) }, "select 5 out of range"),
+        (SelectRequest { mode: 7, ..request(13, 1) }, "unknown KNN mode"),
+        (SelectRequest { k: 0, ..request(14, 1) }, "must be positive"),
+        (SelectRequest { party_set: vec![1, 1, 2], ..request(15, 1) }, "duplicate"),
+    ];
+    for (req, needle) in cases {
+        let id = req.request_id;
+        match client.select(&req).unwrap() {
+            Response::Rejected { request_id, reason } => {
+                assert_eq!(request_id, id);
+                assert!(reason.contains(needle), "reason {reason:?} should mention {needle:?}");
+            }
+            other => panic!("expected Rejected for {needle:?}, got {other:?}"),
+        }
+    }
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.rejected, 6);
+    assert_eq!(report.in_flight, 0);
+    handle.join().unwrap();
+}
+
+#[test]
+fn over_capacity_submits_get_busy_and_drain_accounts_for_everything() {
+    // One worker and a tiny queue: with enough simultaneous clients, some
+    // must be refused at admission with a typed Busy.
+    let cfg = ServeConfig { max_concurrent: 1, queue_capacity: 2, instances: 300, ..test_config() };
+    let (addr, handle) = spawn(cfg);
+
+    const CLIENTS: usize = 10;
+    let results: Vec<(u64, Response)> = {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    // Distinct seeds: all cold, so jobs are slow enough to
+                    // pile up against capacity 1+2.
+                    let id = 100 + i as u64;
+                    let resp = client.select(&request(id, 1000 + i as u64)).unwrap();
+                    (id, resp)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    };
+
+    let mut selected = 0u64;
+    let mut busy = 0u64;
+    for (id, resp) in &results {
+        match resp {
+            Response::Selected(r) => {
+                assert_eq!(r.request_id, *id, "responses must correlate to their requests");
+                selected += 1;
+            }
+            Response::Busy { request_id, queue_depth, capacity } => {
+                assert_eq!(request_id, id);
+                assert_eq!(*capacity, 2);
+                assert!(*queue_depth >= *capacity, "Busy must report a full queue");
+                busy += 1;
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    assert_eq!(selected + busy, CLIENTS as u64, "every client gets exactly one response");
+    assert!(busy >= 1, "10 cold jobs against capacity 1+2 must trip Busy");
+    // At least the queue's capacity worth of jobs is always admitted (the
+    // running job may or may not have been dequeued yet when the burst
+    // lands, so 2 is the guaranteed floor).
+    assert!(selected >= 2, "admitted jobs must all complete");
+
+    let mut client = Client::connect(addr).unwrap();
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.in_flight, 0);
+    assert_eq!(report.accepted, selected);
+    assert_eq!(report.completed, selected);
+    assert_eq!(report.rejected, busy);
+    handle.join().unwrap();
+}
+
+#[test]
+fn an_already_expired_deadline_is_a_typed_timeout() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+
+    // A 1 ms deadline on a cold selection expires while the job sits in
+    // the queue behind its own admission latency.
+    let mut req = request(50, 77);
+    req.deadline_ms = 1;
+    match client.select(&req).unwrap() {
+        Response::TimedOut { request_id, .. } => assert_eq!(request_id, 50),
+        // On a fast machine the worker may dequeue within 1 ms and run it
+        // to completion — that is also a correct outcome.
+        Response::Selected(r) => assert_eq!(r.request_id, 50),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.in_flight, 0);
+    assert_eq!(report.accepted, report.completed + report.failed);
+    handle.join().unwrap();
+}
+
+#[test]
+fn draining_server_rejects_new_submits_but_answers_admitted_ones() {
+    let (addr, handle) = spawn(test_config());
+
+    // Drain via one client...
+    let mut closer = Client::connect(addr).unwrap();
+    let report = closer.shutdown().unwrap();
+    assert_eq!(report.in_flight, 0);
+    handle.join().unwrap();
+
+    // ...after which the listener is gone entirely.
+    assert!(
+        Client::connect(addr).is_err() || {
+            // Accept raced the drain: an accepted-but-dead connection must
+            // still fail the roundtrip rather than hang.
+            let mut c = Client::connect(addr).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            c.select(&request(99, 5)).is_err()
+        }
+    );
+}

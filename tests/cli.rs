@@ -1,10 +1,55 @@
 //! End-user CLI tests: drive the `vfps` binary the way a downstream user
 //! would.
 
-use std::process::Command;
+use std::io::{BufRead, BufReader, Read};
+use std::process::{Child, Command, Stdio};
 
 fn vfps() -> Command {
     Command::new(env!("CARGO_BIN_EXE_vfps"))
+}
+
+/// Spawns `vfps serve` with piped stdout, parses the `listening on` line
+/// for the bound address, and arms a kill-after-timeout watchdog so a
+/// wedged daemon can never hang the suite.
+fn spawn_serve(extra: &[&str]) -> (Child, BufReader<std::process::ChildStdout>, String) {
+    let mut args = vec![
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--synthetic",
+        "Rice",
+        "--parties",
+        "4",
+        "--seed",
+        "42",
+    ];
+    args.extend_from_slice(extra);
+    let mut child = vfps()
+        .args(&args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("serve spawns");
+    let pid = child.id();
+    std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs(120));
+        let _ = Command::new("kill").arg("-9").arg(pid.to_string()).status();
+    });
+    let mut reader = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("vfps-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected serve banner: {line:?}"))
+        .to_owned();
+    (child, reader, addr)
+}
+
+/// The trailing `[..]` chosen set on a direct run's VFPS-SM result row.
+fn direct_chosen(stdout: &str) -> String {
+    let row = stdout.lines().find(|l| l.starts_with("VFPS-SM")).expect("result row").to_owned();
+    row[row.find('[').expect("chosen set")..].to_owned()
 }
 
 #[test]
@@ -148,6 +193,114 @@ fn cache_dir_serves_the_second_run_warm() {
     };
     assert_eq!(chosen(&cold), chosen(&warm));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_once_answers_a_submit_with_the_direct_runs_selection_then_drains() {
+    // `--once`: serve exactly one selection, then drain and exit. The
+    // server's dataset sizing matches the plain CLI's (`spec
+    // sim_instances`, seed 42), so the reply must carry the same chosen
+    // set a direct run prints.
+    let (mut child, mut reader, addr) = spawn_serve(&["--once"]);
+
+    let out = vfps()
+        .args([
+            "submit",
+            "--addr",
+            &addr,
+            "--parties",
+            "4",
+            "--select",
+            "2",
+            "--queries",
+            "8",
+            "--seed",
+            "42",
+        ])
+        .output()
+        .expect("submit runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let reply = String::from_utf8_lossy(&out.stdout).into_owned();
+    // The wire roundtrip surfaced a full typed reply.
+    assert!(reply.contains("reply 1: cache=cold"), "{reply}");
+    assert!(reply.contains("chosen: ["), "{reply}");
+    assert!(reply.contains("scores: ["), "{reply}");
+    let served_chosen =
+        reply.lines().find_map(|l| l.strip_prefix("chosen: ")).expect("chosen line").to_owned();
+
+    // The daemon drained itself after the single request.
+    let status = child.wait().expect("serve exits after --once");
+    assert!(status.success(), "serve exit: {status:?}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain summary");
+    assert!(rest.contains("drain clean:"), "{rest}");
+    assert!(rest.contains("in-flight 0"), "{rest}");
+    assert!(rest.contains("completed 1"), "{rest}");
+
+    // Bit-identity pin: the same inputs through the plain CLI (no
+    // service) choose the same participants.
+    let direct = vfps()
+        .args([
+            "--synthetic",
+            "Rice",
+            "--parties",
+            "4",
+            "--select",
+            "2",
+            "--method",
+            "vfps-sm",
+            "--queries",
+            "8",
+            "--seed",
+            "42",
+        ])
+        .output()
+        .expect("direct run");
+    assert!(direct.status.success());
+    assert_eq!(
+        served_chosen,
+        direct_chosen(&String::from_utf8_lossy(&direct.stdout)),
+        "served selection must match the direct pipeline run"
+    );
+}
+
+#[test]
+fn submit_ping_and_shutdown_drain_a_persistent_server() {
+    let (mut child, mut reader, addr) = spawn_serve(&["--queue-capacity", "2"]);
+
+    let ping = vfps().args(["submit", "--addr", &addr, "--ping"]).output().expect("ping runs");
+    assert!(ping.status.success(), "stderr: {}", String::from_utf8_lossy(&ping.stderr));
+    assert!(
+        String::from_utf8_lossy(&ping.stdout).contains("pong: protocol version 1"),
+        "{}",
+        String::from_utf8_lossy(&ping.stdout)
+    );
+
+    let down =
+        vfps().args(["submit", "--addr", &addr, "--shutdown"]).output().expect("shutdown runs");
+    assert!(down.status.success(), "stderr: {}", String::from_utf8_lossy(&down.stderr));
+    let summary = String::from_utf8_lossy(&down.stdout).into_owned();
+    assert!(summary.contains("draining:"), "{summary}");
+    assert!(summary.contains("in-flight 0"), "{summary}");
+
+    let status = child.wait().expect("serve exits after shutdown");
+    assert!(status.success(), "serve exit: {status:?}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain summary");
+    assert!(rest.contains("drain clean:"), "{rest}");
+}
+
+#[test]
+fn submit_against_a_dead_server_fails_cleanly() {
+    // Port 1 is never listening; the client must error, not hang.
+    let out =
+        vfps().args(["submit", "--addr", "127.0.0.1:1", "--ping"]).output().expect("submit runs");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("error:"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
