@@ -132,6 +132,120 @@ impl MontgomeryCtx {
         let out = self.mont_mul(&acc, &one);
         BigUint::from_limbs(out)
     }
+
+    /// Enters Montgomery form: `x · R mod m` as `L` limbs.
+    fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        let l = self.limbs();
+        let modulus = BigUint::from_limbs(self.m.clone());
+        let mut limbs = x.rem(&modulus).limbs().to_vec();
+        limbs.resize(l, 0);
+        let mut r2 = self.r_squared.limbs().to_vec();
+        r2.resize(l, 0);
+        self.mont_mul(&limbs, &r2)
+    }
+
+    /// Leaves Montgomery form: `REDC(a · 1)`.
+    fn leave_mont(&self, a: &[u64]) -> BigUint {
+        let l = self.limbs();
+        let mut one = vec![0u64; l];
+        one[0] = 1;
+        BigUint::from_limbs(self.mont_mul(a, &one))
+    }
+}
+
+/// Fixed-base modular exponentiation with a precomputed window table.
+///
+/// For a base `h` that is reused across many exponentiations (the Paillier
+/// noise base `h = r₀ⁿ mod n²`), precompute `h^(d·2^(w·j))` in Montgomery
+/// form for every window position `j` and digit `d ∈ [1, 2^w)`. An
+/// exponentiation then costs one Montgomery product per *non-zero* window
+/// of the exponent — about `exp_bits / w` products, with no squarings at
+/// all — versus ~1.5·`exp_bits` products for square-and-multiply on a
+/// fresh base. Table construction costs ~`(2^w + w - 2)·exp_bits / w`
+/// products once.
+#[derive(Clone, Debug)]
+pub struct FixedBaseWindow {
+    ctx: MontgomeryCtx,
+    /// `table[j][d-1] = base^((d+0) · 2^(w·j)) · R mod m` for `d` in `1..2^w`.
+    table: Vec<Vec<Vec<u64>>>,
+    window_bits: usize,
+    max_exp_bits: usize,
+}
+
+impl FixedBaseWindow {
+    /// Window width in bits. Four keeps the table small (15 entries per
+    /// window) while already eliminating ~4x of the multiplications.
+    pub const WINDOW_BITS: usize = 4;
+
+    /// Precomputes the window table for `base` modulo the odd `modulus`,
+    /// covering exponents up to `max_exp_bits` bits. Returns `None` for
+    /// even or zero moduli.
+    #[must_use]
+    pub fn new(base: &BigUint, modulus: &BigUint, max_exp_bits: usize) -> Option<Self> {
+        let ctx = MontgomeryCtx::new(modulus)?;
+        let w = Self::WINDOW_BITS;
+        let digits = (1usize << w) - 1;
+        let windows = max_exp_bits.div_ceil(w).max(1);
+        let mut table = Vec::with_capacity(windows);
+        // `cur` = base^(2^(w·j)) in Montgomery form for the current window.
+        let mut cur = ctx.to_mont(base);
+        for _ in 0..windows {
+            let mut row: Vec<Vec<u64>> = Vec::with_capacity(digits);
+            row.push(cur.clone());
+            for d in 1..digits {
+                let next = ctx.mont_mul(&row[d - 1], &cur);
+                row.push(next);
+            }
+            // Advance to the next window: cur^(2^w) by w squarings.
+            for _ in 0..w {
+                cur = ctx.mont_mul(&cur, &cur);
+            }
+            table.push(row);
+        }
+        Some(FixedBaseWindow { ctx, table, window_bits: w, max_exp_bits })
+    }
+
+    /// The largest exponent width (in bits) the table covers.
+    #[must_use]
+    pub fn max_exp_bits(&self) -> usize {
+        self.max_exp_bits
+    }
+
+    /// `base^exp mod m` from the precomputed table.
+    ///
+    /// # Panics
+    /// Panics if `exp` is wider than the table was built for.
+    #[must_use]
+    pub fn pow(&self, exp: &BigUint) -> BigUint {
+        assert!(
+            exp.bits() <= self.max_exp_bits,
+            "exponent of {} bits exceeds the {}-bit window table",
+            exp.bits(),
+            self.max_exp_bits
+        );
+        let w = self.window_bits;
+        let mut acc: Option<Vec<u64>> = None;
+        for (j, row) in self.table.iter().enumerate() {
+            let mut digit = 0usize;
+            for b in 0..w {
+                if exp.bit(j * w + b) {
+                    digit |= 1 << b;
+                }
+            }
+            if digit == 0 {
+                continue;
+            }
+            let entry = &row[digit - 1];
+            acc = Some(match acc {
+                None => entry.clone(),
+                Some(a) => self.ctx.mont_mul(&a, entry),
+            });
+        }
+        match acc {
+            None => BigUint::one().rem(&BigUint::from_limbs(self.ctx.m.clone())),
+            Some(a) => self.ctx.leave_mont(&a),
+        }
+    }
 }
 
 /// Inverse of an odd `x` modulo 2^64 by Newton–Hensel lifting.
@@ -220,5 +334,36 @@ mod tests {
         assert!(ctx.mod_pow(&base, &BigUint::zero()).is_one());
         assert_eq!(ctx.mod_pow(&base, &BigUint::one()).to_u64(), Some(7));
         assert!(ctx.mod_pow(&BigUint::zero(), &BigUint::from_u64(5)).is_zero());
+    }
+
+    #[test]
+    fn fixed_base_window_matches_mod_pow() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for bits in [64usize, 192, 512] {
+            let mut m = BigUint::random_bits(&mut rng, bits);
+            if m.is_even() {
+                m = m.add_u64(1);
+            }
+            let base = BigUint::random_below(&mut rng, &m);
+            let window = FixedBaseWindow::new(&base, &m, bits).unwrap();
+            for exp_bits in [1usize, 3, bits / 2, bits - 1, bits] {
+                let exp = BigUint::random_bits(&mut rng, exp_bits);
+                assert_eq!(window.pow(&exp), base.mod_pow(&exp, &m), "bits={bits}/{exp_bits}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_base_window_edge_exponents() {
+        let m = BigUint::from_u64(101);
+        let base = BigUint::from_u64(7);
+        let window = FixedBaseWindow::new(&base, &m, 64).unwrap();
+        assert!(window.pow(&BigUint::zero()).is_one());
+        assert_eq!(window.pow(&BigUint::one()).to_u64(), Some(7));
+        assert_eq!(
+            window.pow(&BigUint::from_u64(15)).to_u64(),
+            base.mod_pow(&BigUint::from_u64(15), &m).to_u64()
+        );
+        assert!(FixedBaseWindow::new(&base, &BigUint::from_u64(10), 64).is_none());
     }
 }

@@ -12,6 +12,33 @@ pub fn mul_mod(a: u64, b: u64, q: u64) -> u64 {
     ((u128::from(a) * u128::from(b)) % u128::from(q)) as u64
 }
 
+/// The Shoup precomputation for multiplying by the fixed operand `w`:
+/// `⌊w·2^64 / q⌋`. Pair with [`mul_mod_shoup`].
+#[inline]
+#[must_use]
+pub fn shoup_precompute(w: u64, q: u64) -> u64 {
+    ((u128::from(w) << 64) / u128::from(q)) as u64
+}
+
+/// Shoup modular multiplication `a·w mod q` for a *fixed* `w` whose
+/// precomputed `w_shoup = ⌊w·2^64/q⌋` is supplied.
+///
+/// The quotient estimate `⌊a·w_shoup/2^64⌋` is off by at most one, so a
+/// single conditional subtraction corrects the remainder — one `u128`
+/// high-half product and two wrapping `u64` products instead of a full
+/// 128-bit division. Requires `a, w < q < 2^63`.
+#[inline]
+#[must_use]
+pub fn mul_mod_shoup(a: u64, w: u64, w_shoup: u64, q: u64) -> u64 {
+    let quotient = ((u128::from(a) * u128::from(w_shoup)) >> 64) as u64;
+    let r = a.wrapping_mul(w).wrapping_sub(quotient.wrapping_mul(q));
+    if r >= q {
+        r - q
+    } else {
+        r
+    }
+}
+
 /// Modular addition.
 #[inline]
 #[must_use]
@@ -129,6 +156,12 @@ pub struct NttTables {
     inv: Vec<u64>,
     /// `n^{-1} mod q` for the final inverse scaling.
     n_inv: u64,
+    /// Shoup constants `⌊fwd[i]·2^64/q⌋` (one per forward twiddle).
+    fwd_shoup: Vec<u64>,
+    /// Shoup constants for the inverse twiddles.
+    inv_shoup: Vec<u64>,
+    /// Shoup constant for `n_inv`.
+    n_inv_shoup: u64,
 }
 
 impl NttTables {
@@ -147,12 +180,78 @@ impl NttTables {
             fwd[i] = pow_mod(psi, r, q);
             inv[i] = pow_mod(psi_inv, r, q);
         }
-        NttTables { n, q, fwd, inv, n_inv: inv_mod(n as u64, q) }
+        let fwd_shoup = fwd.iter().map(|&w| shoup_precompute(w, q)).collect();
+        let inv_shoup = inv.iter().map(|&w| shoup_precompute(w, q)).collect();
+        let n_inv = inv_mod(n as u64, q);
+        NttTables {
+            n,
+            q,
+            fwd,
+            inv,
+            n_inv,
+            fwd_shoup,
+            inv_shoup,
+            n_inv_shoup: shoup_precompute(n_inv, q),
+        }
     }
 
     /// In-place forward negacyclic NTT (Cooley–Tukey, decimation in time on
-    /// the psi-twisted sequence).
+    /// the psi-twisted sequence). Butterflies multiply via the precomputed
+    /// Shoup constants — no `u128` division on the hot path.
     pub fn forward(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let mut t = self.n;
+        let mut m = 1;
+        while m < self.n {
+            t /= 2;
+            for i in 0..m {
+                let w = self.fwd[m + i];
+                let ws = self.fwd_shoup[m + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = mul_mod_shoup(a[j + t], w, ws, q);
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = sub_mod(u, v, q);
+                }
+            }
+            m *= 2;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (Gentleman–Sande), Shoup-multiplied
+    /// like [`NttTables::forward`].
+    pub fn inverse(&self, a: &mut [u64]) {
+        debug_assert_eq!(a.len(), self.n);
+        let q = self.q;
+        let mut t = 1;
+        let mut m = self.n;
+        while m > 1 {
+            let h = m / 2;
+            let mut j1 = 0;
+            for i in 0..h {
+                let w = self.inv[h + i];
+                let ws = self.inv_shoup[h + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = add_mod(u, v, q);
+                    a[j + t] = mul_mod_shoup(sub_mod(u, v, q), w, ws, q);
+                }
+                j1 += 2 * t;
+            }
+            t *= 2;
+            m = h;
+        }
+        for x in a.iter_mut() {
+            *x = mul_mod_shoup(*x, self.n_inv, self.n_inv_shoup, q);
+        }
+    }
+
+    /// Reference forward transform using plain `u128 %` multiplication —
+    /// the oracle the Shoup path is property-tested against.
+    pub fn forward_reference(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.n);
         let q = self.q;
         let mut t = self.n;
@@ -173,8 +272,8 @@ impl NttTables {
         }
     }
 
-    /// In-place inverse negacyclic NTT (Gentleman–Sande).
-    pub fn inverse(&self, a: &mut [u64]) {
+    /// Reference inverse transform (plain `u128 %` oracle).
+    pub fn inverse_reference(&self, a: &mut [u64]) {
         debug_assert_eq!(a.len(), self.n);
         let q = self.q;
         let mut t = 1;
@@ -261,6 +360,51 @@ mod tests {
         let mut expect = vec![0u64; n];
         expect[0] = q - 1; // -1
         assert_eq!(c, expect);
+    }
+
+    #[test]
+    fn shoup_multiplication_matches_plain() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(91);
+        for q in [find_ntt_prime(30, 16), find_ntt_prime(55, 1024), find_ntt_prime(62, 2)] {
+            for _ in 0..200 {
+                let a = rng.gen_range(0..q);
+                let w = rng.gen_range(0..q);
+                assert_eq!(
+                    mul_mod_shoup(a, w, shoup_precompute(w, q), q),
+                    mul_mod(a, w, q),
+                    "a={a} w={w} q={q}"
+                );
+            }
+            // Boundary operands.
+            for (a, w) in [(0, 0), (q - 1, q - 1), (1, q - 1), (q - 1, 1)] {
+                assert_eq!(mul_mod_shoup(a, w, shoup_precompute(w, q), q), mul_mod(a, w, q));
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_transforms_match_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(92);
+        for n in [16usize, 256] {
+            let q = find_ntt_prime(55, n);
+            let tables = NttTables::new(n, q);
+            for _ in 0..10 {
+                let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+                let mut fast = orig.clone();
+                let mut slow = orig.clone();
+                tables.forward(&mut fast);
+                tables.forward_reference(&mut slow);
+                assert_eq!(fast, slow, "forward n={n}");
+                tables.inverse(&mut fast);
+                tables.inverse_reference(&mut slow);
+                assert_eq!(fast, slow, "inverse n={n}");
+                assert_eq!(fast, orig, "roundtrip n={n}");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,14 @@
 
 use super::ntt::{add_mod, mul_mod, sub_mod, NttTables};
 use rand::Rng;
+use std::cell::RefCell;
 use std::sync::Arc;
+
+thread_local! {
+    /// Reusable NTT staging buffer for the second operand of [`Poly::mul`],
+    /// so repeated multiplications on one thread allocate only the output.
+    static MUL_SCRATCH: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
 
 /// A polynomial with `n` coefficients mod `q`, tied to shared NTT tables.
 #[derive(Clone, Debug)]
@@ -99,17 +106,23 @@ impl Poly {
         Poly { coeffs, tables: Arc::clone(&self.tables) }
     }
 
-    /// Negacyclic polynomial multiplication via NTT.
+    /// Negacyclic polynomial multiplication via NTT. The second operand is
+    /// staged in a thread-local scratch buffer, so only the output vector
+    /// allocates per call.
     #[must_use]
     pub fn mul(&self, other: &Self) -> Self {
         let q = self.tables.q;
         let mut a = self.coeffs.clone();
-        let mut b = other.coeffs.clone();
-        self.tables.forward(&mut a);
-        self.tables.forward(&mut b);
-        for (x, &y) in a.iter_mut().zip(&b) {
-            *x = mul_mod(*x, y, q);
-        }
+        MUL_SCRATCH.with(|scratch| {
+            let mut b = scratch.borrow_mut();
+            b.clear();
+            b.extend_from_slice(&other.coeffs);
+            self.tables.forward(&mut a);
+            self.tables.forward(&mut b);
+            for (x, &y) in a.iter_mut().zip(b.iter()) {
+                *x = mul_mod(*x, y, q);
+            }
+        });
         self.tables.inverse(&mut a);
         Poly { coeffs: a, tables: Arc::clone(&self.tables) }
     }

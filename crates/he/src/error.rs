@@ -29,6 +29,20 @@ pub enum Error {
         /// Slots available.
         max: usize,
     },
+    /// A fixed-point encoding exceeds the magnitude a packed slot can hold.
+    PackedValueOutOfRange {
+        /// The offending encoded value.
+        encoded: i64,
+        /// Per-slot magnitude bound in bits.
+        mag_bits: u32,
+    },
+    /// A packed sum exceeds the per-slot addition headroom.
+    PackedHeadroomExceeded {
+        /// Fresh encryptions summed into the ciphertext.
+        terms: u32,
+        /// Maximum the layout reserves headroom for.
+        max_terms: u32,
+    },
 }
 
 impl fmt::Display for Error {
@@ -44,6 +58,12 @@ impl fmt::Display for Error {
             Error::InvalidParameters(msg) => write!(f, "invalid parameters: {msg}"),
             Error::TooManySlots { got, max } => {
                 write!(f, "{got} values exceed the {max} available slots")
+            }
+            Error::PackedValueOutOfRange { encoded, mag_bits } => {
+                write!(f, "encoded value {encoded} exceeds the 2^{mag_bits} packed-slot bound")
+            }
+            Error::PackedHeadroomExceeded { terms, max_terms } => {
+                write!(f, "{terms} summed terms exceed the packed headroom for {max_terms}")
             }
         }
     }

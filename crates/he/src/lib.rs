@@ -11,6 +11,8 @@
 //!   homomorphic addition (the operation set the paper's TenSEAL usage
 //!   exercises).
 //! * [`fixed`] — fixed-point real↔integer codec for exact schemes.
+//! * [`packing`] — shift-and-pack slot layout so one Paillier noise
+//!   exponentiation amortizes over a whole group of values.
 //! * [`scheme`] — the [`scheme::AdditiveHe`] trait unifying Paillier, CKKS,
 //!   and a pass-through [`scheme::PlainHe`] used for cost-accounted
 //!   large-scale simulation.
@@ -36,6 +38,7 @@ pub mod dp;
 pub mod error;
 pub mod fixed;
 pub mod keys;
+pub mod packing;
 pub mod paillier;
 pub mod scheme;
 

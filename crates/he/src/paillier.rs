@@ -9,10 +9,23 @@
 //! Implementation notes: `g = n + 1`, so encryption avoids a full
 //! exponentiation (`g^m = 1 + m·n mod n²`) and decryption uses
 //! `μ = λ⁻¹ mod n`.
+//!
+//! Encryption has two paths. [`PaillierPublicKey::encrypt`] is the slow
+//! reference: a fresh coprime `r` and a full `r.mod_pow(n, n²)` per call.
+//! [`PaillierEncryptor`] is the hot path: it fixes `h = r₀ⁿ mod n²` at
+//! setup, precomputes a fixed-base window table for `h` modulo `n²`, and
+//! draws each noise factor as `h^x` for a short random `x` — the standard
+//! shortened-randomness optimization, cutting an n-bit square-and-multiply
+//! down to ~`x_bits / 4` table products. Since `h^x = (r₀^x mod n)^n`, the
+//! result is ordinary Paillier randomness and decryption is bit-exact.
 
+use crate::bigint::montgomery::FixedBaseWindow;
 use crate::bigint::BigUint;
 use crate::error::{Error, Result};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Minimum accepted modulus width. Far below any secure size — permitted so
 /// tests stay fast — but production callers should use ≥ 2048.
@@ -299,6 +312,168 @@ impl PaillierPrivateKey {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Precomputed fast-path encryption
+// ---------------------------------------------------------------------------
+
+/// Noise exponents are at least this wide even for the smallest keys.
+const MIN_NOISE_BITS: usize = 64;
+
+/// Precomputed fast-path encryptor: fixed-base window table over the noise
+/// base `h = r₀ⁿ mod n²`, with noise factors `h^x` for short seeded `x`.
+///
+/// Construction costs a few hundred Montgomery products (one-time, at key
+/// setup); each encryption afterwards costs ~`noise_bits / 4` products
+/// instead of the ~`1.5 · key_bits` of the slow path, and skips the
+/// coprime rejection loop entirely.
+#[derive(Clone, Debug)]
+pub struct PaillierEncryptor {
+    pk: PaillierPublicKey,
+    window: FixedBaseWindow,
+    noise_bits: usize,
+}
+
+impl PaillierEncryptor {
+    /// Builds the precomputed table for `pk`, drawing the base seed `r₀`
+    /// from `rng`. Two encryptors built from identical RNG states produce
+    /// identical ciphertexts for identical (plaintext, noise seed) pairs.
+    pub fn new<R: Rng + ?Sized>(pk: &PaillierPublicKey, rng: &mut R) -> Self {
+        let r0 = BigUint::random_coprime(rng, &pk.n);
+        let h = r0.mod_pow(&pk.n, &pk.n_squared);
+        // Half the key width keeps the noise group large (2^(k/2) choices)
+        // while quartering the exponent the window walk has to cover.
+        let noise_bits = (pk.key_bits() / 2).max(MIN_NOISE_BITS);
+        let window = FixedBaseWindow::new(&h, &pk.n_squared, noise_bits)
+            .expect("n² is odd, so the Montgomery context always exists");
+        PaillierEncryptor { pk: pk.clone(), window, noise_bits }
+    }
+
+    /// The public key this encryptor serves.
+    #[must_use]
+    pub fn public(&self) -> &PaillierPublicKey {
+        &self.pk
+    }
+
+    /// Bit width of the short noise exponents.
+    #[must_use]
+    pub fn noise_bits(&self) -> usize {
+        self.noise_bits
+    }
+
+    /// Derives the noise factor `h^x mod n²` for a seeded short exponent
+    /// `x`. Pure function of `seed`, so factors can be precomputed on any
+    /// thread (or ahead of time by a [`NoisePool`]) without changing the
+    /// ciphertexts.
+    #[must_use]
+    pub fn noise_for_seed(&self, seed: u64) -> BigUint {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = BigUint::random_bits(&mut rng, self.noise_bits);
+        self.window.pow(&x)
+    }
+
+    /// Encrypts `m` with an explicit noise factor (from
+    /// [`PaillierEncryptor::noise_for_seed`]).
+    ///
+    /// # Errors
+    /// Returns [`Error::PlaintextOutOfRange`] if `m >= n`.
+    pub fn encrypt_with_noise(&self, m: &BigUint, noise: &BigUint) -> Result<PaillierCiphertext> {
+        if m >= &self.pk.n {
+            return Err(Error::PlaintextOutOfRange);
+        }
+        // g^m = (1 + n)^m = 1 + m·n (mod n²)
+        let gm = BigUint::one().add(&m.mul(&self.pk.n)).rem(&self.pk.n_squared);
+        Ok(PaillierCiphertext(gm.mul_mod(noise, &self.pk.n_squared)))
+    }
+
+    /// Convenience: derive the seeded noise factor and encrypt in one call.
+    ///
+    /// # Errors
+    /// Returns [`Error::PlaintextOutOfRange`] if `m >= n`.
+    pub fn encrypt_seeded(&self, m: &BigUint, seed: u64) -> Result<PaillierCiphertext> {
+        self.encrypt_with_noise(m, &self.noise_for_seed(seed))
+    }
+}
+
+/// A seeded, refillable pool of noise-factor *indices*.
+///
+/// The pool does not own randomness: factor `j` is the pure function
+/// `encryptor.noise_for_seed(split_seed(pool_seed, j))`, so a ciphertext
+/// depends only on the order in which callers *reserve* indices — never on
+/// whether the factor was prefilled, which thread computed it, or how many
+/// were prefilled. [`NoisePool::prefill`] computes factors ahead of the
+/// critical path and caches them; [`NoisePool::take`] consumes the cache
+/// when it can and falls back to computing on demand.
+#[derive(Debug)]
+pub struct NoisePool {
+    seed: u64,
+    state: Mutex<NoisePoolState>,
+}
+
+#[derive(Debug, Default)]
+struct NoisePoolState {
+    /// Next unreserved index; reservations are contiguous and ordered by
+    /// call sequence, which is what makes pooled output deterministic.
+    cursor: u64,
+    /// Prefilled factors not yet consumed, keyed by index.
+    ready: HashMap<u64, BigUint>,
+}
+
+impl NoisePool {
+    /// Creates an empty pool over `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        NoisePool { seed, state: Mutex::new(NoisePoolState::default()) }
+    }
+
+    /// The seed for factor index `j` (pure).
+    #[must_use]
+    pub fn seed_for(&self, index: u64) -> u64 {
+        vfps_par::split_seed(self.seed, index)
+    }
+
+    /// Reserves `count` consecutive factor indices, returning the first.
+    pub fn reserve(&self, count: usize) -> u64 {
+        let mut state = self.state.lock().expect("noise pool mutex poisoned");
+        let start = state.cursor;
+        state.cursor += count as u64;
+        start
+    }
+
+    /// The factor for a reserved index: the prefilled value if available,
+    /// otherwise computed on demand (identical either way).
+    #[must_use]
+    pub fn take(&self, enc: &PaillierEncryptor, index: u64) -> BigUint {
+        if let Some(hit) =
+            self.state.lock().expect("noise pool mutex poisoned").ready.remove(&index)
+        {
+            return hit;
+        }
+        enc.noise_for_seed(self.seed_for(index))
+    }
+
+    /// Precomputes the next `count` unreserved factors on `pool`, off the
+    /// encryption critical path. Safe to call at any time; already-reserved
+    /// indices are never recomputed.
+    pub fn prefill(&self, enc: &PaillierEncryptor, count: usize, pool: &vfps_par::Pool) {
+        let start = self.state.lock().expect("noise pool mutex poisoned").cursor;
+        let indices: Vec<u64> = (start..start + count as u64).collect();
+        let factors =
+            pool.par_map_indexed(&indices, |_, &j| (j, enc.noise_for_seed(self.seed_for(j))));
+        let mut state = self.state.lock().expect("noise pool mutex poisoned");
+        for (j, f) in factors {
+            // A concurrent reserve/take may have consumed past `j` already;
+            // caching it anyway is harmless (take falls back to computing).
+            state.ready.insert(j, f);
+        }
+    }
+
+    /// Number of prefilled factors currently cached.
+    #[must_use]
+    pub fn ready_len(&self) -> usize {
+        self.state.lock().expect("noise pool mutex poisoned").ready.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +581,75 @@ mod tests {
             assert_eq!(kp.private.decrypt(&c), kp.private.decrypt_plain(&c));
             assert_eq!(kp.private.decrypt(&c), m);
         }
+    }
+
+    #[test]
+    fn fast_path_decrypts_identically_to_slow_path() {
+        let kp = keypair(256);
+        let mut rng = StdRng::seed_from_u64(11);
+        let enc = PaillierEncryptor::new(&kp.public, &mut rng);
+        for (i, v) in [0u64, 1, 42, 1_000_000, u64::MAX].into_iter().enumerate() {
+            let m = BigUint::from_u64(v);
+            let fast = enc.encrypt_seeded(&m, 1000 + i as u64).unwrap();
+            assert_eq!(kp.private.decrypt(&fast), m, "fast path roundtrip v={v}");
+            // The fast ciphertext interoperates with slow-path ciphertexts.
+            let slow = kp.public.encrypt(&m, &mut rng).unwrap();
+            let sum = kp.public.add(&fast, &slow);
+            assert_eq!(kp.private.decrypt(&sum), m.add(&m), "fast+slow interop v={v}");
+        }
+    }
+
+    #[test]
+    fn fast_path_is_deterministic_in_its_seed() {
+        let kp = keypair(128);
+        let enc_a = PaillierEncryptor::new(&kp.public, &mut StdRng::seed_from_u64(20));
+        let enc_b = PaillierEncryptor::new(&kp.public, &mut StdRng::seed_from_u64(20));
+        let m = BigUint::from_u64(314);
+        assert_eq!(enc_a.encrypt_seeded(&m, 7).unwrap(), enc_b.encrypt_seeded(&m, 7).unwrap());
+        assert_ne!(
+            enc_a.encrypt_seeded(&m, 7).unwrap(),
+            enc_a.encrypt_seeded(&m, 8).unwrap(),
+            "different noise seeds randomize the ciphertext"
+        );
+    }
+
+    #[test]
+    fn fast_path_rejects_out_of_range_plaintext() {
+        let kp = keypair(128);
+        let mut rng = StdRng::seed_from_u64(21);
+        let enc = PaillierEncryptor::new(&kp.public, &mut rng);
+        let too_big = kp.public.modulus().clone();
+        assert!(matches!(enc.encrypt_seeded(&too_big, 0), Err(Error::PlaintextOutOfRange)));
+    }
+
+    #[test]
+    fn noise_pool_output_is_independent_of_prefill_and_threads() {
+        let kp = keypair(128);
+        let mut rng = StdRng::seed_from_u64(22);
+        let enc = PaillierEncryptor::new(&kp.public, &mut rng);
+        // Reference: no prefill at all, take on demand.
+        let cold = NoisePool::new(777);
+        let start = cold.reserve(12);
+        let want: Vec<BigUint> = (start..start + 12).map(|j| cold.take(&enc, j)).collect();
+        for threads in [1usize, 4] {
+            let pool = vfps_par::Pool::with_threads(threads);
+            let warm = NoisePool::new(777);
+            warm.prefill(&enc, 5, &pool); // partial prefill: 5 of 12
+            assert_eq!(warm.ready_len(), 5);
+            let start = warm.reserve(12);
+            let got: Vec<BigUint> = (start..start + 12).map(|j| warm.take(&enc, j)).collect();
+            assert_eq!(got, want, "threads={threads}");
+            assert_eq!(warm.ready_len(), 0, "prefilled factors consumed");
+        }
+    }
+
+    #[test]
+    fn noise_pool_reservations_are_contiguous() {
+        let pool = NoisePool::new(1);
+        assert_eq!(pool.reserve(3), 0);
+        assert_eq!(pool.reserve(1), 3);
+        assert_eq!(pool.reserve(0), 4);
+        assert_eq!(pool.reserve(2), 4);
     }
 
     #[test]

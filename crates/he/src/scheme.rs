@@ -13,7 +13,8 @@ use crate::bigint::BigUint;
 use crate::ckks::{CkksCiphertext, CkksContext, CkksParams, CkksPublicKey, CkksSecretKey};
 use crate::error::Result;
 use crate::fixed::FixedPoint;
-use crate::paillier::{self, PaillierCiphertext, PaillierKeypair};
+use crate::packing::{PackingLayout, DEFAULT_MAX_TERMS};
+use crate::paillier::{self, NoisePool, PaillierCiphertext, PaillierEncryptor, PaillierKeypair};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Mutex;
@@ -39,16 +40,19 @@ pub trait AdditiveHe: Send + Sync {
     /// Encrypts several batches at once — the protocol hot path when a
     /// participant ships all its candidate partials for one query.
     ///
-    /// The default implementation encrypts sequentially; schemes with
-    /// expensive per-ciphertext work ([`PaillierHe`], [`CkksHe`]) override
-    /// it to run on the global [`vfps_par`] pool with per-item seeded
-    /// randomness, so the output is identical at any thread count.
+    /// The default implementation fans the per-batch [`AdditiveHe::encrypt`]
+    /// calls out on the global [`vfps_par`] pool, which is correct for
+    /// deterministic schemes ([`PlainHe`]). Schemes whose `encrypt` draws
+    /// from a shared RNG ([`PaillierHe`], [`CkksHe`]) MUST override it to
+    /// sequence their randomness deterministically (seed reservation under
+    /// a lock) before fanning out, so the output is identical at any
+    /// thread count.
     ///
     /// # Errors
     /// Fails when any batch exceeds the slot count or a value cannot be
     /// represented.
     fn encrypt_many(&self, batches: &[&[f64]]) -> Result<Vec<Self::Ciphertext>> {
-        batches.iter().map(|b| self.encrypt(b)).collect()
+        vfps_par::global().par_map_indexed(batches, |_, b| self.encrypt(b)).into_iter().collect()
     }
 
     /// Decrypts the first `count` values.
@@ -164,12 +168,47 @@ impl AdditiveHe for PlainHe {
 // Paillier
 // ---------------------------------------------------------------------------
 
-/// Paillier-backed scheme: one integer ciphertext per value, fixed-point
-/// encoded. Exact up to quantization.
+/// A packed Paillier ciphertext: `count` fixed-point values laid out
+/// [`PackingLayout::slots`]-per-inner-ciphertext, plus the number of fresh
+/// encryptions (`terms`) summed into it — needed to undo the per-slot bias
+/// at decode time and to police the carry headroom.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PackedPaillier {
+    cts: Vec<PaillierCiphertext>,
+    count: u32,
+    terms: u32,
+}
+
+impl PackedPaillier {
+    /// Values carried.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count as usize
+    }
+
+    /// Fresh encryptions summed into this ciphertext.
+    #[must_use]
+    pub fn terms(&self) -> u32 {
+        self.terms
+    }
+
+    /// Inner `Z_{n²}` ciphertexts (one per slot group).
+    #[must_use]
+    pub fn groups(&self) -> &[PaillierCiphertext] {
+        &self.cts
+    }
+}
+
+/// Paillier-backed scheme: fixed-point values shift-and-packed several per
+/// integer ciphertext ([`PackingLayout`]), encrypted via the precomputed
+/// fixed-base fast path ([`PaillierEncryptor`]) with noise factors drawn
+/// from a seeded [`NoisePool`]. Exact up to quantization.
 pub struct PaillierHe {
     keypair: PaillierKeypair,
+    encryptor: PaillierEncryptor,
+    noise: NoisePool,
+    layout: PackingLayout,
     codec: FixedPoint,
-    rng: Mutex<StdRng>,
     batch: usize,
 }
 
@@ -181,7 +220,21 @@ impl PaillierHe {
     pub fn generate(key_bits: usize, batch: usize, seed: u64) -> Result<Self> {
         let mut rng = StdRng::seed_from_u64(seed);
         let keypair = paillier::generate_keypair(&mut rng, key_bits)?;
-        Ok(PaillierHe { keypair, codec: FixedPoint::default_codec(), rng: Mutex::new(rng), batch })
+        let encryptor = PaillierEncryptor::new(&keypair.public, &mut rng);
+        let noise = NoisePool::new(rng.gen());
+        let layout = PackingLayout::for_key(key_bits, DEFAULT_MAX_TERMS).ok_or_else(|| {
+            crate::error::Error::InvalidParameters(format!(
+                "key width {key_bits} cannot fit a packed slot"
+            ))
+        })?;
+        Ok(PaillierHe {
+            keypair,
+            encryptor,
+            noise,
+            layout,
+            codec: FixedPoint::default_codec(),
+            batch,
+        })
     }
 
     /// The underlying keypair (tests and calibration benches).
@@ -190,52 +243,147 @@ impl PaillierHe {
         &self.keypair
     }
 
+    /// The slot layout in effect (values amortized per exponentiation).
+    #[must_use]
+    pub fn layout(&self) -> PackingLayout {
+        self.layout
+    }
+
+    /// Precomputes `count` noise factors off the critical path so upcoming
+    /// encryptions only pay pack + two modular products. Ciphertexts are
+    /// identical with or without prefill.
+    pub fn prefill_noise(&self, count: usize, pool: &vfps_par::Pool) {
+        self.noise.prefill(&self.encryptor, count, pool);
+    }
+
+    /// Noise factors currently sitting ready in the pool.
+    #[must_use]
+    pub fn noise_ready(&self) -> usize {
+        self.noise.ready_len()
+    }
+
     /// Encrypts one batch on an explicit pool (tests and benchmarks pin
     /// the thread count through this; [`AdditiveHe::encrypt`] uses the
     /// global pool).
     ///
-    /// One call consumes exactly one draw from the scheme's master RNG
-    /// regardless of batch size or thread count; each value then encrypts
-    /// under its own RNG seeded by [`vfps_par::split_seed`], so the
-    /// ciphertexts are a pure function of (scheme state, values).
+    /// One call reserves one contiguous run of noise-pool indices under a
+    /// lock — so ciphertexts are a pure function of the call sequence, not
+    /// of thread count or prefill state — then packs and encrypts the slot
+    /// groups in parallel.
     ///
     /// # Errors
     /// Fails when the batch exceeds the slot count or a value cannot be
     /// represented.
-    pub fn encrypt_on(
-        &self,
-        values: &[f64],
-        pool: &vfps_par::Pool,
-    ) -> Result<Vec<PaillierCiphertext>> {
+    pub fn encrypt_on(&self, values: &[f64], pool: &vfps_par::Pool) -> Result<PackedPaillier> {
         if values.len() > self.batch {
             return Err(crate::error::Error::TooManySlots { got: values.len(), max: self.batch });
         }
-        let call_seed: u64 = self.rng.lock().expect("rng mutex poisoned").gen();
-        self.encrypt_seeded(values, call_seed, pool)
+        let n_groups = values.len().div_ceil(self.layout.slots().max(1));
+        let start = self.noise.reserve(n_groups);
+        vfps_obs::time_us("he.paillier.encrypt_us", || self.encrypt_reserved(values, start, pool))
     }
 
-    /// The seeded core of [`PaillierHe::encrypt_on`]: per-value RNGs split
-    /// from `call_seed` by value index.
-    fn encrypt_seeded(
+    /// The reserved-index core of [`PaillierHe::encrypt_on`]: slot group
+    /// `g` encrypts under noise index `start + g`.
+    fn encrypt_reserved(
         &self,
         values: &[f64],
-        call_seed: u64,
+        start: u64,
         pool: &vfps_par::Pool,
-    ) -> Result<Vec<PaillierCiphertext>> {
-        vfps_obs::time_us("he.paillier.encrypt_us", || {
-            pool.par_map_indexed(values, |i, &v| {
-                let mut rng = StdRng::seed_from_u64(vfps_par::split_seed(call_seed, i as u64));
-                let enc = self.codec.encode(v)?;
-                self.keypair.public.encrypt_i64(enc, &mut rng)
+    ) -> Result<PackedPaillier> {
+        let slots = self.layout.slots();
+        let groups: Vec<&[f64]> = values.chunks(slots.max(1)).collect();
+        let cts: Result<Vec<PaillierCiphertext>> = pool
+            .par_map_indexed(&groups, |g, group| {
+                // Pad the tail group with zeros so every slot carries the
+                // bias and additions of unequal-count ciphertexts stay
+                // decodable slot-by-slot.
+                let mut encoded = vec![0i64; slots];
+                for (e, &v) in encoded.iter_mut().zip(group.iter()) {
+                    *e = self.codec.encode(v)?;
+                }
+                let plain = self.layout.pack(&encoded)?;
+                let noise = self.noise.take(&self.encryptor, start + g as u64);
+                self.encryptor.encrypt_with_noise(&plain, &noise)
             })
             .into_iter()
-            .collect()
+            .collect();
+        vfps_obs::counter_add("he.paillier.exponentiations", groups.len() as u64);
+        vfps_obs::counter_add("he.paillier.enc_values", values.len() as u64);
+        Ok(PackedPaillier { cts: cts?, count: values.len() as u32, terms: 1 })
+    }
+
+    /// Encrypts several batches on an explicit pool. One reservation covers
+    /// every batch's slot groups, then all groups across all batches fan
+    /// out as a single flat parallel map.
+    ///
+    /// # Errors
+    /// Fails when any batch exceeds the slot count or a value cannot be
+    /// represented.
+    pub fn encrypt_many_on(
+        &self,
+        batches: &[&[f64]],
+        pool: &vfps_par::Pool,
+    ) -> Result<Vec<PackedPaillier>> {
+        for b in batches {
+            if b.len() > self.batch {
+                return Err(crate::error::Error::TooManySlots { got: b.len(), max: self.batch });
+            }
+        }
+        let slots = self.layout.slots().max(1);
+        // Noise index ranges per batch, assigned contiguously in order.
+        let mut starts = Vec::with_capacity(batches.len());
+        let total_groups: usize = batches.iter().map(|b| b.len().div_ceil(slots)).sum();
+        let start = self.noise.reserve(total_groups);
+        let mut next = start;
+        for b in batches {
+            starts.push(next);
+            next += b.len().div_ceil(slots) as u64;
+        }
+        vfps_obs::time_us("he.paillier.encrypt_us", || {
+            // Flatten to (batch, group) tasks so small batches still fill
+            // the pool, then reassemble per batch.
+            let tasks: Vec<(usize, usize)> = batches
+                .iter()
+                .enumerate()
+                .flat_map(|(bi, b)| (0..b.len().div_ceil(slots)).map(move |g| (bi, g)))
+                .collect();
+            let flat: Result<Vec<PaillierCiphertext>> = pool
+                .par_map_indexed(&tasks, |_, &(bi, g)| {
+                    let group = &batches[bi][g * slots..batches[bi].len().min((g + 1) * slots)];
+                    let mut encoded = vec![0i64; slots];
+                    for (e, &v) in encoded.iter_mut().zip(group.iter()) {
+                        *e = self.codec.encode(v)?;
+                    }
+                    let plain = self.layout.pack(&encoded)?;
+                    let noise = self.noise.take(&self.encryptor, starts[bi] + g as u64);
+                    self.encryptor.encrypt_with_noise(&plain, &noise)
+                })
+                .into_iter()
+                .collect();
+            let mut flat = flat?.into_iter();
+            let out = batches
+                .iter()
+                .map(|b| PackedPaillier {
+                    cts: (0..b.len().div_ceil(slots))
+                        .map(|_| flat.next().expect("one ct per group"))
+                        .collect(),
+                    count: b.len() as u32,
+                    terms: 1,
+                })
+                .collect();
+            vfps_obs::counter_add("he.paillier.exponentiations", total_groups as u64);
+            vfps_obs::counter_add(
+                "he.paillier.enc_values",
+                batches.iter().map(|b| b.len() as u64).sum(),
+            );
+            Ok(out)
         })
     }
 }
 
 impl AdditiveHe for PaillierHe {
-    type Ciphertext = Vec<PaillierCiphertext>;
+    type Ciphertext = PackedPaillier;
 
     fn name(&self) -> &'static str {
         "paillier"
@@ -250,51 +398,67 @@ impl AdditiveHe for PaillierHe {
     }
 
     fn encrypt_many(&self, batches: &[&[f64]]) -> Result<Vec<Self::Ciphertext>> {
-        // One master draw per batch, taken sequentially under the lock so
-        // the seed sequence is independent of scheduling; the modpow-heavy
-        // per-value work then fans out across the pool.
-        let call_seeds: Vec<u64> = {
-            let mut rng = self.rng.lock().expect("rng mutex poisoned");
-            batches.iter().map(|_| rng.gen()).collect()
-        };
-        batches
-            .iter()
-            .zip(&call_seeds)
-            .map(|(b, &seed)| {
-                if b.len() > self.batch {
-                    return Err(crate::error::Error::TooManySlots {
-                        got: b.len(),
-                        max: self.batch,
-                    });
-                }
-                self.encrypt_seeded(b, seed, vfps_par::global())
-            })
-            .collect()
+        self.encrypt_many_on(batches, vfps_par::global())
     }
 
     fn decrypt(&self, ct: &Self::Ciphertext, count: usize) -> Vec<f64> {
         vfps_obs::time_us("he.paillier.decrypt_us", || {
-            ct.iter()
-                .take(count)
-                .map(|c| self.codec.decode_i128(self.keypair.private.decrypt_i128(c)))
-                .collect()
+            let slots = self.layout.slots().max(1);
+            let mut remaining = count.min(ct.count as usize);
+            let mut out = Vec::with_capacity(remaining);
+            for c in &ct.cts {
+                if remaining == 0 {
+                    break;
+                }
+                let take = remaining.min(slots);
+                let residue = self.keypair.private.decrypt(c);
+                let vals = self
+                    .layout
+                    .unpack(&residue, take, ct.terms)
+                    .expect("packed decode within layout bounds");
+                out.extend(vals.into_iter().map(|v| self.codec.decode_i128(v)));
+                remaining -= take;
+            }
+            out
         })
     }
 
     fn add(&self, a: &Self::Ciphertext, b: &Self::Ciphertext) -> Self::Ciphertext {
         vfps_obs::time_us("he.paillier.add_us", || {
-            a.iter().zip(b.iter()).map(|(x, y)| self.keypair.public.add(x, y)).collect()
+            assert_eq!(
+                a.cts.len(),
+                b.cts.len(),
+                "packed paillier addition requires identically chunked ciphertexts"
+            );
+            let terms = a.terms + b.terms;
+            assert!(
+                terms <= self.layout.max_terms(),
+                "summing {terms} fresh ciphertexts exceeds the packed headroom of {}",
+                self.layout.max_terms()
+            );
+            PackedPaillier {
+                cts: a
+                    .cts
+                    .iter()
+                    .zip(b.cts.iter())
+                    .map(|(x, y)| self.keypair.public.add(x, y))
+                    .collect(),
+                count: a.count.max(b.count),
+                terms,
+            }
         })
     }
 
     fn ct_bytes(&self, ct: &Self::Ciphertext) -> usize {
-        ct.iter().map(PaillierCiphertext::byte_len).sum()
+        ct.cts.iter().map(PaillierCiphertext::byte_len).sum()
     }
 
     fn ct_to_bytes(&self, ct: &Self::Ciphertext) -> Vec<u8> {
         let mut out = Vec::new();
-        out.extend_from_slice(&(ct.len() as u32).to_le_bytes());
-        for c in ct {
+        out.extend_from_slice(&ct.count.to_le_bytes());
+        out.extend_from_slice(&ct.terms.to_le_bytes());
+        out.extend_from_slice(&(ct.cts.len() as u32).to_le_bytes());
+        for c in &ct.cts {
             let b = c.as_biguint().to_bytes_be();
             out.extend_from_slice(&(b.len() as u32).to_le_bytes());
             out.extend_from_slice(&b);
@@ -305,25 +469,29 @@ impl AdditiveHe for PaillierHe {
     fn ct_from_bytes(&self, bytes: &[u8]) -> Result<Self::Ciphertext> {
         let err = || crate::error::Error::InvalidParameters("malformed paillier ciphertext".into());
         let mut cur = bytes;
-        let take = |cur: &mut &[u8], n: usize| -> Result<Vec<u8>> {
-            if cur.len() < n {
+        let take_u32 = |n: &mut &[u8]| -> Result<u32> {
+            if n.len() < 4 {
                 return Err(err());
             }
-            let (head, rest) = cur.split_at(n);
-            *cur = rest;
-            Ok(head.to_vec())
+            let (head, rest) = n.split_at(4);
+            *n = rest;
+            Ok(u32::from_le_bytes(head.try_into().expect("4 bytes")))
         };
-        let count =
-            u32::from_le_bytes(take(&mut cur, 4)?.as_slice().try_into().expect("4 bytes")) as usize;
-        let mut out = Vec::with_capacity(count.min(1 << 20));
-        for _ in 0..count {
-            let len = u32::from_le_bytes(take(&mut cur, 4)?.as_slice().try_into().expect("4 bytes"))
-                as usize;
-            let raw = take(&mut cur, len)?;
-            out.push(PaillierCiphertext::from_biguint(BigUint::from_bytes_be(&raw)));
+        let count = take_u32(&mut cur)?;
+        let terms = take_u32(&mut cur)?;
+        let n_cts = take_u32(&mut cur)? as usize;
+        let mut cts = Vec::with_capacity(n_cts.min(1 << 20));
+        for _ in 0..n_cts {
+            let len = take_u32(&mut cur)? as usize;
+            if cur.len() < len {
+                return Err(err());
+            }
+            let (raw, rest) = cur.split_at(len);
+            cur = rest;
+            cts.push(PaillierCiphertext::from_biguint(BigUint::from_bytes_be(raw)));
         }
         if cur.is_empty() {
-            Ok(out)
+            Ok(PackedPaillier { cts, count, terms })
         } else {
             Err(err())
         }

@@ -1,0 +1,100 @@
+//! Determinism of batched encryption across thread counts.
+//!
+//! Pooled, packed encryption must be a pure function of (scheme seed, call
+//! sequence): the ciphertext bytes have to be bit-identical whether the
+//! noise factors were prefilled or computed on demand, and whether the
+//! slot groups fanned out over 1 worker or 8. These tests sweep explicit
+//! pools at every thread count the CI determinism matrix pins through
+//! `VFPS_THREADS` and compare serialized ciphertexts against the
+//! single-threaded reference.
+
+use vfps_he::ckks::CkksParams;
+use vfps_he::scheme::{seeded_uniform, AdditiveHe, CkksHe, PaillierHe, PlainHe};
+use vfps_par::Pool;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn batches(flat: &[f64], width: usize) -> Vec<&[f64]> {
+    flat.chunks(width).collect()
+}
+
+#[test]
+fn paillier_encrypt_many_is_bit_identical_across_thread_counts() {
+    let flat = seeded_uniform(0xa11ce, 36, -8.0, 8.0);
+    let batches = batches(&flat, 9);
+    let reference: Vec<Vec<u8>> = {
+        let scheme = PaillierHe::generate(256, 16, 4242).unwrap();
+        let cts = scheme.encrypt_many_on(&batches, &Pool::with_threads(1)).unwrap();
+        cts.iter().map(|ct| scheme.ct_to_bytes(ct)).collect()
+    };
+    for threads in THREADS {
+        let scheme = PaillierHe::generate(256, 16, 4242).unwrap();
+        let cts = scheme.encrypt_many_on(&batches, &Pool::with_threads(threads)).unwrap();
+        let bytes: Vec<Vec<u8>> = cts.iter().map(|ct| scheme.ct_to_bytes(ct)).collect();
+        assert_eq!(bytes, reference, "{threads} threads");
+    }
+}
+
+#[test]
+fn paillier_prefill_does_not_change_ciphertexts() {
+    let flat = seeded_uniform(0xb0b, 24, -4.0, 4.0);
+    let batches = batches(&flat, 6);
+    let reference: Vec<Vec<u8>> = {
+        let scheme = PaillierHe::generate(256, 16, 99).unwrap();
+        let cts = scheme.encrypt_many_on(&batches, &Pool::with_threads(1)).unwrap();
+        cts.iter().map(|ct| scheme.ct_to_bytes(ct)).collect()
+    };
+    for threads in THREADS {
+        let pool = Pool::with_threads(threads);
+        let scheme = PaillierHe::generate(256, 16, 99).unwrap();
+        // Prefill part of the demand: outputs must not depend on how much.
+        scheme.prefill_noise(3 * threads, &pool);
+        let cts = scheme.encrypt_many_on(&batches, &pool).unwrap();
+        let bytes: Vec<Vec<u8>> = cts.iter().map(|ct| scheme.ct_to_bytes(ct)).collect();
+        assert_eq!(bytes, reference, "prefilled, {threads} threads");
+    }
+}
+
+#[test]
+fn ckks_encrypt_many_is_bit_identical_across_thread_counts() {
+    let params = CkksParams::insecure_test();
+    let probe = CkksHe::generate(&params, 77).unwrap();
+    let slots = probe.max_batch();
+    let flat = seeded_uniform(0xcafe, 4 * slots, -1.0, 1.0);
+    let batches = batches(&flat, slots);
+    let reference: Vec<Vec<u8>> = {
+        let scheme = CkksHe::generate(&params, 77).unwrap();
+        let cts = scheme.encrypt_many_on(&batches, &Pool::with_threads(1)).unwrap();
+        cts.iter().map(|ct| scheme.ct_to_bytes(ct)).collect()
+    };
+    for threads in THREADS {
+        let scheme = CkksHe::generate(&params, 77).unwrap();
+        let cts = scheme.encrypt_many_on(&batches, &Pool::with_threads(threads)).unwrap();
+        let bytes: Vec<Vec<u8>> = cts.iter().map(|ct| scheme.ct_to_bytes(ct)).collect();
+        assert_eq!(bytes, reference, "{threads} threads");
+    }
+}
+
+#[test]
+fn default_encrypt_many_is_deterministic_for_plain_scheme() {
+    // PlainHe exercises the trait's default implementation, which fans out
+    // on the global pool; its output must equal the serial per-batch path.
+    let scheme = PlainHe::new(8);
+    let flat = seeded_uniform(0xdead, 40, -2.0, 2.0);
+    let batches = batches(&flat, 5);
+    let serial: Vec<Vec<f64>> = batches.iter().map(|b| scheme.encrypt(b).unwrap()).collect();
+    let pooled = scheme.encrypt_many(&batches).unwrap();
+    assert_eq!(pooled, serial);
+}
+
+#[test]
+fn repeated_encrypt_calls_differ_but_decrypt_identically() {
+    // Fresh noise indices per call: semantic security (distinct bytes),
+    // exactness (identical plaintexts back).
+    let scheme = PaillierHe::generate(256, 8, 11).unwrap();
+    let values = [1.5, -2.25, 3.0];
+    let c1 = scheme.encrypt(&values).unwrap();
+    let c2 = scheme.encrypt(&values).unwrap();
+    assert_ne!(scheme.ct_to_bytes(&c1), scheme.ct_to_bytes(&c2));
+    assert_eq!(scheme.decrypt(&c1, 3), scheme.decrypt(&c2, 3));
+}

@@ -2,9 +2,12 @@
 
 use proptest::prelude::*;
 use vfps_he::bigint::{BigInt, BigUint, MontgomeryCtx};
+use vfps_he::ckks::ntt::{find_ntt_prime, NttTables};
 use vfps_he::ckks::CkksParams;
+use vfps_he::packing::{PackingLayout, DEFAULT_MAX_TERMS, MAG_BITS};
+use vfps_he::paillier::{generate_keypair, PaillierEncryptor};
 use vfps_he::scheme::{AdditiveHe, CkksHe, PaillierHe};
-use vfps_he::FixedPoint;
+use vfps_he::{Error, FixedPoint};
 
 fn biguint_strategy(max_limbs: usize) -> impl Strategy<Value = BigUint> {
     proptest::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
@@ -128,5 +131,85 @@ proptest! {
         let c = CkksHe::generate(&CkksParams::insecure_test(), 7).unwrap();
         let cc = c.encrypt(&values).unwrap();
         prop_assert_eq!(c.ct_from_bytes(&c.ct_to_bytes(&cc)).unwrap(), cc);
+    }
+
+    /// Pool-backed fast-path ciphertexts decrypt to exactly the same
+    /// plaintext residues as the slow reference path.
+    #[test]
+    fn fast_path_matches_slow_path_oracle(seeds in proptest::collection::vec(any::<u64>(), 4)) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0xfeed);
+        let kp = generate_keypair(&mut rng, 128).unwrap();
+        let enc = PaillierEncryptor::new(&kp.public, &mut rng);
+        for (i, &seed) in seeds.iter().enumerate() {
+            let m = BigUint::from_u64(seed).rem(kp.public.modulus());
+            let fast = enc.encrypt_seeded(&m, seed ^ i as u64).unwrap();
+            let slow = kp.public.encrypt(&m, &mut rng).unwrap();
+            prop_assert_eq!(kp.private.decrypt(&fast), kp.private.decrypt(&slow));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packing round-trips arbitrary in-range values, including boundary
+    /// magnitudes at exactly ±2^MAG_BITS.
+    #[test]
+    fn packing_roundtrip(
+        mut vals in proptest::collection::vec(-(1i64 << MAG_BITS)..=(1i64 << MAG_BITS), 1..8),
+        which in 0usize..3,
+    ) {
+        // Force one boundary magnitude into every case.
+        vals[0] = [1i64 << MAG_BITS, -(1i64 << MAG_BITS), 0][which];
+        let layout = PackingLayout::for_key(512, DEFAULT_MAX_TERMS).unwrap();
+        let packed = layout.pack(&vals).unwrap();
+        let got = layout.unpack(&packed, vals.len(), 1).unwrap();
+        let want: Vec<i128> = vals.iter().map(|&v| i128::from(v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Out-of-range values and exceeded headroom fail with typed errors,
+    /// never silently corrupt neighbouring slots.
+    #[test]
+    fn packing_rejects_overflow(extra in 1i64..1_000_000) {
+        let layout = PackingLayout::for_key(256, 4).unwrap();
+        let too_big = (1i64 << MAG_BITS) + extra;
+        prop_assert!(matches!(
+            layout.pack(&[too_big]),
+            Err(Error::PackedValueOutOfRange { .. })
+        ));
+        prop_assert!(matches!(
+            layout.pack(&[-too_big]),
+            Err(Error::PackedValueOutOfRange { .. })
+        ));
+        let packed = layout.pack(&[1]).unwrap();
+        prop_assert!(matches!(
+            layout.unpack(&packed, 1, 4 + (extra % 16 + 1) as u32),
+            Err(Error::PackedHeadroomExceeded { .. })
+        ));
+    }
+
+    /// The Shoup-multiplied NTT equals the `u128 %` reference transform on
+    /// random polynomials.
+    #[test]
+    fn shoup_ntt_matches_reference(seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for n in [16usize, 128] {
+            let q = find_ntt_prime(55, n);
+            let tables = NttTables::new(n, q);
+            let orig: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+            let mut fast = orig.clone();
+            let mut slow = orig;
+            tables.forward(&mut fast);
+            tables.forward_reference(&mut slow);
+            prop_assert_eq!(&fast, &slow, "forward n={}", n);
+            tables.inverse(&mut fast);
+            tables.inverse_reference(&mut slow);
+            prop_assert_eq!(&fast, &slow, "inverse n={}", n);
+        }
     }
 }

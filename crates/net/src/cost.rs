@@ -18,7 +18,11 @@
 /// Per-operation costs in microseconds plus link characteristics.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CostModel {
-    /// Encrypt one value (amortized over a ciphertext batch).
+    /// Encrypt one value (amortized over a ciphertext batch). Ledger `enc`
+    /// counts stay *per value* regardless of how the scheme groups values
+    /// into ciphertexts: with shift-and-pack Paillier one noise
+    /// exponentiation covers a whole slot group, which shows up here as a
+    /// smaller calibrated `enc_us` — never as fewer billed values.
     pub enc_us: f64,
     /// Decrypt one value.
     pub dec_us: f64,
