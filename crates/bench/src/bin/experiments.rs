@@ -177,7 +177,8 @@ fn usage(msg: &str) -> ! {
          \x20    ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown bench-selection calibrate all\n\
          --cached additionally exercises the selection-artifact cache in bench-selection;\n\
          bench-check diffs BENCH_selection.json against results/bench_baseline.json;\n\
-         bench-serve load-tests the selection service (in-process, or --addr for a daemon)"
+         bench-serve load-tests the selection service across two dataset tenants\n\
+         (in-process, or --addr for a daemon started with --max-tenants >= 2)"
     );
     std::process::exit(2)
 }

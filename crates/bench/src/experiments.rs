@@ -989,7 +989,7 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
     let (cache_breakdown, cache_md) = if cfg.cached {
         use vfps_cache::ArtifactCache;
         use vfps_core::selectors::{SelectionContext, VfpsSmSelector};
-        use vfps_core::{select_with_cache, CacheStatus};
+        use vfps_core::{select_with_cache, CacheStatus, TenantContext};
         use vfps_net::cost::CostModel;
 
         let spec = DatasetSpec::by_name("Rice").expect("catalog");
@@ -1012,7 +1012,15 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
         let cache = ArtifactCache::open(&dir).expect("cache dir");
         let timed = |party_set: &[usize]| {
             let t = Instant::now();
-            let served = select_with_cache(&cache, &sel, &ctx, party_set, 2, &cost_model, &tag);
+            let served = select_with_cache(
+                &cache,
+                &sel,
+                &ctx,
+                party_set,
+                2,
+                &cost_model,
+                &TenantContext::single(&tag),
+            );
             (served, t.elapsed().as_secs_f64() * 1e3)
         };
 

@@ -1,22 +1,27 @@
 //! `experiments bench-serve` — the load generator for the vfps-serve
 //! daemon.
 //!
-//! Drives N concurrent clients through a mixed workload — warm repeats of
-//! a hot request, cold requests with unique seeds, and one-party churn —
-//! then a deliberate over-capacity burst, then a graceful shutdown. It
-//! verifies the service invariants end to end:
+//! Drives N concurrent clients through a mixed **two-tenant** workload —
+//! warm repeats of a hot request, cold requests with unique seeds, and
+//! one-party churn, interleaved across the server's default dataset and a
+//! second tenant ([`SECOND_DATASET`]) — then a deliberate over-capacity
+//! burst, then a graceful shutdown. It verifies the service invariants
+//! end to end:
 //!
 //! * **zero lost or duplicated responses** — every request id is answered
 //!   exactly once;
-//! * **warm serving** — repeat requests report `cache_hits > 0` and
-//!   `enc_instances == 0`;
+//! * **warm serving, per tenant** — repeat requests report
+//!   `cache_hits > 0` and `enc_instances == 0` under *each* dataset tag;
+//! * **tenant isolation** — both tenants' primes run cold (no cross-tenant
+//!   cache aliasing) and their warm paths stay disjoint;
 //! * **typed backpressure** — the burst trips at least one `Busy`, never
 //!   an unbounded queue;
 //! * **clean drain** — the final report shows `in_flight == 0` and
 //!   `accepted == completed + failed`.
 //!
-//! Results (throughput, client-observed p50/p95/p99 latency per mode) are
-//! merged into `BENCH_selection.json` as a `serve_breakdown` section
+//! Results (throughput, client-observed p50/p95/p99 latency per mode, and
+//! a per-tenant breakdown from the server's own `ListDatasets` accounting)
+//! are merged into `BENCH_selection.json` as a `serve_breakdown` section
 //! without disturbing the rest of the artifact.
 
 use std::collections::HashMap;
@@ -40,6 +45,10 @@ pub const SERVER_PARTIES: usize = 4;
 /// Dataset/partition seed; the hot request reuses it so a direct
 /// `vfps --synthetic Bank --seed 42` run is bit-identical.
 pub const SERVER_SEED: u64 = 42;
+/// The second tenant the mixed workload drives (by dataset tag). An
+/// external daemon must allow at least two resident tenants
+/// (`--max-tenants 2` or more).
+pub const SECOND_DATASET: &str = "Rice";
 
 /// Load-generator configuration.
 pub struct ServeBenchConfig {
@@ -77,6 +86,8 @@ impl Mode {
 struct Outcome {
     id: u64,
     mode: Mode,
+    /// The dataset tag the request carried (`""` = the default tenant).
+    dataset: &'static str,
     latency_us: u64,
     reply_status: String,
     enc_instances: u64,
@@ -84,9 +95,10 @@ struct Outcome {
     busy_retries: u64,
 }
 
-fn hot_request(id: u64) -> SelectRequest {
+fn hot_request(id: u64, dataset: &str) -> SelectRequest {
     SelectRequest {
         request_id: id,
+        dataset: dataset.to_owned(),
         party_set: (0..SERVER_PARTIES).collect(),
         select: 2,
         k: 10,
@@ -129,6 +141,7 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
                 cache_dir: None,
                 once: false,
                 trace_out: None,
+                max_tenants: 2,
             })
             .expect("bind in-process server");
             let addr = server.local_addr().to_string();
@@ -136,12 +149,23 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
         }
     };
 
-    // 2. Prime the cache: one cold run of the hot request.
+    // 2. Prime both tenants' caches: one cold run of each hot request.
+    //    Identical (party_set, k, seed, …) tuples under different dataset
+    //    tags — both MUST run cold, or tenants are aliasing cache entries.
     let mut primer = Client::connect(&addr).expect("connect primer");
-    let prime = match primer.select(&hot_request(1)).expect("prime roundtrip") {
+    let prime = match primer.select(&hot_request(1, "")).expect("prime roundtrip") {
         Response::Selected(r) => r,
         other => panic!("prime request must select, got {other:?}"),
     };
+    let prime2 = match primer.select(&hot_request(2, SECOND_DATASET)).expect("prime2 roundtrip") {
+        Response::Selected(r) => r,
+        other => panic!("second-tenant prime must select, got {other:?}"),
+    };
+    assert_eq!(prime.cache_status, "cold", "default-tenant prime must run cold");
+    assert_eq!(
+        prime2.cache_status, "cold",
+        "second-tenant prime must run cold — a warm hit here means cross-tenant cache aliasing"
+    );
 
     // 3. Sustained mixed load: `clients` threads, each issuing warm/cold/
     //    churn requests with unique ids; Busy is retried with backoff and
@@ -163,7 +187,10 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
                             1 => Mode::Cold,
                             _ => Mode::Churn,
                         };
-                        let mut req = hot_request(id);
+                        // Interleave tenants within every client so both
+                        // dataset worlds stay under concurrent load.
+                        let dataset = if (c + i) % 2 == 0 { "" } else { SECOND_DATASET };
+                        let mut req = hot_request(id, dataset);
                         match mode {
                             Mode::Warm => {}
                             // Unique seed: a fingerprint no one else wrote.
@@ -193,6 +220,7 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
                                 out.push(Outcome {
                                     id,
                                     mode,
+                                    dataset,
                                     latency_us,
                                     reply_status: r.cache_status.clone(),
                                     enc_instances: r.enc_instances,
@@ -221,16 +249,27 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
     assert_eq!(duplicated, 0, "duplicated responses");
     assert_eq!(lost, 0, "lost responses");
 
-    // Warm requests must be served from the cache without encrypting.
+    // Warm requests must be served from the cache without encrypting —
+    // under BOTH dataset tags.
     for o in &outcomes {
         if o.mode == Mode::Warm {
-            assert_eq!(o.enc_instances, 0, "warm request {} re-encrypted", o.id);
+            assert_eq!(
+                o.enc_instances, 0,
+                "warm request {} (dataset {:?}) re-encrypted",
+                o.id, o.dataset
+            );
             assert!(o.cache_hits > 0, "warm request {} missed the cache", o.id);
             assert_eq!(o.reply_status, "warm", "request {}", o.id);
         }
         if o.mode == Mode::Churn {
             assert_eq!(o.enc_instances, 0, "churn request {} re-encrypted", o.id);
         }
+    }
+    for dataset in ["", SECOND_DATASET] {
+        assert!(
+            outcomes.iter().any(|o| o.dataset == dataset && o.mode == Mode::Warm),
+            "the workload must exercise the warm path for dataset {dataset:?}"
+        );
     }
     let load_retries: u64 = outcomes.iter().map(|o| o.busy_retries).sum();
 
@@ -245,7 +284,7 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
                 std::thread::spawn(move || {
                     let mut client = Client::connect(addr.as_str()).expect("connect burst client");
                     client.set_read_timeout(Some(Duration::from_secs(180))).unwrap();
-                    let mut req = hot_request(5000 + i as u64);
+                    let mut req = hot_request(5000 + i as u64, "");
                     req.seed = 50_000 + i as u64; // all cold: slow enough to pile up
                     client.select(&req).expect("burst roundtrip")
                 })
@@ -263,7 +302,19 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
     );
     assert!(busy_burst >= 1, "an over-capacity burst must trip Busy at least once");
 
-    // 5. Graceful shutdown: drain must account for everything.
+    // 5. Per-tenant accounting straight from the server, then a graceful
+    //    shutdown whose drain must account for everything.
+    let (default_dataset, _, tenant_statuses) = primer.list_datasets().expect("list datasets");
+    assert_eq!(tenant_statuses.len(), 2, "the workload drives exactly two tenants");
+    for t in &tenant_statuses {
+        assert_eq!(
+            t.accepted,
+            t.completed + t.failed,
+            "tenant {} accounting must balance after the load",
+            t.dataset
+        );
+        assert!(t.cache_hits > 0, "tenant {} never served warm", t.dataset);
+    }
     let report: DrainReport = primer.shutdown().expect("shutdown");
     assert_eq!(report.in_flight, 0, "drain left work in flight");
     assert_eq!(
@@ -311,6 +362,42 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
         ]);
     }
 
+    // Per-tenant: client-observed latency by dataset tag, joined with the
+    // server's own ListDatasets accounting.
+    let mut tenant_objs: Vec<(String, Value)> = Vec::new();
+    let mut tenant_rows: Vec<Vec<String>> = Vec::new();
+    for t in &tenant_statuses {
+        let tag = if t.dataset == default_dataset { "" } else { t.dataset.as_str() };
+        let mut lat: Vec<u64> =
+            outcomes.iter().filter(|o| o.dataset == tag).map(|o| o.latency_us).collect();
+        lat.sort_unstable();
+        let warm_enc: u64 = outcomes
+            .iter()
+            .filter(|o| o.dataset == tag && o.mode == Mode::Warm)
+            .map(|o| o.enc_instances)
+            .sum();
+        tenant_objs.push((
+            t.dataset.clone(),
+            Value::Obj(vec![
+                ("requests".to_owned(), Value::Num(lat.len() as f64)),
+                ("completed".to_owned(), Value::Num(t.completed as f64)),
+                ("serve_rejected".to_owned(), Value::Num(t.rejected as f64)),
+                ("cache_hits".to_owned(), Value::Num(t.cache_hits as f64)),
+                ("warm_enc_instances".to_owned(), Value::Num(warm_enc as f64)),
+                ("p50_us".to_owned(), Value::Num(percentile(&lat, 0.50) as f64)),
+                ("p95_us".to_owned(), Value::Num(percentile(&lat, 0.95) as f64)),
+            ]),
+        ));
+        tenant_rows.push(vec![
+            t.dataset.clone(),
+            lat.len().to_string(),
+            t.completed.to_string(),
+            t.cache_hits.to_string(),
+            warm_enc.to_string(),
+            format!("{:.2}", percentile(&lat, 0.50) as f64 / 1e3),
+        ]);
+    }
+
     let breakdown = Value::Obj(
         [
             ("clients".to_owned(), Value::Num(clients as f64)),
@@ -322,6 +409,7 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
             ("serve_rejected".to_owned(), Value::Num(report.rejected as f64)),
             ("drain_in_flight".to_owned(), Value::Num(report.in_flight as f64)),
             ("throughput_rps".to_owned(), Value::Num((throughput_rps * 1e3).round() / 1e3)),
+            ("tenants".to_owned(), Value::Obj(tenant_objs)),
         ]
         .into_iter()
         .chain(mode_objs)
@@ -330,14 +418,22 @@ pub fn bench_serve(cfg: &ServeBenchConfig) -> String {
     merge_into_artifact("BENCH_selection.json", breakdown);
 
     let table = markdown_table(&["mode", "requests", "p50 (ms)", "p95 (ms)", "p99 (ms)"], &md_rows);
+    let tenant_table = markdown_table(
+        &["tenant", "requests", "completed", "cache hits", "warm enc", "p50 (ms)"],
+        &tenant_rows,
+    );
     format!(
-        "## bench-serve ({clients} clients × {per_client} requests + {burst_size} burst)\n\n\
-         prime: cache={} enc={}\n\
+        "## bench-serve ({clients} clients × {per_client} requests + {burst_size} burst, \
+         2 tenants)\n\n\
+         prime: {default_dataset} cache={} enc={} | {SECOND_DATASET} cache={} enc={}\n\
          throughput: {throughput_rps:.1} req/s sustained ({} responses, 0 lost, 0 duplicated)\n\
          backpressure: {busy_burst} Busy in the burst, {load_retries} Busy retries under load\n\
-         drain: accepted {} completed {} failed {} rejected {} in-flight {} cache-hits {}\n\n{table}",
+         drain: accepted {} completed {} failed {} rejected {} in-flight {} cache-hits {}\n\n\
+         {table}\n\n{tenant_table}",
         prime.cache_status,
         prime.enc_instances,
+        prime2.cache_status,
+        prime2.enc_instances,
         outcomes.len(),
         report.accepted,
         report.completed,

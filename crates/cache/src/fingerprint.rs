@@ -114,6 +114,12 @@ impl Wire for Fingerprint {
 /// so one entry serves every `count`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CacheKey {
+    /// Digest of the owning tenant's identity ([`Fnv128`] over the tenant
+    /// id bytes; the digest of the empty string for single-tenant use).
+    /// Folded into *both* fingerprints so two tenants can never alias an
+    /// entry — not even when every other input (dataset content included)
+    /// is bit-identical — and never warm-serve or churn-serve each other.
+    pub tenant: Fingerprint,
     /// Digest of the dataset identity (spec canonical bytes + content).
     pub dataset: Fingerprint,
     /// Digest of the vertical partition (all parties' column groups).
@@ -140,6 +146,7 @@ pub struct CacheKey {
 
 impl CacheKey {
     fn encode_keyed(&self, include_party_set: bool, out: &mut Vec<u8>) {
+        self.tenant.encode(out);
         self.dataset.encode(out);
         self.partition.encode(out);
         self.db.encode(out);
@@ -197,6 +204,7 @@ impl Wire for CacheKey {
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         Ok(CacheKey {
+            tenant: Fingerprint::decode(input)?,
             dataset: Fingerprint::decode(input)?,
             partition: Fingerprint::decode(input)?,
             db: Fingerprint::decode(input)?,
@@ -212,7 +220,18 @@ impl Wire for CacheKey {
     }
 
     fn encoded_len(&self) -> usize {
-        4 * 16 + self.queries.encoded_len() + self.party_set.encoded_len() + 8 + 8 + 1 + 8 + 8
+        self.tenant.encoded_len()
+            + self.dataset.encoded_len()
+            + self.partition.encoded_len()
+            + self.db.encoded_len()
+            + self.queries.encoded_len()
+            + self.party_set.encoded_len()
+            + self.k.encoded_len()
+            + self.batch.encoded_len()
+            + self.mode.encoded_len()
+            + self.cost_scale_bits.encoded_len()
+            + self.cost_model.encoded_len()
+            + self.seed.encoded_len()
     }
 }
 
@@ -222,6 +241,7 @@ mod tests {
 
     fn key() -> CacheKey {
         CacheKey {
+            tenant: Fnv128::of(b"tenant-a"),
             dataset: Fnv128::of(b"dataset"),
             partition: Fnv128::of(b"partition"),
             db: Fnv128::of(b"db"),
@@ -254,6 +274,9 @@ mod tests {
     fn any_field_change_moves_the_fingerprint() {
         let base = key();
         let mut variants = Vec::new();
+        let mut k = key();
+        k.tenant = Fnv128::of(b"tenant-b");
+        variants.push(k);
         let mut k = key();
         k.dataset = Fnv128::of(b"other dataset");
         variants.push(k);
@@ -295,6 +318,18 @@ mod tests {
         assert_ne!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.base_fingerprint(), b.base_fingerprint());
         assert!(a.same_base(&b));
+    }
+
+    #[test]
+    fn tenants_shard_even_bit_identical_inputs() {
+        // Two tenants over otherwise identical inputs must disagree on
+        // both digests: no exact aliasing, no churn-scan crosstalk.
+        let a = key();
+        let mut b = key();
+        b.tenant = Fnv128::of(b"tenant-b");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.base_fingerprint(), b.base_fingerprint());
+        assert!(!a.same_base(&b));
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!   encryptions;
 //! * a **churned** request (one party joined or left) reuses the cached
 //!   matrix through `IncrementalConsortium`, touching only the changed
-//!   party's pairs.
+//!   party's pairs;
+//! * a **multi-tenant** deployment shards the store per tenant
+//!   ([`ArtifactCache::open_tenant`]): each tenant id gets its own
+//!   directory *and* is folded into every fingerprint
+//!   ([`CacheKey::tenant`]), so tenants can never alias, warm-serve, or
+//!   churn-serve each other's artifacts.
 //!
 //! Key derivation and the frame format are documented in DESIGN.md §9.
 //! Hashing is hand-rolled FNV-1a-128 and serialization is the existing
@@ -28,4 +33,6 @@ pub mod fingerprint;
 pub mod store;
 
 pub use fingerprint::{CacheKey, Fingerprint, Fnv128};
-pub use store::{ArtifactCache, CacheEntry, CacheError, ChurnKind, EXTENSION, MAGIC};
+pub use store::{
+    tenant_dir_name, ArtifactCache, CacheEntry, CacheError, ChurnKind, EXTENSION, MAGIC,
+};

@@ -20,8 +20,10 @@ use vfps_vfl::fed_knn::QueryOutcome;
 
 use crate::fingerprint::{CacheKey, Fnv128};
 
-/// File magic: "VFPSCAC" + format version 1.
-pub const MAGIC: [u8; 8] = *b"VFPSCAC1";
+/// File magic: "VFPSCAC" + format version 2 (v2 added the tenant digest
+/// to [`CacheKey`]; v1 files fail [`CacheError::BadMagic`] and degrade to
+/// a cold run that rewrites the slot in the current format).
+pub const MAGIC: [u8; 8] = *b"VFPSCAC2";
 /// Cache file extension.
 pub const EXTENSION: &str = "vfpsc";
 const CHECKSUM_LEN: usize = 16;
@@ -154,6 +156,16 @@ impl ArtifactCache {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(ArtifactCache { dir, max_bytes: None })
+    }
+
+    /// Opens the per-tenant shard `root/`[`tenant_dir_name`]`(tenant)`.
+    ///
+    /// Each tenant gets its own directory, so directory scans (churn
+    /// lookups, byte caps, eviction) never cross tenants; the tenant
+    /// digest inside [`CacheKey`] independently guarantees that even a
+    /// mis-rooted cache cannot serve one tenant another's artifacts.
+    pub fn open_tenant(root: impl Into<PathBuf>, tenant: &str) -> Result<Self, CacheError> {
+        Self::open(root.into().join(tenant_dir_name(tenant)))
     }
 
     /// Caps the cache at `max_bytes`: after each store, oldest entries
@@ -339,6 +351,29 @@ impl ArtifactCache {
     }
 }
 
+/// The directory name of one tenant's cache shard: `tenant-<name>` with
+/// every byte outside `[A-Za-z0-9._-]` percent-escaped, so distinct
+/// tenant ids can never collapse onto one directory and no tenant id can
+/// escape the cache root (`/`, `..`, and friends are all escaped). The
+/// empty id (single-tenant use) maps to `tenant-default`.
+#[must_use]
+pub fn tenant_dir_name(tenant: &str) -> String {
+    if tenant.is_empty() {
+        return "tenant-default".to_owned();
+    }
+    let mut out = String::with_capacity(tenant.len() + 7);
+    out.push_str("tenant-");
+    for b in tenant.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'-' => out.push(b as char),
+            // '.' is safe except as a path-walking prefix; escaping it
+            // everywhere keeps the rule one line.
+            _ => out.push_str(&format!("%{b:02x}")),
+        }
+    }
+    out
+}
+
 /// Reads and fully validates one cache file.
 fn read_entry(path: &Path) -> Result<CacheEntry, CacheError> {
     let bytes = std::fs::read(path)?;
@@ -381,6 +416,7 @@ mod tests {
 
     fn key_with_parties(parties: &[usize]) -> CacheKey {
         CacheKey {
+            tenant: Fnv128::of(b""),
             dataset: Fnv128::of(b"ds"),
             partition: Fnv128::of(b"part"),
             db: Fnv128::of(b"db"),
@@ -453,6 +489,36 @@ mod tests {
         other.k = 6;
         assert!(cache.lookup_churn(&other).unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tenant_shards_are_disjoint_directories_and_keyspaces() {
+        let root = temp_dir("tenants");
+        let a = ArtifactCache::open_tenant(&root, "Bank").unwrap();
+        let b = ArtifactCache::open_tenant(&root, "Rice").unwrap();
+        assert_ne!(a.dir(), b.dir());
+        assert!(a.dir().starts_with(&root) && b.dir().starts_with(&root));
+
+        // Same entry stored for tenant a is invisible to tenant b: the
+        // shard directories are disjoint, so b both misses the exact
+        // lookup and finds no churn neighbor.
+        let mut entry = entry_with_parties(&[0, 1, 2]);
+        entry.key.tenant = Fnv128::of(b"Bank");
+        a.store(&entry).unwrap();
+        assert!(a.lookup(&entry.key).unwrap().is_some());
+        let mut foreign = entry.key.clone();
+        foreign.tenant = Fnv128::of(b"Rice");
+        assert!(b.lookup(&foreign).unwrap().is_none());
+        assert!(b.lookup_churn(&foreign).unwrap().is_none());
+        assert_eq!(b.len().unwrap(), 0);
+
+        // Hostile tenant ids cannot escape the root or collide.
+        assert_eq!(tenant_dir_name(""), "tenant-default");
+        assert_eq!(tenant_dir_name("Bank"), "tenant-Bank");
+        assert_ne!(tenant_dir_name("a/b"), tenant_dir_name("a%2fb"), "escaping must be injective");
+        assert!(!tenant_dir_name("../up").contains('/'));
+        assert!(!tenant_dir_name("a/b").contains('/'));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

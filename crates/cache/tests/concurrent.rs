@@ -22,6 +22,7 @@ fn scratch_dir(tag: &str) -> PathBuf {
 
 fn key_with_parties(parties: &[usize]) -> CacheKey {
     CacheKey {
+        tenant: Fnv128::of(b""),
         dataset: Fnv128::of(b"conc-ds"),
         partition: Fnv128::of(b"conc-part"),
         db: Fnv128::of(b"conc-db"),

@@ -25,6 +25,7 @@ fn key_from(
     seed: u64,
 ) -> CacheKey {
     CacheKey {
+        tenant: Fnv128::of(&seeds.0.to_be_bytes()),
         dataset: Fnv128::of(&seeds.0.to_le_bytes()),
         partition: Fnv128::of(&seeds.1.to_le_bytes()),
         db: Fnv128::of(&seeds.2.to_le_bytes()),
@@ -132,7 +133,7 @@ proptest! {
         queries in proptest::collection::vec(0usize..5000, 1..12),
         party_set in proptest::collection::vec(0usize..16, 1..6),
         (k, batch, mode, seed) in (1usize..64, 1usize..500, 0u8..3, any::<u64>()),
-        which in 0usize..7,
+        which in 0usize..8,
     ) {
         let a = key_from(seeds, queries.clone(), party_set.clone(), k, batch, mode, seed);
         let b = key_from(seeds, queries.clone(), party_set.clone(), k, batch, mode, seed);
@@ -148,6 +149,7 @@ proptest! {
             3 => m.mode = (m.mode + 1) % 3,
             4 => m.seed = m.seed.wrapping_add(1),
             5 => m.cost_scale_bits ^= 1 << 52,
+            6 => m.tenant = Fnv128::of(&m.tenant.to_le_bytes()),
             _ => m.dataset = Fnv128::of(&m.dataset.to_le_bytes()),
         }
         prop_assert!(a.fingerprint() != m.fingerprint(), "mutation {} must miss", which);

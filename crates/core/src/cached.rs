@@ -80,21 +80,46 @@ pub struct CachedSelection {
     pub degraded: Option<CacheError>,
 }
 
+/// The tenant a selection request is served under.
+///
+/// Single-tenant callers (the direct pipeline, CLI one-shots) use
+/// [`TenantContext::single`], which pins the tenant id to the empty
+/// string; the multi-tenant service tier passes each tenant's dataset
+/// name. The id is folded into [`CacheKey::tenant`], so two tenants can
+/// never alias, warm-serve, or churn-serve each other's artifacts even
+/// over bit-identical dataset worlds.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantContext<'a> {
+    /// Tenant identity; `""` for single-tenant use.
+    pub tenant: &'a str,
+    /// Caller-level dataset identity (e.g. `DatasetSpec::canonical_bytes()`,
+    /// or a source path for loaded data).
+    pub dataset_tag: &'a [u8],
+}
+
+impl<'a> TenantContext<'a> {
+    /// The single-tenant context: empty tenant id, caller's dataset tag.
+    #[must_use]
+    pub fn single(dataset_tag: &'a [u8]) -> Self {
+        TenantContext { tenant: "", dataset_tag }
+    }
+}
+
 /// Builds the content-addressed key identifying one selection request.
 ///
-/// `dataset_tag` carries caller-level dataset identity (e.g.
-/// `DatasetSpec::canonical_bytes()`, or a source path for loaded data); the
-/// dataset's actual content — every matrix cell, every label — is hashed
-/// in as well, so a regenerated or edited dataset can never alias a stale
-/// entry.
+/// `tc.dataset_tag` carries caller-level dataset identity; the dataset's
+/// actual content — every matrix cell, every label — is hashed in as
+/// well, so a regenerated or edited dataset can never alias a stale
+/// entry. `tc.tenant` shards the keyspace per tenant.
 #[must_use]
 pub fn cache_key(
     sel: &VfpsSmSelector,
     ctx: &SelectionContext<'_>,
     party_set: &[usize],
     cost_model: &CostModel,
-    dataset_tag: &[u8],
+    tc: &TenantContext<'_>,
 ) -> CacheKey {
+    let dataset_tag = tc.dataset_tag;
     let mut h = Fnv128::new();
     h.update(&(dataset_tag.len() as u64).to_le_bytes());
     h.update(dataset_tag);
@@ -120,6 +145,7 @@ pub fn cache_key(
     let partition = p.digest();
 
     CacheKey {
+        tenant: Fnv128::of(tc.tenant.as_bytes()),
         dataset,
         partition,
         db: Fnv128::of(&ctx.split.train.to_bytes()),
@@ -150,7 +176,7 @@ pub fn select_with_cache(
     party_set: &[usize],
     count: usize,
     cost_model: &CostModel,
-    dataset_tag: &[u8],
+    tc: &TenantContext<'_>,
 ) -> CachedSelection {
     if !sel.dropouts.is_empty() || sel.dp_epsilon.is_some() {
         return CachedSelection {
@@ -161,7 +187,7 @@ pub fn select_with_cache(
         };
     }
 
-    let key = cache_key(sel, ctx, party_set, cost_model, dataset_tag);
+    let key = cache_key(sel, ctx, party_set, cost_model, tc);
     let fingerprint = Some(key.fingerprint().hex());
     let mut degraded: Option<CacheError> = None;
 

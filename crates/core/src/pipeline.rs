@@ -267,7 +267,7 @@ pub fn run_pipeline(
                         &party_set,
                         cfg.select,
                         &cfg.cost_model,
-                        &spec.canonical_bytes(),
+                        &crate::cached::TenantContext::single(&spec.canonical_bytes()),
                     );
                     (served.selection, Some(served.status.to_string()))
                 }

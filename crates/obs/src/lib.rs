@@ -270,6 +270,43 @@ pub fn histogram_record(name: &str, value: f64) {
     }
 }
 
+/// Formats a labelled metric name — `base{key=value}` — for per-tenant
+/// (or otherwise partitioned) series. Plain string composition, kept in
+/// one place so every producer and every grepping consumer agree on the
+/// shape; callers should gate on [`is_enabled`] if the formatting cost
+/// matters on their path.
+#[must_use]
+pub fn labelled(base: &str, key: &str, value: &str) -> String {
+    format!("{base}{{{key}={value}}}")
+}
+
+/// [`counter_add`] under a `base{key=value}` labelled name (no-op when no
+/// capture is active — the name is never even formatted).
+pub fn counter_add_labelled(base: &str, key: &str, value: &str, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    counter_add(&labelled(base, key, value), delta);
+}
+
+/// [`gauge_set`] under a `base{key=value}` labelled name (no-op when no
+/// capture is active — the name is never even formatted).
+pub fn gauge_set_labelled(base: &str, key: &str, value: &str, v: f64) {
+    if !is_enabled() {
+        return;
+    }
+    gauge_set(&labelled(base, key, value), v);
+}
+
+/// [`histogram_record`] under a `base{key=value}` labelled name (no-op
+/// when no capture is active — the name is never even formatted).
+pub fn histogram_record_labelled(base: &str, key: &str, value: &str, v: f64) {
+    if !is_enabled() {
+        return;
+    }
+    histogram_record(&labelled(base, key, value), v);
+}
+
 /// Runs `f`, recording its wall time in microseconds into histogram
 /// `name` when a capture is active. When none is, `f` runs with zero
 /// added work — no clock is read.
@@ -394,6 +431,23 @@ mod tests {
         let t = finish_capture().expect("active capture");
         assert_eq!(t.metrics.histogram("on.path").expect("recorded").count(), 1);
         assert!(t.metrics.histogram("off.path").is_none());
+    }
+
+    #[test]
+    fn labelled_metrics_partition_by_value() {
+        let _s = serial();
+        assert_eq!(labelled("serve.accepted", "tenant", "Bank"), "serve.accepted{tenant=Bank}");
+        counter_add_labelled("serve.accepted", "tenant", "Bank", 1); // inert: no capture
+        start_capture();
+        counter_add_labelled("serve.accepted", "tenant", "Bank", 2);
+        counter_add_labelled("serve.accepted", "tenant", "Rice", 5);
+        gauge_set_labelled("serve.queue_depth", "tenant", "Bank", 3.0);
+        histogram_record_labelled("serve.wait_us", "tenant", "Rice", 7.0);
+        let t = finish_capture().expect("active capture");
+        assert_eq!(t.metrics.counter("serve.accepted{tenant=Bank}"), 2);
+        assert_eq!(t.metrics.counter("serve.accepted{tenant=Rice}"), 5);
+        assert_eq!(t.metrics.gauge("serve.queue_depth{tenant=Bank}"), Some(3.0));
+        assert_eq!(t.metrics.histogram("serve.wait_us{tenant=Rice}").expect("hist").count(), 1);
     }
 
     #[test]

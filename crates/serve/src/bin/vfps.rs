@@ -274,7 +274,7 @@ fn run() -> Result<(), String> {
                             &party_set,
                             args.select,
                             &cost_model,
-                            ds.name.as_bytes(),
+                            &vfps_core::TenantContext::single(ds.name.as_bytes()),
                         );
                         if let Some(err) = &served.degraded {
                             eprintln!("warning: cache degraded to cold run: {err}");
@@ -367,6 +367,9 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 cfg.queue_capacity =
                     value("--queue-capacity")?.parse().map_err(|e| format!("{e}"))?;
             }
+            "--max-tenants" => {
+                cfg.max_tenants = value("--max-tenants")?.parse().map_err(|e| format!("{e}"))?;
+            }
             "--deadline-ms" => {
                 cfg.default_deadline = Duration::from_millis(
                     value("--deadline-ms")?.parse().map_err(|e| format!("{e}"))?,
@@ -393,11 +396,15 @@ fn print_serve_help() {
          USAGE:\n  vfps serve [options]\n\n\
          \x20 --addr <host:port>     bind address (default 127.0.0.1:0, port 0 = free port;\n\
          \x20                        the chosen address is printed as `listening on ...`)\n\
-         \x20 --synthetic <name>     dataset to serve (default Bank)\n\
+         \x20 --synthetic <name>     default dataset tenant (default Bank); requests may\n\
+         \x20                        name any catalog dataset via `vfps submit --dataset`,\n\
+         \x20                        materialized lazily on first use\n\
          \x20 --instances <n>        dataset rows (default: the spec's simulation size)\n\
          \x20 --parties <P>          partition size (default 4)\n\
          \x20 --seed <s>             dataset + partition seed (default 42); a request with\n\
          \x20                        the same seed is bit-identical to `vfps --seed <s>`\n\
+         \x20 --max-tenants <n>      dataset worlds kept resident at once (default 4);\n\
+         \x20                        the least-recently-used world beyond it is evicted\n\
          \x20 --max-concurrent <n>   selection jobs running at once (default 2)\n\
          \x20 --queue-capacity <n>   admission queue depth; beyond it submits get Busy\n\
          \x20                        (default 8)\n\
@@ -419,6 +426,7 @@ struct SubmitArgs {
     party_set: Option<Vec<usize>>,
     ping: bool,
     shutdown: bool,
+    list_datasets: bool,
 }
 
 fn run_submit(args: &[String]) -> Result<(), String> {
@@ -426,6 +434,7 @@ fn run_submit(args: &[String]) -> Result<(), String> {
         addr: String::new(),
         req: SelectRequest {
             request_id: 1,
+            dataset: String::new(),
             party_set: Vec::new(),
             select: 2,
             k: 10,
@@ -438,6 +447,7 @@ fn run_submit(args: &[String]) -> Result<(), String> {
         party_set: None,
         ping: false,
         shutdown: false,
+        list_datasets: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -446,6 +456,7 @@ fn run_submit(args: &[String]) -> Result<(), String> {
         };
         match arg.as_str() {
             "--addr" => sub.addr = value("--addr")?,
+            "--dataset" => sub.req.dataset = value("--dataset")?,
             "--id" => {
                 sub.req.request_id = value("--id")?.parse().map_err(|e| format!("{e}"))?;
             }
@@ -477,6 +488,7 @@ fn run_submit(args: &[String]) -> Result<(), String> {
             }
             "--ping" => sub.ping = true,
             "--shutdown" => sub.shutdown = true,
+            "--list-datasets" => sub.list_datasets = true,
             "--help" | "-h" => {
                 print_submit_help();
                 std::process::exit(0);
@@ -494,6 +506,25 @@ fn run_submit(args: &[String]) -> Result<(), String> {
     if sub.ping {
         let version = client.ping().map_err(|e| e.to_string())?;
         println!("pong: protocol version {version}");
+        return Ok(());
+    }
+    if sub.list_datasets {
+        let (default_dataset, max_resident, tenants) =
+            client.list_datasets().map_err(|e| e.to_string())?;
+        println!("datasets: default {default_dataset}, max resident {max_resident}");
+        for t in tenants {
+            println!(
+                "  {} [{}]: accepted {} completed {} failed {} rejected {} in-flight {} cache-hits {}",
+                t.dataset,
+                if t.resident { "resident" } else { "evicted" },
+                t.accepted,
+                t.completed,
+                t.failed,
+                t.rejected,
+                t.in_flight,
+                t.cache_hits
+            );
+        }
         return Ok(());
     }
     if sub.shutdown {
@@ -542,6 +573,8 @@ fn print_submit_help() {
         "vfps submit — send one selection request to a running `vfps serve`\n\n\
          USAGE:\n  vfps submit --addr <host:port> [options]\n\n\
          \x20 --addr <host:port>     server address (required)\n\
+         \x20 --dataset <name>       dataset tenant to select under (default: the\n\
+         \x20                        server's default dataset)\n\
          \x20 --id <n>               request correlation id (default 1)\n\
          \x20 --parties <P>          shorthand for --party-set 0,1,...,P-1 (default 4)\n\
          \x20 --party-set <a,b,...>  explicit consortium to select from\n\
@@ -552,6 +585,7 @@ fn print_submit_help() {
          \x20 --seed <s>             run seed (default 42)\n\
          \x20 --deadline-ms <ms>     per-request deadline (0 = server default)\n\
          \x20 --ping                 liveness probe instead of a selection\n\
+         \x20 --list-datasets        print the server's tenants and their accounting\n\
          \x20 --shutdown             ask the server to drain and stop"
     );
 }

@@ -11,7 +11,7 @@ use std::time::Duration;
 
 use vfps_net::{read_frame, write_frame, FrameError};
 
-use crate::proto::{DrainReport, Request, Response, SelectRequest};
+use crate::proto::{knn_mode, DrainReport, Request, Response, SelectRequest, TenantStatus};
 
 /// Client-side failures. Typed server replies (`Busy`, `TimedOut`,
 /// `Rejected`) are *not* errors — they come back as [`Response`] values.
@@ -23,6 +23,10 @@ pub enum ClientError {
     Disconnected,
     /// An undecodable or oversized response frame.
     Protocol(String),
+    /// The request failed client-side pre-flight validation (unknown KNN
+    /// mode byte) — nothing was sent; the server would only have rejected
+    /// it.
+    InvalidRequest(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -31,6 +35,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "client i/o error: {e}"),
             ClientError::Disconnected => f.write_str("server hung up before responding"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
         }
     }
 }
@@ -83,7 +88,18 @@ impl Client {
 
     /// Submits one selection. The reply may be any of `Selected`, `Busy`,
     /// `TimedOut`, or `Rejected`; all echo the request id.
+    ///
+    /// An unknown `mode` byte fails pre-flight with
+    /// [`ClientError::InvalidRequest`] before anything hits the wire —
+    /// the server enforces the same check at admission (the wire-level
+    /// contract is pinned by the mode=250 test in `tests/service.rs`).
     pub fn select(&mut self, req: &SelectRequest) -> Result<Response, ClientError> {
+        if knn_mode(req.mode).is_none() {
+            return Err(ClientError::InvalidRequest(format!(
+                "unknown KNN mode {} (known: 0=Base, 1=Fagin, 2=Threshold)",
+                req.mode
+            )));
+        }
         self.roundtrip(&Request::Select(req.clone()))
     }
 
@@ -92,6 +108,17 @@ impl Client {
         match self.roundtrip(&Request::Ping)? {
             Response::Pong { version } => Ok(version),
             other => Err(ClientError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Enumerates the server's tenants: `(default dataset, residency cap,
+    /// per-tenant accounting in first-seen order)`.
+    pub fn list_datasets(&mut self) -> Result<(String, u64, Vec<TenantStatus>), ClientError> {
+        match self.roundtrip(&Request::ListDatasets)? {
+            Response::Datasets { default_dataset, max_resident, tenants } => {
+                Ok((default_dataset, max_resident, tenants))
+            }
+            other => Err(ClientError::Protocol(format!("expected Datasets, got {other:?}"))),
         }
     }
 

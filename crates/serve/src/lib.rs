@@ -9,6 +9,10 @@
 //! * **admission control** — a bounded queue ([`queue::BoundedQueue`]);
 //!   over-capacity submits get an immediate typed [`proto::Response::Busy`],
 //!   never unbounded queueing;
+//! * **multi-tenancy** (protocol v2) — each request names its dataset
+//!   world with a `dataset` tag; a [`tenant::TenantRegistry`] materializes
+//!   worlds lazily, LRU-caps residency, shards the artifact cache per
+//!   tenant, and accounts admission and `serve.*` metrics per tenant;
 //! * **session scheduling** — up to `max_concurrent` jobs run at once,
 //!   each through [`vfps_core::select_with_cache`], so repeat requests are
 //!   served warm (zero new encryptions, bit-identical) and one-party churn
@@ -29,6 +33,7 @@
 //! let reply = client
 //!     .select(&SelectRequest {
 //!         request_id: 1,
+//!         dataset: String::new(), // "" = the server's default tenant
 //!         party_set: vec![0, 1, 2, 3],
 //!         select: 2,
 //!         k: 10,
@@ -48,11 +53,13 @@ pub mod client;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod tenant;
 
 pub use client::{Client, ClientError};
 pub use proto::{
-    response_request_id, DrainReport, Request, Response, SelectReply, SelectRequest,
-    PROTOCOL_VERSION,
+    knn_mode, response_request_id, DrainReport, Request, Response, SelectReply, SelectRequest,
+    TenantStatus, PROTOCOL_VERSION,
 };
 pub use queue::{AdmitError, BoundedQueue};
 pub use server::{ServeConfig, ServeError, Server};
+pub use tenant::{TenantRegistry, TenantStats, TenantWorld};

@@ -15,17 +15,43 @@ use vfps_net::wire::{Wire, WireError};
 
 /// Bumped on any incompatible frame-layout change; [`Response::Pong`]
 /// echoes it so clients can detect mismatched builds.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// v2 (multi-tenant): [`SelectRequest`] gained the `dataset` tag and the
+/// [`Request::ListDatasets`] / [`Response::Datasets`] pair. v1 `Select`
+/// frames do not decode under v2 (the dataset field shifts every later
+/// field); a v1 client should `Ping` first and refuse to proceed on a
+/// version mismatch.
+pub const PROTOCOL_VERSION: u32 = 2;
 
-/// One selection job, fully self-describing: the server owns the dataset
-/// and partition (fixed at startup), the request owns everything else that
-/// feeds the cache fingerprint, so equal requests are served warm across
-/// connections and across client processes.
+/// The federated-KNN variant a [`SelectRequest::mode`] byte names, or
+/// `None` for an unknown byte. The single place the wire byte is mapped —
+/// admission validation, job execution, and the client-side pre-flight all
+/// delegate here so an unknown mode can never be silently coerced.
+#[must_use]
+pub fn knn_mode(mode: u8) -> Option<vfps_vfl::fed_knn::KnnMode> {
+    use vfps_vfl::fed_knn::KnnMode;
+    match mode {
+        0 => Some(KnnMode::Base),
+        1 => Some(KnnMode::Fagin),
+        2 => Some(KnnMode::Threshold),
+        _ => None,
+    }
+}
+
+/// One selection job, fully self-describing: the server owns the tenant
+/// registry of dataset worlds, the request names its world (`dataset`) and
+/// owns everything else that feeds the cache fingerprint, so equal
+/// requests are served warm across connections and across client
+/// processes — but never across tenants.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SelectRequest {
     /// Client-chosen correlation id, echoed verbatim in every reply kind.
     pub request_id: u64,
-    /// The consortium to select from (party ids within the server's
+    /// Which dataset world (tenant) serves this request. `""` selects the
+    /// server's default tenant (its startup dataset); any other value must
+    /// name a catalog dataset and is lazily materialized on first use.
+    pub dataset: String,
+    /// The consortium to select from (party ids within the tenant's
     /// partition).
     pub party_set: Vec<usize>,
     /// How many participants to keep.
@@ -34,18 +60,24 @@ pub struct SelectRequest {
     pub k: usize,
     /// Similarity query sample size.
     pub query_count: usize,
-    /// Federated KNN variant: 0 = Base, 1 = Fagin, 2 = Threshold.
+    /// Federated KNN variant: 0 = Base, 1 = Fagin, 2 = Threshold (see
+    /// [`knn_mode`]). Any other byte is rejected at admission with a typed
+    /// [`Response::Rejected`] — it never reaches the pipeline.
     pub mode: u8,
     /// Run seed — the determinism handle: a served selection with this
     /// seed is bit-identical to a direct pipeline run with the same seed.
     pub seed: u64,
-    /// Per-request deadline in milliseconds; 0 uses the server default.
+    /// Per-request deadline in milliseconds. The value `0` is a sentinel
+    /// meaning "use the server's configured default deadline" — it does
+    /// NOT mean "already expired"; an explicit 0 is served exactly like an
+    /// omitted deadline (DESIGN.md §10).
     pub deadline_ms: u64,
 }
 
 impl Wire for SelectRequest {
     fn encode(&self, buf: &mut Vec<u8>) {
         self.request_id.encode(buf);
+        self.dataset.encode(buf);
         self.party_set.encode(buf);
         self.select.encode(buf);
         self.k.encode(buf);
@@ -58,6 +90,7 @@ impl Wire for SelectRequest {
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
         Ok(SelectRequest {
             request_id: u64::decode(input)?,
+            dataset: String::decode(input)?,
             party_set: Vec::<usize>::decode(input)?,
             select: usize::decode(input)?,
             k: usize::decode(input)?,
@@ -68,8 +101,19 @@ impl Wire for SelectRequest {
         })
     }
 
+    // Delegating per field keeps the length exact on every target and
+    // under every future field-width change (a hardcoded `8` per `usize`
+    // was silently wrong on 32-bit).
     fn encoded_len(&self) -> usize {
-        8 + self.party_set.encoded_len() + 8 + 8 + 8 + 1 + 8 + 8
+        self.request_id.encoded_len()
+            + self.dataset.encoded_len()
+            + self.party_set.encoded_len()
+            + self.select.encoded_len()
+            + self.k.encoded_len()
+            + self.query_count.encoded_len()
+            + self.mode.encoded_len()
+            + self.seed.encoded_len()
+            + self.deadline_ms.encoded_len()
     }
 }
 
@@ -83,6 +127,9 @@ pub enum Request {
     /// Drain and stop: finish in-flight jobs, reply [`Response::Draining`]
     /// with the final accounting, then exit the accept loop.
     Shutdown,
+    /// Enumerate the server's tenants (resident and evicted) with their
+    /// per-tenant accounting; answered with [`Response::Datasets`].
+    ListDatasets,
 }
 
 impl Wire for Request {
@@ -94,6 +141,7 @@ impl Wire for Request {
             }
             Request::Ping => buf.push(1),
             Request::Shutdown => buf.push(2),
+            Request::ListDatasets => buf.push(3),
         }
     }
 
@@ -102,6 +150,7 @@ impl Wire for Request {
             0 => Ok(Request::Select(SelectRequest::decode(input)?)),
             1 => Ok(Request::Ping),
             2 => Ok(Request::Shutdown),
+            3 => Ok(Request::ListDatasets),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -109,8 +158,68 @@ impl Wire for Request {
     fn encoded_len(&self) -> usize {
         1 + match self {
             Request::Select(r) => r.encoded_len(),
-            Request::Ping | Request::Shutdown => 0,
+            Request::Ping | Request::Shutdown | Request::ListDatasets => 0,
         }
+    }
+}
+
+/// One tenant's accounting snapshot in a [`Response::Datasets`] reply.
+/// Counters are lifetime totals — they survive LRU eviction of the
+/// tenant's materialized world and resume when it is rebuilt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantStatus {
+    /// The tenant's dataset name.
+    pub dataset: String,
+    /// Whether the dataset world is currently materialized in memory.
+    pub resident: bool,
+    /// Select requests admitted for this tenant.
+    pub accepted: u64,
+    /// Admitted requests completed with [`Response::Selected`].
+    pub completed: u64,
+    /// Admitted requests that failed (deadline expiry, panics).
+    pub failed: u64,
+    /// Requests refused for this tenant (busy or rejected).
+    pub rejected: u64,
+    /// This tenant's jobs currently queued or running.
+    pub in_flight: u64,
+    /// Cache hits billed across this tenant's completed requests.
+    pub cache_hits: u64,
+}
+
+impl Wire for TenantStatus {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.dataset.encode(buf);
+        self.resident.encode(buf);
+        self.accepted.encode(buf);
+        self.completed.encode(buf);
+        self.failed.encode(buf);
+        self.rejected.encode(buf);
+        self.in_flight.encode(buf);
+        self.cache_hits.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(TenantStatus {
+            dataset: String::decode(input)?,
+            resident: bool::decode(input)?,
+            accepted: u64::decode(input)?,
+            completed: u64::decode(input)?,
+            failed: u64::decode(input)?,
+            rejected: u64::decode(input)?,
+            in_flight: u64::decode(input)?,
+            cache_hits: u64::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.dataset.encoded_len()
+            + self.resident.encoded_len()
+            + self.accepted.encoded_len()
+            + self.completed.encoded_len()
+            + self.failed.encoded_len()
+            + self.rejected.encoded_len()
+            + self.in_flight.encoded_len()
+            + self.cache_hits.encoded_len()
     }
 }
 
@@ -169,10 +278,15 @@ impl Wire for SelectReply {
     }
 
     fn encoded_len(&self) -> usize {
-        8 + self.chosen.encoded_len()
+        self.request_id.encoded_len()
+            + self.chosen.encoded_len()
             + self.scores.encoded_len()
             + self.cache_status.encoded_len()
-            + 8 * 5
+            + self.enc_instances.encoded_len()
+            + self.cache_hits.encoded_len()
+            + self.cache_misses.encoded_len()
+            + self.queue_us.encoded_len()
+            + self.run_us.encoded_len()
     }
 }
 
@@ -216,7 +330,12 @@ impl Wire for DrainReport {
     }
 
     fn encoded_len(&self) -> usize {
-        8 * 6
+        self.accepted.encoded_len()
+            + self.completed.encoded_len()
+            + self.failed.encoded_len()
+            + self.rejected.encoded_len()
+            + self.in_flight.encoded_len()
+            + self.cache_hits.encoded_len()
     }
 }
 
@@ -258,6 +377,15 @@ pub enum Response {
         /// The server's [`PROTOCOL_VERSION`].
         version: u32,
     },
+    /// Reply to [`Request::ListDatasets`].
+    Datasets {
+        /// The dataset a `""` request tag resolves to.
+        default_dataset: String,
+        /// How many tenant worlds the registry keeps materialized at once.
+        max_resident: u64,
+        /// Every tenant ever served, in first-seen order.
+        tenants: Vec<TenantStatus>,
+    },
 }
 
 impl Wire for Response {
@@ -291,6 +419,12 @@ impl Wire for Response {
                 buf.push(5);
                 version.encode(buf);
             }
+            Response::Datasets { default_dataset, max_resident, tenants } => {
+                buf.push(6);
+                default_dataset.encode(buf);
+                max_resident.encode(buf);
+                tenants.encode(buf);
+            }
         }
     }
 
@@ -312,6 +446,11 @@ impl Wire for Response {
             }),
             4 => Ok(Response::Draining(DrainReport::decode(input)?)),
             5 => Ok(Response::Pong { version: u32::decode(input)? }),
+            6 => Ok(Response::Datasets {
+                default_dataset: String::decode(input)?,
+                max_resident: u64::decode(input)?,
+                tenants: Vec::<TenantStatus>::decode(input)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -319,11 +458,20 @@ impl Wire for Response {
     fn encoded_len(&self) -> usize {
         1 + match self {
             Response::Selected(r) => r.encoded_len(),
-            Response::Busy { .. } => 8 * 3,
-            Response::TimedOut { .. } => 8 * 2,
-            Response::Rejected { reason, .. } => 8 + reason.encoded_len(),
+            Response::Busy { request_id, queue_depth, capacity } => {
+                request_id.encoded_len() + queue_depth.encoded_len() + capacity.encoded_len()
+            }
+            Response::TimedOut { request_id, waited_ms } => {
+                request_id.encoded_len() + waited_ms.encoded_len()
+            }
+            Response::Rejected { request_id, reason } => {
+                request_id.encoded_len() + reason.encoded_len()
+            }
             Response::Draining(r) => r.encoded_len(),
-            Response::Pong { .. } => 4,
+            Response::Pong { version } => version.encoded_len(),
+            Response::Datasets { default_dataset, max_resident, tenants } => {
+                default_dataset.encoded_len() + max_resident.encoded_len() + tenants.encoded_len()
+            }
         }
     }
 }
@@ -337,7 +485,7 @@ pub fn response_request_id(r: &Response) -> Option<u64> {
         Response::Busy { request_id, .. }
         | Response::TimedOut { request_id, .. }
         | Response::Rejected { request_id, .. } => Some(*request_id),
-        Response::Draining(_) | Response::Pong { .. } => None,
+        Response::Draining(_) | Response::Pong { .. } | Response::Datasets { .. } => None,
     }
 }
 
@@ -354,6 +502,7 @@ mod tests {
     fn sample_request() -> SelectRequest {
         SelectRequest {
             request_id: 7,
+            dataset: "Bank".into(),
             party_set: vec![0, 1, 3],
             select: 2,
             k: 10,
@@ -367,8 +516,21 @@ mod tests {
     #[test]
     fn every_request_kind_roundtrips() {
         roundtrip(&Request::Select(sample_request()));
+        roundtrip(&Request::Select(SelectRequest { dataset: String::new(), ..sample_request() }));
         roundtrip(&Request::Ping);
         roundtrip(&Request::Shutdown);
+        roundtrip(&Request::ListDatasets);
+    }
+
+    #[test]
+    fn knn_mode_maps_exactly_three_bytes() {
+        use vfps_vfl::fed_knn::KnnMode;
+        assert_eq!(knn_mode(0), Some(KnnMode::Base));
+        assert_eq!(knn_mode(1), Some(KnnMode::Fagin));
+        assert_eq!(knn_mode(2), Some(KnnMode::Threshold));
+        for bad in [3u8, 100, 250, 255] {
+            assert_eq!(knn_mode(bad), None, "mode {bad} must not map");
+        }
     }
 
     #[test]
@@ -396,6 +558,32 @@ mod tests {
             cache_hits: 30,
         }));
         roundtrip(&Response::Pong { version: PROTOCOL_VERSION });
+        roundtrip(&Response::Datasets {
+            default_dataset: "Bank".into(),
+            max_resident: 4,
+            tenants: vec![
+                TenantStatus {
+                    dataset: "Bank".into(),
+                    resident: true,
+                    accepted: 12,
+                    completed: 10,
+                    failed: 1,
+                    rejected: 2,
+                    in_flight: 1,
+                    cache_hits: 7,
+                },
+                TenantStatus {
+                    dataset: "Rice".into(),
+                    resident: false,
+                    accepted: 3,
+                    completed: 3,
+                    failed: 0,
+                    rejected: 0,
+                    in_flight: 0,
+                    cache_hits: 2,
+                },
+            ],
+        });
     }
 
     #[test]

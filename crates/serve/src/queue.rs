@@ -12,7 +12,7 @@
 //! `pop` keeps returning items until the queue is empty *and* closed.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Why an item was not admitted.
@@ -39,6 +39,15 @@ pub struct BoundedQueue<T> {
 }
 
 impl<T> BoundedQueue<T> {
+    /// The queue's state is a plain `VecDeque` plus a flag — every
+    /// critical section below leaves it consistent at every await point,
+    /// so a panic while the lock is held (poisoning it) cannot tear the
+    /// state. Recover the guard rather than propagate: one panicking
+    /// worker must not wedge admission for every later request.
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a queue admitting at most `capacity` items at a time.
     ///
     /// # Panics
@@ -63,7 +72,7 @@ impl<T> BoundedQueue<T> {
     /// Current depth (admitted, not yet popped).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        self.lock().items.len()
     }
 
     /// Whether the queue currently holds no items.
@@ -75,7 +84,7 @@ impl<T> BoundedQueue<T> {
     /// Admits `item` without blocking. Returns the depth *after* the push
     /// on success; hands the item back on a full or closed queue.
     pub fn try_push(&self, item: T) -> Result<usize, AdmitError<T>> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = self.lock();
         if s.closed {
             return Err(AdmitError::Closed(item));
         }
@@ -94,7 +103,7 @@ impl<T> BoundedQueue<T> {
     /// once the queue is closed *and* drained — the worker-shutdown
     /// signal. Admitted items are always delivered, even after `close`.
     pub fn pop(&self) -> Option<T> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = self.lock();
         loop {
             if let Some(item) = s.items.pop_front() {
                 return Some(item);
@@ -102,7 +111,7 @@ impl<T> BoundedQueue<T> {
             if s.closed {
                 return None;
             }
-            s = self.not_empty.wait(s).expect("queue lock");
+            s = self.not_empty.wait(s).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -111,7 +120,7 @@ impl<T> BoundedQueue<T> {
     /// [`BoundedQueue::is_closed`]).
     pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = self.lock();
         loop {
             if let Some(item) = s.items.pop_front() {
                 return Some(item);
@@ -123,7 +132,10 @@ impl<T> BoundedQueue<T> {
             if now >= deadline {
                 return None;
             }
-            let (guard, _) = self.not_empty.wait_timeout(s, deadline - now).expect("queue lock");
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             s = guard;
         }
     }
@@ -132,14 +144,14 @@ impl<T> BoundedQueue<T> {
     /// [`AdmitError::Closed`]) and wakes every blocked `pop`, which will
     /// drain remaining items then return `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        self.lock().closed = true;
         self.not_empty.notify_all();
     }
 
     /// Whether [`BoundedQueue::close`] has been called.
     #[must_use]
     pub fn is_closed(&self) -> bool {
-        self.state.lock().expect("queue lock").closed
+        self.lock().closed
     }
 }
 
@@ -202,6 +214,31 @@ mod tests {
         assert_eq!(q.pop_timeout(Duration::from_millis(30)), None);
         assert!(start.elapsed() >= Duration::from_millis(30));
         assert!(!q.is_closed());
+    }
+
+    #[test]
+    fn a_panicking_holder_leaves_the_queue_serviceable() {
+        let q = Arc::new(BoundedQueue::new(4));
+        q.try_push(1).unwrap();
+
+        // Poison the state mutex: panic while holding the raw guard.
+        let poisoner = q.clone();
+        std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("worker died mid-critical-section");
+        })
+        .join()
+        .unwrap_err();
+        assert!(q.state.is_poisoned(), "the panic must actually poison the lock");
+
+        // Every operation still works: admission, depth, pop, close.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -16,31 +16,38 @@
 //!   out on the shared `vfps-par` pool, so worker count bounds *sessions*,
 //!   not CPU parallelism.
 //!
-//! Determinism: the server's dataset and partition are fixed by
-//! `(dataset, instances, parties, data_seed)` at startup, exactly as the
-//! `vfps` CLI builds them, and the request seed feeds the
-//! [`SelectionContext`] unchanged — so a served reply is bit-identical
-//! (chosen set and scores) to a direct pipeline run over the same inputs,
-//! and repeat requests hit the artifact cache's warm path with zero new
+//! Determinism: every tenant's dataset and partition are fixed by
+//! `(dataset, instances, parties, data_seed)` — built by the
+//! [`TenantRegistry`] exactly as the `vfps` CLI builds them — and the
+//! request seed feeds the [`SelectionContext`] unchanged, so a served
+//! reply is bit-identical (chosen set and scores) to a direct
+//! single-tenant pipeline run over the same inputs, and repeat requests
+//! hit that tenant's artifact-cache shard's warm path with zero new
 //! encryptions.
+//!
+//! Multi-tenancy (protocol v2): a request's `dataset` tag picks its
+//! world; worlds materialize lazily and the registry LRU-caps residency.
+//! Admission, queue depth, and failure accounting are kept per tenant
+//! (`serve.*{tenant=...}` labelled metrics plus the [`crate::TenantStatus`]
+//! counters behind [`Request::ListDatasets`]), so one hot tenant is
+//! visible and cannot silently starve the rest.
 
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel;
-use vfps_cache::ArtifactCache;
 use vfps_core::selectors::{SelectionContext, VfpsSmSelector};
-use vfps_data::{prepared_sized, Dataset, DatasetSpec, Split, VerticalPartition};
+use vfps_core::TenantContext;
 use vfps_net::cost::CostModel;
 use vfps_net::{read_frame, write_frame, FrameError};
-use vfps_vfl::fed_knn::KnnMode;
 
-use crate::proto::{DrainReport, Request, Response, SelectReply, SelectRequest};
+use crate::proto::{knn_mode, DrainReport, Request, Response, SelectReply, SelectRequest};
 use crate::queue::{AdmitError, BoundedQueue};
+use crate::tenant::{TenantRegistry, TenantWorld};
 
 /// Server configuration. The dataset/partition fields must match a direct
 /// run's for bit-identical replies (see the module docs).
@@ -48,7 +55,8 @@ use crate::queue::{AdmitError, BoundedQueue};
 pub struct ServeConfig {
     /// Address to bind, e.g. `127.0.0.1:0` (0 picks a free port).
     pub addr: String,
-    /// Synthetic dataset name ([`DatasetSpec::by_name`]).
+    /// Default synthetic dataset name (`vfps_data::DatasetSpec::by_name`)
+    /// — the tenant a request with an empty `dataset` tag is served under.
     pub dataset: String,
     /// Instance count; 0 uses the spec's simulation default.
     pub instances: usize,
@@ -62,6 +70,10 @@ pub struct ServeConfig {
     pub max_concurrent: usize,
     /// Admission queue capacity; submits beyond it get `Busy`.
     pub queue_capacity: usize,
+    /// How many tenant dataset worlds stay materialized at once; beyond
+    /// it the least-recently-used world is evicted (its accounting and
+    /// cache shard survive, the world rebuilds on next use).
+    pub max_tenants: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Duration,
     /// Artifact cache directory; `None` uses a fresh per-process scratch
@@ -83,6 +95,7 @@ impl Default for ServeConfig {
             data_seed: 42,
             max_concurrent: 2,
             queue_capacity: 8,
+            max_tenants: 4,
             default_deadline: Duration::from_secs(30),
             cache_dir: None,
             once: false,
@@ -91,9 +104,12 @@ impl Default for ServeConfig {
     }
 }
 
-/// One admitted job: the request plus its reply slot and timing.
+/// One admitted job: the request, its resolved tenant world, its reply
+/// slot and timing. Holding the world by `Arc` pins it across LRU
+/// eviction for the job's lifetime.
 struct Job {
     req: SelectRequest,
+    world: Arc<TenantWorld>,
     admitted_at: Instant,
     deadline: Instant,
     reply: channel::Sender<Response>,
@@ -101,10 +117,7 @@ struct Job {
 
 /// Everything shared between acceptor, handlers, and workers.
 struct Shared {
-    ds: Dataset,
-    split: Split,
-    partition: VerticalPartition,
-    cache: ArtifactCache,
+    registry: TenantRegistry,
     cost_model: CostModel,
     queue: BoundedQueue<Job>,
     default_deadline: Duration,
@@ -136,13 +149,19 @@ impl Shared {
     }
 
     /// Stops admission and blocks until all admitted work is answered.
+    /// A lock poisoned by a panicking thread is recovered, not
+    /// propagated: the guarded state is `()` (the condvar's predicate is
+    /// the `live_workers` atomic), so a drain must still complete after
+    /// any worker panic.
     fn drain(&self) -> DrainReport {
         self.shutdown.store(true, Ordering::Release);
         self.queue.close();
         let (lock, cvar) = &self.drained;
-        let mut guard = lock.lock().expect("drain lock");
+        let mut guard = lock.lock().unwrap_or_else(PoisonError::into_inner);
         while self.live_workers.load(Ordering::Acquire) > 0 {
-            let (g, _) = cvar.wait_timeout(guard, Duration::from_millis(50)).expect("drain lock");
+            let (g, _) = cvar
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
             guard = g;
         }
         drop(guard);
@@ -152,7 +171,7 @@ impl Shared {
     fn worker_exited(&self) {
         self.live_workers.fetch_sub(1, Ordering::AcqRel);
         let (lock, cvar) = &self.drained;
-        let _g = lock.lock().expect("drain lock");
+        let _g = lock.lock().unwrap_or_else(PoisonError::into_inner);
         cvar.notify_all();
     }
 }
@@ -194,26 +213,14 @@ pub struct Server {
 }
 
 impl Server {
-    /// Builds the dataset, partition, and cache, binds the listener, and
-    /// prints the `listening on <addr>` line clients and tests parse.
+    /// Builds the tenant registry (materializing the default tenant's
+    /// world eagerly, so config errors fail the bind, not the first
+    /// request), binds the listener, and prints the
+    /// `listening on <addr>` line clients and tests parse.
     pub fn bind(cfg: &ServeConfig) -> Result<Server, ServeError> {
-        let spec = DatasetSpec::by_name(&cfg.dataset).ok_or_else(|| {
-            ServeError::Config(format!("unknown synthetic dataset {}", cfg.dataset))
-        })?;
-        let instances = if cfg.instances == 0 { spec.sim_instances } else { cfg.instances };
-        let (ds, split) = prepared_sized(&spec, instances, cfg.data_seed);
-        if cfg.parties == 0 || cfg.parties > ds.n_features() {
-            return Err(ServeError::Config(format!(
-                "{} parties out of range for {} features",
-                cfg.parties,
-                ds.n_features()
-            )));
-        }
         if cfg.max_concurrent == 0 {
             return Err(ServeError::Config("max_concurrent must be positive".into()));
         }
-        let partition = VerticalPartition::random(ds.n_features(), cfg.parties, cfg.data_seed);
-
         let (cache_dir, scratch_cache) = match &cfg.cache_dir {
             Some(dir) => (dir.clone(), None),
             None => {
@@ -222,9 +229,15 @@ impl Server {
                 (dir.clone(), Some(dir))
             }
         };
-        let cache = ArtifactCache::open(&cache_dir).map_err(|e| {
-            ServeError::Config(format!("cannot open cache at {}: {e}", cache_dir.display()))
-        })?;
+        let registry = TenantRegistry::new(
+            &cfg.dataset,
+            cfg.instances,
+            cfg.parties,
+            cfg.data_seed,
+            cache_dir,
+            cfg.max_tenants,
+        );
+        registry.resolve("").map_err(ServeError::Config)?;
 
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
@@ -234,10 +247,7 @@ impl Server {
         }
 
         let shared = Arc::new(Shared {
-            ds,
-            split,
-            partition,
-            cache,
+            registry,
             cost_model: CostModel::default(),
             queue: BoundedQueue::new(cfg.queue_capacity),
             default_deadline: cfg.default_deadline,
@@ -355,6 +365,16 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
                 wake_acceptor(addr);
                 return;
             }
+            Request::ListDatasets => {
+                let resp = Response::Datasets {
+                    default_dataset: shared.registry.default_dataset().to_owned(),
+                    max_resident: shared.registry.max_resident() as u64,
+                    tenants: shared.registry.statuses(),
+                };
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
             Request::Select(sel) => {
                 let one_shot = shared.once;
                 let resp = submit(shared, sel);
@@ -376,9 +396,22 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
 /// exactly one response.
 fn submit(shared: &Arc<Shared>, req: SelectRequest) -> Response {
     let id = req.request_id;
-    if let Err(reason) = validate(shared, &req) {
+    // Resolve the tenant world first: an unknown dataset is a typed
+    // rejection with no tenant to bill it to.
+    let world = match shared.registry.resolve(&req.dataset) {
+        Ok(w) => w,
+        Err(reason) => {
+            shared.rejected.fetch_add(1, Ordering::AcqRel);
+            vfps_obs::counter_add("serve.rejected", 1);
+            return Response::Rejected { request_id: id, reason };
+        }
+    };
+    let tenant = world.name.clone();
+    if let Err(reason) = validate(&world, &req) {
         shared.rejected.fetch_add(1, Ordering::AcqRel);
+        world.stats.rejected.fetch_add(1, Ordering::AcqRel);
         vfps_obs::counter_add("serve.rejected", 1);
+        vfps_obs::counter_add_labelled("serve.rejected", "tenant", &tenant, 1);
         return Response::Rejected { request_id: id, reason };
     }
     let deadline_ms = req.deadline_ms;
@@ -390,17 +423,33 @@ fn submit(shared: &Arc<Shared>, req: SelectRequest) -> Response {
             Duration::from_millis(deadline_ms)
         };
     let (tx, rx) = channel::unbounded();
-    let job = Job { req, admitted_at: now, deadline, reply: tx };
+    let stats = world.stats.clone();
+    // Bill the tenant's in-flight slot *before* the push: once the job is
+    // in the queue a worker may pop, run, and decrement it at any moment,
+    // so incrementing afterwards would race the counter below zero.
+    stats.in_flight.fetch_add(1, Ordering::AcqRel);
+    let job = Job { req, world, admitted_at: now, deadline, reply: tx };
     match shared.queue.try_push(job) {
         Ok(depth) => {
             shared.accepted.fetch_add(1, Ordering::AcqRel);
+            stats.accepted.fetch_add(1, Ordering::AcqRel);
             vfps_obs::counter_add("serve.accepted", 1);
+            vfps_obs::counter_add_labelled("serve.accepted", "tenant", &tenant, 1);
             vfps_obs::gauge_set("serve.queue_depth", depth as f64);
+            vfps_obs::gauge_set_labelled(
+                "serve.queue_depth",
+                "tenant",
+                &tenant,
+                stats.in_flight.load(Ordering::Acquire) as f64,
+            );
         }
         Err(AdmitError::Full(_, depth)) => {
+            stats.in_flight.fetch_sub(1, Ordering::AcqRel);
             shared.rejected.fetch_add(1, Ordering::AcqRel);
+            stats.rejected.fetch_add(1, Ordering::AcqRel);
             vfps_obs::counter_add("serve.rejected", 1);
             vfps_obs::counter_add("serve.busy", 1);
+            vfps_obs::counter_add_labelled("serve.busy", "tenant", &tenant, 1);
             return Response::Busy {
                 request_id: id,
                 queue_depth: depth as u64,
@@ -408,7 +457,9 @@ fn submit(shared: &Arc<Shared>, req: SelectRequest) -> Response {
             };
         }
         Err(AdmitError::Closed(_)) => {
+            stats.in_flight.fetch_sub(1, Ordering::AcqRel);
             shared.rejected.fetch_add(1, Ordering::AcqRel);
+            stats.rejected.fetch_add(1, Ordering::AcqRel);
             vfps_obs::counter_add("serve.rejected", 1);
             return Response::Rejected { request_id: id, reason: "server draining".into() };
         }
@@ -422,13 +473,13 @@ fn submit(shared: &Arc<Shared>, req: SelectRequest) -> Response {
     }
 }
 
-fn validate(shared: &Shared, req: &SelectRequest) -> Result<(), String> {
-    let parties = shared.partition.parties();
+fn validate(world: &TenantWorld, req: &SelectRequest) -> Result<(), String> {
+    let parties = world.partition.parties();
     if req.party_set.is_empty() {
         return Err("empty party set".into());
     }
     if let Some(&bad) = req.party_set.iter().find(|&&p| p >= parties) {
-        return Err(format!("party {bad} out of range (server has {parties})"));
+        return Err(format!("party {bad} out of range (tenant {} has {parties})", world.name));
     }
     let mut sorted = req.party_set.clone();
     sorted.sort_unstable();
@@ -443,7 +494,7 @@ fn validate(shared: &Shared, req: &SelectRequest) -> Result<(), String> {
             req.party_set.len()
         ));
     }
-    if req.mode > 2 {
+    if knn_mode(req.mode).is_none() {
         return Err(format!("unknown KNN mode {}", req.mode));
     }
     if req.k == 0 || req.query_count == 0 {
@@ -455,13 +506,18 @@ fn validate(shared: &Shared, req: &SelectRequest) -> Result<(), String> {
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.pop() {
         vfps_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
+        let stats = job.world.stats.clone();
+        let tenant = job.world.name.clone();
         let waited = job.admitted_at.elapsed();
         if Instant::now() >= job.deadline {
             // Reuse the net plane's timeout taxonomy for the failure.
             let err = vfps_net::Error::Timeout { peer: None, waited };
             vfps_obs::counter_add("serve.failed", 1);
             vfps_obs::counter_add("serve.deadline_expired", 1);
+            vfps_obs::counter_add_labelled("serve.failed", "tenant", &tenant, 1);
             shared.failed.fetch_add(1, Ordering::AcqRel);
+            stats.failed.fetch_add(1, Ordering::AcqRel);
+            stats.in_flight.fetch_sub(1, Ordering::AcqRel);
             let _ = job.reply.send(Response::TimedOut {
                 request_id: job.req.request_id,
                 waited_ms: match err {
@@ -475,12 +531,17 @@ fn worker_loop(shared: &Arc<Shared>) {
         let resp = run_job(shared, &job, waited);
         if matches!(resp, Response::Selected(_)) {
             shared.completed.fetch_add(1, Ordering::AcqRel);
+            stats.completed.fetch_add(1, Ordering::AcqRel);
             vfps_obs::counter_add("serve.completed", 1);
+            vfps_obs::counter_add_labelled("serve.completed", "tenant", &tenant, 1);
         } else {
             shared.failed.fetch_add(1, Ordering::AcqRel);
+            stats.failed.fetch_add(1, Ordering::AcqRel);
             vfps_obs::counter_add("serve.failed", 1);
+            vfps_obs::counter_add_labelled("serve.failed", "tenant", &tenant, 1);
         }
         shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        stats.in_flight.fetch_sub(1, Ordering::AcqRel);
         let _ = job.reply.send(resp);
     }
     shared.worker_exited();
@@ -489,36 +550,36 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn run_job(shared: &Arc<Shared>, job: &Job, queued: Duration) -> Response {
     let _span = vfps_obs::span("serve.request");
     let req = &job.req;
+    let world = &job.world;
     let ctx = SelectionContext {
-        ds: &shared.ds,
-        split: &shared.split,
-        partition: &shared.partition,
+        ds: &world.ds,
+        split: &world.split,
+        partition: &world.partition,
         cost_scale: 1.0,
         seed: req.seed,
     };
     let sel = VfpsSmSelector {
         k: req.k,
         query_count: req.query_count,
-        mode: match req.mode {
-            0 => KnnMode::Base,
-            1 => KnnMode::Fagin,
-            _ => KnnMode::Threshold,
-        },
+        // Admission already rejected unknown bytes; an unreachable here
+        // beats a silent coercion if the two ever drift.
+        mode: knn_mode(req.mode).expect("mode validated at admission"),
         ..VfpsSmSelector::default()
     };
+    let tc = TenantContext { tenant: &world.name, dataset_tag: world.ds.name.as_bytes() };
     let started = Instant::now();
     // `run_over` is panic-free for validated inputs, but a lost response
     // would wedge the client forever — convert any selection panic into a
     // typed rejection instead.
     let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         vfps_core::select_with_cache(
-            &shared.cache,
+            &world.cache,
             &sel,
             &ctx,
             &req.party_set,
             req.select,
             &shared.cost_model,
-            shared.ds.name.as_bytes(),
+            &tc,
         )
     }));
     let run = started.elapsed();
@@ -537,9 +598,13 @@ fn run_job(shared: &Arc<Shared>, job: &Job, queued: Duration) -> Response {
     }
     let ledger = &served.selection.ledger;
     shared.cache_hits.fetch_add(ledger.cache_hits, Ordering::AcqRel);
+    world.stats.cache_hits.fetch_add(ledger.cache_hits, Ordering::AcqRel);
+    vfps_obs::counter_add_labelled("serve.cache_hits", "tenant", &world.name, ledger.cache_hits);
+    vfps_obs::counter_add_labelled("serve.enc_instances", "tenant", &world.name, ledger.enc.work);
     let total_us = (queued + run).as_micros() as f64;
     vfps_obs::histogram_record("serve.latency_us", total_us);
     vfps_obs::histogram_record("serve.queue_us", queued.as_micros() as f64);
+    vfps_obs::histogram_record_labelled("serve.latency_us", "tenant", &world.name, total_us);
     Response::Selected(SelectReply {
         request_id: req.request_id,
         chosen: served.selection.chosen.clone(),

@@ -1,0 +1,119 @@
+//! Protocol encoding properties: for *every* message kind on the wire,
+//! `encode()` produces exactly `encoded_len()` bytes and decodes back to
+//! an equal value. This pins the bugfix for `SelectRequest::encoded_len`
+//! hardcoding `8` per `usize` field — lengths are now delegated per field,
+//! and this suite fails on any future drift between the three methods.
+
+use proptest::prelude::*;
+use vfps_net::wire::Wire;
+use vfps_serve::{DrainReport, Request, Response, SelectReply, SelectRequest, TenantStatus};
+
+/// The one property under test: exact length, exact roundtrip.
+fn exact<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let bytes = v.to_bytes();
+    assert_eq!(
+        bytes.len(),
+        v.encoded_len(),
+        "encoded_len must equal the actual encoding length for {v:?}"
+    );
+    assert_eq!(&T::from_bytes(&bytes).unwrap(), v, "decode(encode(v)) must equal v");
+}
+
+/// A deterministic string of `seed % 24` chars drawn from a mixed
+/// alphabet (including multi-byte UTF-8, so byte length ≠ char count).
+fn string_from(seed: u64) -> String {
+    const ALPHABET: [char; 12] = ['a', 'B', '0', '_', '-', ' ', '/', '.', 'é', 'µ', '✓', '雨'];
+    let len = (seed % 24) as usize;
+    (0..len).map(|i| ALPHABET[((seed >> (i % 16)) as usize + i) % ALPHABET.len()]).collect()
+}
+
+fn request_from(ids: (u64, u64, u64), party_set: Vec<usize>, sizes: Vec<usize>) -> SelectRequest {
+    SelectRequest {
+        request_id: ids.0,
+        dataset: string_from(ids.1),
+        party_set,
+        select: sizes[0],
+        k: sizes[1],
+        query_count: sizes[2],
+        mode: (ids.2 % 256) as u8,
+        seed: ids.2,
+        deadline_ms: ids.0 ^ ids.1,
+    }
+}
+
+fn reply_from(ids: (u64, u64, u64), chosen: Vec<usize>, scores: Vec<f64>) -> SelectReply {
+    SelectReply {
+        request_id: ids.0,
+        chosen,
+        scores,
+        cache_status: string_from(ids.1),
+        enc_instances: ids.2,
+        cache_hits: ids.0 % 97,
+        cache_misses: ids.1 % 89,
+        queue_us: ids.2 % 83,
+        run_us: ids.0 ^ ids.2,
+    }
+}
+
+fn status_from(seed: u64) -> TenantStatus {
+    TenantStatus {
+        dataset: string_from(seed),
+        resident: seed.is_multiple_of(2),
+        accepted: seed,
+        completed: seed % 101,
+        failed: seed % 7,
+        rejected: seed % 11,
+        in_flight: seed % 3,
+        cache_hits: seed % 13,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_request_kind_encodes_to_exactly_encoded_len_bytes(
+        ids in (any::<u64>(), any::<u64>(), any::<u64>()),
+        party_set in proptest::collection::vec(0usize..1_000_000, 0..12),
+        sizes in proptest::collection::vec(0usize..usize::MAX / 2, 3..=3),
+    ) {
+        let req = request_from(ids, party_set, sizes);
+        exact(&req);
+        exact(&Request::Select(req));
+        exact(&Request::Ping);
+        exact(&Request::Shutdown);
+        exact(&Request::ListDatasets);
+    }
+
+    #[test]
+    fn every_response_kind_encodes_to_exactly_encoded_len_bytes(
+        ids in (any::<u64>(), any::<u64>(), any::<u64>()),
+        chosen in proptest::collection::vec(0usize..1_000_000, 0..8),
+        scores in proptest::collection::vec(-1.0e9f64..1.0e9, 0..8),
+        tenant_seeds in proptest::collection::vec(any::<u64>(), 0..5),
+    ) {
+        exact(&Response::Selected(reply_from(ids, chosen, scores)));
+        exact(&Response::Busy { request_id: ids.0, queue_depth: ids.1, capacity: ids.2 });
+        exact(&Response::TimedOut { request_id: ids.0, waited_ms: ids.1 });
+        exact(&Response::Rejected { request_id: ids.0, reason: string_from(ids.1) });
+        exact(&Response::Draining(DrainReport {
+            accepted: ids.0,
+            completed: ids.1,
+            failed: ids.2,
+            rejected: ids.0 % 19,
+            in_flight: ids.1 % 17,
+            cache_hits: ids.2 % 23,
+        }));
+        exact(&Response::Pong { version: (ids.0 % u64::from(u32::MAX)) as u32 });
+
+        let tenants: Vec<TenantStatus> = tenant_seeds.iter().map(|&s| status_from(s)).collect();
+        for t in &tenants {
+            exact(t);
+        }
+        exact(&Response::Datasets {
+            default_dataset: string_from(ids.2),
+            max_resident: ids.0 % 64,
+            tenants,
+        });
+    }
+}

@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use vfps_core::selectors::{SelectionContext, VfpsSmSelector};
 use vfps_data::{prepared_sized, DatasetSpec, VerticalPartition};
-use vfps_serve::{Client, Response, SelectRequest, ServeConfig, Server};
+use vfps_serve::{Client, ClientError, Request, Response, SelectRequest, ServeConfig, Server};
 use vfps_vfl::fed_knn::KnnMode;
 
 /// A small-footprint server config shared by the tests. `instances` is
@@ -25,6 +25,7 @@ fn test_config() -> ServeConfig {
         cache_dir: None,
         once: false,
         trace_out: None,
+        max_tenants: 4,
     }
 }
 
@@ -40,6 +41,7 @@ fn spawn(
 fn request(id: u64, seed: u64) -> SelectRequest {
     SelectRequest {
         request_id: id,
+        dataset: String::new(),
         party_set: vec![0, 1, 2, 3],
         select: 2,
         k: 10,
@@ -58,7 +60,19 @@ fn direct_run(
     select: usize,
     query_count: usize,
 ) -> (Vec<usize>, Vec<f64>) {
-    let spec = DatasetSpec::by_name("Bank").unwrap();
+    direct_run_on("Bank", seed, party_set, select, query_count)
+}
+
+/// Like [`direct_run`] but against an arbitrary dataset world with the
+/// test server's sizing (240 instances, 4 parties, data seed 42).
+fn direct_run_on(
+    dataset: &str,
+    seed: u64,
+    party_set: &[usize],
+    select: usize,
+    query_count: usize,
+) -> (Vec<usize>, Vec<f64>) {
+    let spec = DatasetSpec::by_name(dataset).unwrap();
     let (ds, split) = prepared_sized(&spec, 240, 42);
     let partition = VerticalPartition::random(ds.n_features(), 4, 42);
     let ctx =
@@ -141,7 +155,9 @@ fn invalid_requests_are_rejected_with_reasons_not_hangs() {
     ];
     for (req, needle) in cases {
         let id = req.request_id;
-        match client.select(&req).unwrap() {
+        // Raw frames, bypassing the client's own pre-flight: the server
+        // must enforce every rule itself.
+        match client.roundtrip(&Request::Select(req)).unwrap() {
             Response::Rejected { request_id, reason } => {
                 assert_eq!(request_id, id);
                 assert!(reason.contains(needle), "reason {reason:?} should mention {needle:?}");
@@ -235,6 +251,216 @@ fn an_already_expired_deadline_is_a_typed_timeout() {
     assert_eq!(report.in_flight, 0);
     assert_eq!(report.accepted, report.completed + report.failed);
     handle.join().unwrap();
+}
+
+/// Tentpole acceptance: one server, two dataset tenants, interleaved
+/// requests. Each tenant gets its own cache shard (cold → warm with zero
+/// encryptions per tenant), and every served selection is bit-identical
+/// to a direct single-tenant pipeline run over that tenant's world.
+#[test]
+fn two_tenants_serve_concurrently_with_disjoint_warm_paths_and_bit_identity() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+
+    let bank_req = |id: u64| request(id, 42); // "" resolves to the default (Bank)
+    let rice_req = |id: u64| SelectRequest { dataset: "Rice".into(), ..request(id, 42) };
+
+    // Interleave cold requests: Bank, Rice. Identical (party_set, k,
+    // seed, ...) tuples — only the dataset tag differs.
+    let bank_cold = match client.select(&bank_req(1)).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    let rice_cold = match client.select(&rice_req(2)).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert_eq!(bank_cold.cache_status, "cold");
+    assert_eq!(rice_cold.cache_status, "cold", "tenants must never alias cache entries");
+    assert!(bank_cold.enc_instances > 0);
+    assert!(rice_cold.enc_instances > 0);
+
+    // Each tenant's answer matches its own direct single-tenant run.
+    let (bank_chosen, bank_scores) = direct_run_on("Bank", 42, &[0, 1, 2, 3], 2, 8);
+    let (rice_chosen, rice_scores) = direct_run_on("Rice", 42, &[0, 1, 2, 3], 2, 8);
+    assert_eq!(bank_cold.chosen, bank_chosen);
+    assert_eq!(bank_cold.scores, bank_scores);
+    assert_eq!(rice_cold.chosen, rice_chosen);
+    assert_eq!(rice_cold.scores, rice_scores);
+    assert_ne!(
+        bank_cold.scores, rice_cold.scores,
+        "distinct worlds should produce distinct scores"
+    );
+
+    // Warm repeats, per tenant, still interleaved: zero new encryptions
+    // and bit-identical to each tenant's own cold run.
+    for (req, cold) in [(rice_req(3), &rice_cold), (bank_req(4), &bank_cold)] {
+        let warm = match client.select(&req).unwrap() {
+            Response::Selected(r) => r,
+            other => panic!("expected Selected, got {other:?}"),
+        };
+        assert_eq!(warm.cache_status, "warm");
+        assert_eq!(warm.enc_instances, 0, "per-tenant warm serving must not encrypt");
+        assert_eq!(warm.chosen, cold.chosen);
+        assert_eq!(warm.scores, cold.scores);
+    }
+
+    // Per-tenant accounting via ListDatasets: both resident, two
+    // completions and a cache hit each, nothing rejected.
+    let (default_dataset, max_resident, tenants) = client.list_datasets().unwrap();
+    assert_eq!(default_dataset, "Bank");
+    assert_eq!(max_resident, 4);
+    assert_eq!(tenants.len(), 2);
+    for t in &tenants {
+        assert!(t.resident, "tenant {} should be resident", t.dataset);
+        assert_eq!(t.accepted, 2, "tenant {}", t.dataset);
+        assert_eq!(t.completed, 2, "tenant {}", t.dataset);
+        assert_eq!(t.failed, 0);
+        assert_eq!(t.rejected, 0);
+        assert_eq!(t.in_flight, 0);
+        assert!(t.cache_hits >= 1, "tenant {} warm repeat must hit its cache", t.dataset);
+    }
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.completed, 4);
+    assert_eq!(report.in_flight, 0);
+    handle.join().unwrap();
+}
+
+#[test]
+fn unknown_dataset_tags_are_rejected_with_a_reason() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+
+    let req = SelectRequest { dataset: "NoSuchWorld".into(), ..request(21, 1) };
+    match client.select(&req).unwrap() {
+        Response::Rejected { request_id, reason } => {
+            assert_eq!(request_id, 21);
+            assert!(reason.contains("NoSuchWorld"), "reason {reason:?} should name the dataset");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.completed, 0);
+    handle.join().unwrap();
+}
+
+/// Satellite: an unknown `mode` byte must die at admission with a typed
+/// `Rejected`, pinned at the wire level (raw `Request::Select` frame, no
+/// client-side pre-flight in the way) with the hostile byte 250.
+#[test]
+fn a_raw_mode_250_frame_is_rejected_at_admission_not_mapped_or_hung() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+
+    // The convenience path refuses to even send it...
+    let bad = SelectRequest { mode: 250, ..request(30, 1) };
+    match client.select(&bad) {
+        Err(ClientError::InvalidRequest(msg)) => {
+            assert!(msg.contains("250"), "pre-flight message should name the byte: {msg}");
+        }
+        other => panic!("expected InvalidRequest pre-flight, got {other:?}"),
+    }
+
+    // ...so put the frame on the wire ourselves. The server must answer
+    // with a typed Rejected naming the byte — not panic, not silently
+    // coerce it to some valid mode.
+    let bad = SelectRequest { mode: 250, ..request(31, 1) };
+    match client.roundtrip(&Request::Select(bad)).unwrap() {
+        Response::Rejected { request_id, reason } => {
+            assert_eq!(request_id, 31);
+            assert!(reason.contains("unknown KNN mode 250"), "got reason {reason:?}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // The connection and server survive: a valid request still serves.
+    match client.select(&request(32, 1)).unwrap() {
+        Response::Selected(r) => assert_eq!(r.request_id, 32),
+        other => panic!("expected Selected, got {other:?}"),
+    }
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.rejected, 1, "only the raw frame reaches the server's rejection path");
+    assert_eq!(report.completed, 1);
+    handle.join().unwrap();
+}
+
+/// Satellite: `deadline_ms == 0` is the documented "use the server
+/// default" sentinel — it must never be read as "already expired".
+#[test]
+fn deadline_zero_means_server_default_not_already_expired() {
+    // A server whose default deadline is generous; if 0 were treated as
+    // an instant deadline every request here would come back TimedOut.
+    let cfg = ServeConfig { default_deadline: Duration::from_secs(60), ..test_config() };
+    let (addr, handle) = spawn(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    let req = request(40, 7);
+    assert_eq!(req.deadline_ms, 0, "fixture must exercise the sentinel");
+    match client.select(&req).unwrap() {
+        Response::Selected(r) => assert_eq!(r.request_id, 40),
+        Response::TimedOut { .. } => {
+            panic!("deadline_ms == 0 was treated as already expired; it is the default sentinel")
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 0);
+    handle.join().unwrap();
+}
+
+/// With `max_tenants: 1`, requesting a second dataset evicts the first
+/// world — but its stats survive, and its per-tenant cache shard is on
+/// disk, so a re-materialized world still serves warm.
+#[test]
+fn lru_eviction_keeps_stats_and_warm_paths_across_rematerialization() {
+    let dir = std::env::temp_dir().join(format!("vfps-serve-lru-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = ServeConfig { max_tenants: 1, cache_dir: Some(dir.clone()), ..test_config() };
+    let (addr, handle) = spawn(cfg);
+    let mut client = Client::connect(addr).unwrap();
+
+    // Cold run on the default (Bank) world.
+    let bank_cold = match client.select(&request(1, 42)).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert_eq!(bank_cold.cache_status, "cold");
+
+    // Rice displaces Bank (residency cap 1).
+    let rice = SelectRequest { dataset: "Rice".into(), ..request(2, 42) };
+    match client.select(&rice).unwrap() {
+        Response::Selected(r) => assert_eq!(r.request_id, 2),
+        other => panic!("expected Selected, got {other:?}"),
+    }
+    let (_, max_resident, tenants) = client.list_datasets().unwrap();
+    assert_eq!(max_resident, 1);
+    let bank = tenants.iter().find(|t| t.dataset == "Bank").unwrap();
+    assert!(!bank.resident, "Bank must have been evicted");
+    assert_eq!(bank.completed, 1, "eviction must not lose accounting");
+    assert!(tenants.iter().find(|t| t.dataset == "Rice").unwrap().resident);
+
+    // Re-requesting Bank re-materializes the world; its tenant-sharded
+    // cache is content-addressed on disk, so the repeat serves warm and
+    // bit-identical even though the in-memory world was rebuilt.
+    let bank_back = match client.select(&request(3, 42)).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert_eq!(bank_back.cache_status, "warm");
+    assert_eq!(bank_back.enc_instances, 0);
+    assert_eq!(bank_back.chosen, bank_cold.chosen);
+    assert_eq!(bank_back.scores, bank_cold.scores);
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.in_flight, 0);
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -23,7 +23,7 @@ use std::path::PathBuf;
 use std::sync::Mutex;
 
 use vfps_cache::{ArtifactCache, CacheError};
-use vfps_core::cached::{select_with_cache, CacheStatus};
+use vfps_core::cached::{select_with_cache, CacheStatus, TenantContext};
 use vfps_core::pipeline::{run_pipeline, Method, PipelineConfig};
 use vfps_core::selectors::{SelectionContext, VfpsSmSelector};
 use vfps_core::IncrementalConsortium;
@@ -70,6 +70,11 @@ fn bits(v: &[f64]) -> Vec<u64> {
     v.iter().map(|x| x.to_bits()).collect()
 }
 
+/// The single-tenant context every pre-multi-tenant test serves under.
+fn tc(dataset_tag: &[u8]) -> TenantContext<'_> {
+    TenantContext::single(dataset_tag)
+}
+
 #[test]
 fn warm_request_is_bit_identical_and_encrypts_nothing() {
     let _g = lock();
@@ -80,7 +85,7 @@ fn warm_request_is_bit_identical_and_encrypts_nothing() {
     let parties: Vec<usize> = (0..c.parties()).collect();
     let model = CostModel::default();
 
-    let cold = select_with_cache(&cache, &sel, &c, &parties, 2, &model, b"it-warm");
+    let cold = select_with_cache(&cache, &sel, &c, &parties, 2, &model, &tc(b"it-warm"));
     assert_eq!(cold.status, CacheStatus::Cold);
     assert!(cold.degraded.is_none(), "{:?}", cold.degraded);
     assert!(cold.selection.ledger.enc.work > 0, "cold run does federated work");
@@ -88,7 +93,7 @@ fn warm_request_is_bit_identical_and_encrypts_nothing() {
     assert_eq!(cache.len().unwrap(), 1, "cold run stored its artifacts");
 
     vfps_obs::start_capture();
-    let warm = select_with_cache(&cache, &sel, &c, &parties, 2, &model, b"it-warm");
+    let warm = select_with_cache(&cache, &sel, &c, &parties, 2, &model, &tc(b"it-warm"));
     let trace = vfps_obs::finish_capture().expect("capture was started");
 
     assert_eq!(warm.status, CacheStatus::Warm);
@@ -123,11 +128,11 @@ fn churn_join_touches_only_the_new_party() {
     let model = CostModel::default();
 
     let base: Vec<usize> = vec![0, 1, 2, 3];
-    let cold = select_with_cache(&cache, &sel, &c, &base, 2, &model, b"it-join");
+    let cold = select_with_cache(&cache, &sel, &c, &base, 2, &model, &tc(b"it-join"));
     assert_eq!(cold.status, CacheStatus::Cold);
 
     let grown: Vec<usize> = vec![0, 1, 2, 3, 4];
-    let churn = select_with_cache(&cache, &sel, &c, &grown, 2, &model, b"it-join");
+    let churn = select_with_cache(&cache, &sel, &c, &grown, 2, &model, &tc(b"it-join"));
     assert_eq!(churn.status, CacheStatus::ChurnJoin(4));
     assert_eq!(churn.selection.ledger.enc.work, 0, "a join never re-encrypts");
     assert_eq!(
@@ -165,11 +170,11 @@ fn churn_leave_is_free_and_matches_the_oracle() {
     let model = CostModel::default();
 
     let full: Vec<usize> = vec![0, 1, 2, 3];
-    let cold = select_with_cache(&cache, &sel, &c, &full, 2, &model, b"it-leave");
+    let cold = select_with_cache(&cache, &sel, &c, &full, 2, &model, &tc(b"it-leave"));
     assert_eq!(cold.status, CacheStatus::Cold);
 
     let shrunk: Vec<usize> = vec![0, 1, 3];
-    let churn = select_with_cache(&cache, &sel, &c, &shrunk, 2, &model, b"it-leave");
+    let churn = select_with_cache(&cache, &sel, &c, &shrunk, 2, &model, &tc(b"it-leave"));
     assert_eq!(churn.status, CacheStatus::ChurnLeave(2));
     assert_eq!(churn.selection.ledger.enc.work, 0);
     assert_eq!(churn.selection.ledger.dist.work, 0, "a leave is pure matrix surgery");
@@ -193,10 +198,10 @@ fn two_membership_changes_fall_back_to_cold() {
     let model = CostModel::default();
 
     let a: Vec<usize> = vec![0, 1, 2];
-    select_with_cache(&cache, &sel, &c, &a, 2, &model, b"it-far");
+    select_with_cache(&cache, &sel, &c, &a, 2, &model, &tc(b"it-far"));
     // Two changes away (one out, one in): not a churn neighbor.
     let b: Vec<usize> = vec![0, 1, 3];
-    let second = select_with_cache(&cache, &sel, &c, &b, 2, &model, b"it-far");
+    let second = select_with_cache(&cache, &sel, &c, &b, 2, &model, &tc(b"it-far"));
     assert_eq!(second.status, CacheStatus::Cold);
     assert_eq!(cache.len().unwrap(), 2, "the second consortium gets its own entry");
 }
@@ -212,7 +217,7 @@ fn corrupted_entry_degrades_to_cold_and_is_repaired() {
     let parties: Vec<usize> = (0..c.parties()).collect();
     let model = CostModel::default();
 
-    let cold = select_with_cache(&cache, &sel, &c, &parties, 2, &model, b"it-corrupt");
+    let cold = select_with_cache(&cache, &sel, &c, &parties, 2, &model, &tc(b"it-corrupt"));
     assert_eq!(cold.status, CacheStatus::Cold);
 
     // Flip one payload byte in the stored entry.
@@ -222,7 +227,7 @@ fn corrupted_entry_degrades_to_cold_and_is_repaired() {
     bytes[mid] ^= 0xff;
     std::fs::write(&entry, bytes).unwrap();
 
-    let repaired = select_with_cache(&cache, &sel, &c, &parties, 2, &model, b"it-corrupt");
+    let repaired = select_with_cache(&cache, &sel, &c, &parties, 2, &model, &tc(b"it-corrupt"));
     assert_eq!(repaired.status, CacheStatus::Cold, "corruption must not serve warm");
     assert!(
         matches!(repaired.degraded, Some(CacheError::Checksum)),
@@ -232,7 +237,7 @@ fn corrupted_entry_degrades_to_cold_and_is_repaired() {
     assert_eq!(repaired.selection.chosen, cold.selection.chosen);
 
     // The degraded cold run overwrote the damaged file: third time warm.
-    let warm = select_with_cache(&cache, &sel, &c, &parties, 2, &model, b"it-corrupt");
+    let warm = select_with_cache(&cache, &sel, &c, &parties, 2, &model, &tc(b"it-corrupt"));
     assert_eq!(warm.status, CacheStatus::Warm);
     assert!(warm.degraded.is_none());
     assert_eq!(warm.selection.chosen, cold.selection.chosen);
@@ -248,7 +253,7 @@ fn dp_and_dropout_requests_bypass_the_cache() {
     let model = CostModel::default();
 
     let dp = VfpsSmSelector { dp_epsilon: Some(1.0), ..selector() };
-    let served = select_with_cache(&cache, &dp, &c, &parties, 2, &model, b"it-bypass");
+    let served = select_with_cache(&cache, &dp, &c, &parties, 2, &model, &tc(b"it-bypass"));
     assert_eq!(served.status, CacheStatus::Bypass);
     assert!(served.fingerprint.is_none());
 
@@ -256,9 +261,52 @@ fn dp_and_dropout_requests_bypass_the_cache() {
         dropouts: vec![vfps_vfl::fed_knn::Dropout { at_query: 2, slot: 1 }],
         ..selector()
     };
-    let served = select_with_cache(&cache, &faulty, &c, &parties, 2, &model, b"it-bypass");
+    let served = select_with_cache(&cache, &faulty, &c, &parties, 2, &model, &tc(b"it-bypass"));
     assert_eq!(served.status, CacheStatus::Bypass);
     assert!(cache.is_empty().unwrap(), "bypassed runs never touch the store");
+}
+
+#[test]
+fn tenants_get_disjoint_entries_warm_paths_and_identical_results() {
+    let _g = lock();
+    let f = fixture(27);
+    let c = ctx(&f, 27);
+    let sel = selector();
+    let root = cache_dir("tenants");
+    let bank = ArtifactCache::open_tenant(&root, "Bank").unwrap();
+    let rice = ArtifactCache::open_tenant(&root, "Rice").unwrap();
+    let parties: Vec<usize> = (0..c.parties()).collect();
+    let model = CostModel::default();
+    let tc_bank = TenantContext { tenant: "Bank", dataset_tag: b"it-tenants" };
+    let tc_rice = TenantContext { tenant: "Rice", dataset_tag: b"it-tenants" };
+
+    // Same (party_set, k, seed, dataset content) under two tenant tags:
+    // two cold runs, two disjoint cache entries.
+    let cold_bank = select_with_cache(&bank, &sel, &c, &parties, 2, &model, &tc_bank);
+    let cold_rice = select_with_cache(&rice, &sel, &c, &parties, 2, &model, &tc_rice);
+    assert_eq!(cold_bank.status, CacheStatus::Cold);
+    assert_eq!(cold_rice.status, CacheStatus::Cold);
+    assert_ne!(cold_bank.fingerprint, cold_rice.fingerprint, "tenants must not alias");
+    assert_eq!(bank.len().unwrap(), 1);
+    assert_eq!(rice.len().unwrap(), 1);
+
+    // Each tenant warms independently, bit-identical to its own cold run
+    // and to the direct single-tenant pipeline over the same world.
+    let direct = sel.run_over(&c, &parties, 2, None).selection;
+    for (cache, tcx, cold) in [(&bank, &tc_bank, &cold_bank), (&rice, &tc_rice, &cold_rice)] {
+        let warm = select_with_cache(cache, &sel, &c, &parties, 2, &model, tcx);
+        assert_eq!(warm.status, CacheStatus::Warm, "tenant {}", tcx.tenant);
+        assert_eq!(warm.selection.ledger.enc.work, 0, "warm tenant encrypts nothing");
+        assert_eq!(warm.selection.chosen, cold.selection.chosen);
+        assert_eq!(bits(&warm.selection.scores), bits(&cold.selection.scores));
+        assert_eq!(warm.selection.chosen, direct.chosen, "tenant {} vs direct", tcx.tenant);
+        assert_eq!(bits(&warm.selection.scores), bits(&direct.scores));
+    }
+
+    // Cross-tenant lookups stay cold even though every other input is
+    // bit-identical: tenant A's entry can never warm-serve tenant B.
+    let crossed = select_with_cache(&bank, &sel, &c, &parties, 2, &model, &tc_rice);
+    assert_eq!(crossed.status, CacheStatus::Cold, "no cross-tenant warm serving");
 }
 
 #[test]

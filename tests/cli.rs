@@ -266,15 +266,51 @@ fn serve_once_answers_a_submit_with_the_direct_runs_selection_then_drains() {
 
 #[test]
 fn submit_ping_and_shutdown_drain_a_persistent_server() {
-    let (mut child, mut reader, addr) = spawn_serve(&["--queue-capacity", "2"]);
+    let (mut child, mut reader, addr) =
+        spawn_serve(&["--queue-capacity", "2", "--max-tenants", "2"]);
 
     let ping = vfps().args(["submit", "--addr", &addr, "--ping"]).output().expect("ping runs");
     assert!(ping.status.success(), "stderr: {}", String::from_utf8_lossy(&ping.stderr));
     assert!(
-        String::from_utf8_lossy(&ping.stdout).contains("pong: protocol version 1"),
+        String::from_utf8_lossy(&ping.stdout).contains("pong: protocol version 2"),
         "{}",
         String::from_utf8_lossy(&ping.stdout)
     );
+
+    // A second tenant on the same daemon: the server's default world is
+    // Rice; submit against Bank by tag.
+    let bank = vfps()
+        .args([
+            "submit",
+            "--addr",
+            &addr,
+            "--dataset",
+            "Bank",
+            "--parties",
+            "4",
+            "--select",
+            "2",
+            "--queries",
+            "8",
+            "--seed",
+            "42",
+        ])
+        .output()
+        .expect("submit runs");
+    assert!(bank.status.success(), "stderr: {}", String::from_utf8_lossy(&bank.stderr));
+    let reply = String::from_utf8_lossy(&bank.stdout);
+    assert!(reply.contains("reply 1: cache=cold"), "{reply}");
+
+    // Per-tenant accounting is visible over the wire.
+    let list =
+        vfps().args(["submit", "--addr", &addr, "--list-datasets"]).output().expect("list runs");
+    assert!(list.status.success(), "stderr: {}", String::from_utf8_lossy(&list.stderr));
+    let listing = String::from_utf8_lossy(&list.stdout);
+    assert!(listing.contains("default Rice"), "{listing}");
+    assert!(listing.contains("Rice [resident]"), "{listing}");
+    assert!(listing.contains("Bank [resident]"), "{listing}");
+    let bank_row = listing.lines().find(|l| l.trim_start().starts_with("Bank ")).unwrap();
+    assert!(bank_row.contains("completed 1"), "{bank_row}");
 
     let down =
         vfps().args(["submit", "--addr", &addr, "--shutdown"]).output().expect("shutdown runs");
