@@ -508,7 +508,10 @@ pub fn ablation_maximizer(_cfg: &ExpConfig) -> String {
 
     let greedy_set = f.greedy(size);
     let greedy_val = f.eval(&greedy_set);
-    let greedy_evals = size * n; // one gain() per remaining element per step, bounded
+    // Round i evaluates only the n - i remaining candidates, so the total
+    // is Σ_{i<size}(n - i) — the old `size * n` overcounted by the
+    // triangular term and made lazy greedy's saving look smaller.
+    let greedy_evals = size * n - size * (size - 1) / 2;
 
     let (lazy_set, lazy_evals) = f.lazy_greedy(size);
     let (stoch_set, stoch_evals) = f.stochastic_greedy(size, 0.1, &mut rng);
@@ -1086,6 +1089,133 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
         (String::new(), String::new())
     };
 
+    // Party-axis scaling: full greedy vs the sublinear maximizers on
+    // synthetic consortia of 10^2..10^4 parties over a thresholded sparse
+    // similarity (~24 neighbors per party), so each gain() is O(nnz) and
+    // the curves isolate the evaluation-count asymptotics. Gate-checked
+    // claims: at P = 10^4 both sublinear maximizers use >= 10x fewer
+    // gain() evaluations than full greedy while staying within the
+    // 1 - 1/e - eps guarantee, and their selections are bit-identical at
+    // every thread count.
+    let (party_scaling, party_md) = {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use vfps_core::{Maximizer, SparseSimilarity};
+
+        const SELECT: usize = 25;
+        const EPSILON: f64 = 0.2;
+        const MASTER_SEED: u64 = 1507;
+        let guarantee = 1.0 - (-1.0f64).exp() - EPSILON;
+
+        let mut point_json = Vec::new();
+        let mut md_rows: Vec<Vec<String>> = Vec::new();
+        for parties in [100usize, 1_000, 10_000] {
+            let columns: Vec<Vec<(usize, f64)>> = (0..parties)
+                .map(|s| {
+                    let mut rng =
+                        StdRng::seed_from_u64(vfps_par::split_seed(MASTER_SEED, s as u64));
+                    let degree = 24.min(parties - 1);
+                    let mut neighbors = std::collections::BTreeSet::new();
+                    neighbors.insert(s);
+                    while neighbors.len() < degree + 1 {
+                        neighbors.insert(rng.gen_range(0..parties));
+                    }
+                    neighbors
+                        .into_iter()
+                        .map(|p| (p, if p == s { 1.0 } else { rng.gen_range(0.05..0.95) }))
+                        .collect()
+                })
+                .collect();
+            let f =
+                KnnSubmodular::from_sparse(SparseSimilarity::from_columns(parties, 0.05, columns));
+
+            let pool = Pool::with_threads(1);
+            let timed = |m: Maximizer| {
+                let t = Instant::now();
+                let (chosen, evals) = f.maximize(SELECT, m, MASTER_SEED, &pool);
+                (chosen, evals, t.elapsed().as_secs_f64() * 1e3)
+            };
+            let (greedy_set, greedy_evals, greedy_ms) = timed(Maximizer::Greedy);
+            let greedy_val = f.eval(&greedy_set);
+            md_rows.push(vec![
+                parties.to_string(),
+                "greedy".into(),
+                greedy_evals.to_string(),
+                "1.00x".into(),
+                "1.0000".into(),
+                format!("{greedy_ms:.2}"),
+            ]);
+
+            let mut sublinear = String::new();
+            for (name, m) in [
+                ("stochastic", Maximizer::Stochastic { epsilon: EPSILON }),
+                ("sieve", Maximizer::Sieve { epsilon: EPSILON }),
+            ] {
+                let (chosen, evals, ms) = timed(m);
+                let ratio = f.eval(&chosen) / greedy_val;
+                let reduction = greedy_evals as f64 / evals as f64;
+                let identical = [2usize, 4, 8].iter().all(|&t| {
+                    f.maximize(SELECT, m, MASTER_SEED, &Pool::with_threads(t)).0 == chosen
+                });
+                assert!(identical, "{name} at {parties} parties diverged across thread counts");
+                assert!(
+                    ratio >= guarantee,
+                    "{name} at {parties} parties fell below the {guarantee:.3} guarantee: \
+                     {ratio:.3}"
+                );
+                if parties == 10_000 {
+                    assert!(
+                        reduction >= 10.0,
+                        "{name} must use >= 10x fewer evals than greedy at 10^4 parties, \
+                         got {reduction:.1}x ({evals} vs {greedy_evals})"
+                    );
+                }
+                sublinear.push_str(&format!(
+                    ",\n     \x20 \"{name}\": {{\"wall_ms\": {ms:.3}, \"gain_evals\": {evals}, \
+                     \"objective_ratio_vs_greedy\": {ratio:.4}, \
+                     \"eval_reduction_vs_greedy\": {reduction:.2}, \
+                     \"bit_identical_across_threads\": {identical}}}"
+                ));
+                md_rows.push(vec![
+                    parties.to_string(),
+                    name.into(),
+                    evals.to_string(),
+                    format!("{reduction:.2}x"),
+                    format!("{ratio:.4}"),
+                    format!("{ms:.2}"),
+                ]);
+            }
+            point_json.push(format!(
+                "      {{\"parties\": {parties},\n     \x20 \"greedy\": \
+                 {{\"wall_ms\": {greedy_ms:.3}, \"gain_evals\": {greedy_evals}}}{sublinear}}}"
+            ));
+        }
+
+        let json = format!(
+            "  \"party_scaling\": {{\n\
+             \x20   \"select\": {SELECT},\n\
+             \x20   \"epsilon\": {EPSILON},\n\
+             \x20   \"points\": [\n{}\n    ]\n  }},\n",
+            point_json.join(",\n")
+        );
+        let md = format!(
+            "\n## Party-axis scaling (synthetic sparse consortia, select {SELECT}, ε = \
+             {EPSILON})\n\n{}",
+            markdown_table(
+                &[
+                    "Parties",
+                    "Maximizer",
+                    "gain() evals",
+                    "eval reduction",
+                    "f(S)/f(greedy)",
+                    "wall (ms)"
+                ],
+                &md_rows
+            )
+        );
+        (json, md)
+    };
+
     // Emit BENCH_selection.json (hand-rolled; no serde in the tree).
     let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
@@ -1095,6 +1225,7 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
     json.push_str(&he_ops);
     json.push_str(&per_phase);
     json.push_str(&cache_breakdown);
+    json.push_str(&party_scaling);
     json.push_str("  \"stages\": [\n");
     for (i, (stage, threads, secs, det)) in rows.iter().enumerate() {
         let base =
@@ -1133,12 +1264,13 @@ pub fn bench_selection(cfg: &ExpConfig) -> String {
         assert!(det, "{stage} at {threads} threads diverged from the 1-thread reference");
     }
     let out = format!(
-        "# Thread scaling — parallelized selection stages (wall-clock on this machine)\n\n{}{}",
+        "# Thread scaling — parallelized selection stages (wall-clock on this machine)\n\n{}{}{}",
         markdown_table(
             &["Stage", "Threads", "median (s)", "speedup", "bit-identical"],
             &table_rows
         ),
-        cache_md
+        cache_md,
+        party_md
     );
     write_result("bench_selection", &out);
     out

@@ -106,6 +106,7 @@ fn hot_request(id: u64, dataset: &str) -> SelectRequest {
         mode: 1,
         seed: SERVER_SEED,
         deadline_ms: 0,
+        maximizer: 0,
     }
 }
 

@@ -110,8 +110,11 @@ impl Wire for Fingerprint {
 ///
 /// The selection *size* (`count`) is deliberately not part of the key: the
 /// cached artifacts are the per-query KNN outcomes and the similarity
-/// matrix, and the greedy maximizer re-runs over them deterministically,
-/// so one entry serves every `count`.
+/// matrix, and the configured maximizer re-runs over them
+/// deterministically, so one entry serves every `count`. The maximizer
+/// *itself* (kind + epsilon) **is** part of the key: different maximizers
+/// choose different sets from identical artifacts, so a stochastic or
+/// sieve selection must never alias a warm exact-greedy entry.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CacheKey {
     /// Digest of the owning tenant's identity ([`Fnv128`] over the tenant
@@ -136,6 +139,12 @@ pub struct CacheKey {
     pub batch: usize,
     /// KNN mode tag (0 = Base, 1 = Fagin, 2 = Threshold).
     pub mode: u8,
+    /// Maximizer kind tag (0 = greedy, 1 = lazy, 2 = stochastic,
+    /// 3 = sieve).
+    pub maximizer: u8,
+    /// IEEE-754 bits of the maximizer's epsilon (0.0 for the exact
+    /// maximizers, which have none).
+    pub maximizer_epsilon_bits: u64,
     /// IEEE-754 bits of the billing cost scale.
     pub cost_scale_bits: u64,
     /// Digest of the cost model used for billing.
@@ -161,6 +170,8 @@ impl CacheKey {
         self.k.encode(out);
         self.batch.encode(out);
         self.mode.encode(out);
+        self.maximizer.encode(out);
+        self.maximizer_epsilon_bits.encode(out);
         self.cost_scale_bits.encode(out);
         self.cost_model.encode(out);
         self.seed.encode(out);
@@ -213,6 +224,8 @@ impl Wire for CacheKey {
             k: usize::decode(input)?,
             batch: usize::decode(input)?,
             mode: u8::decode(input)?,
+            maximizer: u8::decode(input)?,
+            maximizer_epsilon_bits: u64::decode(input)?,
             cost_scale_bits: u64::decode(input)?,
             cost_model: Fingerprint::decode(input)?,
             seed: u64::decode(input)?,
@@ -229,6 +242,8 @@ impl Wire for CacheKey {
             + self.k.encoded_len()
             + self.batch.encoded_len()
             + self.mode.encoded_len()
+            + self.maximizer.encoded_len()
+            + self.maximizer_epsilon_bits.encoded_len()
             + self.cost_scale_bits.encoded_len()
             + self.cost_model.encoded_len()
             + self.seed.encoded_len()
@@ -250,6 +265,8 @@ mod tests {
             k: 10,
             batch: 100,
             mode: 1,
+            maximizer: 0,
+            maximizer_epsilon_bits: 0.0f64.to_bits(),
             cost_scale_bits: 1.0f64.to_bits(),
             cost_model: Fnv128::of(b"cost"),
             seed: 42,
@@ -297,6 +314,12 @@ mod tests {
         variants.push(k);
         let mut k = key();
         k.mode = 0;
+        variants.push(k);
+        let mut k = key();
+        k.maximizer = 2;
+        variants.push(k);
+        let mut k = key();
+        k.maximizer_epsilon_bits = 0.1f64.to_bits();
         variants.push(k);
         let mut k = key();
         k.cost_scale_bits = 2.0f64.to_bits();

@@ -20,10 +20,11 @@ use vfps_vfl::fed_knn::QueryOutcome;
 
 use crate::fingerprint::{CacheKey, Fnv128};
 
-/// File magic: "VFPSCAC" + format version 2 (v2 added the tenant digest
-/// to [`CacheKey`]; v1 files fail [`CacheError::BadMagic`] and degrade to
-/// a cold run that rewrites the slot in the current format).
-pub const MAGIC: [u8; 8] = *b"VFPSCAC2";
+/// File magic: "VFPSCAC" plus format version 3. v3 added the maximizer
+/// kind and epsilon to [`CacheKey`]; v2 added the tenant digest. Older
+/// files fail [`CacheError::BadMagic`] and degrade to a cold run that
+/// rewrites the slot in the current format.
+pub const MAGIC: [u8; 8] = *b"VFPSCAC3";
 /// Cache file extension.
 pub const EXTENSION: &str = "vfpsc";
 const CHECKSUM_LEN: usize = 16;
@@ -425,6 +426,8 @@ mod tests {
             k: 5,
             batch: 10,
             mode: 1,
+            maximizer: 0,
+            maximizer_epsilon_bits: 0.0f64.to_bits(),
             cost_scale_bits: 1.0f64.to_bits(),
             cost_model: Fnv128::of(b"cost"),
             seed: 7,

@@ -31,6 +31,8 @@ fn key_with_parties(parties: &[usize]) -> CacheKey {
         k: 4,
         batch: 16,
         mode: 1,
+        maximizer: 0,
+        maximizer_epsilon_bits: 0.0f64.to_bits(),
         cost_scale_bits: 1.0f64.to_bits(),
         cost_model: Fnv128::of(b"conc-cost"),
         seed: 99,

@@ -1,0 +1,116 @@
+//! Regression: the maximizer (kind + epsilon) is part of the cache
+//! identity. Before it was folded into `CacheKey`, a stochastic or sieve
+//! selection hashed to the same address as the exact-greedy run over the
+//! same artifacts — so a warm lookup could replay a *greedy* selection
+//! for a *stochastic* request (and vice versa), silently returning the
+//! wrong chosen set.
+
+use vfps_cache::{ArtifactCache, CacheEntry, CacheKey, Fnv128};
+use vfps_net::cost::OpLedger;
+use vfps_vfl::fed_knn::QueryOutcome;
+
+fn key_with_maximizer(maximizer: u8, epsilon: f64) -> CacheKey {
+    CacheKey {
+        tenant: Fnv128::of(b""),
+        dataset: Fnv128::of(b"alias-ds"),
+        partition: Fnv128::of(b"alias-part"),
+        db: Fnv128::of(b"alias-db"),
+        queries: vec![2, 4, 6],
+        party_set: vec![0, 1, 2],
+        k: 5,
+        batch: 10,
+        mode: 1,
+        maximizer,
+        maximizer_epsilon_bits: epsilon.to_bits(),
+        cost_scale_bits: 1.0f64.to_bits(),
+        cost_model: Fnv128::of(b"alias-cost"),
+        seed: 7,
+    }
+}
+
+fn entry_for(key: CacheKey, chosen: Vec<usize>) -> CacheEntry {
+    let parties = key.party_set.len();
+    let outcomes: Vec<QueryOutcome> = key
+        .queries
+        .iter()
+        .map(|&q| QueryOutcome {
+            topk_rows: vec![q, q + 1],
+            d_t: (0..parties).map(|p| p as f64 + 1.0).collect(),
+            d_t_total: (0..parties).map(|p| p as f64 + 1.0).sum(),
+            candidates: 4,
+        })
+        .collect();
+    let similarity = vec![vec![1.0; parties]; parties];
+    CacheEntry {
+        key,
+        outcomes,
+        similarity,
+        chosen,
+        scores: vec![0.5; parties],
+        candidates_per_query: 4.0,
+        ledger: OpLedger::default(),
+    }
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("vfps_cache_alias_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn maximizer_kind_and_epsilon_move_both_fingerprints() {
+    let greedy = key_with_maximizer(0, 0.0);
+    for (kind, eps) in [(1u8, 0.0f64), (2, 0.1), (3, 0.2)] {
+        let other = key_with_maximizer(kind, eps);
+        assert_ne!(greedy.fingerprint(), other.fingerprint(), "kind {kind}");
+        assert_ne!(greedy.base_fingerprint(), other.base_fingerprint(), "kind {kind}");
+    }
+    // Same kind, different epsilon: also distinct (the sample schedule —
+    // and thus the chosen set — depends on it).
+    let a = key_with_maximizer(2, 0.1);
+    let b = key_with_maximizer(2, 0.2);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+    assert_ne!(a.base_fingerprint(), b.base_fingerprint());
+}
+
+#[test]
+fn a_stochastic_request_never_warm_hits_a_greedy_artifact() {
+    let dir = scratch("warm");
+    let cache = ArtifactCache::open(&dir).unwrap();
+    let greedy_key = key_with_maximizer(0, 0.0);
+    cache.store(&entry_for(greedy_key.clone(), vec![0, 1])).unwrap();
+
+    // The exact-greedy request hits its own entry...
+    assert!(cache.lookup(&greedy_key).unwrap().is_some());
+    // ...but the stochastic and sieve requests over identical inputs miss.
+    for (kind, eps) in [(2u8, 0.1f64), (3, 0.2)] {
+        let other = key_with_maximizer(kind, eps);
+        assert!(
+            cache.lookup(&other).unwrap().is_none(),
+            "maximizer kind {kind} aliased a greedy artifact"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_stochastic_request_never_churn_hits_a_greedy_neighbor() {
+    // The churn scan matches on the *base* fingerprint prefix; the
+    // maximizer is folded into both digests, so a greedy entry one party
+    // away is invisible to a stochastic request.
+    let dir = scratch("churn");
+    let cache = ArtifactCache::open(&dir).unwrap();
+    let mut greedy_neighbor = key_with_maximizer(0, 0.0);
+    greedy_neighbor.party_set = vec![0, 1];
+    cache.store(&entry_for(greedy_neighbor, vec![0])).unwrap();
+
+    let stochastic = key_with_maximizer(2, 0.1);
+    assert!(cache.lookup_churn(&stochastic).unwrap().is_none());
+
+    // Sanity: the same-maximizer neighbor *is* churn-visible.
+    let greedy = key_with_maximizer(0, 0.0);
+    let (entry, _) = cache.lookup_churn(&greedy).unwrap().expect("greedy neighbor reusable");
+    assert_eq!(entry.key.party_set, vec![0, 1]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

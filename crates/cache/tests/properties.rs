@@ -34,6 +34,8 @@ fn key_from(
         k,
         batch,
         mode: mode % 3,
+        maximizer: (seeds.1 % 4) as u8,
+        maximizer_epsilon_bits: f64::from_bits(seeds.2 | 1).to_bits(),
         cost_scale_bits: f64::from_bits(seeds.3 | 1).to_bits(),
         cost_model: Fnv128::of(&seeds.3.to_le_bytes()),
         seed,
@@ -133,7 +135,7 @@ proptest! {
         queries in proptest::collection::vec(0usize..5000, 1..12),
         party_set in proptest::collection::vec(0usize..16, 1..6),
         (k, batch, mode, seed) in (1usize..64, 1usize..500, 0u8..3, any::<u64>()),
-        which in 0usize..8,
+        which in 0usize..10,
     ) {
         let a = key_from(seeds, queries.clone(), party_set.clone(), k, batch, mode, seed);
         let b = key_from(seeds, queries.clone(), party_set.clone(), k, batch, mode, seed);
@@ -150,6 +152,8 @@ proptest! {
             4 => m.seed = m.seed.wrapping_add(1),
             5 => m.cost_scale_bits ^= 1 << 52,
             6 => m.tenant = Fnv128::of(&m.tenant.to_le_bytes()),
+            7 => m.maximizer = (m.maximizer + 1) % 4,
+            8 => m.maximizer_epsilon_bits ^= 1 << 52,
             _ => m.dataset = Fnv128::of(&m.dataset.to_le_bytes()),
         }
         prop_assert!(a.fingerprint() != m.fingerprint(), "mutation {} must miss", which);

@@ -36,6 +36,7 @@ use vfps_vfl::fed_knn::{KnnMode, QueryOutcome};
 
 use crate::incremental::IncrementalConsortium;
 use crate::selectors::{Selection, SelectionContext, VfpsSmSelector};
+use crate::submodular::Maximizer;
 
 /// How a cached request was served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,6 +159,12 @@ pub fn cache_key(
             KnnMode::Fagin => 1,
             KnnMode::Threshold => 2,
         },
+        // The maximizer changes the chosen set for identical artifacts, so
+        // both its kind and its epsilon are part of the identity: a
+        // stochastic or sieve selection must never warm-alias an
+        // exact-greedy entry (or vice versa).
+        maximizer: sel.maximizer.kind(),
+        maximizer_epsilon_bits: sel.maximizer.epsilon().unwrap_or(0.0).to_bits(),
         cost_scale_bits: ctx.cost_scale.to_bits(),
         cost_model: Fnv128::of(&cost_model.to_bytes()),
         seed: ctx.seed,
@@ -211,8 +218,13 @@ pub fn select_with_cache(
 
     // Churn path: a neighbor entry one membership change away. Corrupt
     // neighbors were already skipped inside the scan; a scan-level failure
-    // (unreadable directory) just falls through to cold.
-    if let Ok(Some((entry, kind))) = cache.lookup_churn(&key) {
+    // (unreadable directory) just falls through to cold. The incremental
+    // re-selection runs plain greedy, so only the exact maximizers (greedy
+    // and lazy choose the same set) may be churn-served; the stochastic
+    // and sieve variants fall through to their own cold entries.
+    let churn_eligible = matches!(sel.maximizer, Maximizer::Greedy | Maximizer::Lazy);
+    let churn_hit = if churn_eligible { cache.lookup_churn(&key) } else { Ok(None) };
+    if let Ok(Some((entry, kind))) = churn_hit {
         let mut ledger = OpLedger::default();
         let mut inc = IncrementalConsortium::from_outcomes(
             &entry.key.party_set,

@@ -12,7 +12,9 @@
 //! * [`similarity`] — the `w(p, s)` participant similarity from federated
 //!   KNN outcomes;
 //! * [`submodular`] — `f(S) = Σ_p max_{s∈S} w(p, s)` with greedy and lazy
-//!   greedy maximizers (`1 − 1/e` guarantee);
+//!   greedy maximizers (`1 − 1/e` guarantee), seeded stochastic greedy
+//!   (`1 − 1/e − ε`), single-pass sieve-streaming (`1/2 − ε`), and a
+//!   thresholded [`SparseSimilarity`] for consortia beyond 10⁴ candidates;
 //! * [`selectors`] — `VFPS-SM`, `VFPS-SM-BASE`, and the `RANDOM`,
 //!   `SHAPLEY`, `VF-MINE`, `ALL` baselines;
 //! * [`pipeline`] — the end-to-end select → train → evaluate → cost-report
@@ -51,4 +53,4 @@ pub use selectors::{
     ShapleySelector, VfMineSelector, VfpsSmSelector,
 };
 pub use similarity::{SimilarityAccumulator, SimilarityError};
-pub use submodular::KnnSubmodular;
+pub use submodular::{KnnSubmodular, Maximizer, SparseSimilarity};

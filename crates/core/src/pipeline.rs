@@ -6,6 +6,7 @@ use crate::selectors::{
     AllSelector, RandomSelector, Selection, SelectionContext, Selector, ShapleySelector,
     VfMineSelector, VfpsSmSelector,
 };
+use crate::submodular::Maximizer;
 use vfps_data::{prepared_sized, DatasetSpec, VerticalPartition};
 use vfps_ml::mlp::TrainConfig;
 use vfps_net::cost::CostModel;
@@ -84,6 +85,10 @@ pub struct PipelineConfig {
     /// runs every selection cold and touches no disk. Only the VFPS-SM
     /// variants are cacheable — the baselines ignore this.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Submodular maximizer for the VFPS-SM selection tail (the baselines
+    /// ignore it). `Greedy` (the default) reproduces the paper; the
+    /// sublinear variants scale the party axis (DESIGN.md §12).
+    pub maximizer: Maximizer,
 }
 
 impl Default for PipelineConfig {
@@ -100,6 +105,7 @@ impl Default for PipelineConfig {
             duplicates: 0,
             dropouts: Vec::new(),
             cache_dir: None,
+            maximizer: Maximizer::Greedy,
         }
     }
 }
@@ -167,6 +173,7 @@ pub fn make_selector(method: Method, cfg: &PipelineConfig) -> Box<dyn Selector> 
             query_count: cfg.query_count,
             batch: cfg.batch,
             dropouts,
+            maximizer: cfg.maximizer,
             ..VfpsSmSelector::default()
         }),
         Method::VfpsSmBase => Box::new(
@@ -175,6 +182,7 @@ pub fn make_selector(method: Method, cfg: &PipelineConfig) -> Box<dyn Selector> 
                 query_count: cfg.query_count,
                 batch: cfg.batch,
                 dropouts,
+                maximizer: cfg.maximizer,
                 ..VfpsSmSelector::default()
             }
             .base(),
@@ -252,6 +260,7 @@ pub fn run_pipeline(
                     .iter()
                     .map(|&(at_query, slot)| vfps_vfl::fed_knn::Dropout { at_query, slot })
                     .collect(),
+                maximizer: cfg.maximizer,
                 ..VfpsSmSelector::default()
             };
             if method == Method::VfpsSmBase {

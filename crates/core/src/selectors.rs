@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use crate::similarity::SimilarityAccumulator;
-use crate::submodular::KnnSubmodular;
+use crate::submodular::{KnnSubmodular, Maximizer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -118,6 +118,12 @@ pub struct VfpsSmSelector {
     /// greedy maximizer runs over survivors only, and dead parties score
     /// 0.0 and are never chosen (DESIGN.md §7).
     pub dropouts: Vec<Dropout>,
+    /// Which submodular maximizer runs the selection tail. `Greedy` (the
+    /// default) and `Lazy` pick identical sets; `Stochastic`/`Sieve` are
+    /// the sublinear variants for large consortia (DESIGN.md §12). The
+    /// stochastic sampler is seeded from the run seed, so every variant
+    /// stays bit-deterministic at any thread count.
+    pub maximizer: Maximizer,
 }
 
 impl Default for VfpsSmSelector {
@@ -129,6 +135,7 @@ impl Default for VfpsSmSelector {
             batch: 100,
             dp_epsilon: None,
             dropouts: Vec::new(),
+            maximizer: Maximizer::Greedy,
         }
     }
 }
@@ -296,9 +303,12 @@ impl VfpsSmSelector {
         drop(similarity_span);
         vfps_obs::span!("select.vfps_sm.greedy");
         let f = KnnSubmodular::new(w);
-        // Greedy over the survivor-indexed matrix, mapped back to original
-        // party ids; dead parties keep score 0.0 and are never chosen.
-        let chosen_local = f.greedy(count.min(survivors.len()));
+        // Maximize over the survivor-indexed matrix, mapped back to
+        // original party ids; dead parties keep score 0.0 and are never
+        // chosen. The run seed feeds the stochastic sampler, so the
+        // chosen set is a pure function of (artifacts, maximizer, seed).
+        let (chosen_local, _evals) =
+            f.maximize(count.min(survivors.len()), self.maximizer, ctx.seed, vfps_par::global());
         let chosen: Vec<usize> = chosen_local.iter().map(|&v| parties[survivors[v]]).collect();
 
         // Marginal-gain scores in selection order, at full partition width

@@ -29,6 +29,13 @@ pub enum SimilarityError {
         /// Width the outcome actually carried.
         got: usize,
     },
+    /// `finish` was asked for an average over zero accumulated queries.
+    ///
+    /// Averaging would divide by zero and emit an all-NaN matrix that
+    /// only explodes later, deep inside `KnnSubmodular::new`'s
+    /// finiteness assert — far from the cause. Surfaced as a typed error
+    /// at the source instead.
+    NoQueries,
 }
 
 impl fmt::Display for SimilarityError {
@@ -36,6 +43,9 @@ impl fmt::Display for SimilarityError {
         match self {
             SimilarityError::PartyCountMismatch { expected, got } => {
                 write!(f, "party count mismatch: accumulator holds {expected}, outcome has {got}")
+            }
+            SimilarityError::NoQueries => {
+                write!(f, "no queries accumulated: the similarity average is undefined")
             }
         }
     }
@@ -135,12 +145,61 @@ impl SimilarityAccumulator {
 
     /// The averaged similarity matrix `w(p, s)`.
     ///
+    /// # Errors
+    /// Returns [`SimilarityError::NoQueries`] when no queries were
+    /// accumulated (the average would be an all-NaN matrix).
+    pub fn try_finish(&self) -> Result<Vec<Vec<f64>>, SimilarityError> {
+        if self.queries == 0 {
+            return Err(SimilarityError::NoQueries);
+        }
+        Ok(self
+            .sums
+            .iter()
+            .map(|row| row.iter().map(|v| v / self.queries as f64).collect())
+            .collect())
+    }
+
+    /// The averaged similarity matrix `w(p, s)`.
+    ///
     /// # Panics
-    /// Panics when no queries were accumulated.
+    /// Panics when no queries were accumulated; use
+    /// [`SimilarityAccumulator::try_finish`] where a typed error is
+    /// preferable.
     #[must_use]
     pub fn finish(&self) -> Vec<Vec<f64>> {
-        assert!(self.queries > 0, "no queries accumulated");
-        self.sums.iter().map(|row| row.iter().map(|v| v / self.queries as f64).collect()).collect()
+        self.try_finish().expect("no queries accumulated")
+    }
+
+    /// The averaged similarity thresholded straight into a
+    /// [`crate::SparseSimilarity`]: pairs whose averaged `w(p, s)` falls
+    /// below `floor` (or is exactly zero) are dropped without ever
+    /// materializing the dense matrix.
+    ///
+    /// # Errors
+    /// Returns [`SimilarityError::NoQueries`] when no queries were
+    /// accumulated.
+    ///
+    /// # Panics
+    /// Panics on a negative or non-finite floor.
+    pub fn try_finish_sparse(
+        &self,
+        floor: f64,
+    ) -> Result<crate::SparseSimilarity, SimilarityError> {
+        if self.queries == 0 {
+            return Err(SimilarityError::NoQueries);
+        }
+        let q = self.queries as f64;
+        let columns: Vec<Vec<(usize, f64)>> = (0..self.parties)
+            .map(|s| {
+                (0..self.parties)
+                    .filter_map(|p| {
+                        let w = self.sums[p][s] / q;
+                        (w > 0.0 && w >= floor).then_some((p, w))
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(crate::SparseSimilarity::from_columns(self.parties, floor, columns))
     }
 }
 
@@ -227,5 +286,27 @@ mod tests {
     #[should_panic(expected = "no queries")]
     fn finish_requires_queries() {
         let _ = SimilarityAccumulator::new(2).finish();
+    }
+
+    #[test]
+    fn zero_query_finish_is_a_typed_error_not_a_nan_matrix() {
+        // Regression: the zero-query average used to come out as all-NaN
+        // and only trip KnnSubmodular::new's finiteness assert much later.
+        let acc = SimilarityAccumulator::new(2);
+        assert_eq!(acc.try_finish().unwrap_err(), SimilarityError::NoQueries);
+        assert_eq!(acc.try_finish_sparse(0.0).unwrap_err(), SimilarityError::NoQueries);
+        assert!(SimilarityError::NoQueries.to_string().contains("no queries"));
+    }
+
+    #[test]
+    fn sparse_finish_matches_thresholded_dense_finish() {
+        let mut acc = SimilarityAccumulator::new(3);
+        acc.add_query(&outcome(vec![1.0, 3.0, 0.5])).unwrap();
+        acc.add_query(&outcome(vec![0.1, 0.2, 0.3])).unwrap();
+        let floor = 0.7;
+        let sparse = acc.try_finish_sparse(floor).unwrap();
+        let dense = acc.finish();
+        assert_eq!(sparse, crate::SparseSimilarity::from_dense(&dense, floor));
+        assert!(sparse.nnz() < 9, "the floor must drop at least one pair");
     }
 }

@@ -4,15 +4,270 @@
 //! `w` is a facility-location function: normalized (`f(∅) = 0`), monotone,
 //! and submodular (paper Theorem 1). The greedy maximizer therefore enjoys
 //! the classic `1 − 1/e` guarantee (Nemhauser et al., 1978); the lazy
-//! variant exploits that marginal gains only shrink.
+//! variant exploits that marginal gains only shrink; stochastic greedy
+//! (Mirzasoleiman et al., 2015) keeps `1 − 1/e − ε` in expectation on a
+//! vanishing fraction of the evaluations; and sieve-streaming
+//! (Badanidiyuru et al., 2014) gives `1/2 − ε` in a single pass — the
+//! sublinear party-axis path for consortia far beyond the paper's ≤32
+//! participants (DESIGN.md §12).
+//!
+//! The similarity itself can be dense (`Vec<Vec<f64>>`) or a thresholded
+//! [`SparseSimilarity`], in which case every marginal-gain sweep touches
+//! only a candidate's retained neighbors.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic argmax over `(index, value)` pairs: the largest value
+/// under `f64::total_cmp`, ties broken toward the smaller index.
+///
+/// `total_cmp` is a total order, so the winner is independent of the scan
+/// order. The previous per-maximizer ±1e-15 tolerance rules were
+/// non-transitive — a chain of gains each within the tolerance of the next
+/// made the winner depend on iteration order, and the greedy variants
+/// disagreed with each other on the same ties.
+fn argmax(pairs: impl IntoIterator<Item = (usize, f64)>) -> Option<(usize, f64)> {
+    let mut top: Option<(usize, f64)> = None;
+    for (v, g) in pairs {
+        let better = match top {
+            None => true,
+            Some((tv, tg)) => match g.total_cmp(&tg) {
+                Ordering::Greater => true,
+                Ordering::Equal => v < tv,
+                Ordering::Less => false,
+            },
+        };
+        if better {
+            top = Some((v, g));
+        }
+    }
+    top
+}
+
+/// Partial Fisher–Yates: after the call, `cand[..take]` is a uniform
+/// sample without replacement. Draws from `rng` sequentially, so the
+/// sample is a pure function of the RNG state — never of thread count.
+fn partial_shuffle<R: Rng + ?Sized>(cand: &mut [usize], take: usize, rng: &mut R) {
+    for i in 0..take.min(cand.len()) {
+        let j = i + rng.gen_range(0..cand.len() - i);
+        cand.swap(i, j);
+    }
+}
+
+/// A thresholded, candidate-major sparse view of the similarity matrix.
+///
+/// Column `s` stores the parties `p` whose similarity `w(p, s)` survived
+/// the floor, CSR-style over the transposed layout: `col_ptr[s]..col_ptr
+/// [s + 1]` indexes the parallel `rows` / `vals` arrays. The maximizers
+/// consume *columns* (one candidate's similarity to every party), so this
+/// layout makes `gain()` and the running-maximum update touch only a
+/// candidate's retained neighbors; for the symmetric matrices
+/// [`crate::SimilarityAccumulator`] produces it is simultaneously CSR and
+/// CSC.
+///
+/// Entries with `w(p, s) < floor` — and exact zeros — are dropped. Because
+/// `f` is a sum of non-negative maxima, dropping positive pairs makes the
+/// sparse objective a *lower bound* on the dense one; with `floor == 0.0`
+/// the two agree exactly on every subset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseSimilarity {
+    n: usize,
+    floor: f64,
+    col_ptr: Vec<usize>,
+    rows: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl SparseSimilarity {
+    /// Thresholds a dense square matrix into the sparse layout.
+    ///
+    /// # Panics
+    /// Panics on a non-square matrix, a negative/non-finite entry, or a
+    /// negative/non-finite floor.
+    #[must_use]
+    pub fn from_dense(w: &[Vec<f64>], floor: f64) -> Self {
+        let n = w.len();
+        assert!(w.iter().all(|row| row.len() == n), "similarity matrix must be square");
+        assert!(floor >= 0.0 && floor.is_finite(), "floor must be finite and non-negative");
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut rows = Vec::new();
+        let mut vals = Vec::new();
+        col_ptr.push(0);
+        for s in 0..n {
+            for (p, row) in w.iter().enumerate() {
+                let v = row[s];
+                assert!(v >= 0.0 && v.is_finite(), "similarities must be finite and non-negative");
+                if v > 0.0 && v >= floor {
+                    rows.push(p);
+                    vals.push(v);
+                }
+            }
+            col_ptr.push(rows.len());
+        }
+        SparseSimilarity { n, floor, col_ptr, rows, vals }
+    }
+
+    /// Builds the sparse layout directly from per-candidate neighbor
+    /// lists: `columns[s]` holds `(party, similarity)` pairs for candidate
+    /// `s`. Entries below the floor (or exactly zero) are dropped; the
+    /// rest are sorted by party id. This is the constructor for synthetic
+    /// consortia too large to materialize densely.
+    ///
+    /// # Panics
+    /// Panics on a party id ≥ `n`, a duplicate party within one column, a
+    /// negative/non-finite similarity, or a bad floor.
+    #[must_use]
+    pub fn from_columns(n: usize, floor: f64, columns: Vec<Vec<(usize, f64)>>) -> Self {
+        assert_eq!(columns.len(), n, "one column per candidate");
+        assert!(floor >= 0.0 && floor.is_finite(), "floor must be finite and non-negative");
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut rows = Vec::new();
+        let mut vals = Vec::new();
+        col_ptr.push(0);
+        for mut column in columns {
+            column.sort_unstable_by_key(|&(p, _)| p);
+            let start = rows.len();
+            for (p, v) in column {
+                assert!(p < n, "party {p} out of range for {n} candidates");
+                assert!(v >= 0.0 && v.is_finite(), "similarities must be finite and non-negative");
+                if v > 0.0 && v >= floor {
+                    assert!(
+                        rows.len() == start || rows[rows.len() - 1] != p,
+                        "duplicate party {p} in one column"
+                    );
+                    rows.push(p);
+                    vals.push(v);
+                }
+            }
+            col_ptr.push(rows.len());
+        }
+        SparseSimilarity { n, floor, col_ptr, rows, vals }
+    }
+
+    /// Ground-set size (the matrix is conceptually `n × n`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the ground set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of retained (nonzero, above-floor) entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The similarity floor entries were thresholded against.
+    #[must_use]
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Candidate `s`'s retained neighbors: parallel `(parties, values)`
+    /// slices, parties strictly increasing.
+    #[must_use]
+    pub fn column(&self, s: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.col_ptr[s], self.col_ptr[s + 1]);
+        (&self.rows[lo..hi], &self.vals[lo..hi])
+    }
+}
+
+/// Which maximizer runs a selection's accumulate → maximize tail.
+///
+/// `Greedy` and `Lazy` are exact (`1 − 1/e`, identical sets); `Stochastic`
+/// keeps `1 − 1/e − ε` in expectation on `O(n·ln(1/ε))` evaluations;
+/// `Sieve` is the single-pass streaming maximizer with the `1/2 − ε`
+/// guarantee. Every variant is bit-deterministic at any thread count — the
+/// stochastic sampler is seed-addressed, never scheduler-dependent.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum Maximizer {
+    /// Full greedy: `Σᵢ (n − i)` gain evaluations.
+    #[default]
+    Greedy,
+    /// Lazy greedy (Minoux): same set as greedy, far fewer evaluations.
+    Lazy,
+    /// Stochastic greedy with sample parameter `epsilon ∈ (0, 1)`.
+    Stochastic {
+        /// Guarantee slack: each round samples `⌈(n/size)·ln(1/ε)⌉`
+        /// candidates.
+        epsilon: f64,
+    },
+    /// Sieve-streaming with threshold-ladder resolution `epsilon ∈ (0, 1)`.
+    Sieve {
+        /// Ladder resolution: thresholds grow geometrically by `1 + ε`.
+        epsilon: f64,
+    },
+}
+
+impl Maximizer {
+    /// Stable wire/cache tag: 0 = greedy, 1 = lazy, 2 = stochastic,
+    /// 3 = sieve.
+    #[must_use]
+    pub fn kind(self) -> u8 {
+        match self {
+            Maximizer::Greedy => 0,
+            Maximizer::Lazy => 1,
+            Maximizer::Stochastic { .. } => 2,
+            Maximizer::Sieve { .. } => 3,
+        }
+    }
+
+    /// The approximation parameter, for the variants that have one.
+    #[must_use]
+    pub fn epsilon(self) -> Option<f64> {
+        match self {
+            Maximizer::Greedy | Maximizer::Lazy => None,
+            Maximizer::Stochastic { epsilon } | Maximizer::Sieve { epsilon } => Some(epsilon),
+        }
+    }
+
+    /// Inverse of [`Maximizer::kind`]: maps a tag byte back to a variant,
+    /// attaching `epsilon` to the approximate ones. `None` for unknown
+    /// bytes — the single mapping point the service protocol validates
+    /// against (mirroring `knn_mode`).
+    #[must_use]
+    pub fn from_kind(kind: u8, epsilon: f64) -> Option<Maximizer> {
+        match kind {
+            0 => Some(Maximizer::Greedy),
+            1 => Some(Maximizer::Lazy),
+            2 => Some(Maximizer::Stochastic { epsilon }),
+            3 => Some(Maximizer::Sieve { epsilon }),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Maximizer::Greedy => "greedy",
+            Maximizer::Lazy => "lazy",
+            Maximizer::Stochastic { .. } => "stochastic",
+            Maximizer::Sieve { .. } => "sieve",
+        }
+    }
+}
+
+/// Dense or thresholded-sparse similarity storage.
+#[derive(Clone, Debug)]
+enum Weights {
+    Dense(Vec<Vec<f64>>),
+    Sparse(SparseSimilarity),
+}
+
 /// The facility-location objective over a participant-similarity matrix.
 #[derive(Clone, Debug)]
 pub struct KnnSubmodular {
-    w: Vec<Vec<f64>>,
+    w: Weights,
+    n: usize,
 }
 
 impl KnnSubmodular {
@@ -28,19 +283,39 @@ impl KnnSubmodular {
             w.iter().flatten().all(|&v| v >= 0.0 && v.is_finite()),
             "similarities must be finite and non-negative"
         );
-        KnnSubmodular { w }
+        KnnSubmodular { w: Weights::Dense(w), n }
+    }
+
+    /// Wraps a thresholded sparse similarity: `gain()` sweeps and
+    /// running-maximum updates touch only retained neighbors, so greedy
+    /// rounds cost `O(nnz / n)` per candidate instead of `O(n)` — the
+    /// representation for consortia of 10⁴–10⁶ candidates.
+    #[must_use]
+    pub fn from_sparse(sp: SparseSimilarity) -> Self {
+        let n = sp.len();
+        KnnSubmodular { w: Weights::Sparse(sp), n }
     }
 
     /// Ground-set size.
     #[must_use]
     pub fn ground_size(&self) -> usize {
-        self.w.len()
+        self.n
     }
 
-    /// The raw similarity `w(p, s)`.
+    /// The raw similarity `w(p, s)` (0.0 for a pair dropped by a sparse
+    /// floor).
     #[must_use]
     pub fn similarity(&self, p: usize, s: usize) -> f64 {
-        self.w[p][s]
+        match &self.w {
+            Weights::Dense(w) => w[p][s],
+            Weights::Sparse(sp) => {
+                let (rows, vals) = sp.column(s);
+                match rows.binary_search(&p) {
+                    Ok(i) => vals[i],
+                    Err(_) => 0.0,
+                }
+            }
+        }
     }
 
     /// Evaluates `f(S)`.
@@ -49,17 +324,53 @@ impl KnnSubmodular {
         if subset.is_empty() {
             return 0.0;
         }
-        self.w
-            .iter()
-            .map(|row| subset.iter().map(|&s| row[s]).fold(f64::NEG_INFINITY, f64::max))
-            .sum()
+        match &self.w {
+            Weights::Dense(w) => w
+                .iter()
+                .map(|row| subset.iter().map(|&s| row[s]).fold(f64::NEG_INFINITY, f64::max))
+                .sum(),
+            Weights::Sparse(_) => {
+                let mut best = vec![0.0f64; self.n];
+                for &s in subset {
+                    self.absorb(&mut best, s);
+                }
+                best.iter().sum()
+            }
+        }
     }
 
     /// Marginal gain `f(S ∪ {v}) − f(S)` given the running per-`p` maxima
     /// `best[p] = max_{s∈S} w(p, s)` (use `0.0` for the empty set).
+    ///
+    /// On sparse similarity only candidate `v`'s retained neighbors are
+    /// visited — dropped pairs contribute `(0 − best[p]).max(0) = 0`
+    /// exactly, so skipping them is lossless.
     #[must_use]
     pub fn gain(&self, best: &[f64], v: usize) -> f64 {
-        self.w.iter().zip(best).map(|(row, &b)| (row[v] - b).max(0.0)).sum()
+        match &self.w {
+            Weights::Dense(w) => w.iter().zip(best).map(|(row, &b)| (row[v] - b).max(0.0)).sum(),
+            Weights::Sparse(sp) => {
+                let (rows, vals) = sp.column(v);
+                rows.iter().zip(vals).map(|(&p, &val)| (val - best[p]).max(0.0)).sum()
+            }
+        }
+    }
+
+    /// Folds candidate `v`'s column into the running per-party maxima.
+    fn absorb(&self, best: &mut [f64], v: usize) {
+        match &self.w {
+            Weights::Dense(w) => {
+                for (b, row) in best.iter_mut().zip(w) {
+                    *b = b.max(row[v]);
+                }
+            }
+            Weights::Sparse(sp) => {
+                let (rows, vals) = sp.column(v);
+                for (&p, &val) in rows.iter().zip(vals) {
+                    best[p] = best[p].max(val);
+                }
+            }
+        }
     }
 
     /// Marginal gains of every candidate not yet in the set, evaluated on
@@ -77,7 +388,8 @@ impl KnnSubmodular {
 
     /// Greedy maximization: repeatedly add the element with the largest
     /// marginal gain until `size` elements are chosen. Ties break toward
-    /// the smaller index. Returns the chosen set in selection order.
+    /// the smaller index (total-order argmax — see DESIGN.md §12). Returns
+    /// the chosen set in selection order.
     ///
     /// Gains are evaluated on the global [`vfps_par`] pool; the argmax
     /// scan stays sequential over the ordered gain vector, so the chosen
@@ -105,22 +417,11 @@ impl KnnSubmodular {
         for _ in 0..size {
             let candidates: Vec<usize> = (0..n).filter(|&v| !in_set[v]).collect();
             let gains = self.candidate_gains(&best, &candidates, pool);
-            let mut top: Option<(usize, f64)> = None;
-            for (&v, &g) in candidates.iter().zip(&gains) {
-                let better = match top {
-                    None => true,
-                    Some((_, tg)) => g > tg + 1e-15,
-                };
-                if better {
-                    top = Some((v, g));
-                }
-            }
-            let (v, _) = top.expect("ground set not exhausted");
+            let (v, _) = argmax(candidates.iter().copied().zip(gains.iter().copied()))
+                .expect("ground set not exhausted");
             in_set[v] = true;
             chosen.push(v);
-            for p in 0..n {
-                best[p] = best[p].max(self.w[p][v]);
-            }
+            self.absorb(&mut best, v);
         }
         chosen
     }
@@ -128,7 +429,8 @@ impl KnnSubmodular {
     /// Lazy greedy ("accelerated greedy", Minoux 1978): keeps stale gains
     /// in a max-heap and only re-evaluates the top — valid because
     /// submodularity guarantees gains never grow. Returns the same set as
-    /// [`KnnSubmodular::greedy`] up to ties.
+    /// [`KnnSubmodular::greedy`] (the heap order is the same
+    /// total-order-then-smaller-index rule the eager argmax uses).
     ///
     /// The initial round-0 gain sweep (the `n` evaluations that dominate
     /// when laziness works) runs on the global [`vfps_par`] pool; the
@@ -180,9 +482,7 @@ impl KnnSubmodular {
             if top.round == round {
                 chosen.push(top.v);
                 round += 1;
-                for p in 0..n {
-                    best[p] = best[p].max(self.w[p][top.v]);
-                }
+                self.absorb(&mut best, top.v);
             } else {
                 evaluations += 1;
                 let fresh = self.gain(&best, top.v);
@@ -198,14 +498,73 @@ impl KnnSubmodular {
     /// `1 − 1/e − ε` guarantee in expectation with `O(n·ln(1/ε))` total
     /// evaluations. Returns the chosen set and the evaluation count.
     ///
+    /// Sampling draws from `rng` sequentially on the calling thread; the
+    /// sampled candidates' gains are evaluated in parallel on the global
+    /// [`vfps_par`] pool in sample order, so the selection is a pure
+    /// function of the RNG state — never of the thread count. The
+    /// seed-addressed [`KnnSubmodular::stochastic_greedy_seeded`] is what
+    /// the selector stack uses.
+    ///
     /// # Panics
     /// Panics if `size` exceeds the ground set or `epsilon` is not in
     /// `(0, 1)`.
-    pub fn stochastic_greedy<R: rand::Rng + ?Sized>(
+    pub fn stochastic_greedy<R: Rng + ?Sized>(
         &self,
         size: usize,
         epsilon: f64,
         rng: &mut R,
+    ) -> (Vec<usize>, usize) {
+        self.stochastic_greedy_on(size, epsilon, rng, vfps_par::global())
+    }
+
+    /// [`KnnSubmodular::stochastic_greedy`] on an explicit pool.
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set or `epsilon` is not in
+    /// `(0, 1)`.
+    pub fn stochastic_greedy_on<R: Rng + ?Sized>(
+        &self,
+        size: usize,
+        epsilon: f64,
+        rng: &mut R,
+        pool: &vfps_par::Pool,
+    ) -> (Vec<usize>, usize) {
+        self.stochastic_core(size, epsilon, pool, &mut |_, cand, take| {
+            partial_shuffle(cand, take, rng);
+        })
+    }
+
+    /// Seed-addressed deterministic-parallel stochastic greedy: round
+    /// `r`'s sample comes from a fresh RNG derived via
+    /// [`vfps_par::split_seed`]`(seed, r)`, so the selection is a pure
+    /// function of `(w, size, epsilon, seed)` — independent of caller RNG
+    /// state and bit-identical at any `VFPS_THREADS`. This is the variant
+    /// the selector/service stack runs.
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set or `epsilon` is not in
+    /// `(0, 1)`.
+    pub fn stochastic_greedy_seeded(
+        &self,
+        size: usize,
+        epsilon: f64,
+        seed: u64,
+        pool: &vfps_par::Pool,
+    ) -> (Vec<usize>, usize) {
+        self.stochastic_core(size, epsilon, pool, &mut |round, cand, take| {
+            let mut rng = StdRng::seed_from_u64(vfps_par::split_seed(seed, round as u64));
+            partial_shuffle(cand, take, &mut rng);
+        })
+    }
+
+    /// Shared stochastic-greedy round loop; `shuffle(round, cand, take)`
+    /// must move a uniform `take`-sample into `cand[..take]`.
+    fn stochastic_core(
+        &self,
+        size: usize,
+        epsilon: f64,
+        pool: &vfps_par::Pool,
+        shuffle: &mut dyn FnMut(usize, &mut [usize], usize),
     ) -> (Vec<usize>, usize) {
         let n = self.ground_size();
         assert!(size <= n, "cannot select {size} of {n}");
@@ -219,36 +578,192 @@ impl KnnSubmodular {
         let mut in_set = vec![false; n];
         let mut best = vec![0.0f64; n];
         let mut evaluations = 0usize;
-        for _ in 0..size {
+        for round in 0..size {
             // Sample candidates without replacement from the remainder.
-            let remaining: Vec<usize> = (0..n).filter(|&v| !in_set[v]).collect();
-            let mut pool = remaining.clone();
-            let take = sample_size.min(pool.len());
-            // Partial Fisher–Yates for the sample.
-            for i in 0..take {
-                let j = i + rng.gen_range(0..pool.len() - i);
-                pool.swap(i, j);
-            }
-            let mut top: Option<(usize, f64)> = None;
-            for &v in &pool[..take] {
-                evaluations += 1;
-                let g = self.gain(&best, v);
-                let better = match top {
-                    None => true,
-                    Some((tv, tg)) => g > tg + 1e-15 || (g >= tg - 1e-15 && v < tv),
-                };
-                if better {
-                    top = Some((v, g));
-                }
-            }
-            let (v, _) = top.expect("sample is non-empty");
+            let mut cand: Vec<usize> = (0..n).filter(|&v| !in_set[v]).collect();
+            let take = sample_size.min(cand.len());
+            shuffle(round, &mut cand, take);
+            let sample = &cand[..take];
+            let gains = self.candidate_gains(&best, sample, pool);
+            evaluations += take;
+            let (v, _) = argmax(sample.iter().copied().zip(gains.iter().copied()))
+                .expect("sample is non-empty");
             in_set[v] = true;
             chosen.push(v);
-            for p in 0..n {
-                best[p] = best[p].max(self.w[p][v]);
+            self.absorb(&mut best, v);
+        }
+        (chosen, evaluations)
+    }
+
+    /// Sieve-streaming (Badanidiyuru et al., KDD 2014): one pass over the
+    /// ground set against a geometric ladder of OPT guesses
+    /// `τ = (1+ε)^i ∈ [m, 2·size·m]` (with `m` the running maximum
+    /// singleton value); each guess keeps a set and admits an element
+    /// whose marginal gain reaches `(τ/2 − f(S)) / (size − |S|)`. The best
+    /// surviving set carries the `1/2 − ε` guarantee in `O(n·log(size)/ε)`
+    /// work and `O(n·log(size)/ε)` memory.
+    ///
+    /// Two properties keep it cheap and deterministic:
+    ///
+    /// * by submodularity `gain(S, v) ≤ f({v})`, so a ladder level whose
+    ///   admission requirement exceeds the element's singleton value is
+    ///   skipped without an evaluation — most elements touch only the few
+    ///   lowest levels;
+    /// * per element, the surviving levels' gains are evaluated on `pool`
+    ///   in ladder order ([`vfps_par::Pool::par_map_indexed`] preserves
+    ///   order), so the result is bit-identical at any thread count.
+    ///
+    /// If the pass keeps fewer than `size` elements the result is padded
+    /// with the smallest-index unchosen elements, so the returned set
+    /// always has exactly `size` elements (monotonicity: padding never
+    /// lowers `f`). Returns the chosen set and the `gain()` evaluation
+    /// count (singleton probes included).
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set or `epsilon` is not in
+    /// `(0, 1)`.
+    #[must_use]
+    pub fn sieve_streaming(&self, size: usize, epsilon: f64) -> (Vec<usize>, usize) {
+        self.sieve_streaming_on(size, epsilon, vfps_par::global())
+    }
+
+    /// [`KnnSubmodular::sieve_streaming`] on an explicit pool.
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set or `epsilon` is not in
+    /// `(0, 1)`.
+    #[must_use]
+    pub fn sieve_streaming_on(
+        &self,
+        size: usize,
+        epsilon: f64,
+        pool: &vfps_par::Pool,
+    ) -> (Vec<usize>, usize) {
+        struct Sieve {
+            level: i32,
+            threshold: f64,
+            set: Vec<usize>,
+            best: Vec<f64>,
+            value: f64,
+        }
+
+        let n = self.ground_size();
+        assert!(size <= n, "cannot select {size} of {n}");
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        if size == 0 {
+            return (Vec::new(), 0);
+        }
+
+        let log_base = (1.0 + epsilon).ln();
+        let level_of = |x: f64| x.ln() / log_base;
+        let zero = vec![0.0f64; n];
+        let mut sieves: Vec<Sieve> = Vec::new();
+        let mut max_singleton = 0.0f64;
+        let mut evaluations = 0usize;
+
+        for v in 0..n {
+            evaluations += 1;
+            let sv = self.gain(&zero, v);
+            if sv > max_singleton {
+                max_singleton = sv;
+                // Refresh the ladder: keep levels with (1+ε)^i ∈
+                // [m, 2·size·m], instantiate missing ones empty.
+                let lo = level_of(max_singleton).ceil() as i32;
+                let hi = level_of(2.0 * size as f64 * max_singleton).floor() as i32;
+                sieves.retain(|s| s.level >= lo);
+                for level in lo..=hi {
+                    if !sieves.iter().any(|s| s.level == level) {
+                        sieves.push(Sieve {
+                            level,
+                            threshold: (1.0 + epsilon).powi(level),
+                            set: Vec::new(),
+                            best: vec![0.0f64; n],
+                            value: 0.0,
+                        });
+                    }
+                }
+                sieves.sort_unstable_by_key(|s| s.level);
+            }
+            if sv <= 0.0 {
+                continue; // a zero column can never meet a positive requirement
+            }
+            let requirement =
+                |s: &Sieve| (s.threshold / 2.0 - s.value) / (size - s.set.len()) as f64;
+            // Submodular upper bound: gain(S, v) ≤ f({v}) = sv, so levels
+            // whose requirement already exceeds sv are skipped unevaluated.
+            let need: Vec<usize> = sieves
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.set.len() < size && sv >= requirement(s))
+                .map(|(i, _)| i)
+                .collect();
+            if need.is_empty() {
+                continue;
+            }
+            let gains = pool.par_map_indexed(&need, |_, &i| self.gain(&sieves[i].best, v));
+            evaluations += need.len();
+            for (&i, &g) in need.iter().zip(&gains) {
+                if g >= requirement(&sieves[i]) {
+                    let s = &mut sieves[i];
+                    s.set.push(v);
+                    s.value += g;
+                    self.absorb(&mut s.best, v);
+                }
+            }
+        }
+
+        // Best surviving guess; value ties break toward the lower level.
+        let mut chosen = sieves
+            .iter()
+            .max_by(|a, b| a.value.total_cmp(&b.value).then(b.level.cmp(&a.level)))
+            .map(|s| s.set.clone())
+            .unwrap_or_default();
+        if chosen.len() < size {
+            let mut in_set = vec![false; n];
+            for &v in &chosen {
+                in_set[v] = true;
+            }
+            for v in 0..n {
+                if chosen.len() == size {
+                    break;
+                }
+                if !in_set[v] {
+                    chosen.push(v);
+                }
             }
         }
         (chosen, evaluations)
+    }
+
+    /// Runs `maximizer` for a `size`-element selection. Returns the chosen
+    /// set in selection order and the number of `gain()` evaluations the
+    /// maximizer performed. `seed` feeds the stochastic sampler (the
+    /// deterministic maximizers ignore it); every variant is bit-identical
+    /// at any thread count of `pool`.
+    ///
+    /// # Panics
+    /// Panics if `size` exceeds the ground set or the maximizer's
+    /// `epsilon` is not in `(0, 1)`.
+    #[must_use]
+    pub fn maximize(
+        &self,
+        size: usize,
+        maximizer: Maximizer,
+        seed: u64,
+        pool: &vfps_par::Pool,
+    ) -> (Vec<usize>, usize) {
+        match maximizer {
+            Maximizer::Greedy => {
+                let n = self.ground_size();
+                let evaluations = (0..size).map(|i| n - i).sum();
+                (self.greedy_on(size, pool), evaluations)
+            }
+            Maximizer::Lazy => self.lazy_greedy_on(size, pool),
+            Maximizer::Stochastic { epsilon } => {
+                self.stochastic_greedy_seeded(size, epsilon, seed, pool)
+            }
+            Maximizer::Sieve { epsilon } => self.sieve_streaming_on(size, epsilon, pool),
+        }
     }
 
     /// Budgeted (knapsack-constrained) greedy: maximize `f(S)` subject to
@@ -270,34 +785,26 @@ impl KnnSubmodular {
         assert_eq!(costs.len(), n, "one cost per element");
         assert!(costs.iter().all(|&c| c >= 0.0), "costs must be non-negative");
 
-        // Cost-benefit greedy.
+        // Cost-benefit greedy, on the same total-order argmax as the
+        // cardinality maximizers.
         let mut chosen = Vec::new();
         let mut in_set = vec![false; n];
         let mut best = vec![0.0f64; n];
         let mut spent = 0.0;
         loop {
-            let mut top: Option<(usize, f64)> = None;
-            for v in 0..n {
+            let top = argmax((0..n).filter_map(|v| {
                 if in_set[v] || spent + costs[v] > budget {
-                    continue;
+                    return None;
                 }
                 let ratio =
                     if costs[v] > 0.0 { self.gain(&best, v) / costs[v] } else { f64::INFINITY };
-                let better = match top {
-                    None => true,
-                    Some((tv, tr)) => ratio > tr + 1e-15 || (ratio >= tr - 1e-15 && v < tv),
-                };
-                if better {
-                    top = Some((v, ratio));
-                }
-            }
+                Some((v, ratio))
+            }));
             let Some((v, _)) = top else { break };
             in_set[v] = true;
             chosen.push(v);
             spent += costs[v];
-            for p in 0..n {
-                best[p] = best[p].max(self.w[p][v]);
-            }
+            self.absorb(&mut best, v);
         }
 
         // Guard: the single best affordable element can beat the ratio
@@ -347,6 +854,22 @@ mod tests {
             vec![0.20, 0.25, 1.00, 0.30],
             vec![0.40, 0.45, 0.30, 1.00],
         ])
+    }
+
+    fn random_instance(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut w = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            w[i][i] = 1.0;
+            for j in 0..i {
+                let v: f64 = rng.gen_range(0.0..1.0);
+                w[i][j] = v;
+                w[j][i] = v;
+            }
+        }
+        w
     }
 
     #[test]
@@ -424,6 +947,46 @@ mod tests {
                 "size {size}: {greedy_val} vs opt {opt}"
             );
         }
+    }
+
+    #[test]
+    fn argmax_is_transitive_on_sub_tolerance_gain_chains() {
+        // Regression for the old ±1e-15 tolerance argmax: gains spaced one
+        // ulp (~1e-16 at this magnitude) apart formed a chain where every
+        // neighbor was "tied", so the winner depended on scan order — and
+        // greedy/stochastic/budgeted disagreed. The total-order argmax
+        // must pick the true maximum regardless of where it sits.
+        let mut vals = vec![0.5f64];
+        for _ in 0..3 {
+            vals.push(f64::from_bits(vals.last().unwrap().to_bits() + 1));
+        }
+        assert!(vals.windows(2).all(|w| w[1] - w[0] < 1e-15 && w[1] > w[0]));
+        let n = vals.len();
+        let build = |ordered: &[f64]| {
+            // Column sums equal the chain values: row 0 carries the value,
+            // the other rows are zero.
+            let mut w = vec![vec![0.0f64; n]; n];
+            w[0].copy_from_slice(ordered);
+            KnnSubmodular::new(w)
+        };
+
+        // Ascending layout: the maximum sits last.
+        let f = build(&vals);
+        assert_eq!(f.greedy(1), vec![n - 1]);
+        // Descending layout: the maximum sits first.
+        let mut rev = vals.clone();
+        rev.reverse();
+        assert_eq!(build(&rev).greedy(1), vec![0]);
+
+        // A stochastic round whose sample covers the full ground set must
+        // agree with greedy on the same chain.
+        let pool = vfps_par::Pool::with_threads(2);
+        let (stoch, _) = f.stochastic_greedy_seeded(1, 0.01, 7, &pool);
+        assert_eq!(stoch, vec![n - 1]);
+
+        // Budgeted greedy with unit costs rides the same argmax.
+        let chosen = f.budgeted_greedy(&vec![1.0; n], 1.0);
+        assert_eq!(chosen, vec![n - 1]);
     }
 
     #[test]
@@ -505,25 +1068,29 @@ mod tests {
     #[test]
     fn stochastic_greedy_saves_evaluations_at_scale() {
         use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use rand::SeedableRng;
         // Bigger random instance: stochastic greedy must evaluate fewer
-        // candidates than plain greedy's size * n.
+        // candidates than plain greedy's Σᵢ (n − i).
         let n = 60;
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut w = vec![vec![0.0f64; n]; n];
-        for i in 0..n {
-            w[i][i] = 1.0;
-            for j in 0..i {
-                let v: f64 = rng.gen_range(0.0..1.0);
-                w[i][j] = v;
-                w[j][i] = v;
-            }
-        }
-        let f = KnnSubmodular::new(w);
+        let f = KnnSubmodular::new(random_instance(n, 2));
         let size = 20;
+        let mut rng = StdRng::seed_from_u64(2);
         let (set, evals) = f.stochastic_greedy(size, 0.2, &mut rng);
         assert_eq!(set.len(), size);
-        assert!(evals < size * n, "evals {evals} vs greedy's {}", size * n);
+        let greedy_evals = size * n - size * (size - 1) / 2;
+        assert!(evals < greedy_evals, "evals {evals} vs greedy's {greedy_evals}");
+    }
+
+    #[test]
+    fn seeded_stochastic_greedy_is_a_pure_function_of_the_seed() {
+        let f = KnnSubmodular::new(random_instance(40, 3));
+        let pool = vfps_par::Pool::with_threads(1);
+        let (a, ea) = f.stochastic_greedy_seeded(8, 0.1, 99, &pool);
+        let (b, eb) = f.stochastic_greedy_seeded(8, 0.1, 99, &pool);
+        assert_eq!(a, b);
+        assert_eq!(ea, eb);
+        let (c, _) = f.stochastic_greedy_seeded(8, 0.1, 100, &pool);
+        assert_ne!(a, c, "a different seed should (here) sample differently");
     }
 
     #[test]
@@ -536,21 +1103,138 @@ mod tests {
     }
 
     #[test]
-    fn greedy_is_identical_across_thread_counts() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let n = 48;
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut w = vec![vec![0.0f64; n]; n];
-        for i in 0..n {
-            w[i][i] = 1.0;
-            for j in 0..i {
-                let v: f64 = rng.gen_range(0.0..1.0);
-                w[i][j] = v;
-                w[j][i] = v;
+    fn sieve_streaming_returns_full_sized_near_greedy_sets() {
+        let f = KnnSubmodular::new(random_instance(60, 4));
+        for size in [1usize, 5, 12] {
+            let (set, evals) = f.sieve_streaming(size, 0.2);
+            assert_eq!(set.len(), size, "sieve must pad to exactly {size}");
+            let mut dedup = set.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), size, "no duplicates");
+            assert!(evals >= f.ground_size(), "at least one singleton probe per element");
+            let greedy_val = f.eval(&f.greedy(size));
+            let bound = (0.5 - 0.2) * greedy_val;
+            assert!(
+                f.eval(&set) >= bound,
+                "size {size}: sieve {} below bound {bound}",
+                f.eval(&set)
+            );
+        }
+    }
+
+    #[test]
+    fn sieve_streaming_handles_degenerate_instances() {
+        // All-zero similarity: no sieve ever instantiates; the result is
+        // the deterministic ascending-index padding.
+        let f = KnnSubmodular::new(vec![vec![0.0; 3]; 3]);
+        let (set, _) = f.sieve_streaming(2, 0.1);
+        assert_eq!(set, vec![0, 1]);
+        // size 0 selects nothing.
+        let (set, evals) = f.sieve_streaming(0, 0.1);
+        assert!(set.is_empty());
+        assert_eq!(evals, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn sieve_streaming_rejects_bad_epsilon() {
+        let _ = toy().sieve_streaming(2, 0.0);
+    }
+
+    #[test]
+    fn maximize_dispatches_every_variant() {
+        let f = KnnSubmodular::new(random_instance(30, 5));
+        let pool = vfps_par::Pool::with_threads(2);
+        let size = 6;
+        let (greedy, ge) = f.maximize(size, Maximizer::Greedy, 0, &pool);
+        assert_eq!(greedy, f.greedy(size));
+        assert_eq!(ge, (0..size).map(|i| 30 - i).sum::<usize>());
+        let (lazy, _) = f.maximize(size, Maximizer::Lazy, 0, &pool);
+        assert_eq!(lazy, greedy, "lazy returns the greedy set");
+        let (stoch, se) = f.maximize(size, Maximizer::Stochastic { epsilon: 0.1 }, 7, &pool);
+        assert_eq!(stoch, f.stochastic_greedy_seeded(size, 0.1, 7, &pool).0);
+        assert!(se <= ge);
+        let (sieve, _) = f.maximize(size, Maximizer::Sieve { epsilon: 0.2 }, 0, &pool);
+        assert_eq!(sieve, f.sieve_streaming(size, 0.2).0);
+    }
+
+    #[test]
+    fn maximizer_kind_roundtrips_and_rejects_unknown_bytes() {
+        for m in [
+            Maximizer::Greedy,
+            Maximizer::Lazy,
+            Maximizer::Stochastic { epsilon: 0.25 },
+            Maximizer::Sieve { epsilon: 0.25 },
+        ] {
+            assert_eq!(Maximizer::from_kind(m.kind(), 0.25), Some(m), "{}", m.name());
+        }
+        for bad in [4u8, 100, 250, 255] {
+            assert_eq!(Maximizer::from_kind(bad, 0.1), None, "kind {bad} must not map");
+        }
+    }
+
+    #[test]
+    fn sparse_with_zero_floor_matches_dense_exactly() {
+        let w = random_instance(24, 6);
+        let dense = KnnSubmodular::new(w.clone());
+        let sp = SparseSimilarity::from_dense(&w, 0.0);
+        let sparse = KnnSubmodular::from_sparse(sp);
+        for p in 0..24 {
+            for s in 0..24 {
+                assert_eq!(dense.similarity(p, s).to_bits(), sparse.similarity(p, s).to_bits());
             }
         }
-        let f = KnnSubmodular::new(w);
+        let subset = [3usize, 11, 17];
+        assert_eq!(dense.eval(&subset).to_bits(), sparse.eval(&subset).to_bits());
+        let best: Vec<f64> = (0..24).map(|p| dense.similarity(p, 3)).collect();
+        for v in 0..24 {
+            assert_eq!(dense.gain(&best, v).to_bits(), sparse.gain(&best, v).to_bits());
+        }
+        assert_eq!(dense.greedy(6), sparse.greedy(6));
+        assert_eq!(dense.lazy_greedy(6), sparse.lazy_greedy(6));
+        assert_eq!(dense.sieve_streaming(6, 0.2), sparse.sieve_streaming(6, 0.2));
+    }
+
+    #[test]
+    fn sparse_floor_drops_small_entries_and_lower_bounds_the_objective() {
+        let w = random_instance(16, 7);
+        let floor = 0.5;
+        let sp = SparseSimilarity::from_dense(&w, floor);
+        assert!(sp.nnz() < 16 * 16, "the floor must drop something");
+        assert_eq!(sp.floor(), floor);
+        for s in 0..16 {
+            let (rows, vals) = sp.column(s);
+            assert!(rows.windows(2).all(|r| r[0] < r[1]), "rows strictly increasing");
+            assert!(vals.iter().all(|&v| v >= floor), "no below-floor survivors");
+        }
+        let dense = KnnSubmodular::new(w);
+        let sparse = KnnSubmodular::from_sparse(sp);
+        let subset = [1usize, 8, 13];
+        let (dv, sv) = (dense.eval(&subset), sparse.eval(&subset));
+        assert!(sv <= dv + 1e-12, "thresholding can only lower f: {sv} vs {dv}");
+    }
+
+    #[test]
+    fn sparse_from_columns_matches_from_dense() {
+        let w = random_instance(12, 8);
+        let columns: Vec<Vec<(usize, f64)>> =
+            (0..12).map(|s| (0..12).map(|p| (p, w[p][s])).collect()).collect();
+        assert_eq!(
+            SparseSimilarity::from_columns(12, 0.3, columns),
+            SparseSimilarity::from_dense(&w, 0.3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate party")]
+    fn sparse_from_columns_rejects_duplicates() {
+        let _ = SparseSimilarity::from_columns(2, 0.0, vec![vec![(0, 0.5), (0, 0.7)], vec![]]);
+    }
+
+    #[test]
+    fn greedy_is_identical_across_thread_counts() {
+        let f = KnnSubmodular::new(random_instance(48, 7));
         let single = vfps_par::Pool::with_threads(1);
         let greedy_ref = f.greedy_on(12, &single);
         let (lazy_ref, evals_ref) = f.lazy_greedy_on(12, &single);
@@ -560,6 +1244,27 @@ mod tests {
             let (lazy, evals) = f.lazy_greedy_on(12, &pool);
             assert_eq!(lazy, lazy_ref, "{threads} threads");
             assert_eq!(evals, evals_ref, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn stochastic_and_sieve_are_identical_across_thread_counts() {
+        let f = KnnSubmodular::new(random_instance(72, 9));
+        let single = vfps_par::Pool::with_threads(1);
+        let stoch_ref = f.stochastic_greedy_seeded(10, 0.15, 42, &single);
+        let sieve_ref = f.sieve_streaming_on(10, 0.15, &single);
+        for threads in [2usize, 4, 8] {
+            let pool = vfps_par::Pool::with_threads(threads);
+            assert_eq!(
+                f.stochastic_greedy_seeded(10, 0.15, 42, &pool),
+                stoch_ref,
+                "stochastic at {threads} threads"
+            );
+            assert_eq!(
+                f.sieve_streaming_on(10, 0.15, &pool),
+                sieve_ref,
+                "sieve at {threads} threads"
+            );
         }
     }
 

@@ -442,6 +442,7 @@ fn run_submit(args: &[String]) -> Result<(), String> {
             mode: 1,
             seed: 42,
             deadline_ms: 0,
+            maximizer: 0,
         },
         parties: 4,
         party_set: None,
@@ -479,6 +480,15 @@ fn run_submit(args: &[String]) -> Result<(), String> {
                     "fagin" => 1,
                     "threshold" | "ta" => 2,
                     other => return Err(format!("unknown mode {other}")),
+                };
+            }
+            "--maximizer" => {
+                sub.req.maximizer = match value("--maximizer")?.to_lowercase().as_str() {
+                    "greedy" => 0,
+                    "lazy" => 1,
+                    "stochastic" => 2,
+                    "sieve" => 3,
+                    other => return Err(format!("unknown maximizer {other}")),
                 };
             }
             "--seed" => sub.req.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
@@ -582,6 +592,8 @@ fn print_submit_help() {
          \x20 --k <k>                proxy-KNN neighbor count (default 10)\n\
          \x20 --queries <q>          similarity query sample (default 32)\n\
          \x20 --mode base|fagin|threshold   federated KNN variant (default fagin)\n\
+         \x20 --maximizer greedy|lazy|stochastic|sieve   submodular maximizer\n\
+         \x20                        (default greedy; stochastic/sieve are sublinear)\n\
          \x20 --seed <s>             run seed (default 42)\n\
          \x20 --deadline-ms <ms>     per-request deadline (0 = server default)\n\
          \x20 --ping                 liveness probe instead of a selection\n\

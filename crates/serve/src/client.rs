@@ -89,15 +89,22 @@ impl Client {
     /// Submits one selection. The reply may be any of `Selected`, `Busy`,
     /// `TimedOut`, or `Rejected`; all echo the request id.
     ///
-    /// An unknown `mode` byte fails pre-flight with
+    /// An unknown `mode` or `maximizer` byte fails pre-flight with
     /// [`ClientError::InvalidRequest`] before anything hits the wire —
-    /// the server enforces the same check at admission (the wire-level
-    /// contract is pinned by the mode=250 test in `tests/service.rs`).
+    /// the server enforces the same checks at admission (the wire-level
+    /// contract is pinned by the mode=250 and maximizer=250 tests in
+    /// `tests/service.rs`).
     pub fn select(&mut self, req: &SelectRequest) -> Result<Response, ClientError> {
         if knn_mode(req.mode).is_none() {
             return Err(ClientError::InvalidRequest(format!(
                 "unknown KNN mode {} (known: 0=Base, 1=Fagin, 2=Threshold)",
                 req.mode
+            )));
+        }
+        if crate::proto::maximizer(req.maximizer).is_none() {
+            return Err(ClientError::InvalidRequest(format!(
+                "unknown maximizer {} (known: 0=greedy, 1=lazy, 2=stochastic, 3=sieve)",
+                req.maximizer
             )));
         }
         self.roundtrip(&Request::Select(req.clone()))

@@ -41,6 +41,7 @@
 //!         mode: 1,
 //!         seed: 42,
 //!         deadline_ms: 0,
+//!         maximizer: 0, // 0 = exact greedy (2 = stochastic, 3 = sieve)
 //!     })
 //!     .unwrap();
 //! assert!(matches!(reply, Response::Selected(_)));
@@ -57,8 +58,8 @@ pub mod tenant;
 
 pub use client::{Client, ClientError};
 pub use proto::{
-    knn_mode, response_request_id, DrainReport, Request, Response, SelectReply, SelectRequest,
-    TenantStatus, PROTOCOL_VERSION,
+    knn_mode, maximizer, response_request_id, DrainReport, Request, Response, SelectReply,
+    SelectRequest, TenantStatus, PROTOCOL_VERSION, SERVED_MAXIMIZER_EPSILON,
 };
 pub use queue::{AdmitError, BoundedQueue};
 pub use server::{ServeConfig, ServeError, Server};

@@ -21,6 +21,11 @@ use vfps_net::wire::{Wire, WireError};
 /// frames do not decode under v2 (the dataset field shifts every later
 /// field); a v1 client should `Ping` first and refuse to proceed on a
 /// version mismatch.
+///
+/// The `maximizer` byte appended to [`SelectRequest`] is v2-*compatible*:
+/// it sits at the very end of the frame and decodes as trailing-optional
+/// (an early-v2 frame without it reads as `0` = greedy), so the version
+/// did not bump.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The federated-KNN variant a [`SelectRequest::mode`] byte names, or
@@ -36,6 +41,21 @@ pub fn knn_mode(mode: u8) -> Option<vfps_vfl::fed_knn::KnnMode> {
         2 => Some(KnnMode::Threshold),
         _ => None,
     }
+}
+
+/// Epsilon the server attaches to the approximate maximizers. Fixed
+/// server-side (not wire-carried) so a request's cache identity stays a
+/// pure function of its validated fields.
+pub const SERVED_MAXIMIZER_EPSILON: f64 = 0.1;
+
+/// The submodular maximizer a [`SelectRequest::maximizer`] byte names
+/// (0 = greedy, 1 = lazy, 2 = stochastic, 3 = sieve), or `None` for an
+/// unknown byte. Mirrors [`knn_mode`]: the single mapping point that
+/// admission validation, job execution, and the client pre-flight all
+/// delegate to, so an unknown maximizer can never be silently coerced.
+#[must_use]
+pub fn maximizer(byte: u8) -> Option<vfps_core::Maximizer> {
+    vfps_core::Maximizer::from_kind(byte, SERVED_MAXIMIZER_EPSILON)
 }
 
 /// One selection job, fully self-describing: the server owns the tenant
@@ -72,6 +92,11 @@ pub struct SelectRequest {
     /// NOT mean "already expired"; an explicit 0 is served exactly like an
     /// omitted deadline (DESIGN.md §10).
     pub deadline_ms: u64,
+    /// Submodular maximizer: 0 = greedy, 1 = lazy, 2 = stochastic,
+    /// 3 = sieve (see [`maximizer`]). Any other byte is rejected at
+    /// admission with a typed [`Response::Rejected`]. Trailing-optional on
+    /// the wire: an early-v2 frame that omits it decodes as 0 (greedy).
+    pub maximizer: u8,
 }
 
 impl Wire for SelectRequest {
@@ -85,6 +110,7 @@ impl Wire for SelectRequest {
         self.mode.encode(buf);
         self.seed.encode(buf);
         self.deadline_ms.encode(buf);
+        self.maximizer.encode(buf);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -98,6 +124,10 @@ impl Wire for SelectRequest {
             mode: u8::decode(input)?,
             seed: u64::decode(input)?,
             deadline_ms: u64::decode(input)?,
+            // Trailing-optional: frames from early-v2 builds end here, and
+            // a `Select` payload is the frame's last content, so an empty
+            // remainder unambiguously means "field absent" = greedy.
+            maximizer: if input.is_empty() { 0 } else { u8::decode(input)? },
         })
     }
 
@@ -114,6 +144,7 @@ impl Wire for SelectRequest {
             + self.mode.encoded_len()
             + self.seed.encoded_len()
             + self.deadline_ms.encoded_len()
+            + self.maximizer.encoded_len()
     }
 }
 
@@ -510,6 +541,7 @@ mod tests {
             mode: 1,
             seed: 42,
             deadline_ms: 5000,
+            maximizer: 0,
         }
     }
 
@@ -531,6 +563,51 @@ mod tests {
         for bad in [3u8, 100, 250, 255] {
             assert_eq!(knn_mode(bad), None, "mode {bad} must not map");
         }
+    }
+
+    #[test]
+    fn maximizer_maps_exactly_four_bytes() {
+        use vfps_core::Maximizer;
+        assert_eq!(maximizer(0), Some(Maximizer::Greedy));
+        assert_eq!(maximizer(1), Some(Maximizer::Lazy));
+        assert_eq!(maximizer(2), Some(Maximizer::Stochastic { epsilon: SERVED_MAXIMIZER_EPSILON }));
+        assert_eq!(maximizer(3), Some(Maximizer::Sieve { epsilon: SERVED_MAXIMIZER_EPSILON }));
+        for bad in [4u8, 100, 250, 255] {
+            assert_eq!(maximizer(bad), None, "maximizer {bad} must not map");
+        }
+    }
+
+    #[test]
+    fn extended_requests_roundtrip_every_maximizer_byte() {
+        for m in [0u8, 1, 2, 3] {
+            roundtrip(&Request::Select(SelectRequest { maximizer: m, ..sample_request() }));
+        }
+    }
+
+    #[test]
+    fn an_early_v2_frame_without_the_maximizer_byte_decodes_as_greedy() {
+        // Re-encode a request the way an early-v2 build did: every field
+        // up to and including deadline_ms, nothing after.
+        let want = sample_request();
+        let mut old_frame = Vec::new();
+        want.request_id.encode(&mut old_frame);
+        want.dataset.encode(&mut old_frame);
+        want.party_set.encode(&mut old_frame);
+        want.select.encode(&mut old_frame);
+        want.k.encode(&mut old_frame);
+        want.query_count.encode(&mut old_frame);
+        want.mode.encode(&mut old_frame);
+        want.seed.encode(&mut old_frame);
+        want.deadline_ms.encode(&mut old_frame);
+        assert_eq!(old_frame.len() + 1, want.encoded_len(), "one trailing byte");
+
+        let got = SelectRequest::from_bytes(&old_frame).unwrap();
+        assert_eq!(got, want, "absent byte must read as 0 = greedy");
+
+        // And inside a tagged Request frame too (the shape on the socket).
+        let mut tagged = vec![0u8];
+        tagged.extend_from_slice(&old_frame);
+        assert_eq!(Request::from_bytes(&tagged).unwrap(), Request::Select(want));
     }
 
     #[test]

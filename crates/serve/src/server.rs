@@ -45,7 +45,9 @@ use vfps_core::TenantContext;
 use vfps_net::cost::CostModel;
 use vfps_net::{read_frame, write_frame, FrameError};
 
-use crate::proto::{knn_mode, DrainReport, Request, Response, SelectReply, SelectRequest};
+use crate::proto::{
+    knn_mode, maximizer, DrainReport, Request, Response, SelectReply, SelectRequest,
+};
 use crate::queue::{AdmitError, BoundedQueue};
 use crate::tenant::{TenantRegistry, TenantWorld};
 
@@ -497,6 +499,9 @@ fn validate(world: &TenantWorld, req: &SelectRequest) -> Result<(), String> {
     if knn_mode(req.mode).is_none() {
         return Err(format!("unknown KNN mode {}", req.mode));
     }
+    if maximizer(req.maximizer).is_none() {
+        return Err(format!("unknown maximizer {}", req.maximizer));
+    }
     if req.k == 0 || req.query_count == 0 {
         return Err("k and query_count must be positive".into());
     }
@@ -564,6 +569,7 @@ fn run_job(shared: &Arc<Shared>, job: &Job, queued: Duration) -> Response {
         // Admission already rejected unknown bytes; an unreachable here
         // beats a silent coercion if the two ever drift.
         mode: knn_mode(req.mode).expect("mode validated at admission"),
+        maximizer: maximizer(req.maximizer).expect("maximizer validated at admission"),
         ..VfpsSmSelector::default()
     };
     let tc = TenantContext { tenant: &world.name, dataset_tag: world.ds.name.as_bytes() };

@@ -38,6 +38,7 @@ fn request_from(ids: (u64, u64, u64), party_set: Vec<usize>, sizes: Vec<usize>) 
         mode: (ids.2 % 256) as u8,
         seed: ids.2,
         deadline_ms: ids.0 ^ ids.1,
+        maximizer: ((ids.2 >> 8) % 256) as u8,
     }
 }
 

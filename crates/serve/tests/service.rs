@@ -49,6 +49,7 @@ fn request(id: u64, seed: u64) -> SelectRequest {
         mode: 1,
         seed,
         deadline_ms: 0,
+        maximizer: 0,
     }
 }
 
@@ -385,6 +386,53 @@ fn a_raw_mode_250_frame_is_rejected_at_admission_not_mapped_or_hung() {
     let report = client.shutdown().unwrap();
     assert_eq!(report.rejected, 1, "only the raw frame reaches the server's rejection path");
     assert_eq!(report.completed, 1);
+    handle.join().unwrap();
+}
+
+/// Satellite: an unknown `maximizer` byte dies exactly like an unknown
+/// mode byte — client pre-flight refuses it, and a raw frame bypassing
+/// the pre-flight gets a typed `Rejected` at admission naming the byte.
+#[test]
+fn a_raw_maximizer_250_frame_is_rejected_at_admission_not_coerced_to_greedy() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+
+    // The convenience path refuses to even send it...
+    let bad = SelectRequest { maximizer: 250, ..request(40, 1) };
+    match client.select(&bad) {
+        Err(ClientError::InvalidRequest(msg)) => {
+            assert!(msg.contains("250"), "pre-flight message should name the byte: {msg}");
+            assert!(msg.contains("maximizer"), "pre-flight message should name the field: {msg}");
+        }
+        other => panic!("expected InvalidRequest pre-flight, got {other:?}"),
+    }
+
+    // ...so put the frame on the wire ourselves. The server must answer
+    // with a typed Rejected naming the byte — not panic, not silently
+    // fall back to greedy.
+    let bad = SelectRequest { maximizer: 250, ..request(41, 1) };
+    match client.roundtrip(&Request::Select(bad)).unwrap() {
+        Response::Rejected { request_id, reason } => {
+            assert_eq!(request_id, 41);
+            assert!(reason.contains("unknown maximizer 250"), "got reason {reason:?}");
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // Every known byte still serves, returning a full-size selection.
+    for (id, m) in [(42u64, 0u8), (43, 1), (44, 2), (45, 3)] {
+        match client.select(&SelectRequest { maximizer: m, ..request(id, 1) }).unwrap() {
+            Response::Selected(r) => {
+                assert_eq!(r.request_id, id);
+                assert_eq!(r.chosen.len(), 2, "maximizer {m} must fill the budget");
+            }
+            other => panic!("expected Selected for maximizer {m}, got {other:?}"),
+        }
+    }
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.rejected, 1, "only the raw frame reaches the server's rejection path");
+    assert_eq!(report.completed, 4);
     handle.join().unwrap();
 }
 

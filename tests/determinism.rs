@@ -82,6 +82,61 @@ proptest! {
     }
 }
 
+/// A dense random facility-location instance for the maximizer-level
+/// determinism checks (unit diagonal, symmetric uniform off-diagonal).
+fn random_instance(n: usize, seed: u64) -> KnnSubmodular {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        w[i][i] = 1.0;
+        for j in 0..i {
+            let v: f64 = rng.gen_range(0.0..1.0);
+            w[i][j] = v;
+            w[j][i] = v;
+        }
+    }
+    KnnSubmodular::new(w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Seeded stochastic greedy samples sequentially and only maps the
+    /// gain evaluations over the pool, so the chosen set (and the exact
+    /// evaluation count) must be a pure function of the seed — identical
+    /// at 1, 2, and cores threads.
+    fn parallel_stochastic_greedy_is_bit_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        n in 40usize..90,
+    ) {
+        let f = random_instance(n, seed);
+        let reference = f.stochastic_greedy_seeded(10, 0.1, seed, &Pool::with_threads(1));
+        for threads in thread_counts() {
+            let run = f.stochastic_greedy_seeded(10, 0.1, seed, &Pool::with_threads(threads));
+            prop_assert_eq!(&run.0, &reference.0, "chosen set at {} threads", threads);
+            prop_assert_eq!(run.1, reference.1, "eval count at {} threads", threads);
+        }
+    }
+
+    /// Sieve-streaming maps each arrival's per-sieve gains in input order,
+    /// so ladder admissions — and thus the final set — cannot depend on
+    /// the worker count.
+    fn sieve_streaming_is_bit_identical_across_thread_counts(
+        seed in 0u64..1_000,
+        n in 40usize..90,
+    ) {
+        let f = random_instance(n, seed);
+        let reference = f.sieve_streaming_on(10, 0.15, &Pool::with_threads(1));
+        for threads in thread_counts() {
+            let run = f.sieve_streaming_on(10, 0.15, &Pool::with_threads(threads));
+            prop_assert_eq!(&run.0, &reference.0, "chosen set at {} threads", threads);
+            prop_assert_eq!(run.1, reference.1, "eval count at {} threads", threads);
+        }
+    }
+}
+
 /// Repeated runs on the *same* pool must also agree with each other — the
 /// pool may not leak state between scopes.
 #[test]
