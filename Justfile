@@ -1,0 +1,37 @@
+# Local entry points mirroring what CI runs, so the artifact-key gate
+# and the bench drivers can be exercised before pushing. Uses `just`
+# (https://just.systems); every recipe body is plain bash, so each
+# command also works copy-pasted into a shell.
+
+# Build + test, the tier-1 gate.
+test:
+    cargo build --release
+    cargo test -q
+
+# Clippy + rustfmt + rustdoc, exactly as the lint job runs them.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --check
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# Assert BENCH_selection.json carries a group's keys (selection, serve
+# or router) — the same script the CI jobs call.
+bench-keys group="selection" artifact="BENCH_selection.json":
+    bash ci/check_bench_keys.sh {{group}} {{artifact}}
+
+# Regenerate the selection bench artifact and gate it.
+bench-selection:
+    cargo run --release -p vfps-bench --bin experiments -- bench-selection --quick --cached
+    bash ci/check_bench_keys.sh selection
+    cargo run --release -p vfps-bench --bin experiments -- bench-check
+
+# In-process service load test (two tenants, drain at the end).
+bench-serve:
+    cargo run --release -p vfps-bench --bin experiments -- bench-serve --quick
+    bash ci/check_bench_keys.sh serve
+
+# Routing-tier load test: two in-process daemons behind vfps-router,
+# with a mid-load drain and bit-identity probes against a direct daemon.
+bench-router:
+    cargo run --release -p vfps-bench --bin experiments -- bench-serve --quick --router
+    bash ci/check_bench_keys.sh router

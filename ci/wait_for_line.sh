@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Waits until a log file contains a line matching a pattern, with a
+# real deadline. Replaces the fixed-iteration `for i in $(seq ...)`
+# polling loops that used to be inlined in the workflow: on timeout
+# this fails loudly (non-zero exit plus the log tail) instead of
+# letting a later grep fail with no context.
+#
+# usage: ci/wait_for_line.sh <file> <pattern> [deadline-seconds]
+#
+# The pattern is a basic regular expression (grep's default).
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 <file> <pattern> [deadline-seconds]" >&2
+  exit 2
+fi
+
+file="$1"
+pattern="$2"
+deadline="${3:-30}"
+
+# Poll at 5 Hz; the deadline is enforced in iterations so the script
+# needs no sub-second date arithmetic.
+iters=$((deadline * 5))
+for _ in $(seq 1 "$iters"); do
+  if [ -f "$file" ] && grep -q "$pattern" "$file"; then
+    exit 0
+  fi
+  sleep 0.2
+done
+
+echo "timed out after ${deadline}s waiting for /$pattern/ in $file" >&2
+if [ -f "$file" ]; then
+  echo "--- tail of $file ---" >&2
+  tail -n 30 "$file" >&2
+else
+  echo "($file was never created)" >&2
+fi
+exit 1

@@ -66,10 +66,15 @@ fn main() {
                     cfg.addr =
                         Some(it.next().cloned().unwrap_or_else(|| usage("--addr needs a value")));
                 }
+                "--router" => cfg.router = true,
                 other => usage(&format!("unexpected argument {other}")),
             }
         }
-        println!("{}", vfps_bench::serve::bench_serve(&cfg));
+        if cfg.router {
+            println!("{}", vfps_bench::serve::bench_serve_router(&cfg));
+        } else {
+            println!("{}", vfps_bench::serve::bench_serve(&cfg));
+        }
         return;
     }
 
@@ -172,13 +177,16 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: experiments <id> [--runs N] [--quick] [--cached]\n\
          \x20      experiments bench-check [--current F] [--baseline F] [--tolerance N]\n\
-         \x20      experiments bench-serve [--quick] [--clients N] [--addr host:port]\n\
+         \x20      experiments bench-serve [--quick] [--clients N] [--addr host:port] [--router]\n\
          ids: table1 tables45 fig4 fig5 fig6 fig7 fig8 fig9\n\
          \x20    ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown bench-selection calibrate all\n\
          --cached additionally exercises the selection-artifact cache in bench-selection;\n\
          bench-check diffs BENCH_selection.json against results/bench_baseline.json;\n\
          bench-serve load-tests the selection service across two dataset tenants\n\
-         (in-process, or --addr for a daemon started with --max-tenants >= 2)"
+         (in-process, or --addr for a daemon started with --max-tenants >= 2);\n\
+         with --router the workload runs through a vfps-router tier over two daemons\n\
+         (in-process, or --addr for a running router whose backends share a --cache-dir)\n\
+         and adds a mid-load backend drain plus bit-identity checks against a direct daemon"
     );
     std::process::exit(2)
 }

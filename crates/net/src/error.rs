@@ -79,6 +79,79 @@ impl fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// The cluster taxonomy projected onto a *real-socket* transport failure —
+/// the classification the routing tier applies when a backend daemon
+/// misbehaves. Mirrors [`Error`]'s hangup / timeout / protocol-violation
+/// triad, but identifies peers by name (a backend in a router's ring)
+/// rather than by simulated [`NodeId`], and carries no fault-plan variant
+/// (real sockets are not killed by a plan).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportFailure {
+    /// The peer closed the connection (or refused it) where a frame was
+    /// due — the socket analogue of [`Error::Hangup`].
+    Hangup,
+    /// A read or connect deadline expired — the socket analogue of
+    /// [`Error::Timeout`].
+    Timeout {
+        /// How long the caller waited before giving up.
+        waited: Duration,
+    },
+    /// The bytes arrived but violate the protocol (undecodable frame,
+    /// oversized length prefix, unexpected message kind) — the socket
+    /// analogue of [`Error::ProtocolViolation`].
+    Protocol {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+impl TransportFailure {
+    /// Classifies an I/O error against the taxonomy: deadline-shaped kinds
+    /// (`WouldBlock` from a socket read timeout, `TimedOut` from connect)
+    /// become [`TransportFailure::Timeout`]; everything else — resets,
+    /// refusals, EOF-inside-a-frame — is a peer that went away, i.e.
+    /// [`TransportFailure::Hangup`].
+    #[must_use]
+    pub fn classify_io(e: &std::io::Error, waited: Duration) -> TransportFailure {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => TransportFailure::Timeout { waited },
+            _ => TransportFailure::Hangup,
+        }
+    }
+
+    /// Classifies a framed-stream failure: I/O errors via
+    /// [`TransportFailure::classify_io`], everything else (oversized or
+    /// undecodable frames) as [`TransportFailure::Protocol`].
+    #[must_use]
+    pub fn classify_frame(e: &crate::wire::FrameError, waited: Duration) -> TransportFailure {
+        match e {
+            crate::wire::FrameError::Io(io) => TransportFailure::classify_io(io, waited),
+            other => TransportFailure::Protocol { detail: other.to_string() },
+        }
+    }
+
+    /// True for the variants a health checker should count against the
+    /// backend (hangups and timeouts); protocol violations indicate a
+    /// version mismatch, not flakiness.
+    #[must_use]
+    pub fn is_liveness_failure(&self) -> bool {
+        !matches!(self, TransportFailure::Protocol { .. })
+    }
+}
+
+impl fmt::Display for TransportFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportFailure::Hangup => write!(f, "peer hung up"),
+            TransportFailure::Timeout { waited } => write!(f, "timed out after {waited:?}"),
+            TransportFailure::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportFailure {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +173,48 @@ mod tests {
         assert!(Error::Hangup { peer: 4 }.is_hangup_of(4));
         assert!(!Error::Hangup { peer: 4 }.is_hangup_of(1));
         assert!(!Error::violation("x").is_hangup_of(4));
+    }
+
+    #[test]
+    fn io_errors_classify_onto_the_taxonomy() {
+        use std::io::{Error as IoError, ErrorKind};
+        let waited = Duration::from_millis(250);
+        for kind in [ErrorKind::WouldBlock, ErrorKind::TimedOut] {
+            assert_eq!(
+                TransportFailure::classify_io(&IoError::from(kind), waited),
+                TransportFailure::Timeout { waited },
+                "{kind:?} is a deadline expiry"
+            );
+        }
+        for kind in
+            [ErrorKind::ConnectionRefused, ErrorKind::ConnectionReset, ErrorKind::UnexpectedEof]
+        {
+            assert_eq!(
+                TransportFailure::classify_io(&IoError::from(kind), waited),
+                TransportFailure::Hangup,
+                "{kind:?} is a departed peer"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_errors_classify_onto_the_taxonomy() {
+        use crate::wire::{FrameError, WireError};
+        let waited = Duration::from_millis(10);
+        let io = FrameError::Io(std::io::Error::from(std::io::ErrorKind::TimedOut));
+        assert_eq!(
+            TransportFailure::classify_frame(&io, waited),
+            TransportFailure::Timeout { waited }
+        );
+        let huge = FrameError::TooLarge(1 << 30);
+        assert!(matches!(
+            TransportFailure::classify_frame(&huge, waited),
+            TransportFailure::Protocol { .. }
+        ));
+        let bad = FrameError::Wire(WireError::BadTag(9));
+        let c = TransportFailure::classify_frame(&bad, waited);
+        assert!(c.to_string().contains("tag byte 9"), "{c}");
+        assert!(!c.is_liveness_failure(), "protocol violations are not flakiness");
+        assert!(TransportFailure::Hangup.is_liveness_failure());
     }
 }

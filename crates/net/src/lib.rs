@@ -40,7 +40,7 @@ pub use cluster::{
     Envelope, FallibleNodeFn, NodeCtx, NodeId, TraceEvent, TrafficLedger,
 };
 pub use cost::{CostModel, OpLedger};
-pub use error::Error;
+pub use error::{Error, TransportFailure};
 pub use fault::FaultPlan;
 pub use wire::{read_frame, write_frame, FrameError, Wire, WireError, MAX_FRAME_BYTES};
 

@@ -1,0 +1,54 @@
+//! # vfps-router — horizontal scale-out for the selection service
+//!
+//! One `vfps-serve` daemon multiplexes many tenants; this crate
+//! multiplexes many *daemons*: a thin TCP routing tier that speaks the
+//! same wire protocol ([`vfps_net::wire`] frames, `vfps_serve::proto`
+//! messages) on both sides, so existing clients point at the router
+//! unchanged and every reply through the tier is bit-identical to the
+//! daemon's own.
+//!
+//! * **tenant affinity** — a seeded consistent-hash [`Ring`] keyed on
+//!   the request's `dataset` tag sends each tenant to the same backend
+//!   every time, keeping that daemon's tenant-LRU world and
+//!   artifact-cache shard warm (the whole point of routing on the
+//!   tenant key rather than round-robin);
+//! * **health** — a background ping loop drives each backend's
+//!   [`HealthMachine`] through `Healthy -> Suspect -> Down` with
+//!   deterministic transitions; suspect backends stay in rotation, down
+//!   ones are walked around on the ring;
+//! * **drain** — `vfps route drain <backend>` flips a backend to the
+//!   absorbing `Drained` state: new requests remap to the survivors
+//!   (≈ `1/n` of tenant keys move, the rest stay put) while in-flight
+//!   relays complete on their existing streams — no response is lost or
+//!   duplicated;
+//! * **broadcast verbs** — `ListDatasets` fans out to every routable
+//!   backend and merges the tenant ledgers; `Shutdown` relays to every
+//!   backend and answers with the summed [`vfps_serve::DrainReport`].
+//!
+//! ```no_run
+//! use vfps_router::{Router, RouterConfig};
+//!
+//! let cfg = RouterConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     backends: vec![
+//!         ("b0".into(), "127.0.0.1:7878".into()),
+//!         ("b1".into(), "127.0.0.1:7879".into()),
+//!     ],
+//!     ..RouterConfig::default()
+//! };
+//! let router = Router::bind(&cfg).unwrap();
+//! let addr = router.local_addr();
+//! std::thread::spawn(move || router.run().unwrap());
+//! // Clients now connect to `addr` exactly as they would to a daemon.
+//! # let _ = addr;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod ring;
+pub mod server;
+
+pub use health::{HealthMachine, HealthState};
+pub use ring::{Ring, DEFAULT_RING_SEED, DEFAULT_VNODES};
+pub use server::{Router, RouterConfig, RouterError};

@@ -1,0 +1,671 @@
+//! The routing tier: accept loop, tenant-affine relay, health checking,
+//! backend drain, and fan-out/merge for the broadcast verbs
+//! (DESIGN.md §13).
+//!
+//! Threading model mirrors the daemon's: one acceptor spawns a detached
+//! handler per client connection; each handler relays one request at a
+//! time over its *own* backend connections (cached per backend, so a
+//! client session keeps one TCP stream per backend it actually talks
+//! to); one detached health thread pings every non-drained backend on a
+//! fixed cadence and drives the [`HealthMachine`]s.
+//!
+//! Relay contract: the router decodes each frame and re-encodes it
+//! unchanged — the codec is canonical (every value has exactly one
+//! encoding, pinned by the proto roundtrip tests), so a relayed reply is
+//! bit-identical to the daemon's. Failover happens at **connect** time
+//! only: once a request frame has been written to a backend, a transport
+//! failure comes back to the client as a typed `Rejected` carrying the
+//! [`TransportFailure`] taxonomy — never a silent retry, which could
+//! execute a selection twice and lose the one-request-one-response
+//! accounting.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use vfps_net::{read_frame, write_frame, TransportFailure};
+use vfps_serve::{
+    health_state_name, BackendStatus, DrainReport, Request, Response, RouterStatusReply,
+    TenantStatus, PROTOCOL_VERSION,
+};
+
+use crate::health::{HealthMachine, HealthState};
+use crate::ring::{Ring, DEFAULT_RING_SEED, DEFAULT_VNODES};
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Address to bind, e.g. `127.0.0.1:0` (0 picks a free port).
+    pub addr: String,
+    /// `(name, addr)` per backend daemon. Names are the ring identity:
+    /// stable names keep vnode positions (and thus tenant placement)
+    /// stable across router restarts.
+    pub backends: Vec<(String, String)>,
+    /// Seed the ring's point positions hash from.
+    pub ring_seed: u64,
+    /// Virtual nodes per backend.
+    pub vnodes: u64,
+    /// Cadence of the background ping loop.
+    pub health_interval: Duration,
+    /// Connect/read deadline for one health probe.
+    pub health_timeout: Duration,
+    /// Write a structured trace (span forest + metrics) here on drain.
+    pub trace_out: Option<PathBuf>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            ring_seed: DEFAULT_RING_SEED,
+            vnodes: DEFAULT_VNODES,
+            health_interval: Duration::from_millis(500),
+            health_timeout: Duration::from_millis(250),
+            trace_out: None,
+        }
+    }
+}
+
+/// One configured backend: address, health, and lifetime accounting.
+struct Backend {
+    name: String,
+    addr: String,
+    health: Mutex<HealthMachine>,
+    routed: AtomicU64,
+    relay_errors: AtomicU64,
+}
+
+impl Backend {
+    fn state(&self) -> HealthState {
+        self.health.lock().unwrap_or_else(PoisonError::into_inner).state()
+    }
+
+    fn routable(&self) -> bool {
+        self.state().routable()
+    }
+}
+
+/// Everything shared between the acceptor, handlers, and the health
+/// thread.
+struct Shared {
+    ring: Ring,
+    backends: Vec<Arc<Backend>>,
+    shutdown: AtomicBool,
+    health_interval: Duration,
+    health_timeout: Duration,
+    /// The merged backend accounting, filled in by the handler that
+    /// served the `Shutdown`.
+    final_report: Mutex<Option<DrainReport>>,
+}
+
+impl Shared {
+    fn backend_index(&self, name: &str) -> Option<usize> {
+        self.backends.iter().position(|b| b.name == name)
+    }
+
+    /// The ring owner for a tenant key among currently routable
+    /// backends, plus the failover order behind it.
+    fn candidates(&self, key: &str) -> Vec<usize> {
+        self.ring
+            .walk(key)
+            .filter_map(|name| self.backend_index(name))
+            .filter(|&i| self.backends[i].routable())
+            .collect()
+    }
+
+    fn status(&self) -> RouterStatusReply {
+        RouterStatusReply {
+            ring_seed: self.ring.seed(),
+            vnodes_per_backend: self.ring.vnodes_per_backend(),
+            backends: self
+                .backends
+                .iter()
+                .map(|b| {
+                    let state = b.state();
+                    BackendStatus {
+                        name: b.name.clone(),
+                        addr: b.addr.clone(),
+                        state: state.as_u8(),
+                        // A drained backend has left the ring; down ones
+                        // keep their points (they re-enter on recovery).
+                        vnodes: if state == HealthState::Drained {
+                            0
+                        } else {
+                            self.ring.vnodes_per_backend()
+                        },
+                        routed: b.routed.load(Ordering::Acquire),
+                        relay_errors: b.relay_errors.load(Ordering::Acquire),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    fn set_state_gauge(&self, b: &Backend, state: HealthState) {
+        vfps_obs::gauge_set_labelled(
+            "router.backend_state",
+            "backend",
+            &b.name,
+            f64::from(state.as_u8()),
+        );
+    }
+}
+
+/// Errors surfaced by [`Router::bind`] / [`Router::run`] themselves
+/// (per-request failures are typed wire replies, not `Err`s).
+#[derive(Debug)]
+pub enum RouterError {
+    /// Configuration problem (no backends, duplicate names...).
+    Config(String),
+    /// Bind / accept failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Config(m) => write!(f, "config error: {m}"),
+            RouterError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<std::io::Error> for RouterError {
+    fn from(e: std::io::Error) -> Self {
+        RouterError::Io(e)
+    }
+}
+
+/// The routing tier. Construct with [`Router::bind`], then
+/// [`Router::run`].
+pub struct Router {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    trace_out: Option<PathBuf>,
+}
+
+impl Router {
+    /// Validates the backend set, builds the ring, binds the listener,
+    /// and prints the `listening on <addr>` line clients and tests
+    /// parse. Backends start `Healthy`; the first health sweep corrects
+    /// that within one interval if they are not.
+    pub fn bind(cfg: &RouterConfig) -> Result<Router, RouterError> {
+        if cfg.backends.is_empty() {
+            return Err(RouterError::Config("at least one --backend is required".into()));
+        }
+        let mut ring = Ring::new(cfg.ring_seed, cfg.vnodes);
+        let mut backends = Vec::with_capacity(cfg.backends.len());
+        for (name, addr) in &cfg.backends {
+            if name.is_empty() {
+                return Err(RouterError::Config("backend names must be non-empty".into()));
+            }
+            if ring.backends().iter().any(|b| b == name) {
+                return Err(RouterError::Config(format!("duplicate backend name {name}")));
+            }
+            ring.add(name);
+            backends.push(Arc::new(Backend {
+                name: name.clone(),
+                addr: addr.clone(),
+                health: Mutex::new(HealthMachine::new()),
+                routed: AtomicU64::new(0),
+                relay_errors: AtomicU64::new(0),
+            }));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        if cfg.trace_out.is_some() {
+            vfps_obs::start_capture();
+        }
+        let shared = Arc::new(Shared {
+            ring,
+            backends,
+            shutdown: AtomicBool::new(false),
+            health_interval: cfg.health_interval,
+            health_timeout: cfg.health_timeout,
+            final_report: Mutex::new(None),
+        });
+        println!("vfps-router listening on {local_addr}");
+        let _ = std::io::stdout().flush();
+        Ok(Router { listener, local_addr, shared, trace_out: cfg.trace_out.clone() })
+    }
+
+    /// The bound address (useful with port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Runs the accept loop (plus the background health thread) until a
+    /// `Shutdown` request relays through to every backend and drains the
+    /// tier. Returns the merged backend accounting; after a clean drain
+    /// `in_flight == 0` and `accepted == completed + failed` hold for
+    /// the merged report exactly as for each daemon's own.
+    pub fn run(self) -> Result<DrainReport, RouterError> {
+        {
+            let shared = self.shared.clone();
+            std::thread::Builder::new()
+                .name("vfps-router-health".into())
+                .spawn(move || health_loop(&shared))
+                .expect("spawn health thread");
+        }
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            };
+            let shared = self.shared.clone();
+            let addr = self.local_addr;
+            std::thread::spawn(move || handle_connection(&shared, stream, addr));
+        }
+        let report = self
+            .shared
+            .final_report
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .unwrap_or_default();
+        if let Some(path) = &self.trace_out {
+            if let Some(trace) = vfps_obs::finish_capture() {
+                if let Err(e) = std::fs::write(path, trace.to_json()) {
+                    eprintln!("warning: cannot write trace to {}: {e}", path.display());
+                }
+            }
+        }
+        let routed: u64 =
+            self.shared.backends.iter().map(|b| b.routed.load(Ordering::Acquire)).sum();
+        let relay_errors: u64 =
+            self.shared.backends.iter().map(|b| b.relay_errors.load(Ordering::Acquire)).sum();
+        println!(
+            "router drain clean: accepted {} completed {} failed {} rejected {} in-flight {} \
+             cache-hits {} routed {} relay-errors {}",
+            report.accepted,
+            report.completed,
+            report.failed,
+            report.rejected,
+            report.in_flight,
+            report.cache_hits,
+            routed,
+            relay_errors
+        );
+        Ok(report)
+    }
+}
+
+/// Wakes the acceptor after `shutdown` is set (same trick as the
+/// daemon's): `TcpListener::incoming` only notices the flag on its next
+/// connection, so the drain initiator pokes it with a throwaway connect.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+/// One ping probe against a backend, bounded by `timeout` at connect,
+/// read, and write.
+fn probe(addr: &str, timeout: Duration) -> Result<(), TransportFailure> {
+    let started = Instant::now();
+    let sock = addr
+        .to_socket_addrs()
+        .map_err(|e| TransportFailure::classify_io(&e, started.elapsed()))?
+        .next()
+        .ok_or_else(|| TransportFailure::Protocol { detail: format!("unresolvable {addr}") })?;
+    let stream = TcpStream::connect_timeout(&sock, timeout)
+        .map_err(|e| TransportFailure::classify_io(&e, started.elapsed()))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| TransportFailure::classify_io(&e, started.elapsed()))?;
+    let mut stream = stream;
+    write_frame(&mut stream, &Request::Ping)
+        .map_err(|e| TransportFailure::classify_io(&e, started.elapsed()))?;
+    match read_frame::<_, Response>(&mut stream) {
+        Ok(Some(Response::Pong { .. })) => Ok(()),
+        Ok(Some(other)) => {
+            Err(TransportFailure::Protocol { detail: format!("expected Pong, got {other:?}") })
+        }
+        Ok(None) => Err(TransportFailure::Hangup),
+        Err(e) => Err(TransportFailure::classify_frame(&e, started.elapsed())),
+    }
+}
+
+/// The background health loop: pings every non-drained backend each
+/// interval and logs state transitions. Sleeps in small slices so a
+/// drain is noticed promptly.
+fn health_loop(shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        for b in &shared.backends {
+            if b.state() == HealthState::Drained {
+                continue;
+            }
+            let outcome = probe(&b.addr, shared.health_timeout);
+            let mut health = b.health.lock().unwrap_or_else(PoisonError::into_inner);
+            let transition = match &outcome {
+                Ok(()) => health.record_success(),
+                // Only liveness failures demote: a protocol-level
+                // surprise (e.g. a misconfigured non-vfps peer) is an
+                // operator error, and flapping the ring on it would
+                // churn tenants for nothing.
+                Err(tf) if tf.is_liveness_failure() => health.record_failure(),
+                Err(_) => None,
+            };
+            let state = health.state();
+            drop(health);
+            if let Some(prev) = transition {
+                vfps_obs::counter_add_labelled("router.health_transitions", "backend", &b.name, 1);
+                shared.set_state_gauge(b, state);
+                eprintln!(
+                    "router: backend {} {} -> {}{}",
+                    b.name,
+                    health_state_name(prev.as_u8()),
+                    health_state_name(state.as_u8()),
+                    match &outcome {
+                        Ok(()) => String::new(),
+                        Err(tf) => format!(" ({tf})"),
+                    }
+                );
+            }
+        }
+        let mut slept = Duration::ZERO;
+        while slept < shared.health_interval && !shared.shutdown.load(Ordering::Acquire) {
+            let slice = shared.health_interval.saturating_sub(slept).min(Duration::from_millis(25));
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+    }
+}
+
+/// Per-connection cache of backend streams: index-aligned with
+/// `shared.backends`. A client session talking to one tenant keeps one
+/// warm TCP stream to that tenant's backend.
+type ConnCache = Vec<Option<TcpStream>>;
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAddr) {
+    let mut conns: ConnCache = (0..shared.backends.len()).map(|_| None).collect();
+    loop {
+        let req = match read_frame::<_, Request>(&mut stream) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,                         // clean EOF: client done
+            Err(vfps_net::FrameError::Io(_)) => return, // peer reset mid-frame
+            Err(e) => {
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Rejected { request_id: 0, reason: format!("bad frame: {e}") },
+                );
+                return;
+            }
+        };
+        match req {
+            Request::Ping => {
+                if write_frame(&mut stream, &Response::Pong { version: PROTOCOL_VERSION }).is_err()
+                {
+                    return;
+                }
+            }
+            Request::RouterStatus => {
+                if write_frame(&mut stream, &Response::RouterStatus(shared.status())).is_err() {
+                    return;
+                }
+            }
+            Request::DrainBackend(name) => {
+                let resp = drain_backend(shared, &name);
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+            Request::ListDatasets => {
+                let resp = merged_datasets(shared, &mut conns);
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let report = relay_shutdown(shared);
+                shared.shutdown.store(true, Ordering::Release);
+                *shared.final_report.lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
+                let _ = write_frame(&mut stream, &Response::Draining(report));
+                wake_acceptor(addr);
+                return;
+            }
+            Request::Select(sel) => {
+                let resp = route_select(shared, &mut conns, sel);
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Relays one request over a (possibly cached) backend stream and reads
+/// its single reply. Any failure invalidates the cached stream — but is
+/// *returned*, never retried: the frame may already be executing.
+fn relay(
+    conns: &mut ConnCache,
+    backend: &Backend,
+    idx: usize,
+    req: &Request,
+) -> Result<Response, TransportFailure> {
+    let started = Instant::now();
+    if conns[idx].is_none() {
+        let s = TcpStream::connect(&backend.addr)
+            .map_err(|e| TransportFailure::classify_io(&e, started.elapsed()))?;
+        let _ = s.set_nodelay(true);
+        conns[idx] = Some(s);
+    }
+    let stream = conns[idx].as_mut().expect("just ensured");
+    if let Err(e) = write_frame(stream, req) {
+        conns[idx] = None;
+        return Err(TransportFailure::classify_io(&e, started.elapsed()));
+    }
+    match read_frame::<_, Response>(stream) {
+        Ok(Some(resp)) => Ok(resp),
+        Ok(None) => {
+            conns[idx] = None;
+            Err(TransportFailure::Hangup)
+        }
+        Err(e) => {
+            conns[idx] = None;
+            Err(TransportFailure::classify_frame(&e, started.elapsed()))
+        }
+    }
+}
+
+/// Routes one selection to its tenant's ring owner. Failover walks the
+/// ring only while *connects* fail; once a backend accepted the frame,
+/// its outcome (or a typed rejection carrying the transport taxonomy)
+/// is the client's answer.
+fn route_select(
+    shared: &Arc<Shared>,
+    conns: &mut ConnCache,
+    sel: vfps_serve::SelectRequest,
+) -> Response {
+    let request_id = sel.request_id;
+    let key = sel.dataset.clone();
+    let candidates = shared.candidates(&key);
+    let req = Request::Select(sel);
+    for &idx in &candidates {
+        let backend = &shared.backends[idx];
+        // Connect stage: a refused/unreachable backend is skipped (and
+        // billed a relay error — the health loop will demote it soon).
+        if conns[idx].is_none() {
+            let started = Instant::now();
+            match TcpStream::connect(&backend.addr) {
+                Ok(s) => {
+                    let _ = s.set_nodelay(true);
+                    conns[idx] = Some(s);
+                }
+                Err(e) => {
+                    let tf = TransportFailure::classify_io(&e, started.elapsed());
+                    backend.relay_errors.fetch_add(1, Ordering::AcqRel);
+                    vfps_obs::counter_add_labelled(
+                        "router.relay_errors",
+                        "backend",
+                        &backend.name,
+                        1,
+                    );
+                    eprintln!("router: connect to backend {} failed: {tf}", backend.name);
+                    continue;
+                }
+            }
+        }
+        let started = Instant::now();
+        match relay(conns, backend, idx, &req) {
+            Ok(resp) => {
+                backend.routed.fetch_add(1, Ordering::AcqRel);
+                vfps_obs::counter_add_labelled("router.routed", "backend", &backend.name, 1);
+                vfps_obs::histogram_record_labelled(
+                    "router.relay_us",
+                    "backend",
+                    &backend.name,
+                    started.elapsed().as_micros() as f64,
+                );
+                return resp;
+            }
+            Err(tf) => {
+                backend.relay_errors.fetch_add(1, Ordering::AcqRel);
+                vfps_obs::counter_add_labelled("router.relay_errors", "backend", &backend.name, 1);
+                return Response::Rejected {
+                    request_id,
+                    reason: format!("relay to backend {} failed: {tf}", backend.name),
+                };
+            }
+        }
+    }
+    Response::Rejected { request_id, reason: format!("no routable backend for tenant {key:?}") }
+}
+
+/// Drains a backend out of the ring: new requests route around it,
+/// in-flight relays (already past the connect stage in some handler)
+/// run to completion on their existing streams.
+fn drain_backend(shared: &Arc<Shared>, name: &str) -> Response {
+    let Some(idx) = shared.backend_index(name) else {
+        return Response::Rejected {
+            request_id: 0,
+            reason: format!(
+                "unknown backend {name:?} (configured: {})",
+                shared.backends.iter().map(|b| b.name.as_str()).collect::<Vec<_>>().join(", ")
+            ),
+        };
+    };
+    let backend = &shared.backends[idx];
+    let prev = {
+        let mut health = backend.health.lock().unwrap_or_else(PoisonError::into_inner);
+        health.drain()
+    };
+    if let Some(prev) = prev {
+        shared.set_state_gauge(backend, HealthState::Drained);
+        vfps_obs::counter_add_labelled("router.drained", "backend", name, 1);
+        println!(
+            "router: backend {name} drained out of the ring ({} -> drained)",
+            health_state_name(prev.as_u8())
+        );
+        let _ = std::io::stdout().flush();
+    }
+    Response::RouterStatus(shared.status())
+}
+
+/// Fans `ListDatasets` out to every routable backend and merges the
+/// ledgers: tenants are keyed by dataset name in first-seen (backend
+/// config, then per-backend first-seen) order, counters sum, residency
+/// ORs, and `max_resident` sums (it is a capacity, and capacities add
+/// across daemons).
+fn merged_datasets(shared: &Arc<Shared>, conns: &mut ConnCache) -> Response {
+    let mut default_dataset: Option<String> = None;
+    let mut max_resident = 0u64;
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: Vec<TenantStatus> = Vec::new();
+    let mut reached = 0usize;
+    for (idx, backend) in shared.backends.iter().enumerate() {
+        if !backend.routable() {
+            continue;
+        }
+        let reply = match relay(conns, backend, idx, &Request::ListDatasets) {
+            Ok(Response::Datasets { default_dataset: dd, max_resident: mr, tenants }) => {
+                reached += 1;
+                (dd, mr, tenants)
+            }
+            Ok(_) | Err(_) => {
+                backend.relay_errors.fetch_add(1, Ordering::AcqRel);
+                vfps_obs::counter_add_labelled("router.relay_errors", "backend", &backend.name, 1);
+                continue;
+            }
+        };
+        let (dd, mr, tenants) = reply;
+        if default_dataset.is_none() {
+            default_dataset = Some(dd);
+        }
+        max_resident += mr;
+        for t in tenants {
+            match order.iter().position(|d| *d == t.dataset) {
+                Some(i) => {
+                    let m = &mut merged[i];
+                    m.resident |= t.resident;
+                    m.accepted += t.accepted;
+                    m.completed += t.completed;
+                    m.failed += t.failed;
+                    m.rejected += t.rejected;
+                    m.in_flight += t.in_flight;
+                    m.cache_hits += t.cache_hits;
+                }
+                None => {
+                    order.push(t.dataset.clone());
+                    merged.push(t);
+                }
+            }
+        }
+    }
+    if reached == 0 {
+        return Response::Rejected { request_id: 0, reason: "no routable backend".into() };
+    }
+    Response::Datasets {
+        default_dataset: default_dataset.unwrap_or_default(),
+        max_resident,
+        tenants: merged,
+    }
+}
+
+/// Relays `Shutdown` to **every** backend — drained and down ones
+/// included (a drained daemon still holds accepted work and accounting;
+/// a down one gets a best-effort attempt) — and sums the reports.
+fn relay_shutdown(shared: &Arc<Shared>) -> DrainReport {
+    let mut total = DrainReport::default();
+    for backend in &shared.backends {
+        // Fresh connection: cached handler streams belong to other
+        // connections, and this one must work even for backends this
+        // handler never routed to.
+        let mut conns: ConnCache = (0..shared.backends.len()).map(|_| None).collect();
+        let idx = shared.backend_index(&backend.name).expect("own backend");
+        match relay(&mut conns, backend, idx, &Request::Shutdown) {
+            Ok(Response::Draining(report)) => {
+                total.accepted += report.accepted;
+                total.completed += report.completed;
+                total.failed += report.failed;
+                total.rejected += report.rejected;
+                total.in_flight += report.in_flight;
+                total.cache_hits += report.cache_hits;
+            }
+            Ok(other) => {
+                eprintln!(
+                    "router: backend {} answered shutdown with {other:?}; skipping its accounting",
+                    backend.name
+                );
+            }
+            Err(tf) => {
+                eprintln!(
+                    "router: backend {} unreachable during shutdown ({tf}); skipping its \
+                     accounting",
+                    backend.name
+                );
+            }
+        }
+    }
+    total
+}

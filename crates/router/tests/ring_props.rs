@@ -1,0 +1,155 @@
+//! Consistent-hash ring properties (DESIGN.md §13): minimal disruption
+//! under membership change, cross-process determinism, and totality —
+//! every tenant key maps to a healthy backend whenever one exists.
+
+use proptest::prelude::*;
+use vfps_router::{HealthState, Ring, DEFAULT_VNODES};
+
+/// Deterministic tenant keys: enough spread to estimate ownership
+/// fractions, cheap enough to map thousands per proptest case.
+fn sample_keys(count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("tenant-{i:04}")).collect()
+}
+
+fn owners(ring: &Ring, keys: &[String]) -> Vec<String> {
+    keys.iter().map(|k| ring.lookup(k, |_| true).expect("nonempty ring").to_owned()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Removing one of `n` backends remaps exactly the removed
+    /// backend's keys — and only them — onto survivors. The remapped
+    /// fraction stays near `1/n`: with 64 vnodes the ownership spread
+    /// is bounded well under `2.5/n` in practice, and this property
+    /// pins that no regression (fewer vnodes, a biased hash) widens it.
+    #[test]
+    fn removing_one_backend_remaps_about_one_nth_of_keys(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        victim in 0usize..8,
+    ) {
+        let victim = victim % n;
+        let names: Vec<String> = (0..n).map(|i| format!("b{i}")).collect();
+        let mut ring = Ring::new(seed, DEFAULT_VNODES);
+        for name in &names {
+            ring.add(name);
+        }
+        let keys = sample_keys(2000);
+        let before = owners(&ring, &keys);
+        prop_assert!(ring.remove(&names[victim]));
+        let after = owners(&ring, &keys);
+
+        let mut remapped = 0usize;
+        for ((key, b), a) in keys.iter().zip(&before).zip(&after) {
+            prop_assert!(a != &names[victim], "key {} still maps to the removed backend", key);
+            if b == &names[victim] {
+                remapped += 1; // must move — and lands on a survivor (checked above)
+            } else {
+                // Minimal disruption: a surviving owner keeps its keys.
+                prop_assert_eq!(a, b, "key {} moved although its owner survived", key);
+            }
+        }
+        let bound = (2000.0 / n as f64 * 2.5).ceil() as usize;
+        prop_assert!(
+            remapped <= bound,
+            "remapped {} of 2000 keys from a {}-backend ring (bound {})",
+            remapped, n, bound
+        );
+    }
+
+    /// Two rings built from the same `(seed, vnodes, names)` — in any
+    /// add order — route every key identically. There is no HashMap
+    /// (or any other iteration-order-dependent structure) anywhere in
+    /// the lookup path, so this holds across processes too: the CI
+    /// router and an operator's debug rebuild agree on placement.
+    #[test]
+    fn lookup_is_independent_of_add_order(
+        seed in any::<u64>(),
+        n in 1usize..7,
+        rotation in 0usize..7,
+    ) {
+        let names: Vec<String> = (0..n).map(|i| format!("backend-{i}")).collect();
+        let mut a = Ring::new(seed, DEFAULT_VNODES);
+        for name in &names {
+            a.add(name);
+        }
+        let mut b = Ring::new(seed, DEFAULT_VNODES);
+        for i in 0..n {
+            b.add(&names[(i + rotation) % n]);
+        }
+        for key in sample_keys(500) {
+            prop_assert_eq!(a.lookup(&key, |_| true), b.lookup(&key, |_| true));
+        }
+    }
+
+    /// Whenever at least one backend passes the routability filter,
+    /// every key maps to a passing backend — the walk never dead-ends
+    /// on unhealthy arcs in front of a healthy one.
+    #[test]
+    fn every_key_maps_to_a_healthy_backend_whenever_one_exists(
+        seed in any::<u64>(),
+        n in 1usize..7,
+        health_bits in any::<u8>(),
+    ) {
+        let names: Vec<String> = (0..n).map(|i| format!("b{i}")).collect();
+        let mut ring = Ring::new(seed, DEFAULT_VNODES);
+        for name in &names {
+            ring.add(name);
+        }
+        // Map each backend to a health state from the input bits; the
+        // filter mirrors the router's: Healthy | Suspect route.
+        let states: Vec<HealthState> = (0..n)
+            .map(|i| match (health_bits >> (2 * (i % 4))) & 0b11 {
+                0 => HealthState::Healthy,
+                1 => HealthState::Suspect,
+                2 => HealthState::Down,
+                _ => HealthState::Drained,
+            })
+            .collect();
+        let routable = |name: &str| {
+            let idx: usize = name[1..].parse().unwrap();
+            states[idx].routable()
+        };
+        let any_routable = states.iter().any(|s| s.routable());
+        for key in sample_keys(400) {
+            let owner = ring.lookup(&key, routable);
+            if any_routable {
+                let owner = owner.expect("a routable backend exists but lookup found none");
+                prop_assert!(routable(owner), "lookup returned an unroutable backend");
+            } else {
+                prop_assert!(owner.is_none(), "no backend is routable yet lookup returned one");
+            }
+        }
+    }
+
+    /// Adding a backend to an `n`-ring only *steals* keys (≈ `1/(n+1)`
+    /// of them) — no key moves between two pre-existing backends.
+    #[test]
+    fn adding_one_backend_only_steals_for_the_newcomer(
+        seed in any::<u64>(),
+        n in 1usize..7,
+    ) {
+        let mut ring = Ring::new(seed, DEFAULT_VNODES);
+        for i in 0..n {
+            ring.add(&format!("b{i}"));
+        }
+        let keys = sample_keys(2000);
+        let before = owners(&ring, &keys);
+        ring.add("newcomer");
+        let after = owners(&ring, &keys);
+        let mut stolen = 0usize;
+        for ((key, b), a) in keys.iter().zip(&before).zip(&after) {
+            if a != b {
+                prop_assert_eq!(a, "newcomer", "key {} moved between pre-existing backends", key);
+                stolen += 1;
+            }
+        }
+        let bound = (2000.0 / (n + 1) as f64 * 2.5).ceil() as usize;
+        prop_assert!(
+            stolen <= bound,
+            "newcomer stole {} of 2000 keys joining {} backends (bound {})",
+            stolen, n, bound
+        );
+    }
+}

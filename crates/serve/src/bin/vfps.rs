@@ -578,6 +578,84 @@ fn run_submit(args: &[String]) -> Result<(), String> {
     }
 }
 
+// ---------------------------------------------------------------------
+// `vfps route` — control a running vfps-router.
+// ---------------------------------------------------------------------
+
+fn run_route(args: &[String]) -> Result<(), String> {
+    let mut addr = String::new();
+    let mut action: Option<String> = None;
+    let mut drain_target: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = it.next().cloned().ok_or("--addr needs a value")?;
+            }
+            "--help" | "-h" => {
+                print_route_help();
+                std::process::exit(0);
+            }
+            "status" if action.is_none() => action = Some("status".into()),
+            "drain" if action.is_none() => {
+                action = Some("drain".into());
+                drain_target = Some(it.next().cloned().ok_or("drain needs a backend name")?);
+            }
+            other => return Err(format!("unknown route argument {other}")),
+        }
+    }
+    let action = action.ok_or("route needs an action: status | drain <backend>")?;
+    if addr.is_empty() {
+        return Err("--addr is required".into());
+    }
+    let mut client = Client::connect(&addr).map_err(|e| e.to_string())?;
+    client.set_read_timeout(Some(Duration::from_secs(120))).map_err(|e| e.to_string())?;
+    let status = match action.as_str() {
+        "status" => client.router_status().map_err(|e| e.to_string())?,
+        "drain" => {
+            let target = drain_target.expect("parsed with the action");
+            let status = client.router_drain(&target).map_err(|e| e.to_string())?;
+            println!("drained {target} out of the ring (in-flight replies still delivered)");
+            status
+        }
+        _ => unreachable!("actions are matched above"),
+    };
+    println!(
+        "router: ring seed {} with {} vnodes/backend over {} backends",
+        status.ring_seed,
+        status.vnodes_per_backend,
+        status.backends.len()
+    );
+    for b in &status.backends {
+        println!(
+            "  {} @ {} [{}]: vnodes {} routed {} relay-errors {}",
+            b.name,
+            b.addr,
+            vfps_serve::health_state_name(b.state),
+            b.vnodes,
+            b.routed,
+            b.relay_errors
+        );
+    }
+    Ok(())
+}
+
+fn print_route_help() {
+    println!(
+        "vfps route — control a running vfps-router\n\n\
+         USAGE:\n  vfps route status --addr <host:port>\n\
+         \x20 vfps route drain <backend> --addr <host:port>\n\n\
+         \x20 status                 print the ring and each backend's health,\n\
+         \x20                        routed-request count, and relay errors\n\
+         \x20 drain <backend>        remove the named backend from the ring; requests\n\
+         \x20                        already relayed to it still complete, new ones\n\
+         \x20                        route to the surviving backends\n\
+         \x20 --addr <host:port>     the router's address (required)\n\n\
+         Pointing `vfps route` at a plain daemon fails with a typed\n\
+         'not a router' rejection."
+    );
+}
+
 fn print_submit_help() {
     println!(
         "vfps submit — send one selection request to a running `vfps serve`\n\n\
@@ -607,6 +685,7 @@ fn main() -> ExitCode {
     let result = match argv.first().map(String::as_str) {
         Some("serve") => run_serve(&argv[1..]),
         Some("submit") => run_submit(&argv[1..]),
+        Some("route") => run_route(&argv[1..]),
         _ => run(),
     };
     match result {

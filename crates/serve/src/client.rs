@@ -11,7 +11,9 @@ use std::time::Duration;
 
 use vfps_net::{read_frame, write_frame, FrameError};
 
-use crate::proto::{knn_mode, DrainReport, Request, Response, SelectRequest, TenantStatus};
+use crate::proto::{
+    knn_mode, DrainReport, Request, Response, RouterStatusReply, SelectRequest, TenantStatus,
+};
 
 /// Client-side failures. Typed server replies (`Busy`, `TimedOut`,
 /// `Rejected`) are *not* errors — they come back as [`Response`] values.
@@ -126,6 +128,27 @@ impl Client {
                 Ok((default_dataset, max_resident, tenants))
             }
             other => Err(ClientError::Protocol(format!("expected Datasets, got {other:?}"))),
+        }
+    }
+
+    /// Asks a routing tier for its ring and per-backend health/accounting.
+    /// A plain daemon answers `Rejected` (`"not a router"`), surfaced here
+    /// as [`ClientError::Protocol`].
+    pub fn router_status(&mut self) -> Result<RouterStatusReply, ClientError> {
+        match self.roundtrip(&Request::RouterStatus)? {
+            Response::RouterStatus(r) => Ok(r),
+            Response::Rejected { reason, .. } => Err(ClientError::Protocol(reason)),
+            other => Err(ClientError::Protocol(format!("expected RouterStatus, got {other:?}"))),
+        }
+    }
+
+    /// Asks a routing tier to remove `backend` from its ring (in-flight
+    /// relays still complete); returns the post-drain status.
+    pub fn router_drain(&mut self, backend: &str) -> Result<RouterStatusReply, ClientError> {
+        match self.roundtrip(&Request::DrainBackend(backend.to_owned()))? {
+            Response::RouterStatus(r) => Ok(r),
+            Response::Rejected { reason, .. } => Err(ClientError::Protocol(reason)),
+            other => Err(ClientError::Protocol(format!("expected RouterStatus, got {other:?}"))),
         }
     }
 

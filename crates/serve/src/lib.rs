@@ -58,8 +58,9 @@ pub mod tenant;
 
 pub use client::{Client, ClientError};
 pub use proto::{
-    knn_mode, maximizer, response_request_id, DrainReport, Request, Response, SelectReply,
-    SelectRequest, TenantStatus, PROTOCOL_VERSION, SERVED_MAXIMIZER_EPSILON,
+    health_state_name, knn_mode, maximizer, response_request_id, BackendStatus, DrainReport,
+    Request, Response, RouterStatusReply, SelectReply, SelectRequest, TenantStatus,
+    PROTOCOL_VERSION, SERVED_MAXIMIZER_EPSILON,
 };
 pub use queue::{AdmitError, BoundedQueue};
 pub use server::{ServeConfig, ServeError, Server};

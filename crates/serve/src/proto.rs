@@ -26,6 +26,12 @@ use vfps_net::wire::{Wire, WireError};
 /// it sits at the very end of the frame and decodes as trailing-optional
 /// (an early-v2 frame without it reads as `0` = greedy), so the version
 /// did not bump.
+///
+/// The routing-tier control pair ([`Request::RouterStatus`] /
+/// [`Request::DrainBackend`] answered by [`Response::RouterStatus`]) is
+/// also v2-compatible: the new request tags are only ever *sent* by
+/// routing-aware clients, and a plain daemon answers them with a typed
+/// [`Response::Rejected`] (`"not a router"`), never a decode failure.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The federated-KNN variant a [`SelectRequest::mode`] byte names, or
@@ -156,11 +162,24 @@ pub enum Request {
     /// Liveness / version probe.
     Ping,
     /// Drain and stop: finish in-flight jobs, reply [`Response::Draining`]
-    /// with the final accounting, then exit the accept loop.
+    /// with the final accounting, then exit the accept loop. A routing
+    /// tier relays this to every backend and replies with the *merged*
+    /// accounting.
     Shutdown,
     /// Enumerate the server's tenants (resident and evicted) with their
-    /// per-tenant accounting; answered with [`Response::Datasets`].
+    /// per-tenant accounting; answered with [`Response::Datasets`]. A
+    /// routing tier fans this out to every healthy backend and merges the
+    /// ledgers by tenant name.
     ListDatasets,
+    /// Routing-tier control: report the consistent-hash ring and the
+    /// per-backend health/accounting ([`Response::RouterStatus`]). A plain
+    /// daemon answers with a typed `Rejected` (`"not a router"`).
+    RouterStatus,
+    /// Routing-tier control: remove the named backend from the ring.
+    /// In-flight requests already relayed to it still complete and their
+    /// replies are still delivered; only *new* requests stop routing
+    /// there. Answered with the post-drain [`Response::RouterStatus`].
+    DrainBackend(String),
 }
 
 impl Wire for Request {
@@ -173,6 +192,11 @@ impl Wire for Request {
             Request::Ping => buf.push(1),
             Request::Shutdown => buf.push(2),
             Request::ListDatasets => buf.push(3),
+            Request::RouterStatus => buf.push(4),
+            Request::DrainBackend(name) => {
+                buf.push(5);
+                name.encode(buf);
+            }
         }
     }
 
@@ -182,6 +206,8 @@ impl Wire for Request {
             1 => Ok(Request::Ping),
             2 => Ok(Request::Shutdown),
             3 => Ok(Request::ListDatasets),
+            4 => Ok(Request::RouterStatus),
+            5 => Ok(Request::DrainBackend(String::decode(input)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -189,8 +215,109 @@ impl Wire for Request {
     fn encoded_len(&self) -> usize {
         1 + match self {
             Request::Select(r) => r.encoded_len(),
-            Request::Ping | Request::Shutdown | Request::ListDatasets => 0,
+            Request::Ping | Request::Shutdown | Request::ListDatasets | Request::RouterStatus => 0,
+            Request::DrainBackend(name) => name.encoded_len(),
         }
+    }
+}
+
+/// The health-state byte carried by [`BackendStatus::state`], rendered for
+/// humans. The single place the byte is mapped — the router's state
+/// machine, the `vfps route` output, and the bench all delegate here.
+#[must_use]
+pub fn health_state_name(state: u8) -> &'static str {
+    match state {
+        0 => "healthy",
+        1 => "suspect",
+        2 => "down",
+        3 => "drained",
+        _ => "unknown",
+    }
+}
+
+/// One backend daemon's row in a [`Response::RouterStatus`] reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BackendStatus {
+    /// The backend's ring name (stable across restarts; vnode positions
+    /// hash from it).
+    pub name: String,
+    /// The backend's socket address.
+    pub addr: String,
+    /// Health state: 0 = healthy, 1 = suspect, 2 = down, 3 = drained (see
+    /// [`health_state_name`]).
+    pub state: u8,
+    /// Virtual nodes this backend owns on the ring.
+    pub vnodes: u64,
+    /// Select requests relayed to this backend over the router's lifetime.
+    pub routed: u64,
+    /// Relays that failed transport-side (the client got a typed
+    /// rejection carrying the taxonomy, never silence).
+    pub relay_errors: u64,
+}
+
+impl Wire for BackendStatus {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.addr.encode(buf);
+        self.state.encode(buf);
+        self.vnodes.encode(buf);
+        self.routed.encode(buf);
+        self.relay_errors.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(BackendStatus {
+            name: String::decode(input)?,
+            addr: String::decode(input)?,
+            state: u8::decode(input)?,
+            vnodes: u64::decode(input)?,
+            routed: u64::decode(input)?,
+            relay_errors: u64::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.name.encoded_len()
+            + self.addr.encoded_len()
+            + self.state.encoded_len()
+            + self.vnodes.encoded_len()
+            + self.routed.encoded_len()
+            + self.relay_errors.encoded_len()
+    }
+}
+
+/// The routing tier's self-description: ring parameters plus one
+/// [`BackendStatus`] row per configured backend, in configuration order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouterStatusReply {
+    /// Seed the ring's vnode positions hash from; two routers with the
+    /// same seed, vnode count, and backend names route identically.
+    pub ring_seed: u64,
+    /// Virtual nodes per backend.
+    pub vnodes_per_backend: u64,
+    /// Every configured backend, including drained and down ones.
+    pub backends: Vec<BackendStatus>,
+}
+
+impl Wire for RouterStatusReply {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.ring_seed.encode(buf);
+        self.vnodes_per_backend.encode(buf);
+        self.backends.encode(buf);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(RouterStatusReply {
+            ring_seed: u64::decode(input)?,
+            vnodes_per_backend: u64::decode(input)?,
+            backends: Vec::<BackendStatus>::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.ring_seed.encoded_len()
+            + self.vnodes_per_backend.encoded_len()
+            + self.backends.encoded_len()
     }
 }
 
@@ -413,10 +540,13 @@ pub enum Response {
         /// The dataset a `""` request tag resolves to.
         default_dataset: String,
         /// How many tenant worlds the registry keeps materialized at once.
+        /// A routing tier reports the *sum* across its healthy backends.
         max_resident: u64,
         /// Every tenant ever served, in first-seen order.
         tenants: Vec<TenantStatus>,
     },
+    /// Reply to [`Request::RouterStatus`] and [`Request::DrainBackend`].
+    RouterStatus(RouterStatusReply),
 }
 
 impl Wire for Response {
@@ -456,6 +586,10 @@ impl Wire for Response {
                 max_resident.encode(buf);
                 tenants.encode(buf);
             }
+            Response::RouterStatus(r) => {
+                buf.push(7);
+                r.encode(buf);
+            }
         }
     }
 
@@ -482,6 +616,7 @@ impl Wire for Response {
                 max_resident: u64::decode(input)?,
                 tenants: Vec::<TenantStatus>::decode(input)?,
             }),
+            7 => Ok(Response::RouterStatus(RouterStatusReply::decode(input)?)),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -503,6 +638,7 @@ impl Wire for Response {
             Response::Datasets { default_dataset, max_resident, tenants } => {
                 default_dataset.encoded_len() + max_resident.encoded_len() + tenants.encoded_len()
             }
+            Response::RouterStatus(r) => r.encoded_len(),
         }
     }
 }
@@ -516,7 +652,10 @@ pub fn response_request_id(r: &Response) -> Option<u64> {
         Response::Busy { request_id, .. }
         | Response::TimedOut { request_id, .. }
         | Response::Rejected { request_id, .. } => Some(*request_id),
-        Response::Draining(_) | Response::Pong { .. } | Response::Datasets { .. } => None,
+        Response::Draining(_)
+        | Response::Pong { .. }
+        | Response::Datasets { .. }
+        | Response::RouterStatus(_) => None,
     }
 }
 
@@ -552,6 +691,8 @@ mod tests {
         roundtrip(&Request::Ping);
         roundtrip(&Request::Shutdown);
         roundtrip(&Request::ListDatasets);
+        roundtrip(&Request::RouterStatus);
+        roundtrip(&Request::DrainBackend("b1".into()));
     }
 
     #[test]
@@ -661,6 +802,41 @@ mod tests {
                 },
             ],
         });
+    }
+
+    #[test]
+    fn router_status_replies_roundtrip() {
+        roundtrip(&Response::RouterStatus(RouterStatusReply {
+            ring_seed: 0xF0E1,
+            vnodes_per_backend: 64,
+            backends: vec![
+                BackendStatus {
+                    name: "b0".into(),
+                    addr: "127.0.0.1:7971".into(),
+                    state: 0,
+                    vnodes: 64,
+                    routed: 41,
+                    relay_errors: 0,
+                },
+                BackendStatus {
+                    name: "b1".into(),
+                    addr: "127.0.0.1:7972".into(),
+                    state: 3,
+                    vnodes: 64,
+                    routed: 17,
+                    relay_errors: 1,
+                },
+            ],
+        }));
+    }
+
+    #[test]
+    fn health_state_bytes_have_stable_names() {
+        assert_eq!(health_state_name(0), "healthy");
+        assert_eq!(health_state_name(1), "suspect");
+        assert_eq!(health_state_name(2), "down");
+        assert_eq!(health_state_name(3), "drained");
+        assert_eq!(health_state_name(250), "unknown");
     }
 
     #[test]

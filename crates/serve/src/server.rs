@@ -377,6 +377,18 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
                     return;
                 }
             }
+            // Routing-tier control frames reaching a plain daemon get a
+            // typed rejection, not a hangup — a misconfigured `vfps route`
+            // pointed at a backend should learn *why* it failed.
+            Request::RouterStatus | Request::DrainBackend(_) => {
+                let resp = Response::Rejected {
+                    request_id: 0,
+                    reason: "not a router: this is a vfps-serve daemon".into(),
+                };
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
             Request::Select(sel) => {
                 let one_shot = shared.once;
                 let resp = submit(shared, sel);

@@ -6,7 +6,10 @@
 
 use proptest::prelude::*;
 use vfps_net::wire::Wire;
-use vfps_serve::{DrainReport, Request, Response, SelectReply, SelectRequest, TenantStatus};
+use vfps_serve::{
+    BackendStatus, DrainReport, Request, Response, RouterStatusReply, SelectReply, SelectRequest,
+    TenantStatus,
+};
 
 /// The one property under test: exact length, exact roundtrip.
 fn exact<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
@@ -56,6 +59,17 @@ fn reply_from(ids: (u64, u64, u64), chosen: Vec<usize>, scores: Vec<f64>) -> Sel
     }
 }
 
+fn backend_from(seed: u64) -> BackendStatus {
+    BackendStatus {
+        name: string_from(seed),
+        addr: string_from(seed.rotate_left(17)),
+        state: (seed % 5) as u8, // exercises the unknown byte 4 too
+        vnodes: seed % 257,
+        routed: seed.rotate_right(9),
+        relay_errors: seed % 31,
+    }
+}
+
 fn status_from(seed: u64) -> TenantStatus {
     TenantStatus {
         dataset: string_from(seed),
@@ -84,6 +98,8 @@ proptest! {
         exact(&Request::Ping);
         exact(&Request::Shutdown);
         exact(&Request::ListDatasets);
+        exact(&Request::RouterStatus);
+        exact(&Request::DrainBackend(string_from(ids.1 ^ ids.2)));
     }
 
     #[test]
@@ -116,5 +132,15 @@ proptest! {
             max_resident: ids.0 % 64,
             tenants,
         });
+
+        let backends: Vec<BackendStatus> = tenant_seeds.iter().map(|&s| backend_from(s)).collect();
+        for b in &backends {
+            exact(b);
+        }
+        exact(&Response::RouterStatus(RouterStatusReply {
+            ring_seed: ids.0,
+            vnodes_per_backend: ids.1 % 1024,
+            backends,
+        }));
     }
 }
