@@ -14,8 +14,8 @@ lint:
     cargo fmt --check
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-# Assert BENCH_selection.json carries a group's keys (selection, serve
-# or router) — the same script the CI jobs call.
+# Assert BENCH_selection.json carries a group's keys (selection, serve,
+# router or cluster) — the same script the CI jobs call.
 bench-keys group="selection" artifact="BENCH_selection.json":
     bash ci/check_bench_keys.sh {{group}} {{artifact}}
 
@@ -35,3 +35,16 @@ bench-serve:
 bench-router:
     cargo run --release -p vfps-bench --bin experiments -- bench-serve --quick --router
     bash ci/check_bench_keys.sh router
+
+# Real-socket cluster benchmark: three party daemons over TCP vs the
+# simulated cluster (bit-identity asserted) plus a mid-batch kill run.
+bench-cluster:
+    cargo run --release -p vfps-bench --bin experiments -- bench-cluster --quick
+    bash ci/check_bench_keys.sh cluster
+
+# End-to-end cluster smoke: spawn three real `vfps party` processes,
+# run the protocol + kill matrix against them, then the bench gate.
+cluster-smoke:
+    cargo test --release -q -p vfps-serve --test cluster_process
+    cargo run --release -p vfps-bench --bin experiments -- bench-cluster --quick
+    bash ci/check_bench_keys.sh cluster

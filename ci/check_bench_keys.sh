@@ -5,21 +5,21 @@
 # bench-keys <group>`) both call this script, so a new artifact key is
 # added exactly once, here.
 #
-# usage: ci/check_bench_keys.sh <selection|serve|router> [artifact.json]
+# usage: ci/check_bench_keys.sh <selection|serve|router|cluster> [artifact.json]
 #
 # Exit codes: 0 all keys present, 1 missing key(s) or missing artifact,
 # 2 usage error.
 set -euo pipefail
 
 usage() {
-  echo "usage: $0 <selection|serve|router> [artifact.json]" >&2
+  echo "usage: $0 <selection|serve|router|cluster> [artifact.json]" >&2
   exit 2
 }
 
 group="${1:-}"
 artifact="${2:-BENCH_selection.json}"
 case "$group" in
-  selection | serve | router) ;;
+  selection | serve | router | cluster) ;;
   # Validate here, in the main shell: `keys_for` runs in a process
   # substitution, where an `exit` would only kill the subshell and an
   # unknown group would silently check zero keys.
@@ -72,6 +72,19 @@ EOF
 "lost_responses": 0
 "duplicated_responses": 0
 "relay_errors"
+EOF
+      ;;
+    cluster)
+      cat <<'EOF'
+"cluster_breakdown"
+"bit_identical_to_sim": true
+"kills_observed": 1
+"reconnects": 0
+"connects": 3
+"per_party"
+"frames_in"
+"total_bytes"
+"total_messages"
 EOF
       ;;
     *) ;; # unreachable: validated before the artifact check

@@ -78,6 +78,25 @@ fn main() {
         return;
     }
 
+    // `bench-cluster` runs the fed-KNN session over real sockets vs the
+    // simulated cluster and times both, plus a mid-batch kill run.
+    if args.first().map(String::as_str) == Some("bench-cluster") {
+        let mut cfg = vfps_bench::cluster::ClusterBenchConfig::default();
+        let mut it = args.iter().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--quick" => cfg.quick = true,
+                "--addrs" => {
+                    let list = it.next().cloned().unwrap_or_else(|| usage("--addrs needs a value"));
+                    cfg.addrs = Some(list.split(',').map(str::to_owned).collect());
+                }
+                other => usage(&format!("unexpected argument {other}")),
+            }
+        }
+        println!("{}", vfps_bench::cluster::bench_cluster(&cfg));
+        return;
+    }
+
     let mut id: Option<String> = None;
     let mut cfg = ExpConfig::default();
     let mut it = args.iter();
@@ -178,6 +197,7 @@ fn usage(msg: &str) -> ! {
         "usage: experiments <id> [--runs N] [--quick] [--cached]\n\
          \x20      experiments bench-check [--current F] [--baseline F] [--tolerance N]\n\
          \x20      experiments bench-serve [--quick] [--clients N] [--addr host:port] [--router]\n\
+         \x20      experiments bench-cluster [--quick] [--addrs h:p,h:p,h:p]\n\
          ids: table1 tables45 fig4 fig5 fig6 fig7 fig8 fig9\n\
          \x20    ablation-batch ablation-scheme ablation-dp ablation-maximizer ablation-noise ablation-topk breakdown bench-selection calibrate all\n\
          --cached additionally exercises the selection-artifact cache in bench-selection;\n\
@@ -186,7 +206,10 @@ fn usage(msg: &str) -> ! {
          (in-process, or --addr for a daemon started with --max-tenants >= 2);\n\
          with --router the workload runs through a vfps-router tier over two daemons\n\
          (in-process, or --addr for a running router whose backends share a --cache-dir)\n\
-         and adds a mid-load backend drain plus bit-identity checks against a direct daemon"
+         and adds a mid-load backend drain plus bit-identity checks against a direct daemon;\n\
+         bench-cluster times the fed-KNN protocol over real TCP daemons vs the simulated\n\
+         cluster (bit-identity asserted) plus a mid-batch kill run, merging a\n\
+         cluster_breakdown section into BENCH_selection.json"
     );
     std::process::exit(2)
 }

@@ -626,9 +626,12 @@ pub fn ablation_topk(cfg: &ExpConfig) -> String {
             seed: 1400,
         };
         let mut per_mode = Vec::new();
-        for (label, mode) in
-            [("base", KnnMode::Base), ("fagin", KnnMode::Fagin), ("threshold", KnnMode::Threshold)]
-        {
+        for (label, mode) in [
+            ("base", KnnMode::Base),
+            ("fagin", KnnMode::Fagin),
+            ("threshold", KnnMode::Threshold),
+            ("nra", KnnMode::Nra),
+        ] {
             let sel = VfpsSmSelector { mode, query_count: pc.query_count, ..Default::default() }
                 .select(&ctx, pc.select);
             per_mode.push((label, sel));

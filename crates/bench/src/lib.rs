@@ -5,6 +5,7 @@
 #![warn(missing_docs)]
 
 pub mod check;
+pub mod cluster;
 pub mod experiments;
 pub mod json;
 pub mod serve;

@@ -20,11 +20,12 @@ use vfps_vfl::fed_knn::QueryOutcome;
 
 use crate::fingerprint::{CacheKey, Fnv128};
 
-/// File magic: "VFPSCAC" plus format version 3. v3 added the maximizer
+/// File magic: "VFPSCAC" plus format version 4. v4 widened the embedded
+/// `OpLedger` with the random-access counter; v3 added the maximizer
 /// kind and epsilon to [`CacheKey`]; v2 added the tenant digest. Older
 /// files fail [`CacheError::BadMagic`] and degrade to a cold run that
 /// rewrites the slot in the current format.
-pub const MAGIC: [u8; 8] = *b"VFPSCAC3";
+pub const MAGIC: [u8; 8] = *b"VFPSCAC4";
 /// Cache file extension.
 pub const EXTENSION: &str = "vfpsc";
 const CHECKSUM_LEN: usize = 16;

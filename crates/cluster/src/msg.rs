@@ -1,0 +1,547 @@
+//! The coordinator ⇄ daemon control protocol.
+//!
+//! One [`ClusterMsg`] frame kind carries everything that crosses a party
+//! socket: session setup, readiness, routed [`ProtoMsg`](vfps_vfl::ProtoMsg) payloads, peer
+//! departure notices, terminal results, and the idempotent health probe.
+//! Frames travel length-prefixed through [`vfps_net::wire::write_frame`] /
+//! [`read_frame`](vfps_net::wire::read_frame), so the 16 MiB cap and the
+//! typed [`FrameError`](vfps_net::wire::FrameError) taxonomy apply
+//! unchanged.
+//!
+//! Routed payloads are *opaque bytes* at this layer — the encoded
+//! [`ProtoMsg`](vfps_vfl::ProtoMsg) — so the hub can relay participant ⇄ participant traffic
+//! without decoding it.
+
+use vfps_net::wire::{take, Wire, WireError};
+use vfps_net::{Error, NodeId};
+use vfps_vfl::fed_knn::{FedKnnConfig, KnnMode, QueryOutcome};
+use vfps_vfl::KnnSession;
+
+/// Which additive-HE scheme every node of a session instantiates.
+///
+/// All nodes derive the scheme from the same spec (same seed), so the
+/// leader's decryption key matches the participants' encryption key. A
+/// production deployment would replace this with the paper's key server;
+/// the testbed trades that ceremony for determinism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// [`vfps_he::scheme::PlainHe`] — no cryptography, exact arithmetic.
+    Plain,
+    /// [`vfps_he::scheme::PaillierHe`] — real additively homomorphic
+    /// encryption; aggregation is exact modular arithmetic, so results
+    /// are independent of message arrival order.
+    Paillier,
+}
+
+/// A deterministic scheme recipe shipped in [`SetupFrame`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchemeSpec {
+    /// Scheme family.
+    pub kind: SchemeKind,
+    /// Key size in bits (ignored by [`SchemeKind::Plain`]).
+    pub key_bits: usize,
+    /// Ciphertext batch (packing) size.
+    pub batch: usize,
+    /// Key-generation seed (ignored by [`SchemeKind::Plain`]).
+    pub seed: u64,
+}
+
+impl SchemeSpec {
+    /// A plaintext "scheme" with the given batch size.
+    #[must_use]
+    pub fn plain(batch: usize) -> Self {
+        SchemeSpec { kind: SchemeKind::Plain, key_bits: 0, batch, seed: 0 }
+    }
+
+    /// A seeded Paillier scheme.
+    #[must_use]
+    pub fn paillier(key_bits: usize, batch: usize, seed: u64) -> Self {
+        SchemeSpec { kind: SchemeKind::Paillier, key_bits, batch, seed }
+    }
+}
+
+impl Wire for SchemeSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let kind: u8 = match self.kind {
+            SchemeKind::Plain => 0,
+            SchemeKind::Paillier => 1,
+        };
+        kind.encode(out);
+        self.key_bits.encode(out);
+        self.batch.encode(out);
+        self.seed.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let kind = match u8::decode(input)? {
+            0 => SchemeKind::Plain,
+            1 => SchemeKind::Paillier,
+            t => return Err(WireError::BadTag(t)),
+        };
+        Ok(SchemeSpec {
+            kind,
+            key_bits: usize::decode(input)?,
+            batch: usize::decode(input)?,
+            seed: u64::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + 8 + 8 + 8
+    }
+}
+
+/// The byte for a [`KnnMode`] on the wire (only the modes the threaded
+/// protocol implements are routable; Threshold/NRA are logical-engine
+/// oracles and never reach a daemon).
+#[must_use]
+pub fn mode_byte(mode: KnnMode) -> u8 {
+    match mode {
+        KnnMode::Base => 0,
+        KnnMode::Fagin => 1,
+        KnnMode::Threshold => 2,
+        KnnMode::Nra => 3,
+    }
+}
+
+/// Inverse of [`mode_byte`], restricted to the protocol-capable modes.
+#[must_use]
+pub fn protocol_mode_from_byte(b: u8) -> Option<KnnMode> {
+    match b {
+        0 => Some(KnnMode::Base),
+        1 => Some(KnnMode::Fagin),
+        _ => None,
+    }
+}
+
+/// Everything a daemon needs to enter one protocol run: the session
+/// description (consortium, rows, queries, config, shuffle seed), its own
+/// slot, and the scheme recipe. Shipping the *seed* rather than the
+/// permutation keeps the frame small and forces both backends through the
+/// identical [`KnnSession::new`] derivation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SetupFrame {
+    /// This daemon's slot (node `1 + slot`).
+    pub slot: usize,
+    /// Party ids in slot order.
+    pub parties: Vec<usize>,
+    /// Database row indices.
+    pub db_rows: Vec<usize>,
+    /// Query row indices.
+    pub queries: Vec<usize>,
+    /// `FedKnnConfig::k`.
+    pub k: usize,
+    /// Protocol mode byte (see [`mode_byte`]).
+    pub mode: u8,
+    /// `FedKnnConfig::batch`.
+    pub batch: usize,
+    /// `FedKnnConfig::cost_scale`, as IEEE-754 bits (exactness over text).
+    pub cost_scale_bits: u64,
+    /// Pseudo-ID permutation seed (paper §IV-B step ①).
+    pub shuffle_seed: u64,
+    /// Scheme recipe every node instantiates.
+    pub scheme: SchemeSpec,
+}
+
+impl SetupFrame {
+    /// Builds the frame for `slot` from a coordinator-side session.
+    #[must_use]
+    pub fn for_slot(
+        session: &KnnSession,
+        shuffle_seed: u64,
+        slot: usize,
+        scheme: SchemeSpec,
+    ) -> Self {
+        SetupFrame {
+            slot,
+            parties: session.parties.clone(),
+            db_rows: session.db_rows.clone(),
+            queries: session.queries.clone(),
+            k: session.cfg.k,
+            mode: mode_byte(session.cfg.mode),
+            batch: session.cfg.batch,
+            cost_scale_bits: session.cfg.cost_scale.to_bits(),
+            shuffle_seed,
+            scheme,
+        }
+    }
+
+    /// Reconstructs the session on the daemon side — through the same
+    /// [`KnnSession::new`] the simulated backend uses, so the pseudo-ID
+    /// permutation is derived identically.
+    ///
+    /// # Errors
+    /// [`Error::ProtocolViolation`] on a mode byte outside the threaded
+    /// protocol or a slot outside the consortium.
+    pub fn session(&self) -> Result<KnnSession, Error> {
+        let mode = protocol_mode_from_byte(self.mode)
+            .ok_or_else(|| Error::violation(format!("unroutable knn mode byte {}", self.mode)))?;
+        if self.slot >= self.parties.len() {
+            return Err(Error::violation(format!(
+                "slot {} outside consortium of {}",
+                self.slot,
+                self.parties.len()
+            )));
+        }
+        if self.parties.is_empty() || self.db_rows.is_empty() {
+            return Err(Error::violation("empty consortium or database"));
+        }
+        let cfg = FedKnnConfig {
+            k: self.k,
+            mode,
+            batch: self.batch,
+            cost_scale: f64::from_bits(self.cost_scale_bits),
+        };
+        Ok(KnnSession::new(&self.parties, &self.db_rows, &self.queries, cfg, self.shuffle_seed))
+    }
+}
+
+impl Wire for SetupFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.slot.encode(out);
+        self.parties.encode(out);
+        self.db_rows.encode(out);
+        self.queries.encode(out);
+        self.k.encode(out);
+        self.mode.encode(out);
+        self.batch.encode(out);
+        self.cost_scale_bits.encode(out);
+        self.shuffle_seed.encode(out);
+        self.scheme.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SetupFrame {
+            slot: usize::decode(input)?,
+            parties: Vec::decode(input)?,
+            db_rows: Vec::decode(input)?,
+            queries: Vec::decode(input)?,
+            k: usize::decode(input)?,
+            mode: u8::decode(input)?,
+            batch: usize::decode(input)?,
+            cost_scale_bits: u64::decode(input)?,
+            shuffle_seed: u64::decode(input)?,
+            scheme: SchemeSpec::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.parties.encoded_len()
+            + self.db_rows.encoded_len()
+            + self.queries.encoded_len()
+            + 8
+            + 1
+            + 8
+            + 8
+            + 8
+            + self.scheme.encoded_len()
+    }
+}
+
+/// A [`vfps_net::Error`] flattened for the wire, so a daemon's terminal
+/// failure arrives at the coordinator with its type intact and the
+/// process-level kill matrix can assert the *same* typed outcomes the
+/// in-process fault suite pins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ErrorFrame {
+    /// 0 = Hangup, 1 = Timeout, 2 = ProtocolViolation, 3 = Killed.
+    pub kind: u8,
+    /// Peer node (Hangup; Timeout when directed), else absent.
+    pub peer: Option<usize>,
+    /// Waited duration in nanoseconds (Timeout), else 0.
+    pub waited_nanos: u64,
+    /// Violation detail (ProtocolViolation), else empty.
+    pub detail: String,
+    /// Channel-op index (Killed), else 0.
+    pub op: u64,
+}
+
+impl ErrorFrame {
+    /// Flattens a typed error.
+    #[must_use]
+    pub fn from_error(e: &Error) -> Self {
+        match e {
+            Error::Hangup { peer } => ErrorFrame {
+                kind: 0,
+                peer: Some(*peer),
+                waited_nanos: 0,
+                detail: String::new(),
+                op: 0,
+            },
+            Error::Timeout { peer, waited } => ErrorFrame {
+                kind: 1,
+                peer: *peer,
+                waited_nanos: waited.as_nanos() as u64,
+                detail: String::new(),
+                op: 0,
+            },
+            Error::ProtocolViolation { detail } => {
+                ErrorFrame { kind: 2, peer: None, waited_nanos: 0, detail: detail.clone(), op: 0 }
+            }
+            Error::Killed { node, op } => ErrorFrame {
+                kind: 3,
+                peer: Some(*node),
+                waited_nanos: 0,
+                detail: String::new(),
+                op: *op,
+            },
+        }
+    }
+
+    /// Rebuilds the typed error. Unknown kinds decode as a violation so a
+    /// newer daemon can never crash an older coordinator.
+    #[must_use]
+    pub fn to_error(&self) -> Error {
+        match self.kind {
+            0 => Error::Hangup { peer: self.peer.unwrap_or(0) },
+            1 => Error::Timeout {
+                peer: self.peer,
+                waited: std::time::Duration::from_nanos(self.waited_nanos),
+            },
+            2 => Error::ProtocolViolation { detail: self.detail.clone() },
+            3 => Error::Killed { node: self.peer.unwrap_or(0), op: self.op },
+            k => Error::violation(format!("unknown remote error kind {k}")),
+        }
+    }
+}
+
+impl Wire for ErrorFrame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.peer.encode(out);
+        self.waited_nanos.encode(out);
+        self.detail.encode(out);
+        self.op.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(ErrorFrame {
+            kind: u8::decode(input)?,
+            peer: Option::decode(input)?,
+            waited_nanos: u64::decode(input)?,
+            detail: String::decode(input)?,
+            op: u64::decode(input)?,
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + self.peer.encoded_len() + 8 + self.detail.encoded_len() + 8
+    }
+}
+
+/// One frame of the coordinator ⇄ daemon control protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterMsg {
+    /// Coordinator → daemon: enter this session.
+    Setup(SetupFrame),
+    /// Daemon → coordinator: setup validated, protocol body entered.
+    Ready {
+        /// The daemon's configured party id (coordinator cross-checks it).
+        party_id: usize,
+    },
+    /// Either direction: one [`ProtoMsg`](vfps_vfl::ProtoMsg), encoded,
+    /// routed `from` → `to` through the hub.
+    Routed {
+        /// Originating node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// The encoded protocol message.
+        payload: Vec<u8>,
+    },
+    /// Coordinator → daemon: a peer left the session.
+    Departed {
+        /// The departed node.
+        node: NodeId,
+        /// Whether it completed its body (`true`) or died (`false`).
+        clean: bool,
+    },
+    /// Daemon → coordinator: protocol body returned `Ok`.
+    Finished {
+        /// The leader's per-query outcomes (empty for non-leaders).
+        outcomes: Vec<QueryOutcome>,
+        /// Participant slots this node observed dropping out.
+        dead_slots: Vec<usize>,
+    },
+    /// Daemon → coordinator: protocol body returned `Err`.
+    Failed(ErrorFrame),
+    /// Idempotent health probe (either direction; safe to retry across
+    /// reconnects).
+    Ping {
+        /// Echoed back verbatim in [`ClusterMsg::Pong`].
+        nonce: u64,
+    },
+    /// Reply to [`ClusterMsg::Ping`].
+    Pong {
+        /// The probe's nonce.
+        nonce: u64,
+    },
+}
+
+impl Wire for ClusterMsg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClusterMsg::Setup(f) => {
+                out.push(0);
+                f.encode(out);
+            }
+            ClusterMsg::Ready { party_id } => {
+                out.push(1);
+                party_id.encode(out);
+            }
+            ClusterMsg::Routed { from, to, payload } => {
+                out.push(2);
+                from.encode(out);
+                to.encode(out);
+                payload.encode(out);
+            }
+            ClusterMsg::Departed { node, clean } => {
+                out.push(3);
+                node.encode(out);
+                clean.encode(out);
+            }
+            ClusterMsg::Finished { outcomes, dead_slots } => {
+                out.push(4);
+                outcomes.encode(out);
+                dead_slots.encode(out);
+            }
+            ClusterMsg::Failed(e) => {
+                out.push(5);
+                e.encode(out);
+            }
+            ClusterMsg::Ping { nonce } => {
+                out.push(6);
+                nonce.encode(out);
+            }
+            ClusterMsg::Pong { nonce } => {
+                out.push(7);
+                nonce.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
+        let tag = take(input, 1)?[0];
+        Ok(match tag {
+            0 => ClusterMsg::Setup(SetupFrame::decode(input)?),
+            1 => ClusterMsg::Ready { party_id: usize::decode(input)? },
+            2 => ClusterMsg::Routed {
+                from: NodeId::decode(input)?,
+                to: NodeId::decode(input)?,
+                payload: Vec::decode(input)?,
+            },
+            3 => ClusterMsg::Departed { node: NodeId::decode(input)?, clean: bool::decode(input)? },
+            4 => ClusterMsg::Finished {
+                outcomes: Vec::decode(input)?,
+                dead_slots: Vec::decode(input)?,
+            },
+            5 => ClusterMsg::Failed(ErrorFrame::decode(input)?),
+            6 => ClusterMsg::Ping { nonce: u64::decode(input)? },
+            7 => ClusterMsg::Pong { nonce: u64::decode(input)? },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ClusterMsg::Setup(f) => f.encoded_len(),
+            ClusterMsg::Ready { party_id } => party_id.encoded_len(),
+            ClusterMsg::Routed { from, to, payload } => {
+                from.encoded_len() + to.encoded_len() + payload.encoded_len()
+            }
+            ClusterMsg::Departed { node, clean } => node.encoded_len() + clean.encoded_len(),
+            ClusterMsg::Finished { outcomes, dead_slots } => {
+                outcomes.encoded_len() + dead_slots.encoded_len()
+            }
+            ClusterMsg::Failed(e) => e.encoded_len(),
+            ClusterMsg::Ping { nonce } | ClusterMsg::Pong { nonce } => nonce.encoded_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn roundtrip(m: ClusterMsg) {
+        let bytes = m.to_bytes();
+        assert_eq!(bytes.len(), m.encoded_len(), "{m:?}");
+        assert_eq!(ClusterMsg::from_bytes(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn cluster_frames_roundtrip() {
+        let session = KnnSession::new(
+            &[0, 2, 3],
+            &[0, 1, 2, 3, 4],
+            &[1, 4],
+            FedKnnConfig { k: 2, mode: KnnMode::Fagin, batch: 3, cost_scale: 1.5 },
+            42,
+        );
+        roundtrip(ClusterMsg::Setup(SetupFrame::for_slot(
+            &session,
+            42,
+            1,
+            SchemeSpec::paillier(128, 8, 5),
+        )));
+        roundtrip(ClusterMsg::Ready { party_id: 7 });
+        roundtrip(ClusterMsg::Routed { from: 0, to: 3, payload: vec![1, 2, 3] });
+        roundtrip(ClusterMsg::Departed { node: 2, clean: false });
+        roundtrip(ClusterMsg::Finished {
+            outcomes: vec![QueryOutcome {
+                topk_rows: vec![4, 1],
+                d_t: vec![0.5, 0.25],
+                d_t_total: 0.75,
+                candidates: 3,
+            }],
+            dead_slots: vec![1],
+        });
+        roundtrip(ClusterMsg::Failed(ErrorFrame::from_error(&Error::Hangup { peer: 1 })));
+        roundtrip(ClusterMsg::Ping { nonce: 0xdead_beef });
+        roundtrip(ClusterMsg::Pong { nonce: 0xdead_beef });
+    }
+
+    #[test]
+    fn error_frames_preserve_the_taxonomy() {
+        let cases = vec![
+            Error::Hangup { peer: 3 },
+            Error::Timeout { peer: Some(1), waited: Duration::from_millis(250) },
+            Error::Timeout { peer: None, waited: Duration::from_secs(10) },
+            Error::violation("expected RankBatch, got QueryDone"),
+            Error::Killed { node: 2, op: 17 },
+        ];
+        for e in cases {
+            let f = ErrorFrame::from_error(&e);
+            let bytes = f.to_bytes();
+            assert_eq!(ErrorFrame::from_bytes(&bytes).unwrap().to_error(), e);
+        }
+        let unknown =
+            ErrorFrame { kind: 200, peer: None, waited_nanos: 0, detail: String::new(), op: 0 };
+        assert!(matches!(unknown.to_error(), Error::ProtocolViolation { .. }));
+    }
+
+    #[test]
+    fn setup_rebuilds_the_identical_session() {
+        let cfg = FedKnnConfig { k: 3, mode: KnnMode::Base, batch: 2, cost_scale: 2.0 };
+        let session = KnnSession::new(&[1, 0], &[0, 1, 2, 3], &[2], cfg, 9);
+        let frame = SetupFrame::for_slot(&session, 9, 0, SchemeSpec::plain(4));
+        let rebuilt = frame.session().unwrap();
+        assert_eq!(rebuilt.perm, session.perm);
+        assert_eq!(rebuilt.inv, session.inv);
+        assert_eq!(rebuilt.parties, session.parties);
+        assert_eq!(rebuilt.queries, session.queries);
+    }
+
+    #[test]
+    fn setup_rejects_unroutable_modes_and_bad_slots() {
+        let cfg = FedKnnConfig { k: 1, mode: KnnMode::Base, batch: 1, cost_scale: 1.0 };
+        let session = KnnSession::new(&[0], &[0, 1], &[0], cfg, 1);
+        let mut f = SetupFrame::for_slot(&session, 1, 0, SchemeSpec::plain(4));
+        f.mode = mode_byte(KnnMode::Nra);
+        assert!(matches!(f.session(), Err(Error::ProtocolViolation { .. })));
+        let mut g = SetupFrame::for_slot(&session, 1, 0, SchemeSpec::plain(4));
+        g.slot = 5;
+        assert!(matches!(g.session(), Err(Error::ProtocolViolation { .. })));
+    }
+}

@@ -1,0 +1,450 @@
+//! The party daemon: one process (or thread) holding one party's feature
+//! columns, serving fed-KNN protocol sessions over a TCP socket.
+//!
+//! A daemon listens, accepts one coordinator connection at a time, and per
+//! connection answers [`ClusterMsg::Ping`] probes and at most one
+//! [`ClusterMsg::Setup`] — the session runs the *same*
+//! [`knn_participant_node`] body the simulated cluster runs, over a
+//! [`PartyChannel`] that implements [`Channel<ProtoMsg>`] on the socket.
+//! Bad frames from a peer never kill the daemon: the connection is
+//! answered with a typed [`ClusterMsg::Failed`] (or dropped) and the
+//! accept loop continues.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vfps_data::VerticalPartition;
+use vfps_he::scheme::{AdditiveHe, PaillierHe, PlainHe};
+use vfps_ml::linalg::Matrix;
+use vfps_net::channel::Channel;
+use vfps_net::cluster::Envelope;
+use vfps_net::wire::{read_frame, write_frame, Wire};
+use vfps_net::{Error, NodeId, TransportFailure};
+use vfps_vfl::{knn_participant_node, KnnSession, ProtoMsg};
+
+use crate::msg::{ClusterMsg, ErrorFrame, SchemeKind, SetupFrame};
+
+/// How long a daemon waits for the first frame of a connection (and
+/// between control frames) before giving up on the peer.
+const SETUP_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Operational knobs for one party daemon.
+#[derive(Clone, Debug)]
+pub struct PartyConfig {
+    /// The party id this daemon holds columns for. Setups naming another
+    /// party at this daemon's slot are refused.
+    pub party_id: usize,
+    /// Serve this many protocol sessions, then return (`None` = forever).
+    pub max_sessions: Option<usize>,
+    /// Fault knob: die *abruptly* — socket dropped mid-protocol, no
+    /// `Failed` frame — after this many channel operations. The in-process
+    /// analogue of `SIGKILL` at a deterministic protocol point; the
+    /// process-level kill matrix uses real signals instead.
+    pub kill_after_ops: Option<u64>,
+}
+
+impl PartyConfig {
+    /// A well-behaved daemon for `party_id` serving sessions forever.
+    #[must_use]
+    pub fn new(party_id: usize) -> Self {
+        PartyConfig { party_id, max_sessions: None, kill_after_ops: None }
+    }
+}
+
+/// What a bounded [`serve_party`] run did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PartyReport {
+    /// Protocol sessions entered (including killed ones).
+    pub sessions: usize,
+    /// Whether the kill knob fired during the last session.
+    pub killed: bool,
+}
+
+/// Runs the daemon accept loop over `listener`.
+///
+/// Returns after [`PartyConfig::max_sessions`] protocol sessions, or never
+/// (propagating only `accept` failures) when unbounded.
+///
+/// # Errors
+/// Only on listener-level I/O failure; per-connection errors are handled
+/// by refusing the connection and continuing.
+pub fn serve_party(
+    listener: &TcpListener,
+    x: &Matrix,
+    partition: &VerticalPartition,
+    cfg: &PartyConfig,
+) -> std::io::Result<PartyReport> {
+    let mut report = PartyReport::default();
+    loop {
+        if let Some(max) = cfg.max_sessions {
+            if report.sessions >= max {
+                return Ok(report);
+            }
+        }
+        let (stream, _peer) = listener.accept()?;
+        vfps_obs::counter_add("cluster.party.connections", 1);
+        match handle_conn(&stream, x, partition, cfg) {
+            ConnOutcome::Probe => {}
+            ConnOutcome::Session { killed } => {
+                report.sessions += 1;
+                report.killed = killed;
+            }
+        }
+    }
+}
+
+enum ConnOutcome {
+    /// Pings only (or garbage); no protocol session ran.
+    Probe,
+    /// A `Setup` was received and a session ran (possibly dying mid-way).
+    Session { killed: bool },
+}
+
+/// Serves one coordinator connection: answers pings until a `Setup`
+/// arrives, then runs the protocol session and closes.
+fn handle_conn(
+    stream: &TcpStream,
+    x: &Matrix,
+    partition: &VerticalPartition,
+    cfg: &PartyConfig,
+) -> ConnOutcome {
+    let _ = stream.set_nodelay(true);
+    loop {
+        if stream.set_read_timeout(Some(SETUP_TIMEOUT)).is_err() {
+            return ConnOutcome::Probe;
+        }
+        match read_frame::<_, ClusterMsg>(&mut &*stream) {
+            Ok(Some(ClusterMsg::Ping { nonce })) => {
+                if write_frame(&mut &*stream, &ClusterMsg::Pong { nonce }).is_err() {
+                    return ConnOutcome::Probe;
+                }
+            }
+            Ok(Some(ClusterMsg::Setup(frame))) => {
+                return match run_setup(stream, x, partition, cfg, &frame) {
+                    // A refused setup never entered the protocol: the
+                    // connection is spent, the session budget is not.
+                    SetupOutcome::Refused => ConnOutcome::Probe,
+                    SetupOutcome::Ran { killed } => ConnOutcome::Session { killed },
+                };
+            }
+            Ok(Some(other)) => {
+                refuse(stream, Error::violation(format!("expected Setup or Ping, got {other:?}")));
+                return ConnOutcome::Probe;
+            }
+            // Peer closed between frames (health probe done), or sent
+            // bytes the codec rejects: refuse and survive either way.
+            Ok(None) => return ConnOutcome::Probe,
+            Err(e) => {
+                let failure = TransportFailure::classify_frame(&e, SETUP_TIMEOUT);
+                if let TransportFailure::Protocol { detail } = failure {
+                    refuse(stream, Error::violation(detail));
+                }
+                return ConnOutcome::Probe;
+            }
+        }
+    }
+}
+
+/// Best-effort typed refusal; the peer may already be gone.
+fn refuse(stream: &TcpStream, e: Error) {
+    let _ = write_frame(&mut &*stream, &ClusterMsg::Failed(ErrorFrame::from_error(&e)));
+}
+
+/// What a `Setup` frame led to.
+enum SetupOutcome {
+    /// Invalid setup: typed refusal sent, protocol never entered.
+    Refused,
+    /// The protocol body ran (possibly dying via the kill knob).
+    Ran { killed: bool },
+}
+
+/// Validates a setup and dispatches to the scheme-monomorphized session
+/// runner.
+fn run_setup(
+    stream: &TcpStream,
+    x: &Matrix,
+    partition: &VerticalPartition,
+    cfg: &PartyConfig,
+    frame: &SetupFrame,
+) -> SetupOutcome {
+    let session = match frame.session() {
+        Ok(s) => s,
+        Err(e) => {
+            refuse(stream, e);
+            return SetupOutcome::Refused;
+        }
+    };
+    if session.parties[frame.slot] != cfg.party_id {
+        refuse(
+            stream,
+            Error::violation(format!(
+                "slot {} names party {}, daemon holds party {}",
+                frame.slot, session.parties[frame.slot], cfg.party_id
+            )),
+        );
+        return SetupOutcome::Refused;
+    }
+    match frame.scheme.kind {
+        SchemeKind::Plain => {
+            let he = Arc::new(PlainHe::new(frame.scheme.batch.max(1)));
+            SetupOutcome::Ran {
+                killed: run_session(stream, &he, &session, frame.slot, x, partition, cfg),
+            }
+        }
+        SchemeKind::Paillier => {
+            match PaillierHe::generate(frame.scheme.key_bits, frame.scheme.batch, frame.scheme.seed)
+            {
+                Ok(he) => {
+                    let he = Arc::new(he);
+                    SetupOutcome::Ran {
+                        killed: run_session(stream, &he, &session, frame.slot, x, partition, cfg),
+                    }
+                }
+                Err(e) => {
+                    refuse(stream, Error::violation(format!("scheme generation failed: {e}")));
+                    SetupOutcome::Refused
+                }
+            }
+        }
+    }
+}
+
+/// Runs one protocol session as node `1 + slot` over the socket. Returns
+/// whether the kill knob fired (in which case the socket is dropped with
+/// no terminal frame — the coordinator observes an abrupt death, exactly
+/// as it would a `SIGKILL`ed process).
+fn run_session<H: AdditiveHe>(
+    stream: &TcpStream,
+    he: &Arc<H>,
+    session: &KnnSession,
+    slot: usize,
+    x: &Matrix,
+    partition: &VerticalPartition,
+    cfg: &PartyConfig,
+) -> bool {
+    let (view, qfeats) = session.local_inputs(x, partition, slot);
+    if write_frame(&mut &*stream, &ClusterMsg::Ready { party_id: cfg.party_id }).is_err() {
+        return false;
+    }
+    let ch = PartyChannel::new(stream, 1 + slot, session.parties.len() + 1, cfg.kill_after_ops);
+    vfps_obs::counter_add("cluster.party.sessions", 1);
+    match knn_participant_node(&ch, he, session, slot, &view, &qfeats) {
+        Ok((outcomes, dead_slots)) => {
+            let _ = write_frame(&mut &*stream, &ClusterMsg::Finished { outcomes, dead_slots });
+            false
+        }
+        // The kill knob: drop the socket without a word.
+        Err(Error::Killed { .. }) => true,
+        Err(e) => {
+            refuse(stream, e);
+            false
+        }
+    }
+}
+
+/// A daemon's view of the cluster message plane: [`Channel<ProtoMsg>`]
+/// over the single socket to the coordinator hub, which routes frames
+/// between nodes and broadcasts peer departures.
+///
+/// Mirrors the simulated [`NodeCtx`](vfps_net::cluster::NodeCtx)
+/// semantics the [`Channel`] contract documents: envelopes interleaved by
+/// other senders are buffered for later receives, other peers' departures
+/// are consumed silently by directed receives, and a receive that can
+/// never complete reports the last departed peer. Hub-socket death is a
+/// hangup of node 0 — without the coordinator nothing can be routed.
+///
+/// A deadline that expires mid-frame can leave the stream desynchronized;
+/// the protocol treats any timeout as a dead peer, so the session is
+/// already lost at that point — matching a real mesh, where a deadline on
+/// a stalled stream tears the stream down.
+pub struct PartyChannel<'a> {
+    stream: &'a TcpStream,
+    me: NodeId,
+    nodes: usize,
+    state: RefCell<PartyChanState>,
+}
+
+struct PartyChanState {
+    reorder: VecDeque<Envelope<ProtoMsg>>,
+    departed: BTreeMap<NodeId, bool>,
+    last_departed: Option<NodeId>,
+    ops: u64,
+    kill_after: Option<u64>,
+}
+
+/// One event consumed off the socket.
+enum Polled {
+    Msg(Envelope<ProtoMsg>),
+    Departure { node: NodeId, clean: bool },
+}
+
+impl<'a> PartyChannel<'a> {
+    /// Wraps `stream` as node `me` of a `nodes`-node session.
+    #[must_use]
+    pub fn new(
+        stream: &'a TcpStream,
+        me: NodeId,
+        nodes: usize,
+        kill_after: Option<u64>,
+    ) -> PartyChannel<'a> {
+        PartyChannel {
+            stream,
+            me,
+            nodes,
+            state: RefCell::new(PartyChanState {
+                reorder: VecDeque::new(),
+                departed: BTreeMap::new(),
+                last_departed: None,
+                ops: 0,
+                kill_after,
+            }),
+        }
+    }
+
+    /// Counts one channel operation, firing the kill knob at its budget.
+    fn tick(&self) -> Result<(), Error> {
+        let mut st = self.state.borrow_mut();
+        st.ops += 1;
+        match st.kill_after {
+            Some(limit) if st.ops > limit => Err(Error::Killed { node: self.me, op: st.ops }),
+            _ => Ok(()),
+        }
+    }
+
+    /// True when every peer (every node but `me`) has departed.
+    fn starved(&self, st: &PartyChanState) -> bool {
+        (0..self.nodes).filter(|&n| n != self.me).all(|n| st.departed.contains_key(&n))
+    }
+
+    /// Blocks up to `remaining` for one frame, translating socket failures
+    /// onto the typed taxonomy. `total` is the caller's full deadline, for
+    /// timeout reporting.
+    fn poll(&self, remaining: Duration, total: Duration) -> Result<Polled, Error> {
+        // A zero read timeout means "no timeout" to the OS; clamp up.
+        let slice = remaining.max(Duration::from_millis(1));
+        if self.stream.set_read_timeout(Some(slice)).is_err() {
+            return Err(Error::Hangup { peer: 0 });
+        }
+        match read_frame::<_, ClusterMsg>(&mut &*self.stream) {
+            Ok(Some(ClusterMsg::Routed { from, to, payload })) => {
+                if to != self.me {
+                    return Err(Error::violation(format!(
+                        "hub routed a frame for node {to} to node {}",
+                        self.me
+                    )));
+                }
+                let msg = ProtoMsg::from_bytes(&payload)
+                    .map_err(|e| Error::violation(format!("undecodable routed payload: {e}")))?;
+                Ok(Polled::Msg(Envelope { from, msg }))
+            }
+            Ok(Some(ClusterMsg::Departed { node, clean })) => {
+                let mut st = self.state.borrow_mut();
+                st.departed.insert(node, clean);
+                st.last_departed = Some(node);
+                Ok(Polled::Departure { node, clean })
+            }
+            Ok(Some(other)) => {
+                Err(Error::violation(format!("unexpected control frame mid-session: {other:?}")))
+            }
+            // Hub closed the socket: the coordinator — and with it node 0
+            // and every route — is gone.
+            Ok(None) => Err(Error::Hangup { peer: 0 }),
+            Err(e) => match TransportFailure::classify_frame(&e, total) {
+                TransportFailure::Timeout { waited } => Err(Error::Timeout { peer: None, waited }),
+                TransportFailure::Hangup => Err(Error::Hangup { peer: 0 }),
+                TransportFailure::Protocol { detail } => Err(Error::violation(detail)),
+            },
+        }
+    }
+}
+
+impl Channel<ProtoMsg> for PartyChannel<'_> {
+    fn send(&self, to: NodeId, msg: ProtoMsg) -> Result<(), Error> {
+        self.tick()?;
+        if self.state.borrow().departed.contains_key(&to) {
+            return Err(Error::Hangup { peer: to });
+        }
+        let frame = ClusterMsg::Routed { from: self.me, to, payload: msg.to_bytes() };
+        write_frame(&mut &*self.stream, &frame).map_err(|_| Error::Hangup { peer: to })
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<ProtoMsg>, Error> {
+        self.tick()?;
+        if let Some(env) = self.state.borrow_mut().reorder.pop_front() {
+            return Ok(env);
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::Timeout { peer: None, waited: timeout });
+            }
+            match self.poll(remaining, timeout) {
+                Ok(Polled::Msg(env)) => return Ok(env),
+                Ok(Polled::Departure { node, clean }) => {
+                    let st = self.state.borrow();
+                    if !clean {
+                        return Err(Error::Hangup { peer: node });
+                    }
+                    if self.starved(&st) {
+                        return Err(Error::Hangup { peer: st.last_departed.unwrap_or(node) });
+                    }
+                }
+                // The read deadline fired early (clock slicing); loop to
+                // re-check the caller's deadline.
+                Err(Error::Timeout { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn recv_from_timeout(&self, from: NodeId, timeout: Duration) -> Result<ProtoMsg, Error> {
+        self.tick()?;
+        {
+            let mut st = self.state.borrow_mut();
+            if let Some(pos) = st.reorder.iter().position(|env| env.from == from) {
+                let env = st.reorder.remove(pos).expect("position just found");
+                return Ok(env.msg);
+            }
+            if st.departed.contains_key(&from) {
+                return Err(Error::Hangup { peer: from });
+            }
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(Error::Timeout { peer: Some(from), waited: timeout });
+            }
+            match self.poll(remaining, timeout) {
+                Ok(Polled::Msg(env)) => {
+                    if env.from == from {
+                        return Ok(env.msg);
+                    }
+                    self.state.borrow_mut().reorder.push_back(env);
+                }
+                // Other peers' departures — clean or not — are recorded
+                // silently; only the awaited sender's departure fails the
+                // directed receive.
+                Ok(Polled::Departure { node, .. }) => {
+                    if node == from {
+                        return Err(Error::Hangup { peer: from });
+                    }
+                }
+                Err(Error::Timeout { peer: None, waited }) => {
+                    if deadline.saturating_duration_since(Instant::now()).is_zero() {
+                        return Err(Error::Timeout { peer: Some(from), waited });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn is_departed(&self, node: NodeId) -> bool {
+        self.state.borrow().departed.contains_key(&node)
+    }
+}

@@ -158,6 +158,7 @@ pub fn cache_key(
             KnnMode::Base => 0,
             KnnMode::Fagin => 1,
             KnnMode::Threshold => 2,
+            KnnMode::Nra => 3,
         },
         // The maximizer changes the chosen set for identical artifacts, so
         // both its kind and its epsilon are part of the identity: a

@@ -339,6 +339,7 @@ impl Selector for VfpsSmSelector {
             KnnMode::Fagin => "VFPS-SM",
             KnnMode::Base => "VFPS-SM-BASE",
             KnnMode::Threshold => "VFPS-SM-TA",
+            KnnMode::Nra => "VFPS-SM-NRA",
         }
     }
 

@@ -1,0 +1,112 @@
+//! The transport abstraction shared by the simulated and real-socket
+//! cluster backends.
+//!
+//! Protocol bodies (the fed-KNN server/participant loops in `vfps-vfl`)
+//! only ever touch four operations: send to a peer, receive from anyone
+//! with a deadline, receive from a *specific* peer with a deadline, and
+//! ask whether a peer has departed. [`Channel`] captures exactly that
+//! surface, so the same protocol code runs unchanged over
+//! [`crate::cluster::NodeCtx`] (threads + crossbeam channels) and over
+//! `vfps-cluster`'s TCP transport (real daemons on real sockets) — the
+//! backend is chosen by the caller, and bit-identical results across the
+//! two are pinned by test.
+//!
+//! The contract every implementation must honour (the simulated cluster
+//! is the reference semantics):
+//!
+//! * `send` to a departed peer returns [`Error::Hangup`] for that peer;
+//! * `recv_from_timeout(from, d)` buffers envelopes interleaved by
+//!   *other* senders (they are replayed, in arrival order, by later
+//!   receives), records other peers' departures silently, and fails only
+//!   when `from` itself departs ([`Error::Hangup`]) or the deadline
+//!   expires ([`Error::Timeout`] with `peer == Some(from)`);
+//! * `recv_timeout` returns the next buffered or arriving envelope from
+//!   any sender; a dirty departure surfaces as [`Error::Hangup`], and a
+//!   receive that can never complete (every peer gone) reports the last
+//!   departed peer;
+//! * `is_departed` reflects departures this node has *consumed* so far —
+//!   a notification may still be in flight.
+
+use crate::cluster::{Envelope, NodeCtx, NodeId};
+use crate::error::Error;
+use std::time::Duration;
+
+/// A node's view of the cluster message plane: the minimal send/receive
+/// surface the fed-KNN protocol bodies require, implemented by both the
+/// simulated [`NodeCtx`] and the real-socket transport in `vfps-cluster`.
+pub trait Channel<M> {
+    /// Sends `msg` to node `to`.
+    ///
+    /// # Errors
+    /// [`Error::Hangup`] when `to` is known to have departed;
+    /// [`Error::Killed`] once a fault plan has killed this node.
+    fn send(&self, to: NodeId, msg: M) -> Result<(), Error>;
+
+    /// Receives the next message from any sender, giving up after
+    /// `timeout`.
+    ///
+    /// # Errors
+    /// [`Error::Timeout`] when the deadline expires; [`Error::Hangup`]
+    /// when a peer exits dirtily or every peer is gone;
+    /// [`Error::Killed`] once a fault plan has killed this node.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, Error>;
+
+    /// Receives the next message from `from`, buffering envelopes that
+    /// other senders interleave, giving up after `timeout`.
+    ///
+    /// # Errors
+    /// [`Error::Timeout`] (with `peer == Some(from)`) when the deadline
+    /// expires; [`Error::Hangup`] if `from` has exited (other peers'
+    /// departures are recorded but do not fail this call);
+    /// [`Error::Killed`] once a fault plan has killed this node.
+    fn recv_from_timeout(&self, from: NodeId, timeout: Duration) -> Result<M, Error>;
+
+    /// Whether `node` has been observed to exit, as consumed so far.
+    fn is_departed(&self, node: NodeId) -> bool;
+}
+
+impl<M: crate::wire::Wire + Send + 'static> Channel<M> for NodeCtx<M> {
+    fn send(&self, to: NodeId, msg: M) -> Result<(), Error> {
+        NodeCtx::send(self, to, msg)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<M>, Error> {
+        NodeCtx::recv_timeout(self, timeout)
+    }
+
+    fn recv_from_timeout(&self, from: NodeId, timeout: Duration) -> Result<M, Error> {
+        NodeCtx::recv_from_timeout(self, from, timeout)
+    }
+
+    fn is_departed(&self, node: NodeId) -> bool {
+        NodeCtx::is_departed(self, node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::run_cluster;
+
+    /// A generic body that only knows the `Channel` surface must run over
+    /// the simulated cluster unchanged.
+    fn ping<C: Channel<u64>>(ch: &C, to: NodeId) -> u64 {
+        ch.send(to, 41).unwrap();
+        ch.recv_from_timeout(to, Duration::from_secs(5)).unwrap()
+    }
+
+    #[test]
+    fn node_ctx_satisfies_the_channel_contract() {
+        let fns: Vec<Box<dyn FnOnce(NodeCtx<u64>) -> u64 + Send>> = vec![
+            Box::new(|ctx| ping(&ctx, 1)),
+            Box::new(|ctx| {
+                let env = ctx.recv_timeout(Duration::from_secs(5)).unwrap();
+                Channel::send(&ctx, env.from, env.msg + 1).unwrap();
+                assert!(!Channel::<u64>::is_departed(&ctx, 0));
+                0
+            }),
+        ];
+        let (results, _) = run_cluster(fns);
+        assert_eq!(results[0], 42);
+    }
+}

@@ -118,6 +118,12 @@ pub struct OpLedger {
     pub cache_hits: u64,
     /// Selection-artifact cache misses observed during the run.
     pub cache_misses: u64,
+    /// Random accesses performed by the top-k stage: complete-object
+    /// fetches outside the sorted streams (Fagin's phase-2 lookups, TA's
+    /// per-candidate probes). Zero for NRA — its sorted-access-only
+    /// guarantee is the point of exposing this counter. Bookkeeping only;
+    /// the priced cost of the fetches is already in `enc`/`bytes`.
+    pub random_accesses: u64,
 }
 
 impl OpLedger {
@@ -185,6 +191,12 @@ impl OpLedger {
         self.cache_misses += 1;
     }
 
+    /// Records `count` random accesses by the top-k stage (bookkeeping
+    /// only — the fetches' cost is billed separately via `enc`/traffic).
+    pub fn record_random_access(&mut self, count: u64) {
+        self.random_accesses += count;
+    }
+
     /// Merges `times` copies of another ledger into this one (saturating)
     /// — used to bill repeated identical protocol passes analytically.
     pub fn merge_times(&mut self, other: &OpLedger, times: u64) {
@@ -204,6 +216,8 @@ impl OpLedger {
         self.cache_hits = self.cache_hits.saturating_add(other.cache_hits.saturating_mul(times));
         self.cache_misses =
             self.cache_misses.saturating_add(other.cache_misses.saturating_mul(times));
+        self.random_accesses =
+            self.random_accesses.saturating_add(other.random_accesses.saturating_mul(times));
     }
 
     /// Merges another ledger into this one.
@@ -219,6 +233,7 @@ impl OpLedger {
         self.dropouts += other.dropouts;
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
+        self.random_accesses += other.random_accesses;
     }
 
     /// Simulated wall-clock microseconds under `model`.
@@ -340,6 +355,7 @@ impl crate::wire::Wire for OpLedger {
         self.dropouts.encode(out);
         self.cache_hits.encode(out);
         self.cache_misses.encode(out);
+        self.random_accesses.encode(out);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, crate::wire::WireError> {
@@ -355,11 +371,12 @@ impl crate::wire::Wire for OpLedger {
             dropouts: u64::decode(input)?,
             cache_hits: u64::decode(input)?,
             cache_misses: u64::decode(input)?,
+            random_accesses: u64::decode(input)?,
         })
     }
 
     fn encoded_len(&self) -> usize {
-        5 * 16 + 6 * 8
+        5 * 16 + 7 * 8
     }
 }
 
@@ -546,14 +563,18 @@ mod tests {
         let before = l.simulated_us(&model);
         l.record_cache_hit();
         l.record_cache_miss();
+        l.record_random_access(3);
         assert_eq!((l.cache_hits, l.cache_misses), (1, 1));
+        assert_eq!(l.random_accesses, 3);
         assert_eq!(l.simulated_us(&model), before, "cache bookkeeping carries no simulated cost");
         let mut m = OpLedger::default();
         m.merge_times(&l, 4);
         assert_eq!((m.cache_hits, m.cache_misses), (4, 4));
+        assert_eq!(m.random_accesses, 12);
         let mut n = OpLedger::default();
         n.merge(&l);
         assert_eq!((n.cache_hits, n.cache_misses), (1, 1));
+        assert_eq!(n.random_accesses, 3);
     }
 
     #[test]
@@ -569,6 +590,7 @@ mod tests {
         l.record_dropout();
         l.record_cache_hit();
         l.record_cache_miss();
+        l.record_random_access(17);
         assert_eq!(OpLedger::from_bytes(&l.to_bytes()).unwrap(), l);
 
         let model = CostModel::default();

@@ -7,6 +7,9 @@
 //!   deterministic byte size;
 //! * [`cluster`] — one thread per node with crossbeam-channel links and a
 //!   shared per-link traffic ledger;
+//! * [`channel`] — the transport trait ([`channel::Channel`]) the protocol
+//!   bodies are generic over, implemented by the simulated cluster here
+//!   and by the real-socket TCP transport in `vfps-cluster`;
 //! * [`error`] — the typed failure taxonomy (hangup, timeout, protocol
 //!   violation, fault-plan kill) every channel operation returns instead
 //!   of panicking;
@@ -29,12 +32,14 @@
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod cluster;
 pub mod cost;
 pub mod error;
 pub mod fault;
 pub mod wire;
 
+pub use channel::Channel;
 pub use cluster::{
     run_cluster, run_cluster_fallible, run_cluster_traced, run_cluster_with, ClusterOptions,
     Envelope, FallibleNodeFn, NodeCtx, NodeId, TraceEvent, TrafficLedger,

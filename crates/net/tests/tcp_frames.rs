@@ -1,0 +1,186 @@
+//! `net::wire` frames over *real* sockets (ISSUE 10, satellite 3).
+//!
+//! The in-crate proptests exercise the codec against byte slices; these
+//! push the same adversarial inputs through an actual localhost TCP pair,
+//! where the reader sees the peer's bytes chopped at arbitrary boundaries
+//! and must map every failure onto the typed taxonomy — never a panic,
+//! never an unbounded hang, never an attempt to allocate an oversized
+//! frame.
+
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+use vfps_net::wire::{read_frame, write_frame, FrameError, Wire, MAX_FRAME_BYTES};
+use vfps_net::TransportFailure;
+
+/// Hard per-read deadline: generous enough for a loopback write, small
+/// enough that a hang fails the suite instead of wedging it.
+const READ_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Connects a localhost TCP pair and hands the writer's half to `feed` on
+/// its own thread; returns the reader's half with a read deadline armed.
+fn tcp_pair(feed: impl FnOnce(TcpStream) + Send + 'static) -> TcpStream {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let writer = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        feed(stream);
+    });
+    let (reader, _) = listener.accept().expect("accept");
+    reader.set_read_timeout(Some(READ_DEADLINE)).expect("set read timeout");
+    // The writer thread owns its half; dropping the handle after spawn is
+    // fine — the reader observes EOF when the thread finishes.
+    drop(writer);
+    reader
+}
+
+/// Writes `bytes` in `chunks`-sized pieces with flushes in between, so the
+/// reader's `read` calls observe arbitrary frame fragmentation.
+fn feed_chunked(stream: &mut TcpStream, bytes: &[u8], chunk: usize) {
+    for piece in bytes.chunks(chunk.max(1)) {
+        if stream.write_all(piece).is_err() {
+            return; // reader gave up early (expected for rejected frames)
+        }
+        let _ = stream.flush();
+    }
+}
+
+proptest! {
+    // Real sockets per case: keep the case count modest so the suite
+    // stays inside the CI budget on the 1-CPU container.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Well-formed frames survive arbitrary TCP fragmentation.
+    #[test]
+    fn split_frames_decode_intact(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 0..32), 1..8),
+        chunk in 1usize..13,
+    ) {
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            write_frame(&mut bytes, m).expect("vec write");
+        }
+        let mut reader = tcp_pair(move |mut s| feed_chunked(&mut s, &bytes, chunk));
+        for m in &msgs {
+            let got: Vec<u64> = read_frame(&mut reader)
+                .expect("intact frame")
+                .expect("frame present");
+            prop_assert_eq!(&got, m);
+        }
+        // Peer closed at a frame boundary: clean EOF, not an error.
+        prop_assert!(matches!(read_frame::<_, Vec<u64>>(&mut reader), Ok(None)));
+    }
+
+    /// Garbage payloads (valid length prefix, undecodable bytes) surface
+    /// as typed `ProtocolViolation` — never a panic or hang.
+    #[test]
+    fn garbage_payloads_are_typed_protocol_violations(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        chunk in 1usize..9,
+    ) {
+        // Force undecodability for Vec<f64>: either a short payload or a
+        // length prefix pointing past the end.
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(payload.len() as u32 + 4).to_le_bytes());
+        framed.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd element count
+        framed.extend_from_slice(&payload);
+        let mut reader = tcp_pair(move |mut s| feed_chunked(&mut s, &framed, chunk));
+        let err = read_frame::<_, Vec<f64>>(&mut reader).expect_err("undecodable payload");
+        prop_assert!(matches!(err, FrameError::Wire(_)), "got {err:?}");
+        let classified = TransportFailure::classify_frame(&err, READ_DEADLINE);
+        prop_assert!(
+            matches!(classified, TransportFailure::Protocol { .. }),
+            "got {classified:?}"
+        );
+        prop_assert!(!classified.is_liveness_failure());
+    }
+
+    /// Oversized length prefixes are rejected from the 4-byte header alone
+    /// — the reader never tries to allocate or consume the declared body.
+    #[test]
+    fn oversized_prefix_is_rejected_without_reading_the_body(
+        extra in 1u64..(u32::MAX as u64 - MAX_FRAME_BYTES as u64),
+    ) {
+        let declared = MAX_FRAME_BYTES as u64 + extra;
+        let header = u32::try_from(declared).unwrap().to_le_bytes().to_vec();
+        // Send ONLY the header: if the reader correctly refuses at the
+        // prefix, it errors immediately; if it tried to read the body it
+        // would block until the deadline and fail the match below.
+        let mut reader = tcp_pair(move |mut s| feed_chunked(&mut s, &header, 4));
+        let err = read_frame::<_, Vec<u8>>(&mut reader).expect_err("oversized frame");
+        prop_assert!(
+            matches!(err, FrameError::TooLarge(n) if n as u64 == declared),
+            "got {err:?}"
+        );
+        prop_assert!(matches!(
+            TransportFailure::classify_frame(&err, READ_DEADLINE),
+            TransportFailure::Protocol { .. }
+        ));
+    }
+
+    /// A peer dying mid-frame is a `Hangup`, not a protocol violation and
+    /// not a clean EOF.
+    #[test]
+    fn midframe_eof_classifies_as_hangup(cut in 1usize..20) {
+        let msg: Vec<u64> = (0..8).collect();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &msg).expect("vec write");
+        let cut = cut.min(bytes.len() - 1);
+        bytes.truncate(cut);
+        let mut reader = tcp_pair(move |mut s| feed_chunked(&mut s, &bytes, 3));
+        let err = read_frame::<_, Vec<u64>>(&mut reader).expect_err("truncated frame");
+        prop_assert!(matches!(err, FrameError::Io(_)), "got {err:?}");
+        prop_assert!(matches!(
+            TransportFailure::classify_frame(&err, READ_DEADLINE),
+            TransportFailure::Hangup
+        ));
+    }
+}
+
+/// A silent peer trips the armed read deadline and classifies as
+/// `Timeout` (deterministic single case — no proptest needed).
+#[test]
+fn silent_peer_classifies_as_timeout() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let _writer = TcpStream::connect(addr).expect("connect"); // never writes
+    let (mut reader, _) = listener.accept().expect("accept");
+    let waited = Duration::from_millis(50);
+    reader.set_read_timeout(Some(waited)).expect("set read timeout");
+    let err = read_frame::<_, Vec<u64>>(&mut reader).expect_err("silent peer");
+    match &err {
+        FrameError::Io(io) => assert!(
+            matches!(io.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut),
+            "unexpected kind {:?}",
+            io.kind()
+        ),
+        other => panic!("expected io timeout, got {other:?}"),
+    }
+    assert_eq!(
+        TransportFailure::classify_frame(&err, waited),
+        TransportFailure::Timeout { waited }
+    );
+}
+
+/// The 16 MiB cap itself holds over a socket: a frame exactly at the cap
+/// passes, one byte over is refused.
+#[test]
+fn cap_boundary_over_a_socket() {
+    // Vec<u8> encodes as 4-byte count + payload; pick the payload so the
+    // whole encoding sits exactly at MAX_FRAME_BYTES.
+    let at_cap: Vec<u8> = vec![0xa5; MAX_FRAME_BYTES - 4];
+    assert_eq!(at_cap.encoded_len(), MAX_FRAME_BYTES);
+    let mut bytes = Vec::new();
+    write_frame(&mut bytes, &at_cap).expect("vec write");
+    let mut over = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes().to_vec();
+    over.extend_from_slice(&[0u8; 8]); // a little body the reader must not consume
+    let mut reader = tcp_pair(move |mut s| {
+        feed_chunked(&mut s, &bytes, 1 << 16);
+        feed_chunked(&mut s, &over, 12);
+    });
+    let got: Vec<u8> = read_frame(&mut reader).expect("cap-sized frame").expect("present");
+    assert_eq!(got.len(), MAX_FRAME_BYTES - 4);
+    let err = read_frame::<_, Vec<u8>>(&mut reader).expect_err("one over the cap");
+    assert!(matches!(err, FrameError::TooLarge(n) if n == MAX_FRAME_BYTES + 1), "{err:?}");
+}

@@ -23,7 +23,7 @@ use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use vfps_net::{read_frame, write_frame, TransportFailure};
@@ -89,11 +89,19 @@ impl Backend {
     }
 }
 
+/// The mutable routing membership: the ring and its index-aligned
+/// backend list. Joins only *append* (drain keeps the slot, zeroing its
+/// vnodes), so a backend's index is stable for the router's lifetime —
+/// the invariant the per-connection [`ConnCache`] relies on.
+struct Topology {
+    ring: Ring,
+    backends: Vec<Arc<Backend>>,
+}
+
 /// Everything shared between the acceptor, handlers, and the health
 /// thread.
 struct Shared {
-    ring: Ring,
-    backends: Vec<Arc<Backend>>,
+    topology: RwLock<Topology>,
     shutdown: AtomicBool,
     health_interval: Duration,
     health_timeout: Duration,
@@ -103,25 +111,36 @@ struct Shared {
 }
 
 impl Shared {
-    fn backend_index(&self, name: &str) -> Option<usize> {
-        self.backends.iter().position(|b| b.name == name)
+    /// A cheap membership snapshot: the `Arc`s, in index order. Handlers
+    /// work on snapshots so a concurrent join never invalidates a relay
+    /// already in flight.
+    fn snapshot(&self) -> Vec<Arc<Backend>> {
+        self.topology.read().unwrap_or_else(PoisonError::into_inner).backends.clone()
+    }
+
+    fn backend_entry(&self, name: &str) -> Option<(usize, Arc<Backend>)> {
+        let topo = self.topology.read().unwrap_or_else(PoisonError::into_inner);
+        topo.backends.iter().position(|b| b.name == name).map(|i| (i, topo.backends[i].clone()))
     }
 
     /// The ring owner for a tenant key among currently routable
     /// backends, plus the failover order behind it.
-    fn candidates(&self, key: &str) -> Vec<usize> {
-        self.ring
+    fn candidates(&self, key: &str) -> Vec<(usize, Arc<Backend>)> {
+        let topo = self.topology.read().unwrap_or_else(PoisonError::into_inner);
+        topo.ring
             .walk(key)
-            .filter_map(|name| self.backend_index(name))
-            .filter(|&i| self.backends[i].routable())
+            .filter_map(|name| topo.backends.iter().position(|b| b.name == name))
+            .map(|i| (i, topo.backends[i].clone()))
+            .filter(|(_, b)| b.routable())
             .collect()
     }
 
     fn status(&self) -> RouterStatusReply {
+        let topo = self.topology.read().unwrap_or_else(PoisonError::into_inner);
         RouterStatusReply {
-            ring_seed: self.ring.seed(),
-            vnodes_per_backend: self.ring.vnodes_per_backend(),
-            backends: self
+            ring_seed: topo.ring.seed(),
+            vnodes_per_backend: topo.ring.vnodes_per_backend(),
+            backends: topo
                 .backends
                 .iter()
                 .map(|b| {
@@ -135,7 +154,7 @@ impl Shared {
                         vnodes: if state == HealthState::Drained {
                             0
                         } else {
-                            self.ring.vnodes_per_backend()
+                            topo.ring.vnodes_per_backend()
                         },
                         routed: b.routed.load(Ordering::Acquire),
                         relay_errors: b.relay_errors.load(Ordering::Acquire),
@@ -224,8 +243,7 @@ impl Router {
             vfps_obs::start_capture();
         }
         let shared = Arc::new(Shared {
-            ring,
-            backends,
+            topology: RwLock::new(Topology { ring, backends }),
             shutdown: AtomicBool::new(false),
             health_interval: cfg.health_interval,
             health_timeout: cfg.health_timeout,
@@ -281,10 +299,10 @@ impl Router {
                 }
             }
         }
-        let routed: u64 =
-            self.shared.backends.iter().map(|b| b.routed.load(Ordering::Acquire)).sum();
+        let backends = self.shared.snapshot();
+        let routed: u64 = backends.iter().map(|b| b.routed.load(Ordering::Acquire)).sum();
         let relay_errors: u64 =
-            self.shared.backends.iter().map(|b| b.relay_errors.load(Ordering::Acquire)).sum();
+            backends.iter().map(|b| b.relay_errors.load(Ordering::Acquire)).sum();
         println!(
             "router drain clean: accepted {} completed {} failed {} rejected {} in-flight {} \
              cache-hits {} routed {} relay-errors {}",
@@ -341,7 +359,9 @@ fn probe(addr: &str, timeout: Duration) -> Result<(), TransportFailure> {
 /// drain is noticed promptly.
 fn health_loop(shared: &Arc<Shared>) {
     while !shared.shutdown.load(Ordering::Acquire) {
-        for b in &shared.backends {
+        // Fresh snapshot per sweep: a backend joined mid-run is probed
+        // from the next sweep on.
+        for b in &shared.snapshot() {
             if b.state() == HealthState::Drained {
                 continue;
             }
@@ -382,13 +402,24 @@ fn health_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Per-connection cache of backend streams: index-aligned with
-/// `shared.backends`. A client session talking to one tenant keeps one
-/// warm TCP stream to that tenant's backend.
+/// Per-connection cache of backend streams: index-aligned with the
+/// topology's backend list (indices are stable — joins only append). A
+/// client session talking to one tenant keeps one warm TCP stream to
+/// that tenant's backend. Grows lazily via [`conn_slot`] when a backend
+/// joined after the connection opened.
 type ConnCache = Vec<Option<TcpStream>>;
 
+/// The cache slot for backend `idx`, growing the cache if a live join
+/// appended backends this connection has not seen yet.
+fn conn_slot(conns: &mut ConnCache, idx: usize) -> &mut Option<TcpStream> {
+    if conns.len() <= idx {
+        conns.resize_with(idx + 1, || None);
+    }
+    &mut conns[idx]
+}
+
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAddr) {
-    let mut conns: ConnCache = (0..shared.backends.len()).map(|_| None).collect();
+    let mut conns: ConnCache = (0..shared.snapshot().len()).map(|_| None).collect();
     loop {
         let req = match read_frame::<_, Request>(&mut stream) {
             Ok(Some(r)) => r,
@@ -416,6 +447,12 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
             }
             Request::DrainBackend(name) => {
                 let resp = drain_backend(shared, &name);
+                if write_frame(&mut stream, &resp).is_err() {
+                    return;
+                }
+            }
+            Request::AddBackend { name, addr: backend_addr } => {
+                let resp = add_backend(shared, &name, &backend_addr);
                 if write_frame(&mut stream, &resp).is_err() {
                     return;
                 }
@@ -454,7 +491,7 @@ fn relay(
     req: &Request,
 ) -> Result<Response, TransportFailure> {
     let started = Instant::now();
-    if conns[idx].is_none() {
+    if conn_slot(conns, idx).is_none() {
         let s = TcpStream::connect(&backend.addr)
             .map_err(|e| TransportFailure::classify_io(&e, started.elapsed()))?;
         let _ = s.set_nodelay(true);
@@ -491,11 +528,11 @@ fn route_select(
     let key = sel.dataset.clone();
     let candidates = shared.candidates(&key);
     let req = Request::Select(sel);
-    for &idx in &candidates {
-        let backend = &shared.backends[idx];
+    for (idx, backend) in &candidates {
+        let idx = *idx;
         // Connect stage: a refused/unreachable backend is skipped (and
         // billed a relay error — the health loop will demote it soon).
-        if conns[idx].is_none() {
+        if conn_slot(conns, idx).is_none() {
             let started = Instant::now();
             match TcpStream::connect(&backend.addr) {
                 Ok(s) => {
@@ -546,16 +583,16 @@ fn route_select(
 /// in-flight relays (already past the connect stage in some handler)
 /// run to completion on their existing streams.
 fn drain_backend(shared: &Arc<Shared>, name: &str) -> Response {
-    let Some(idx) = shared.backend_index(name) else {
+    let Some((_, backend)) = shared.backend_entry(name) else {
         return Response::Rejected {
             request_id: 0,
             reason: format!(
                 "unknown backend {name:?} (configured: {})",
-                shared.backends.iter().map(|b| b.name.as_str()).collect::<Vec<_>>().join(", ")
+                shared.snapshot().iter().map(|b| b.name.as_str()).collect::<Vec<_>>().join(", ")
             ),
         };
     };
-    let backend = &shared.backends[idx];
+    let backend = &backend;
     let prev = {
         let mut health = backend.health.lock().unwrap_or_else(PoisonError::into_inner);
         health.drain()
@@ -572,6 +609,48 @@ fn drain_backend(shared: &Arc<Shared>, name: &str) -> Response {
     Response::RouterStatus(shared.status())
 }
 
+/// Joins a backend to the ring live. Consistent hashing means only the
+/// keys whose ring walk now meets the newcomer's vnodes first re-home
+/// (~1/N of the keyspace); every other tenant keeps its backend and its
+/// warm cache shard. The newcomer starts `Healthy` and is probed from
+/// the health loop's next sweep; a flaky join therefore demotes within
+/// one interval, exactly like a configured backend going bad.
+fn add_backend(shared: &Arc<Shared>, name: &str, addr: &str) -> Response {
+    if name.is_empty() {
+        return Response::Rejected {
+            request_id: 0,
+            reason: "backend names must be non-empty".into(),
+        };
+    }
+    if addr.is_empty() {
+        return Response::Rejected {
+            request_id: 0,
+            reason: "backend address must be non-empty".into(),
+        };
+    }
+    {
+        let mut topo = shared.topology.write().unwrap_or_else(PoisonError::into_inner);
+        if topo.backends.iter().any(|b| b.name == name) {
+            return Response::Rejected {
+                request_id: 0,
+                reason: format!("duplicate backend name {name}"),
+            };
+        }
+        topo.ring.add(name);
+        topo.backends.push(Arc::new(Backend {
+            name: name.to_owned(),
+            addr: addr.to_owned(),
+            health: Mutex::new(HealthMachine::new()),
+            routed: AtomicU64::new(0),
+            relay_errors: AtomicU64::new(0),
+        }));
+    }
+    vfps_obs::counter_add_labelled("router.added", "backend", name, 1);
+    println!("router: backend {name} joined the ring at {addr}");
+    let _ = std::io::stdout().flush();
+    Response::RouterStatus(shared.status())
+}
+
 /// Fans `ListDatasets` out to every routable backend and merges the
 /// ledgers: tenants are keyed by dataset name in first-seen (backend
 /// config, then per-backend first-seen) order, counters sum, residency
@@ -583,7 +662,7 @@ fn merged_datasets(shared: &Arc<Shared>, conns: &mut ConnCache) -> Response {
     let mut order: Vec<String> = Vec::new();
     let mut merged: Vec<TenantStatus> = Vec::new();
     let mut reached = 0usize;
-    for (idx, backend) in shared.backends.iter().enumerate() {
+    for (idx, backend) in shared.snapshot().iter().enumerate() {
         if !backend.routable() {
             continue;
         }
@@ -637,12 +716,12 @@ fn merged_datasets(shared: &Arc<Shared>, conns: &mut ConnCache) -> Response {
 /// a down one gets a best-effort attempt) — and sums the reports.
 fn relay_shutdown(shared: &Arc<Shared>) -> DrainReport {
     let mut total = DrainReport::default();
-    for backend in &shared.backends {
+    let backends = shared.snapshot();
+    for (idx, backend) in backends.iter().enumerate() {
         // Fresh connection: cached handler streams belong to other
         // connections, and this one must work even for backends this
         // handler never routed to.
-        let mut conns: ConnCache = (0..shared.backends.len()).map(|_| None).collect();
-        let idx = shared.backend_index(&backend.name).expect("own backend");
+        let mut conns: ConnCache = (0..backends.len()).map(|_| None).collect();
         match relay(&mut conns, backend, idx, &Request::Shutdown) {
             Ok(Response::Draining(report)) => {
                 total.accepted += report.accepted;

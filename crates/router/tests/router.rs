@@ -306,3 +306,85 @@ fn a_plain_daemon_rejects_router_control() {
     handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&cache_dir);
 }
+
+/// Satellite: a backend added over the wire while the tier serves
+/// traffic joins the ring live. The test reconstructs the router's
+/// deterministic ring from the status reply (seed + vnodes + names) so
+/// it can pick tenants by ownership instead of hoping hashes cooperate:
+/// one tenant whose owner survives the join (must stay warm on its old
+/// backend) and one tenant the newcomer owns (must actually be served by
+/// it). Duplicate names are rejected without disturbing the topology.
+#[test]
+fn a_live_added_backend_joins_the_ring_and_existing_tenants_keep_their_homes() {
+    use vfps_router::Ring;
+
+    let tier = spawn_tier("livejoin");
+    let mut client = Client::connect(tier.router_addr).unwrap();
+
+    // Rebuild the ring before and after the join, exactly as the router
+    // sees it (the status reply publishes seed + vnodes for this).
+    let status = client.router_status().unwrap();
+    assert_eq!(status.backends.len(), 2);
+    let mut before = Ring::new(status.ring_seed, status.vnodes_per_backend);
+    before.add("b0");
+    before.add("b1");
+    let mut after = before.clone();
+    after.add("b2");
+
+    let tags = ["", "Bank", "Credit", "Phishing", "Web", "Rice", "Adult", "IJCNN"];
+    let stayer = *tags
+        .iter()
+        .find(|t| before.lookup(t, |_| true) == after.lookup(t, |_| true))
+        .expect("a join re-homes ~1/3 of the keyspace, most tenants keep their owner");
+    let mover = *tags
+        .iter()
+        .find(|t| after.lookup(t, |_| true) == Some("b2"))
+        .expect("the newcomer's vnodes must capture at least one of 8 tenant keys");
+    assert_ne!(stayer, mover, "a stayer by definition is not owned by the newcomer");
+
+    // Warm the stayer on its pre-join home.
+    let cold = select_ok(&mut client, &request(1, stayer, 42));
+    assert_eq!(cold.cache_status, "cold");
+    let warm = select_ok(&mut client, &request(2, stayer, 42));
+    assert_eq!(warm.cache_status, "warm");
+
+    // The newcomer: a third real daemon with a *private* (memory-only)
+    // cache, so anything it serves warm it must have computed itself.
+    let (a2, h2) = spawn_daemon(daemon_config(None));
+    let joined = client.router_add("b2", &a2.to_string()).expect("live join");
+    assert_eq!(joined.backends.len(), 3, "the join is visible immediately");
+    let b2 = joined.backends.iter().find(|b| b.name == "b2").expect("newcomer listed");
+    assert_eq!(b2.addr, a2.to_string());
+    assert_eq!(b2.vnodes, status.vnodes_per_backend, "newcomer gets a full vnode complement");
+    assert_eq!(b2.routed, 0, "no traffic routed to it yet");
+
+    // Duplicate names are config errors, not silent ring churn.
+    match client.router_add("b0", "127.0.0.1:1") {
+        Err(vfps_serve::ClientError::Protocol(reason)) => {
+            assert!(reason.contains("duplicate") && reason.contains("b0"), "got {reason:?}");
+        }
+        other => panic!("expected a typed duplicate rejection, got {other:?}"),
+    }
+    assert_eq!(client.router_status().unwrap().backends.len(), 3);
+
+    // The stayer kept its backend: still warm (the newcomer could not
+    // serve it warm — it has never computed this tenant), same bits.
+    let still = select_ok(&mut client, &request(3, stayer, 42));
+    assert_eq!(still.cache_status, "warm", "an unmoved tenant must keep its warm home");
+    assert_eq!(still.chosen, cold.chosen);
+    assert_eq!(still.scores, cold.scores);
+
+    // The mover lands on the newcomer — cold there, then warm *there*.
+    let moved = select_ok(&mut client, &request(4, mover, 42));
+    assert_eq!(moved.cache_status, "cold", "the newcomer starts with nothing");
+    let moved_warm = select_ok(&mut client, &request(5, mover, 42));
+    assert_eq!(moved_warm.cache_status, "warm");
+    assert_eq!(moved_warm.chosen, moved.chosen);
+    let after_status = client.router_status().unwrap();
+    let b2 = after_status.backends.iter().find(|b| b.name == "b2").unwrap();
+    assert_eq!(b2.routed, 2, "both mover requests were relayed to the newcomer");
+
+    drop(client);
+    tier.shutdown();
+    h2.join().expect("joined daemon drains with the tier");
+}

@@ -126,7 +126,9 @@ fn print_help() {
         "vfps — participant selection for vertical federated learning\n\n\
          USAGE:\n  vfps --data <file> [options]\n  vfps --synthetic <name> [options]\n\
          \x20 vfps serve [options]    run the selection service (see `vfps serve --help`)\n\
-         \x20 vfps submit [options]   submit to a running service (see `vfps submit --help`)\n\n\
+         \x20 vfps submit [options]   submit to a running service (see `vfps submit --help`)\n\
+         \x20 vfps party [options]    run one consortium member's feature-column daemon\n\
+         \x20                         (see `vfps party --help`)\n\n\
          INPUT:\n\
          \x20 --data <file>          CSV or LIBSVM dataset\n\
          \x20 --format csv|libsvm    input format (default csv)\n\
@@ -416,6 +418,100 @@ fn print_serve_help() {
 }
 
 // ---------------------------------------------------------------------
+// `vfps party` — run one consortium member's feature-column daemon.
+// ---------------------------------------------------------------------
+
+fn run_party(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:0".to_owned();
+    let mut dataset = "Bank".to_owned();
+    let mut instances = 0usize;
+    let mut parties = 4usize;
+    let mut seed = 42u64;
+    let mut party_id: Option<usize> = None;
+    let mut max_sessions: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr")?,
+            "--synthetic" => dataset = value("--synthetic")?,
+            "--instances" => {
+                instances = value("--instances")?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--parties" => parties = value("--parties")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--party-id" => {
+                party_id = Some(value("--party-id")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--max-sessions" => {
+                max_sessions = Some(value("--max-sessions")?.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--help" | "-h" => {
+                print_party_help();
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown party argument {other}")),
+        }
+    }
+    let party_id = party_id.ok_or("--party-id is required")?;
+    if parties == 0 || party_id >= parties {
+        return Err(format!("--party-id {party_id} out of range for {parties} parties"));
+    }
+    // The daemon derives its dataset world exactly as a coordinator (or a
+    // direct `vfps --synthetic` run) with the same flags does — that shared
+    // derivation is what makes a cluster run bit-identical to the sim.
+    let spec = DatasetSpec::by_name(&dataset)
+        .ok_or_else(|| format!("unknown synthetic dataset {dataset}"))?;
+    let rows = if instances == 0 { spec.sim_instances } else { instances };
+    let (ds, _split) = prepared_sized(&spec, rows, seed);
+    if parties > ds.n_features() {
+        return Err(format!("{parties} parties but only {} features", ds.n_features()));
+    }
+    let partition = VerticalPartition::random(ds.n_features(), parties, seed);
+    let cfg =
+        vfps_cluster::PartyConfig { max_sessions, ..vfps_cluster::PartyConfig::new(party_id) };
+
+    let listener =
+        std::net::TcpListener::bind(&addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| format!("{e}"))?;
+    println!(
+        "vfps-party {party_id} listening on {local} ({} rows, {} features, {} local columns)",
+        ds.len(),
+        ds.n_features(),
+        partition.columns(party_id).len()
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let report =
+        vfps_cluster::serve_party(&listener, &ds.x, &partition, &cfg).map_err(|e| e.to_string())?;
+    println!("vfps-party {party_id} done: {} sessions, killed {}", report.sessions, report.killed);
+    Ok(())
+}
+
+fn print_party_help() {
+    println!(
+        "vfps party — run one consortium member's feature-column daemon\n\n\
+         USAGE:\n  vfps party --party-id <p> [options]\n\n\
+         \x20 --party-id <p>         which consortium slot this daemon holds (required)\n\
+         \x20 --addr <host:port>     bind address (default 127.0.0.1:0, port 0 = free port;\n\
+         \x20                        the chosen address is printed as `listening on ...`)\n\
+         \x20 --synthetic <name>     dataset world (default Bank) — must match the\n\
+         \x20                        coordinator's flags exactly\n\
+         \x20 --instances <n>        dataset rows (default: the spec's simulation size)\n\
+         \x20 --parties <P>          partition size (default 4)\n\
+         \x20 --seed <s>             dataset + partition seed (default 42)\n\
+         \x20 --max-sessions <n>     serve n protocol sessions, then exit (default: forever)\n\n\
+         The daemon holds only its slot's feature columns during the protocol;\n\
+         raw features never cross the wire — only encrypted partial distances\n\
+         and candidate pseudo-IDs (run it once per party, then drive the\n\
+         consortium with `vfps-bench bench-cluster` or the library's\n\
+         run_cluster_knn)."
+    );
+}
+
+// ---------------------------------------------------------------------
 // `vfps submit` — send one request to a running daemon.
 // ---------------------------------------------------------------------
 
@@ -479,6 +575,7 @@ fn run_submit(args: &[String]) -> Result<(), String> {
                     "base" => 0,
                     "fagin" => 1,
                     "threshold" | "ta" => 2,
+                    "nra" => 3,
                     other => return Err(format!("unknown mode {other}")),
                 };
             }
@@ -553,14 +650,16 @@ fn run_submit(args: &[String]) -> Result<(), String> {
     match client.roundtrip(&Request::Select(sub.req.clone())).map_err(|e| e.to_string())? {
         Response::Selected(reply) => {
             println!(
-                "reply {}: cache={} enc={} hits={} misses={} queue_us={} run_us={}",
+                "reply {}: cache={} enc={} hits={} misses={} queue_us={} run_us={} \
+                 random_accesses={}",
                 reply.request_id,
                 reply.cache_status,
                 reply.enc_instances,
                 reply.cache_hits,
                 reply.cache_misses,
                 reply.queue_us,
-                reply.run_us
+                reply.run_us,
+                reply.random_accesses
             );
             println!("chosen: {:?}", reply.chosen);
             println!(
@@ -586,6 +685,7 @@ fn run_route(args: &[String]) -> Result<(), String> {
     let mut addr = String::new();
     let mut action: Option<String> = None;
     let mut drain_target: Option<String> = None;
+    let mut add_target: Option<(String, String)> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -601,10 +701,19 @@ fn run_route(args: &[String]) -> Result<(), String> {
                 action = Some("drain".into());
                 drain_target = Some(it.next().cloned().ok_or("drain needs a backend name")?);
             }
+            "add" if action.is_none() => {
+                action = Some("add".into());
+                let spec = it.next().cloned().ok_or("add needs <name>=<host:port>")?;
+                let (name, backend_addr) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("add target {spec:?} must be <name>=<host:port>"))?;
+                add_target = Some((name.to_owned(), backend_addr.to_owned()));
+            }
             other => return Err(format!("unknown route argument {other}")),
         }
     }
-    let action = action.ok_or("route needs an action: status | drain <backend>")?;
+    let action =
+        action.ok_or("route needs an action: status | drain <backend> | add <name>=<addr>")?;
     if addr.is_empty() {
         return Err("--addr is required".into());
     }
@@ -616,6 +725,12 @@ fn run_route(args: &[String]) -> Result<(), String> {
             let target = drain_target.expect("parsed with the action");
             let status = client.router_drain(&target).map_err(|e| e.to_string())?;
             println!("drained {target} out of the ring (in-flight replies still delivered)");
+            status
+        }
+        "add" => {
+            let (name, backend_addr) = add_target.expect("parsed with the action");
+            let status = client.router_add(&name, &backend_addr).map_err(|e| e.to_string())?;
+            println!("added {name} @ {backend_addr} to the ring (~1/N of tenants re-home)");
             status
         }
         _ => unreachable!("actions are matched above"),
@@ -644,12 +759,15 @@ fn print_route_help() {
     println!(
         "vfps route — control a running vfps-router\n\n\
          USAGE:\n  vfps route status --addr <host:port>\n\
-         \x20 vfps route drain <backend> --addr <host:port>\n\n\
+         \x20 vfps route drain <backend> --addr <host:port>\n\
+         \x20 vfps route add <name>=<host:port> --addr <host:port>\n\n\
          \x20 status                 print the ring and each backend's health,\n\
          \x20                        routed-request count, and relay errors\n\
          \x20 drain <backend>        remove the named backend from the ring; requests\n\
          \x20                        already relayed to it still complete, new ones\n\
          \x20                        route to the surviving backends\n\
+         \x20 add <name>=<addr>      join a backend to the ring live; only ~1/N of\n\
+         \x20                        the tenant keyspace re-homes to the newcomer\n\
          \x20 --addr <host:port>     the router's address (required)\n\n\
          Pointing `vfps route` at a plain daemon fails with a typed\n\
          'not a router' rejection."
@@ -669,7 +787,9 @@ fn print_submit_help() {
          \x20 --select <S>           participants to keep (default 2)\n\
          \x20 --k <k>                proxy-KNN neighbor count (default 10)\n\
          \x20 --queries <q>          similarity query sample (default 32)\n\
-         \x20 --mode base|fagin|threshold   federated KNN variant (default fagin)\n\
+         \x20 --mode base|fagin|threshold|nra   federated KNN variant (default fagin;\n\
+         \x20                        nra is sorted-access-only with counted random\n\
+         \x20                        accesses in the reply)\n\
          \x20 --maximizer greedy|lazy|stochastic|sieve   submodular maximizer\n\
          \x20                        (default greedy; stochastic/sieve are sublinear)\n\
          \x20 --seed <s>             run seed (default 42)\n\
@@ -686,6 +806,7 @@ fn main() -> ExitCode {
         Some("serve") => run_serve(&argv[1..]),
         Some("submit") => run_submit(&argv[1..]),
         Some("route") => run_route(&argv[1..]),
+        Some("party") => run_party(&argv[1..]),
         _ => run(),
     };
     match result {

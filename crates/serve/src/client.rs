@@ -99,7 +99,7 @@ impl Client {
     pub fn select(&mut self, req: &SelectRequest) -> Result<Response, ClientError> {
         if knn_mode(req.mode).is_none() {
             return Err(ClientError::InvalidRequest(format!(
-                "unknown KNN mode {} (known: 0=Base, 1=Fagin, 2=Threshold)",
+                "unknown KNN mode {} (known: 0=Base, 1=Fagin, 2=Threshold, 3=NRA)",
                 req.mode
             )));
         }
@@ -146,6 +146,19 @@ impl Client {
     /// relays still complete); returns the post-drain status.
     pub fn router_drain(&mut self, backend: &str) -> Result<RouterStatusReply, ClientError> {
         match self.roundtrip(&Request::DrainBackend(backend.to_owned()))? {
+            Response::RouterStatus(r) => Ok(r),
+            Response::Rejected { reason, .. } => Err(ClientError::Protocol(reason)),
+            other => Err(ClientError::Protocol(format!("expected RouterStatus, got {other:?}"))),
+        }
+    }
+
+    /// Asks a routing tier to join backend `name` at `addr` to its ring
+    /// live (only ~1/N of the keyspace re-homes); returns the post-join
+    /// status. A duplicate name or a plain daemon answers `Rejected`,
+    /// surfaced here as [`ClientError::Protocol`].
+    pub fn router_add(&mut self, name: &str, addr: &str) -> Result<RouterStatusReply, ClientError> {
+        let req = Request::AddBackend { name: name.to_owned(), addr: addr.to_owned() };
+        match self.roundtrip(&req)? {
             Response::RouterStatus(r) => Ok(r),
             Response::Rejected { reason, .. } => Err(ClientError::Protocol(reason)),
             other => Err(ClientError::Protocol(format!("expected RouterStatus, got {other:?}"))),

@@ -27,11 +27,18 @@ use vfps_net::wire::{Wire, WireError};
 /// (an early-v2 frame without it reads as `0` = greedy), so the version
 /// did not bump.
 ///
-/// The routing-tier control pair ([`Request::RouterStatus`] /
-/// [`Request::DrainBackend`] answered by [`Response::RouterStatus`]) is
-/// also v2-compatible: the new request tags are only ever *sent* by
-/// routing-aware clients, and a plain daemon answers them with a typed
-/// [`Response::Rejected`] (`"not a router"`), never a decode failure.
+/// The routing-tier control requests ([`Request::RouterStatus`] /
+/// [`Request::DrainBackend`] / [`Request::AddBackend`] answered by
+/// [`Response::RouterStatus`]) are also v2-compatible: the new request
+/// tags are only ever *sent* by routing-aware clients, and a plain daemon
+/// answers them with a typed [`Response::Rejected`] (`"not a router"`),
+/// never a decode failure.
+///
+/// The NRA additions are v2-compatible on both sides: `mode` byte `3` is
+/// a *value* of an existing field (an old server rejects it at admission
+/// with a typed [`Response::Rejected`], exactly like any unknown byte),
+/// and [`SelectReply::random_accesses`] is trailing-optional (an old
+/// frame without it decodes as `0`).
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// The federated-KNN variant a [`SelectRequest::mode`] byte names, or
@@ -45,6 +52,7 @@ pub fn knn_mode(mode: u8) -> Option<vfps_vfl::fed_knn::KnnMode> {
         0 => Some(KnnMode::Base),
         1 => Some(KnnMode::Fagin),
         2 => Some(KnnMode::Threshold),
+        3 => Some(KnnMode::Nra),
         _ => None,
     }
 }
@@ -86,9 +94,9 @@ pub struct SelectRequest {
     pub k: usize,
     /// Similarity query sample size.
     pub query_count: usize,
-    /// Federated KNN variant: 0 = Base, 1 = Fagin, 2 = Threshold (see
-    /// [`knn_mode`]). Any other byte is rejected at admission with a typed
-    /// [`Response::Rejected`] — it never reaches the pipeline.
+    /// Federated KNN variant: 0 = Base, 1 = Fagin, 2 = Threshold,
+    /// 3 = NRA (see [`knn_mode`]). Any other byte is rejected at admission
+    /// with a typed [`Response::Rejected`] — it never reaches the pipeline.
     pub mode: u8,
     /// Run seed — the determinism handle: a served selection with this
     /// seed is bit-identical to a direct pipeline run with the same seed.
@@ -180,6 +188,19 @@ pub enum Request {
     /// replies are still delivered; only *new* requests stop routing
     /// there. Answered with the post-drain [`Response::RouterStatus`].
     DrainBackend(String),
+    /// Routing-tier control: join the backend `name=addr` to the ring
+    /// live. Keys whose ring positions now land on the newcomer route
+    /// there from the next request on; everything else keeps its old
+    /// owner (consistent hashing moves only ~1/N of the keyspace).
+    /// Answered with the post-join [`Response::RouterStatus`]; a plain
+    /// daemon answers with a typed `Rejected` (`"not a router"`), and a
+    /// duplicate name is a typed `Rejected`, never a ring corruption.
+    AddBackend {
+        /// The newcomer's ring name (must be unique on the router).
+        name: String,
+        /// The newcomer's socket address.
+        addr: String,
+    },
 }
 
 impl Wire for Request {
@@ -197,6 +218,11 @@ impl Wire for Request {
                 buf.push(5);
                 name.encode(buf);
             }
+            Request::AddBackend { name, addr } => {
+                buf.push(6);
+                name.encode(buf);
+                addr.encode(buf);
+            }
         }
     }
 
@@ -208,6 +234,10 @@ impl Wire for Request {
             3 => Ok(Request::ListDatasets),
             4 => Ok(Request::RouterStatus),
             5 => Ok(Request::DrainBackend(String::decode(input)?)),
+            6 => Ok(Request::AddBackend {
+                name: String::decode(input)?,
+                addr: String::decode(input)?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -217,6 +247,7 @@ impl Wire for Request {
             Request::Select(r) => r.encoded_len(),
             Request::Ping | Request::Shutdown | Request::ListDatasets | Request::RouterStatus => 0,
             Request::DrainBackend(name) => name.encoded_len(),
+            Request::AddBackend { name, addr } => name.encoded_len() + addr.encoded_len(),
         }
     }
 }
@@ -406,6 +437,13 @@ pub struct SelectReply {
     pub queue_us: u64,
     /// Microseconds the selection itself ran.
     pub run_us: u64,
+    /// Sorted-access-only accounting: random (by-id) accesses the fed-KNN
+    /// runs charged while serving this request. Structurally 0 for every
+    /// mode except NRA (whose refinement phase is the only random-access
+    /// consumer), so clients can verify the NRA access profile from the
+    /// reply alone. Trailing-optional on the wire: a frame from a build
+    /// without it decodes as 0.
+    pub random_accesses: u64,
 }
 
 impl Wire for SelectReply {
@@ -419,6 +457,7 @@ impl Wire for SelectReply {
         self.cache_misses.encode(buf);
         self.queue_us.encode(buf);
         self.run_us.encode(buf);
+        self.random_accesses.encode(buf);
     }
 
     fn decode(input: &mut &[u8]) -> Result<Self, WireError> {
@@ -432,6 +471,9 @@ impl Wire for SelectReply {
             cache_misses: u64::decode(input)?,
             queue_us: u64::decode(input)?,
             run_us: u64::decode(input)?,
+            // Trailing-optional: a `Selected` payload is the frame's last
+            // content, so an empty remainder means "field absent" = 0.
+            random_accesses: if input.is_empty() { 0 } else { u64::decode(input)? },
         })
     }
 
@@ -445,6 +487,7 @@ impl Wire for SelectReply {
             + self.cache_misses.encoded_len()
             + self.queue_us.encoded_len()
             + self.run_us.encoded_len()
+            + self.random_accesses.encoded_len()
     }
 }
 
@@ -693,15 +736,17 @@ mod tests {
         roundtrip(&Request::ListDatasets);
         roundtrip(&Request::RouterStatus);
         roundtrip(&Request::DrainBackend("b1".into()));
+        roundtrip(&Request::AddBackend { name: "b2".into(), addr: "127.0.0.1:7973".into() });
     }
 
     #[test]
-    fn knn_mode_maps_exactly_three_bytes() {
+    fn knn_mode_maps_exactly_four_bytes() {
         use vfps_vfl::fed_knn::KnnMode;
         assert_eq!(knn_mode(0), Some(KnnMode::Base));
         assert_eq!(knn_mode(1), Some(KnnMode::Fagin));
         assert_eq!(knn_mode(2), Some(KnnMode::Threshold));
-        for bad in [3u8, 100, 250, 255] {
+        assert_eq!(knn_mode(3), Some(KnnMode::Nra));
+        for bad in [4u8, 100, 250, 255] {
             assert_eq!(knn_mode(bad), None, "mode {bad} must not map");
         }
     }
@@ -723,6 +768,43 @@ mod tests {
         for m in [0u8, 1, 2, 3] {
             roundtrip(&Request::Select(SelectRequest { maximizer: m, ..sample_request() }));
         }
+    }
+
+    #[test]
+    fn a_reply_frame_without_the_random_accesses_field_decodes_as_zero() {
+        // Re-encode a reply the way a pre-NRA build did: every field up to
+        // and including run_us, nothing after.
+        let want = SelectReply {
+            request_id: 21,
+            chosen: vec![0, 2],
+            scores: vec![1.0, 0.5, 0.25],
+            cache_status: "cold".into(),
+            enc_instances: 64,
+            cache_hits: 0,
+            cache_misses: 1,
+            queue_us: 80,
+            run_us: 4200,
+            random_accesses: 0,
+        };
+        let mut old_frame = Vec::new();
+        want.request_id.encode(&mut old_frame);
+        want.chosen.encode(&mut old_frame);
+        want.scores.encode(&mut old_frame);
+        want.cache_status.encode(&mut old_frame);
+        want.enc_instances.encode(&mut old_frame);
+        want.cache_hits.encode(&mut old_frame);
+        want.cache_misses.encode(&mut old_frame);
+        want.queue_us.encode(&mut old_frame);
+        want.run_us.encode(&mut old_frame);
+        assert_eq!(old_frame.len() + 8, want.encoded_len(), "one trailing u64");
+
+        let got = SelectReply::from_bytes(&old_frame).unwrap();
+        assert_eq!(got, want, "absent field must read as 0 random accesses");
+
+        // And inside a tagged Response frame too (the shape on the socket).
+        let mut tagged = vec![0u8];
+        tagged.extend_from_slice(&old_frame);
+        assert_eq!(Response::from_bytes(&tagged).unwrap(), Response::Selected(want));
     }
 
     #[test]
@@ -763,6 +845,7 @@ mod tests {
             cache_misses: 0,
             queue_us: 150,
             run_us: 9000,
+            random_accesses: 12,
         }));
         roundtrip(&Response::Busy { request_id: 9, queue_depth: 32, capacity: 32 });
         roundtrip(&Response::TimedOut { request_id: 11, waited_ms: 250 });

@@ -380,7 +380,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, addr: SocketAd
             // Routing-tier control frames reaching a plain daemon get a
             // typed rejection, not a hangup — a misconfigured `vfps route`
             // pointed at a backend should learn *why* it failed.
-            Request::RouterStatus | Request::DrainBackend(_) => {
+            Request::RouterStatus | Request::DrainBackend(_) | Request::AddBackend { .. } => {
                 let resp = Response::Rejected {
                     request_id: 0,
                     reason: "not a router: this is a vfps-serve daemon".into(),
@@ -633,5 +633,6 @@ fn run_job(shared: &Arc<Shared>, job: &Job, queued: Duration) -> Response {
         cache_misses: ledger.cache_misses,
         queue_us: queued.as_micros() as u64,
         run_us: run.as_micros() as u64,
+        random_accesses: ledger.random_accesses,
     })
 }

@@ -56,6 +56,7 @@ fn reply_from(ids: (u64, u64, u64), chosen: Vec<usize>, scores: Vec<f64>) -> Sel
         cache_misses: ids.1 % 89,
         queue_us: ids.2 % 83,
         run_us: ids.0 ^ ids.2,
+        random_accesses: ids.1 % 79,
     }
 }
 

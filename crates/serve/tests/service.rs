@@ -532,3 +532,54 @@ fn draining_server_rejects_new_submits_but_answers_admitted_ones() {
         }
     );
 }
+
+/// Satellite: mode byte 3 (NRA) serves end-to-end, is bit-identical to a
+/// direct NRA pipeline run, and the reply's per-mode `random_accesses`
+/// counter is real accounting: structurally zero for NRA (that is the
+/// algorithm's defining property) and strictly positive for the
+/// Threshold variant served by the very same server.
+#[test]
+fn nra_mode_serves_with_random_access_accounting_in_the_reply() {
+    let (addr, handle) = spawn(test_config());
+    let mut client = Client::connect(addr).unwrap();
+
+    let nra = match client.select(&SelectRequest { mode: 3, ..request(40, 9) }).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert_eq!(nra.random_accesses, 0, "No-Random-Access must bill zero random accesses");
+
+    // Bit-identity against the pipeline run directly with the NRA variant.
+    let spec = DatasetSpec::by_name("Bank").unwrap();
+    let (ds, split) = prepared_sized(&spec, 240, 42);
+    let partition = VerticalPartition::random(ds.n_features(), 4, 42);
+    let ctx = SelectionContext {
+        ds: &ds,
+        split: &split,
+        partition: &partition,
+        cost_scale: 1.0,
+        seed: 9,
+    };
+    let sel =
+        VfpsSmSelector { k: 10, query_count: 8, mode: KnnMode::Nra, ..VfpsSmSelector::default() };
+    let art = sel.run_over(&ctx, &[0, 1, 2, 3], 2, None);
+    assert_eq!(nra.chosen, art.selection.chosen, "served NRA run must match a direct run");
+    assert_eq!(nra.scores, art.selection.scores, "served NRA scores must be bit-identical");
+    assert_eq!(
+        nra.random_accesses, art.selection.ledger.random_accesses,
+        "the reply's charge must be the ledger's, not an approximation"
+    );
+
+    // The Threshold variant through the very same server pays for its
+    // encrypted point queries — so the field is live accounting, not a
+    // constant the reply always carries.
+    let ta = match client.select(&SelectRequest { mode: 2, ..request(41, 9) }).unwrap() {
+        Response::Selected(r) => r,
+        other => panic!("expected Selected, got {other:?}"),
+    };
+    assert!(ta.random_accesses > 0, "Threshold must bill its random accesses in the reply");
+
+    let report = client.shutdown().unwrap();
+    assert_eq!(report.completed, 2);
+    handle.join().unwrap();
+}

@@ -36,7 +36,8 @@ pub mod split_train;
 
 pub use fed_knn::{Dropout, FedKnn, FedKnnConfig, KnnMode, QueryOutcome, ResilientBatch};
 pub use protocol::{
-    run_threaded_knn, run_threaded_knn_faulted, FaultedRun, ProtoMsg, ThreadedKnnRun,
+    knn_participant_node, knn_server_node, run_threaded_knn, run_threaded_knn_faulted, FaultedRun,
+    KnnNodeOut, KnnSession, ProtoMsg, ThreadedKnnRun,
 };
 pub use split_protocol::{
     run_split_training, run_split_training_faulted, SplitTrainConfig, SplitTrainRun,

@@ -34,6 +34,7 @@ use std::sync::Arc;
 use vfps_data::VerticalPartition;
 use vfps_he::scheme::AdditiveHe;
 use vfps_ml::linalg::{squared_distance, Matrix};
+use vfps_net::channel::Channel;
 use vfps_net::cluster::{run_cluster_fallible, ClusterOptions, NodeCtx};
 use vfps_net::wire::{take, Wire, WireError};
 use vfps_net::{Error, FaultPlan, NodeId, TrafficLedger};
@@ -187,22 +188,93 @@ impl FaultedRun {
     }
 }
 
-/// Shared, read-only inputs handed to every node.
-struct Shared {
-    parties: Vec<usize>,
-    db_rows: Vec<usize>,
-    queries: Vec<usize>,
-    cfg: FedKnnConfig,
+/// Shared, read-only inputs handed to every node of a KNN protocol run —
+/// the session description a coordinator ships to every party daemon, and
+/// what the simulated cluster clones into every node thread. Two nodes
+/// built from equal sessions execute bit-identical protocol logic,
+/// whichever transport carries their messages.
+#[derive(Clone, Debug)]
+pub struct KnnSession {
+    /// Party ids of the consortium, in slot order (slot `s` ⇔ node `1+s`).
+    pub parties: Vec<usize>,
+    /// Database row indices (into the full dataset) the run queries over.
+    pub db_rows: Vec<usize>,
+    /// Query row indices.
+    pub queries: Vec<usize>,
+    /// Engine configuration (k, mode, batch, cost scale).
+    pub cfg: FedKnnConfig,
     /// Shared pseudo-ID permutation: `perm[pos]` is the pseudo ID of
     /// database position `pos`; `inv[pseudo]` maps back.
-    perm: Vec<usize>,
-    inv: Vec<usize>,
+    pub perm: Vec<usize>,
+    /// Inverse of `perm`.
+    pub inv: Vec<usize>,
 }
 
-/// What each node thread reports back: the leader's per-query outcomes
-/// (empty elsewhere) and the participant slots it observed dropping out.
-type NodeOut = (Vec<QueryOutcome>, Vec<usize>);
-type NodeResult = Result<NodeOut, Error>;
+impl KnnSession {
+    /// Builds a session, deriving the pseudo-ID permutation from
+    /// `shuffle_seed` (paper §IV-B step ①) — the one deterministic input
+    /// every node must agree on.
+    ///
+    /// # Panics
+    /// Panics on an empty consortium or database, or a mode the threaded
+    /// protocol does not implement (only Base and Fagin have message
+    /// flows; Threshold/NRA are logical-engine oracles).
+    #[must_use]
+    pub fn new(
+        parties: &[usize],
+        db_rows: &[usize],
+        queries: &[usize],
+        cfg: FedKnnConfig,
+        shuffle_seed: u64,
+    ) -> KnnSession {
+        assert!(!parties.is_empty(), "empty consortium");
+        assert!(!db_rows.is_empty(), "empty database");
+        assert!(
+            matches!(cfg.mode, KnnMode::Base | KnnMode::Fagin),
+            "the threaded protocol implements Base and Fagin; the Threshold \
+             and NRA oracles are available in the logical engine (fed_knn)"
+        );
+        let n = db_rows.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let mut inv = vec![0usize; n];
+        for (pos, &pseudo) in perm.iter().enumerate() {
+            inv[pseudo] = pos;
+        }
+        KnnSession {
+            parties: parties.to_vec(),
+            db_rows: db_rows.to_vec(),
+            queries: queries.to_vec(),
+            cfg,
+            perm,
+            inv,
+        }
+    }
+
+    /// One party's node-local inputs: its feature view of the database
+    /// rows and its per-query feature slices. What a real daemon computes
+    /// from its own dataset slice before entering the protocol.
+    #[must_use]
+    pub fn local_inputs(
+        &self,
+        x: &Matrix,
+        partition: &VerticalPartition,
+        slot: usize,
+    ) -> (Matrix, Vec<Vec<f64>>) {
+        let party = self.parties[slot];
+        let db = x.select_rows(&self.db_rows);
+        let view = partition.local_view(&db, party);
+        let cols = partition.columns(party);
+        let qfeats =
+            self.queries.iter().map(|&q| cols.iter().map(|&c| x.get(q, c)).collect()).collect();
+        (view, qfeats)
+    }
+}
+
+/// What each node reports back: the leader's per-query outcomes (empty
+/// elsewhere) and the participant slots it observed dropping out.
+pub type KnnNodeOut = (Vec<QueryOutcome>, Vec<usize>);
+type NodeResult = Result<KnnNodeOut, Error>;
 
 /// Runs the full federated KNN protocol over `queries` with real HE.
 ///
@@ -263,43 +335,12 @@ pub fn run_threaded_knn_faulted<H>(
 where
     H: AdditiveHe + 'static,
 {
-    assert!(!parties.is_empty(), "empty consortium");
-    assert!(!db_rows.is_empty(), "empty database");
-    assert!(
-        cfg.mode != KnnMode::Threshold,
-        "the threaded protocol implements Base and Fagin; the Threshold \
-         oracle is available in the logical engine (fed_knn)"
-    );
+    let shared = Arc::new(KnnSession::new(parties, db_rows, queries, cfg, shuffle_seed));
     let p = parties.len();
-    let n = db_rows.len();
-
-    let mut perm: Vec<usize> = (0..n).collect();
-    perm.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
-    let mut inv = vec![0usize; n];
-    for (pos, &pseudo) in perm.iter().enumerate() {
-        inv[pseudo] = pos;
-    }
-
-    let shared = Arc::new(Shared {
-        parties: parties.to_vec(),
-        db_rows: db_rows.to_vec(),
-        queries: queries.to_vec(),
-        cfg,
-        perm,
-        inv,
-    });
 
     // Node-local feature views (party slot s holds X^{parties[s]}).
-    let db = x.select_rows(db_rows);
-    let views: Vec<Matrix> =
-        parties.iter().map(|&party| partition.local_view(&db, party)).collect();
-    let query_feats: Vec<Vec<Vec<f64>>> = parties
-        .iter()
-        .map(|&party| {
-            let cols = partition.columns(party);
-            queries.iter().map(|&q| cols.iter().map(|&c| x.get(q, c)).collect()).collect()
-        })
-        .collect();
+    let locals: Vec<(Matrix, Vec<Vec<f64>>)> =
+        (0..p).map(|slot| shared.local_inputs(x, partition, slot)).collect();
 
     type NodeFn = Box<dyn FnOnce(NodeCtx<ProtoMsg>) -> NodeResult + Send>;
     let mut fns: Vec<NodeFn> = Vec::with_capacity(p + 1);
@@ -309,18 +350,18 @@ where
         let he = Arc::clone(he);
         let shared = Arc::clone(&shared);
         fns.push(Box::new(move |ctx| {
-            let dead = server_node(&ctx, &he, &shared)?;
+            let dead = knn_server_node(&ctx, &he, &shared)?;
             Ok((Vec::new(), dead))
         }));
     }
 
     // Nodes 1..=P: participants (node 1 is the leader).
-    for slot in 0..p {
+    for (slot, (view, qfeats)) in locals.into_iter().enumerate() {
         let he = Arc::clone(he);
         let shared = Arc::clone(&shared);
-        let view = views[slot].clone();
-        let qfeats = query_feats[slot].clone();
-        fns.push(Box::new(move |ctx| participant_node(&ctx, &he, &shared, slot, &view, &qfeats)));
+        fns.push(Box::new(move |ctx| {
+            knn_participant_node(&ctx, &he, &shared, slot, &view, &qfeats)
+        }));
     }
 
     let opts = ClusterOptions { ledger: TrafficLedger::new(), faults: faults.clone() };
@@ -379,7 +420,7 @@ fn mark_dead(dead: &mut [bool], slot: usize) -> Result<(), Error> {
 /// Sends, mapping a destination hangup to `Ok(false)` (peer is dead,
 /// caller degrades) while letting the sender's own faults — e.g.
 /// [`Error::Killed`] — propagate.
-fn send_or_gone(ctx: &NodeCtx<ProtoMsg>, to: usize, msg: ProtoMsg) -> Result<bool, Error> {
+fn send_or_gone<C: Channel<ProtoMsg>>(ctx: &C, to: usize, msg: ProtoMsg) -> Result<bool, Error> {
     match ctx.send(to, msg) {
         Ok(()) => Ok(true),
         Err(Error::Hangup { .. }) => Ok(false),
@@ -391,10 +432,17 @@ fn send_or_gone(ctx: &NodeCtx<ProtoMsg>, to: usize, msg: ProtoMsg) -> Result<boo
 /// partials, sums them homomorphically, and forwards to the leader.
 /// Participant death marks the slot dead and the round continues over the
 /// survivors; leader death aborts. Returns the dead slots it observed.
-fn server_node<H: AdditiveHe>(
-    ctx: &NodeCtx<ProtoMsg>,
+///
+/// Generic over the transport: the simulated cluster's [`NodeCtx`] and
+/// `vfps-cluster`'s real-socket hub run this exact function.
+///
+/// # Errors
+/// Typed [`Error`] when the leader dies, the transport fails, or a peer
+/// violates the protocol state machine.
+pub fn knn_server_node<H: AdditiveHe, C: Channel<ProtoMsg>>(
+    ctx: &C,
     he: &Arc<H>,
-    shared: &Shared,
+    shared: &KnnSession,
 ) -> Result<Vec<usize>, Error> {
     let p = shared.parties.len();
     let n = shared.db_rows.len();
@@ -402,9 +450,9 @@ fn server_node<H: AdditiveHe>(
     for _q in 0..shared.queries.len() {
         vfps_obs::span!("protocol.server.query");
         match shared.cfg.mode {
-            // Threshold is rejected at entry; grouped with Base to keep the
-            // match exhaustive.
-            KnnMode::Base | KnnMode::Threshold => {
+            // Threshold/NRA are rejected at session construction; grouped
+            // with Base to keep the match exhaustive.
+            KnnMode::Base | KnnMode::Threshold | KnnMode::Nra => {
                 // Announce the (full) candidate list so participants only
                 // ever encrypt when the server is ready to aggregate —
                 // without this, a fast participant's next-query ciphertexts
@@ -569,14 +617,22 @@ fn server_node<H: AdditiveHe>(
 /// Slot 0 (node 1) additionally acts as the leader: it tolerates peer
 /// participants dying (their `d_t` entries become `0.0`), but errors out
 /// if the server goes away.
-fn participant_node<H: AdditiveHe>(
-    ctx: &NodeCtx<ProtoMsg>,
+///
+/// Generic over the transport: the simulated cluster's [`NodeCtx`] and
+/// `vfps-cluster`'s daemon-side socket channel run this exact function.
+///
+/// # Errors
+/// Typed [`Error`] when the server (or, for a non-leader, the leader)
+/// dies, the transport fails, or a peer violates the protocol state
+/// machine.
+pub fn knn_participant_node<H: AdditiveHe, C: Channel<ProtoMsg>>(
+    ctx: &C,
     he: &Arc<H>,
-    shared: &Shared,
+    shared: &KnnSession,
     slot: usize,
     view: &Matrix,
     query_feats: &[Vec<f64>],
-) -> NodeResult {
+) -> Result<KnnNodeOut, Error> {
     let p = shared.parties.len();
     let n = shared.db_rows.len();
     let is_leader = slot == 0;
@@ -600,12 +656,14 @@ fn participant_node<H: AdditiveHe>(
 
         // Which pseudo IDs to encrypt.
         let candidate_pseudos: Vec<usize> = match shared.cfg.mode {
-            KnnMode::Base | KnnMode::Threshold => match ctx.recv_from_timeout(0, PHASE_TIMEOUT)? {
-                ProtoMsg::Candidates(_) => (0..n).map(|pos| shared.perm[pos]).collect(),
-                other => {
-                    return Err(Error::violation(format!("expected Candidates, got {other:?}")))
+            KnnMode::Base | KnnMode::Threshold | KnnMode::Nra => {
+                match ctx.recv_from_timeout(0, PHASE_TIMEOUT)? {
+                    ProtoMsg::Candidates(_) => (0..n).map(|pos| shared.perm[pos]).collect(),
+                    other => {
+                        return Err(Error::violation(format!("expected Candidates, got {other:?}")))
+                    }
                 }
-            },
+            }
             KnnMode::Fagin => {
                 // Sorted pseudo-ID ranking, streamed on demand.
                 let mut ranking: Vec<usize> = (0..n).collect();
